@@ -1,0 +1,30 @@
+//! Package serialization benchmarks: the seeder's serialize step and the
+//! consumer's deserialize step (Fig. 3's workflow edges), with throughput.
+
+use bench::Lab;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jumpstart::{JumpStartOptions, ProfilePackage};
+
+fn bench_package(c: &mut Criterion) {
+    let lab = Lab::small();
+    let pkg = lab.package(&JumpStartOptions::default());
+    let bytes = pkg.serialize();
+    println!("[package] serialized size: {} KB", bytes.len() / 1024);
+
+    let mut group = c.benchmark_group("package");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("serialize", |b| b.iter(|| pkg.serialize()));
+    group.bench_function("deserialize", |b| {
+        b.iter(|| ProfilePackage::deserialize(&bytes).expect("valid"))
+    });
+    group.bench_function("validate_crc_reject", |b| {
+        let mut corrupt = bytes.to_vec();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xff;
+        b.iter(|| ProfilePackage::deserialize(&corrupt).expect_err("corrupt"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_package);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Steady-state benchmarks (Fig. 5): times the full
+//! package→consume→replay pipeline for the Jump-Start and no-Jump-Start
+//! configurations and prints the measured speedup.
+
+use bench::Lab;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fleet::{measure_steady_state, SteadyConfig, SteadyParams};
+
+fn bench_steady(c: &mut Criterion) {
+    // Bench-scale lab: the steady-state effects need real cache pressure;
+    // the tiny app fits in L1 and measures noise.
+    let lab = Lab::bench_scale();
+    let params = SteadyParams {
+        warm_requests: 300,
+        measure_requests: 1200,
+        threads: 4,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("steady_state");
+    group.sample_size(10);
+    for cfg in [SteadyConfig::jumpstart_full(), SteadyConfig::no_jumpstart()] {
+        group.bench_function(cfg.name, |b| {
+            b.iter(|| measure_steady_state(&lab.app, &lab.mix, &lab.truth, &cfg, &params))
+        });
+    }
+    group.finish();
+
+    let js = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::jumpstart_full(), &params);
+    let nojs =
+        measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::no_jumpstart(), &params);
+    println!(
+        "[steady] speedup JS vs no-JS: {:+.2}% (paper: +5.4%)",
+        js.report.speedup_vs(&nojs.report)
+    );
+}
+
+criterion_group!(benches, bench_steady);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Warmup benchmarks (Figs. 1, 2, 4): times the single-server warmup
+//! simulation for both boot modes and reports the headline capacity-loss
+//! metrics as Criterion throughput-agnostic measurements.
+
+use bench::Lab;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fleet::{simulate_warmup, ServerConfig};
+use jumpstart::JumpStartOptions;
+
+fn bench_warmup(c: &mut Criterion) {
+    let lab = Lab::small();
+    let params = lab.warmup_fig4();
+    let pkg = lab.package(&JumpStartOptions::default());
+
+    let mut group = c.benchmark_group("warmup");
+    group.sample_size(10);
+    group.bench_function("simulate_no_jumpstart_10min", |b| {
+        b.iter(|| {
+            simulate_warmup(
+                &lab.app,
+                &lab.model,
+                &lab.mix,
+                &ServerConfig { params, jumpstart: None },
+            )
+        })
+    });
+    group.bench_function("simulate_jumpstart_10min", |b| {
+        b.iter(|| {
+            simulate_warmup(
+                &lab.app,
+                &lab.model,
+                &lab.mix,
+                &ServerConfig { params, jumpstart: Some(&pkg) },
+            )
+        })
+    });
+    group.finish();
+
+    // Print the Fig. 4 headline alongside the timing run.
+    let js = simulate_warmup(
+        &lab.app,
+        &lab.model,
+        &lab.mix,
+        &ServerConfig { params, jumpstart: Some(&pkg) },
+    );
+    let nojs =
+        simulate_warmup(&lab.app, &lab.model, &lab.mix, &ServerConfig { params, jumpstart: None });
+    let (lj, ln) = (js.capacity_loss_over(600_000), nojs.capacity_loss_over(600_000));
+    println!(
+        "[warmup] capacity loss 10min: no-JS {:.1}% JS {:.1}% reduction {:.1}% (paper: 78.3/35.3/54.9)",
+        ln * 100.0,
+        lj * 100.0,
+        (ln - lj) / ln * 100.0
+    );
+}
+
+criterion_group!(benches, bench_warmup);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! Regenerates every figure of "HHVM Jump-Start" (CGO 2021) against the
+//! simulated substrate. Run with `--all` or any subset of
+//! `--fig1 --fig2 --fig4 --fig5 --fig6 --reliability --seeder`.
+//!
+//! Output is textual: for each figure, the measured series/scalars plus
+//! the paper's reported values for comparison. Absolute numbers are not
+//! expected to match (the substrate is a simulator); shapes and signs are.
+
+use bench::Lab;
+use fleet::{
+    measure_steady_state, run_crashloop, simulate_warmup, CrashLoopParams, ServerConfig,
+    SteadyConfig, SteadyParams, Timeline,
+};
+use jumpstart::{FuncSort, JumpStartOptions, Validator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f) || args.iter().any(|a| a == "--all");
+    if args.is_empty() {
+        eprintln!(
+            "usage: figures [--all] [--fig1] [--fig2] [--fig4] [--fig5] [--fig6] [--reliability] [--seeder]"
+        );
+        std::process::exit(2);
+    }
+
+    println!("== HHVM Jump-Start reproduction: figure regeneration ==");
+    println!("building bench-scale application and ground-truth profile...");
+    let lab = Lab::bench_scale();
+    println!(
+        "app: {} funcs, {} classes, {} units, {} endpoints; profiled {} funcs over {} requests\n",
+        lab.app.repo.funcs().len(),
+        lab.app.repo.classes().len(),
+        lab.app.repo.units().len(),
+        lab.app.endpoints.len(),
+        lab.truth.tier.profiled_count(),
+        lab.truth.requests,
+    );
+
+    if has("--fig1") {
+        fig1(&lab);
+    }
+    if has("--fig2") {
+        fig2(&lab);
+    }
+    if has("--fig4") {
+        fig4(&lab);
+    }
+    if has("--fig5") {
+        fig5(&lab);
+    }
+    if has("--fig6") {
+        fig6(&lab);
+    }
+    if has("--reliability") {
+        reliability(&lab);
+    }
+    if has("--seeder") {
+        seeder(&lab);
+    }
+}
+
+fn print_timeline(tl: &Timeline, every: usize) {
+    println!("  {:>7} {:>9} {:>12} {:>12}", "t(min)", "rps_norm", "latency(ms)", "code(KB)");
+    for s in tl.samples.iter().step_by(every) {
+        println!(
+            "  {:>7.1} {:>9.3} {:>12.2} {:>12}",
+            s.t_ms as f64 / 60_000.0,
+            s.rps_norm,
+            s.latency_ms,
+            s.code_bytes / 1024
+        );
+    }
+}
+
+fn fig1(lab: &Lab) {
+    println!("-- Figure 1: JITed code size over time (no Jump-Start) --");
+    println!("paper: ~500 MB total; A (profiling stops) ~6 min, relocation B->C,");
+    println!("       JIT ceases (D) ~25 min. Ours is a scaled-down app; compare shape.\n");
+    let params = lab.warmup_fig1();
+    let tl = simulate_warmup(
+        &lab.app,
+        &lab.model,
+        &lab.mix,
+        &ServerConfig { params, jumpstart: None },
+    );
+    print_timeline(&tl, 6);
+    let min = |o: Option<u64>| o.map(|v| v as f64 / 60_000.0);
+    println!(
+        "\n  measured: A = {:?} min, B = {:?} min, C = {:?} min, final code = {} KB",
+        min(tl.point_a_ms),
+        min(tl.point_b_ms),
+        min(tl.point_c_ms),
+        tl.samples.last().map(|s| s.code_bytes / 1024).unwrap_or(0)
+    );
+    println!("  paper:    A ~= 6 min, B ~= 10 min, C ~= 13 min, final ~500 MB (full site)\n");
+}
+
+fn fig2(lab: &Lab) {
+    println!("-- Figure 2: server capacity loss due to restart and warmup --");
+    println!("paper: normalized RPS ramps over ~25 min; area above curve = capacity loss.\n");
+    let params = lab.warmup_fig1();
+    let tl = simulate_warmup(
+        &lab.app,
+        &lab.model,
+        &lab.mix,
+        &ServerConfig { params, jumpstart: None },
+    );
+    print_timeline(&tl, 6);
+    println!(
+        "\n  measured capacity loss over 25 min: {:.1}%  (paper's Fig. 2 area, qualitative)\n",
+        tl.capacity_loss_over(1_500_000) * 100.0
+    );
+}
+
+fn fig4(lab: &Lab) {
+    println!("-- Figure 4: warmup latency and throughput, Jump-Start vs none --");
+    let params = lab.warmup_fig4();
+    let pkg = lab.package(&JumpStartOptions::default());
+    let js = simulate_warmup(
+        &lab.app,
+        &lab.model,
+        &lab.mix,
+        &ServerConfig { params, jumpstart: Some(&pkg) },
+    );
+    let nojs =
+        simulate_warmup(&lab.app, &lab.model, &lab.mix, &ServerConfig { params, jumpstart: None });
+
+    println!("\n  (a) average wall latency per request (ms) over uptime");
+    println!("  {:>7} {:>12} {:>12} {:>7}", "t(s)", "jumpstart", "no-js", "ratio");
+    for (a, b) in js.samples.iter().zip(nojs.samples.iter()).step_by(6) {
+        let ratio = if a.latency_ms > 0.0 { b.latency_ms / a.latency_ms } else { 0.0 };
+        println!(
+            "  {:>7} {:>12.2} {:>12.2} {:>7.2}",
+            a.t_ms / 1000,
+            a.latency_ms,
+            b.latency_ms,
+            ratio
+        );
+    }
+    println!("  paper: ~3x latency gap between serving start and ~250 s\n");
+
+    println!("  (b) normalized RPS over uptime");
+    println!("  {:>7} {:>12} {:>12}", "t(s)", "jumpstart", "no-js");
+    for (a, b) in js.samples.iter().zip(nojs.samples.iter()).step_by(6) {
+        println!("  {:>7} {:>12.3} {:>12.3}", a.t_ms / 1000, a.rps_norm, b.rps_norm);
+    }
+    let loss_js = js.capacity_loss_over(600_000) * 100.0;
+    let loss_nojs = nojs.capacity_loss_over(600_000) * 100.0;
+    let reduction = (loss_nojs - loss_js) / loss_nojs * 100.0;
+    println!("\n  measured capacity loss (first 10 min): no-JS {loss_nojs:.1}%, JS {loss_js:.1}%");
+    println!("  measured reduction: {reduction:.1}%");
+    println!("  paper:    no-JS 78.3%, JS 35.3%, reduction 54.9%");
+    println!(
+        "  serve start: JS {} s vs no-JS {} s (paper: JS starts slightly earlier)\n",
+        js.serve_start_ms / 1000,
+        nojs.serve_start_ms / 1000
+    );
+}
+
+fn steady_params() -> SteadyParams {
+    SteadyParams { warm_requests: 400, measure_requests: 2400, threads: 8, ..Default::default() }
+}
+
+fn fig5(lab: &Lab) {
+    println!("-- Figure 5: steady-state speedup and miss reductions, JS vs no-JS --");
+    let params = steady_params();
+    let js = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::jumpstart_full(), &params);
+    let nojs = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::no_jumpstart(), &params);
+    let speedup = js.report.speedup_vs(&nojs.report);
+    let red = js.report.reduction_vs(&nojs.report);
+    println!("\n  {:<12} {:>9} {:>8}", "metric", "measured", "paper");
+    println!("  {:<12} {:>8.2}% {:>7.1}%", "speedup", speedup, 5.4);
+    let names = ["branch MR", "i-cache MR", "i-TLB MR", "d-cache MR", "d-TLB MR", "LLC MR"];
+    let paper = [6.8, 6.2, 20.8, 1.4, 12.1, 3.5];
+    for ((n, m), p) in names.iter().zip(red.iter()).zip(paper.iter()) {
+        println!("  {:<12} {:>8.2}% {:>7.1}%", n, m, p);
+    }
+    println!("\n  (MR = miss reduction per instruction; positive = fewer misses with JS)\n");
+}
+
+fn fig6(lab: &Lab) {
+    println!("-- Figure 6: per-optimization speedups over Jump-Start-without-opts --");
+    let params = steady_params();
+    let base =
+        measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::jumpstart_no_opts(), &params);
+    let heat_cfg = SteadyConfig {
+        name: "no-func-sort",
+        js: JumpStartOptions {
+            func_sort: FuncSort::SourceOrder,
+            ..JumpStartOptions::without_optimizations()
+        },
+        no_jumpstart: false,
+    };
+    let configs = [
+        (SteadyConfig::no_jumpstart(), -0.2, "no Jump-Start"),
+        (SteadyConfig::bb_layout_only(), 3.8, "BB layout (accurate Vasm weights)"),
+        (SteadyConfig::func_layout_only(), 0.75, "func layout (inlining-aware C3)"),
+        (SteadyConfig::prop_reorder_only(), 0.8, "prop reorder (hotness)"),
+        (SteadyConfig::jumpstart_full(), f64::NAN, "all optimizations"),
+        (heat_cfg, f64::NAN, "[extra] heat order instead of C3"),
+    ];
+    println!("\n  {:<38} {:>9} {:>8}", "configuration", "measured", "paper");
+    for (cfg, paper, label) in configs {
+        let o = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &cfg, &params);
+        let s = o.report.speedup_vs(&base.report);
+        if paper.is_nan() {
+            println!("  {:<38} {:>8.2}% {:>8}", label, s, "-");
+        } else {
+            println!("  {:<38} {:>8.2}% {:>7.2}%", label, s, paper);
+        }
+    }
+    println!("\n  baseline: Jump-Start enabled, §V optimizations disabled (paper's Fig. 6)\n");
+}
+
+fn reliability(lab: &Lab) {
+    println!("-- §VI reliability: crash-loop containment --");
+    println!("\n  scenario A: 1 of 5 packages is crash-inducing, randomized selection");
+    let a = run_crashloop(&CrashLoopParams { servers: 5000, packages: 5, poisoned: 1, ..Default::default() });
+    println!("  crashed per restart wave: {:?}", a.crashed_per_wave);
+    println!(
+        "  fleet healthy after {:?} waves; fallbacks {}; healthy on JS {}",
+        a.waves_to_healthy, a.fallbacks, a.healthy_jumpstart
+    );
+    println!("  paper: affected consumers reduce exponentially with each restart\n");
+
+    println!("  scenario B: single bad package, no randomization");
+    let b = run_crashloop(&CrashLoopParams {
+        servers: 5000,
+        packages: 1,
+        poisoned: 1,
+        ..Default::default()
+    });
+    println!("  crashed per restart wave: {:?}", b.crashed_per_wave);
+    println!(
+        "  fallbacks {} (automatic no-Jump-Start fallback caps the loop at {} attempts)\n",
+        b.fallbacks, 3
+    );
+
+    println!("  scenario C: validation catches deterministic JIT crashes");
+    let opts = JumpStartOptions {
+        min_funcs_profiled: 10,
+        min_counter_mass: 1000,
+        min_requests: 50,
+        ..Default::default()
+    };
+    let validator = Validator::new(opts, jit::JitOptions::default());
+    let mut pkg = lab.package(&opts);
+    let ok = validator.validate_package(&lab.app.repo, &pkg, 0);
+    println!("  healthy package: {:?}", ok.map(|r| r.compiled_funcs));
+    pkg.meta.poison = jumpstart::Poison::CompileCrash;
+    println!("  compile-crash package: {:?}", validator.validate_package(&lab.app.repo, &pkg, 0).err());
+    println!();
+}
+
+fn seeder(lab: &Lab) {
+    println!("-- §IV/§VII seeder economics --");
+    let pkg = lab.package(&JumpStartOptions::default());
+    let bytes = pkg.serialize();
+    println!("  package size: {} KB", bytes.len() / 1024);
+    println!("  preload list: {} units", pkg.preload.unit_order.len());
+    println!("  function order: {} functions", pkg.func_order.len());
+    println!("  prop orders: {} classes", pkg.prop_orders.len());
+    println!(
+        "  coverage: {} funcs, {} counter mass, {} requests",
+        pkg.meta.coverage.funcs_profiled, pkg.meta.coverage.counter_mass, pkg.meta.coverage.requests
+    );
+    let back = jumpstart::ProfilePackage::deserialize(&bytes).expect("round-trips");
+    assert_eq!(back, pkg);
+    println!("  round-trip: ok\n");
+}

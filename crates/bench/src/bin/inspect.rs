@@ -1,0 +1,68 @@
+//! `inspect` — dump the contents of a serialized Jump-Start package.
+//!
+//! The §III/§VI debugging workflow: problematic packages are stored in a
+//! database so engineers can reproduce JIT issues; this tool is the first
+//! step, showing what a package contains without needing the repo it was
+//! built against.
+//!
+//! Usage: `inspect <package-file>`; with no argument it builds a demo
+//! package in memory and inspects that.
+
+use jumpstart::{JumpStartOptions, ProfilePackage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = match std::env::args().nth(1) {
+        Some(path) => std::fs::read(path)?,
+        None => {
+            eprintln!("(no file given; inspecting a freshly built demo package)");
+            let lab = bench::Lab::small();
+            lab.package(&JumpStartOptions::default()).serialize().to_vec()
+        }
+    };
+    let pkg = ProfilePackage::deserialize(&bytes)?;
+
+    println!("package: {} bytes on the wire", bytes.len());
+    println!(
+        "meta: region {} bucket {} seeder {} created {} ms poison {:?}",
+        pkg.meta.region, pkg.meta.bucket, pkg.meta.seeder_id, pkg.meta.created_ms, pkg.meta.poison
+    );
+    println!(
+        "coverage: {} funcs profiled, {} counter mass, {} requests",
+        pkg.meta.coverage.funcs_profiled,
+        pkg.meta.coverage.counter_mass,
+        pkg.meta.coverage.requests
+    );
+    println!("\ncategory 1 (repo preload): {} units in load order", pkg.preload.unit_order.len());
+    println!(
+        "category 2 (tier-1 JIT profile): {} functions, {} block counters",
+        pkg.tier.profiled_count(),
+        pkg.tier.funcs.values().map(|f| f.block_counts.len()).sum::<usize>()
+    );
+    let call_sites: usize = pkg.tier.funcs.values().map(|f| f.call_targets.len()).sum();
+    let type_points: usize = pkg.tier.funcs.values().map(|f| f.types.len()).sum();
+    println!("  call-target profiles: {call_sites} sites; type profiles: {type_points} points");
+    println!(
+        "category 3 (optimized-code profile): {} context-sensitive branches, {} entries",
+        pkg.ctx.branches.len(),
+        pkg.ctx.entries.len()
+    );
+    println!(
+        "category 4 (intermediate results): function order of {}, property orders for {} classes",
+        pkg.func_order.len(),
+        pkg.prop_orders.len()
+    );
+
+    // Top functions by counter mass.
+    let mut heat: Vec<_> = pkg
+        .tier
+        .funcs
+        .iter()
+        .map(|(f, p)| (*f, p.block_counts.iter().sum::<u64>(), p.enter_count))
+        .collect();
+    heat.sort_by_key(|&(_, mass, _)| std::cmp::Reverse(mass));
+    println!("\nhottest functions (by block-counter mass):");
+    for (f, mass, enters) in heat.iter().take(10) {
+        println!("  {f}: mass {mass}, {enters} entries");
+    }
+    Ok(())
+}

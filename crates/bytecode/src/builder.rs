@@ -1,0 +1,207 @@
+//! Ergonomic function construction with labels and back-patching.
+
+use crate::ids::{ClassId, FuncId, Local, UnitId};
+use crate::instr::Instr;
+use crate::program::Func;
+use crate::repo::RepoBuilder;
+
+/// A forward-referencable jump label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`Func`]'s bytecode incrementally.
+///
+/// Labels may be referenced before they are bound; `finish` patches all
+/// branch targets and asserts every label was bound.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    params: u16,
+    locals: u16,
+    code: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    // (instr index, label) pairs awaiting patching.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl FuncBuilder {
+    /// Starts a function with `params` parameters (locals `0..params`).
+    pub fn new(name: &str, params: u16) -> Self {
+        Self {
+            name: name.to_owned(),
+            params,
+            locals: params,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Reserves a fresh local slot and returns its index.
+    pub fn new_local(&mut self) -> Local {
+        let l = self.locals;
+        self.locals += 1;
+        l
+    }
+
+    /// Ensures at least `n` local slots exist.
+    pub fn reserve_locals(&mut self, n: u16) {
+        self.locals = self.locals.max(n);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Appends an instruction.
+    pub fn emit(&mut self, i: Instr) {
+        debug_assert!(
+            i.jump_target().is_none(),
+            "use emit_jmp/emit_jmp_z/emit_jmp_nz for branches"
+        );
+        self.code.push(i);
+    }
+
+    /// Appends an instruction verbatim, including branches with absolute
+    /// targets. Intended for generators and tests that compute targets
+    /// themselves; prefer the label API otherwise.
+    pub fn emit_raw(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction to be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len() as u32);
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn emit_jmp(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Jmp(u32::MAX));
+    }
+
+    /// Emits a jump-if-falsy to `label`.
+    pub fn emit_jmp_z(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::JmpZ(u32::MAX));
+    }
+
+    /// Emits a jump-if-truthy to `label`.
+    pub fn emit_jmp_nz(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::JmpNZ(u32::MAX));
+    }
+
+    pub(crate) fn finish(
+        mut self,
+        repo: &mut RepoBuilder,
+        id: FuncId,
+        unit: UnitId,
+        class: Option<ClassId>,
+    ) -> Func {
+        for (at, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0].expect("label never bound");
+            self.code[at] = match self.code[at] {
+                Instr::Jmp(_) => Instr::Jmp(target),
+                Instr::JmpZ(_) => Instr::JmpZ(target),
+                Instr::JmpNZ(_) => Instr::JmpNZ(target),
+                other => unreachable!("fixup on non-branch {other:?}"),
+            };
+        }
+        let name = repo.intern(&self.name);
+        Func {
+            id,
+            name,
+            unit,
+            params: self.params,
+            locals: self.locals,
+            class,
+            code: self.code,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+    use crate::repo::RepoBuilder;
+
+    #[test]
+    fn forward_labels_are_patched() {
+        let mut repo = RepoBuilder::new();
+        let u = repo.declare_unit("t.hl");
+        let mut f = FuncBuilder::new("f", 1);
+        let done = f.new_label();
+        f.emit(Instr::GetL(0));
+        f.emit_jmp_z(done);
+        f.emit(Instr::Int(1));
+        f.emit(Instr::Ret);
+        f.bind(done);
+        f.emit(Instr::Int(0));
+        f.emit(Instr::Ret);
+        let id = repo.define_func(u, f);
+        let repo = repo.finish();
+        let func = repo.func(id);
+        assert_eq!(func.code[1], Instr::JmpZ(4));
+    }
+
+    #[test]
+    fn locals_accumulate_past_params() {
+        let mut f = FuncBuilder::new("f", 2);
+        assert_eq!(f.new_local(), 2);
+        assert_eq!(f.new_local(), 3);
+        f.reserve_locals(10);
+        assert_eq!(f.new_local(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut f = FuncBuilder::new("f", 0);
+        let l = f.new_label();
+        f.bind(l);
+        f.bind(l);
+    }
+
+    #[test]
+    fn backward_jump_forms_loop() {
+        let mut repo = RepoBuilder::new();
+        let u = repo.declare_unit("t.hl");
+        let mut f = FuncBuilder::new("loop", 1);
+        let top = f.new_label();
+        let out = f.new_label();
+        f.bind(top);
+        f.emit(Instr::GetL(0));
+        f.emit_jmp_z(out);
+        f.emit(Instr::GetL(0));
+        f.emit(Instr::Int(1));
+        f.emit(Instr::Bin(BinOp::Sub));
+        f.emit(Instr::SetL(0));
+        f.emit_jmp(top);
+        f.bind(out);
+        f.emit(Instr::Null);
+        f.emit(Instr::Ret);
+        let id = repo.define_func(u, f);
+        let repo = repo.finish();
+        assert_eq!(repo.func(id).code[6], Instr::Jmp(0));
+        assert_eq!(repo.func(id).code[1], Instr::JmpZ(7));
+    }
+}

@@ -1,0 +1,242 @@
+//! Control-flow graph over bytecode.
+//!
+//! The JIT's profiling translator inserts counters at *bytecode-level basic
+//! blocks* (paper §V-A); this module computes those blocks. Block ids are
+//! dense per function and stable across runs, so profile counters keyed by
+//! `BlockId` can be serialized into the Jump-Start package and applied in a
+//! different process.
+
+
+use crate::program::Func;
+
+/// Dense id of a bytecode basic block within one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The function entry block.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// One bytecode basic block: a half-open instruction range plus successors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CfgBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor taken when the terminating conditional branch fires (or the
+    /// unconditional jump target). `None` for returns and fallthrough-only.
+    pub taken: Option<BlockId>,
+    /// Fallthrough successor, if control can fall through.
+    pub fallthrough: Option<BlockId>,
+}
+
+impl CfgBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block is empty (never produced by [`Cfg::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates over the block's successors.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.taken.into_iter().chain(self.fallthrough)
+    }
+}
+
+/// The control-flow graph of one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<CfgBlock>,
+    // Map from instruction index to owning block, for profiling lookups.
+    block_of_instr: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Computes basic blocks for `func` with the classic leader algorithm.
+    pub fn build(func: &Func) -> Cfg {
+        let code = &func.code;
+        let n = code.len();
+        let mut is_leader = vec![false; n.max(1)];
+        if n > 0 {
+            is_leader[0] = true;
+        }
+        for (i, instr) in code.iter().enumerate() {
+            if let Some(t) = instr.jump_target() {
+                if (t as usize) < n {
+                    is_leader[t as usize] = true;
+                }
+            }
+            if instr.ends_block() && i + 1 < n {
+                is_leader[i + 1] = true;
+            }
+        }
+        // Assign block ids in instruction order.
+        let mut starts: Vec<u32> = Vec::new();
+        for (i, &l) in is_leader.iter().enumerate().take(n) {
+            if l {
+                starts.push(i as u32);
+            }
+        }
+        let mut block_of_instr = vec![BlockId(0); n];
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (bi, &start) in starts.iter().enumerate() {
+            let end = starts.get(bi + 1).copied().unwrap_or(n as u32);
+            for i in start..end {
+                block_of_instr[i as usize] = BlockId(bi as u32);
+            }
+            blocks.push(CfgBlock { start, end, taken: None, fallthrough: None });
+        }
+        // Wire successors now that instruction->block is known.
+        for bi in 0..blocks.len() {
+            let last_idx = blocks[bi].end - 1;
+            let last = &code[last_idx as usize];
+            let taken = last
+                .jump_target()
+                .map(|t| block_of_instr[t as usize]);
+            let falls = !last.is_terminal() && (blocks[bi].end as usize) < n;
+            blocks[bi].taken = taken;
+            blocks[bi].fallthrough = if falls {
+                Some(block_of_instr[blocks[bi].end as usize])
+            } else {
+                None
+            };
+        }
+        Cfg { blocks, block_of_instr }
+    }
+
+    /// The blocks, indexable by [`BlockId`].
+    pub fn blocks(&self) -> &[CfgBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the function had no code.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing instruction `idx`.
+    pub fn block_of(&self, idx: u32) -> BlockId {
+        self.block_of_instr[idx as usize]
+    }
+
+    /// Resolves a block id.
+    pub fn block(&self, id: BlockId) -> &CfgBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Predecessor counts per block (entry gets an implicit +1).
+    pub fn pred_counts(&self) -> Vec<u32> {
+        let mut preds = vec![0u32; self.blocks.len()];
+        if !self.blocks.is_empty() {
+            preds[0] += 1;
+        }
+        for b in &self.blocks {
+            for s in b.successors() {
+                preds[s.index()] += 1;
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FuncId, StrId, UnitId};
+    use crate::instr::{BinOp, Instr};
+
+    fn func(code: Vec<Instr>) -> Func {
+        Func {
+            id: FuncId::new(0),
+            name: StrId::new(0),
+            unit: UnitId::new(0),
+            params: 1,
+            locals: 1,
+            class: None,
+            code,
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let f = func(vec![Instr::Int(1), Instr::Int(2), Instr::Bin(BinOp::Add), Instr::Ret]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 1);
+        let b = cfg.block(BlockId::ENTRY);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.taken, None);
+        assert_eq!(b.fallthrough, None);
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        // if (l0) { 1 } else { 2 }; ret
+        let f = func(vec![
+            Instr::GetL(0),   // 0  b0
+            Instr::JmpZ(4),   // 1  b0 -> taken b2, fall b1
+            Instr::Int(1),    // 2  b1
+            Instr::Jmp(5),    // 3  b1 -> b3
+            Instr::Int(2),    // 4  b2 (falls to b3)
+            Instr::Ret,       // 5  b3
+        ]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 4);
+        let b0 = cfg.block(BlockId(0));
+        assert_eq!(b0.taken, Some(BlockId(2)));
+        assert_eq!(b0.fallthrough, Some(BlockId(1)));
+        let b1 = cfg.block(BlockId(1));
+        assert_eq!(b1.taken, Some(BlockId(3)));
+        assert_eq!(b1.fallthrough, None);
+        let b2 = cfg.block(BlockId(2));
+        assert_eq!(b2.taken, None);
+        assert_eq!(b2.fallthrough, Some(BlockId(3)));
+        assert_eq!(cfg.pred_counts(), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let f = func(vec![
+            Instr::GetL(0), // 0 b0 (loop header)
+            Instr::JmpZ(6), // 1 b0
+            Instr::GetL(0), // 2 b1
+            Instr::Int(1),  // 3
+            Instr::Bin(BinOp::Sub),
+            Instr::Jmp(0),  // 5 b1 -> b0
+            Instr::Ret,     // 6 b2
+        ]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.block(BlockId(1)).taken, Some(BlockId(0)));
+        assert_eq!(cfg.block_of(4), BlockId(1));
+    }
+
+    #[test]
+    fn block_of_maps_every_instr() {
+        let f = func(vec![Instr::GetL(0), Instr::JmpNZ(0), Instr::Ret]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.block_of(0), BlockId(0));
+        assert_eq!(cfg.block_of(2), BlockId(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! Textual disassembler, for debugging and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::cfg::Cfg;
+use crate::ids::{FuncId, UnitId};
+use crate::instr::Instr;
+use crate::repo::Repo;
+
+/// Renders one function as human-readable text, one instruction per line,
+/// with basic-block markers matching [`Cfg::build`].
+pub fn disasm_func(repo: &Repo, id: FuncId) -> String {
+    let func = repo.func(id);
+    let mut out = String::new();
+    let kind = if func.is_method() { "method" } else { "function" };
+    let _ = writeln!(
+        out,
+        "{} {}({} params, {} locals) {{",
+        kind,
+        repo.str(func.name),
+        func.params,
+        func.locals
+    );
+    let cfg = Cfg::build(func);
+    for (bi, block) in cfg.blocks().iter().enumerate() {
+        let _ = writeln!(out, "b{bi}:");
+        for i in block.start..block.end {
+            let _ = writeln!(out, "  {:4}  {}", i, render(repo, &func.code[i as usize]));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every function and class of a unit.
+pub fn disasm_unit(repo: &Repo, id: UnitId) -> String {
+    let unit = repo.unit(id);
+    let mut out = format!("// unit {}\n", repo.str(unit.name));
+    for &c in &unit.classes {
+        let class = repo.class(c);
+        let parent = class
+            .parent
+            .map(|p| format!(" extends {}", repo.str(repo.class(p).name)))
+            .unwrap_or_default();
+        let _ = writeln!(out, "class {}{} {{", repo.str(class.name), parent);
+        for p in &class.props {
+            let _ = writeln!(out, "  prop ${};", repo.str(p.name));
+        }
+        out.push_str("}\n");
+    }
+    for &f in &unit.funcs {
+        out.push_str(&disasm_func(repo, f));
+    }
+    out
+}
+
+fn render(repo: &Repo, i: &Instr) -> String {
+    match *i {
+        Instr::Null => "null".into(),
+        Instr::True => "true".into(),
+        Instr::False => "false".into(),
+        Instr::Int(v) => format!("int {v}"),
+        Instr::Double(v) => format!("double {v}"),
+        Instr::Str(s) => format!("str {:?}", repo.str(s)),
+        Instr::LitArr(a) => format!("litarr {a}"),
+        Instr::Pop => "pop".into(),
+        Instr::Dup => "dup".into(),
+        Instr::GetL(l) => format!("getl ${l}"),
+        Instr::SetL(l) => format!("setl ${l}"),
+        Instr::IncL(l, d) => format!("incl ${l}, {d}"),
+        Instr::Bin(op) => op.mnemonic().to_string(),
+        Instr::Un(op) => op.mnemonic().to_string(),
+        Instr::Jmp(t) => format!("jmp @{t}"),
+        Instr::JmpZ(t) => format!("jmpz @{t}"),
+        Instr::JmpNZ(t) => format!("jmpnz @{t}"),
+        Instr::Call { func, argc } => {
+            format!("call {}({argc})", repo.str(repo.func(func).name))
+        }
+        Instr::CallMethod { name, argc } => {
+            format!("callmethod {:?}({argc})", repo.str(name))
+        }
+        Instr::CallBuiltin { builtin, argc } => {
+            format!("callbuiltin {}({argc})", builtin.name())
+        }
+        Instr::Ret => "ret".into(),
+        Instr::NewObj(c) => format!("newobj {}", repo.str(repo.class(c).name)),
+        Instr::GetProp(s) => format!("getprop {:?}", repo.str(s)),
+        Instr::SetProp(s) => format!("setprop {:?}", repo.str(s)),
+        Instr::This => "this".into(),
+        Instr::NewVec(n) => format!("newvec {n}"),
+        Instr::NewDict(n) => format!("newdict {n}"),
+        Instr::Idx => "idx".into(),
+        Instr::SetIdx => "setidx".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::BinOp;
+    use crate::repo::RepoBuilder;
+
+    #[test]
+    fn disasm_contains_blocks_and_mnemonics() {
+        let mut b = RepoBuilder::new();
+        let u = b.declare_unit("t.hl");
+        let mut f = FuncBuilder::new("f", 1);
+        let out = f.new_label();
+        f.emit(Instr::GetL(0));
+        f.emit_jmp_z(out);
+        f.emit(Instr::Int(1));
+        f.emit(Instr::Ret);
+        f.bind(out);
+        f.emit(Instr::Int(2));
+        f.emit(Instr::Ret);
+        let id = b.define_func(u, f);
+        let repo = b.finish();
+        let text = disasm_func(&repo, id);
+        assert!(text.contains("function f(1 params"));
+        assert!(text.contains("b0:"));
+        assert!(text.contains("b2:"));
+        assert!(text.contains("jmpz @4"));
+        let _ = BinOp::Add;
+    }
+
+    #[test]
+    fn disasm_unit_lists_classes() {
+        let mut b = RepoBuilder::new();
+        let u = b.declare_unit("t.hl");
+        let base = b.declare_class(u, "Base", None, vec![]);
+        b.declare_class(u, "Kid", Some(base), vec![]);
+        let repo = b.finish();
+        let text = disasm_unit(&repo, u);
+        assert!(text.contains("class Base"));
+        assert!(text.contains("class Kid extends Base"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Newtype identifiers for repo entities.
+//!
+//! All cross-references inside the repo are by dense integer id, mirroring
+//! HHVM's repo-authoritative mode where units, classes and functions are
+//! numbered at offline-compile time. Dense ids also make profile data
+//! (per-function counter tables, call graphs) cheap to index and serialize.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> $name {
+                $name(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an interned string in the repo string table.
+    StrId,
+    "s"
+);
+define_id!(
+    /// Identifier of a function (free function or method) in the repo.
+    FuncId,
+    "f"
+);
+define_id!(
+    /// Identifier of a class in the repo.
+    ClassId,
+    "c"
+);
+define_id!(
+    /// Identifier of a compilation unit (one source file) in the repo.
+    UnitId,
+    "u"
+);
+define_id!(
+    /// Identifier of a literal (static) array in the repo.
+    LitArrId,
+    "a"
+);
+
+/// Index of a local variable slot within a function frame.
+///
+/// Parameters occupy the first slots, followed by named locals and
+/// compiler temporaries.
+pub type Local = u16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw() {
+        let f = FuncId::new(42);
+        assert_eq!(f.index(), 42);
+        assert_eq!(u32::from(f), 42);
+        assert_eq!(FuncId::from(42u32), f);
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", StrId::new(3)), "s3");
+        assert_eq!(format!("{:?}", ClassId::new(7)), "c7");
+        assert_eq!(format!("{}", UnitId::new(0)), "u0");
+        assert_eq!(format!("{}", LitArrId::new(9)), "a9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(FuncId::new(1) < FuncId::new(2));
+        assert_eq!(FuncId::new(5), FuncId::new(5));
+    }
+}

@@ -1,0 +1,84 @@
+//! Literal (static) values baked into the repo at offline-compile time.
+
+use crate::ids::{LitArrId, StrId};
+
+/// A compile-time constant value.
+///
+/// Literals appear as property defaults and as elements of static arrays.
+/// They reference strings and arrays by id, so a literal is `Copy` and the
+/// repo owns all the actual data — exactly the property that makes the
+/// "repo global data" category of the Jump-Start package (paper §IV-B) a
+/// simple list of ids to preload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Literal {
+    /// The null value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An interned string.
+    Str(StrId),
+    /// A static array (vec or dict) stored in the repo.
+    Arr(LitArrId),
+}
+
+impl Default for Literal {
+    fn default() -> Self {
+        Literal::Null
+    }
+}
+
+/// A static array stored once in the repo and shared by all requests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LitArray {
+    /// A vector of literals.
+    Vec(Vec<Literal>),
+    /// A dict of string-keyed literals, in insertion order.
+    Dict(Vec<(StrId, Literal)>),
+}
+
+impl LitArray {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            LitArray::Vec(v) => v.len(),
+            LitArray::Dict(d) => d.len(),
+        }
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the lazy loader
+    /// and the warmup model to cost repo metadata loading.
+    pub fn footprint_bytes(&self) -> usize {
+        16 + self.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_literal_is_null() {
+        assert_eq!(Literal::default(), Literal::Null);
+    }
+
+    #[test]
+    fn lit_array_len_and_footprint() {
+        let v = LitArray::Vec(vec![Literal::Int(1), Literal::Int(2)]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.footprint_bytes(), 16 + 48);
+
+        let d = LitArray::Dict(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.footprint_bytes(), 16);
+    }
+}

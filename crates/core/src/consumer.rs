@@ -1,0 +1,302 @@
+//! The consumer workflow (Fig. 3c): deserialize → preload → compile all
+//! optimized code in parallel → ready to serve.
+
+use std::collections::HashMap;
+
+use bytecode::{ClassId, FuncId, Repo, StrId, UnitId};
+use jit::{translate_optimized, JitEngine, JitOptions, WeightSource};
+use vm::ClassTable;
+
+use crate::config::{FuncSort, JumpStartOptions, PropReorder};
+use crate::package::{Poison, ProfilePackage};
+use crate::wire::WireError;
+
+/// Consumer failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsumerError {
+    /// The package failed to decode.
+    Wire(WireError),
+    /// The profile data triggered a (simulated) JIT compiler crash —
+    /// §VI-A's widespread-bug scenario.
+    JitCrash,
+}
+
+impl std::fmt::Display for ConsumerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsumerError::Wire(e) => write!(f, "package decode failed: {e}"),
+            ConsumerError::JitCrash => write!(f, "JIT crashed while compiling profile data"),
+        }
+    }
+}
+
+impl std::error::Error for ConsumerError {}
+
+impl From<WireError> for ConsumerError {
+    fn from(e: WireError) -> Self {
+        ConsumerError::Wire(e)
+    }
+}
+
+/// What a successful consumer boot produces: a fully-compiled engine plus
+/// the state the executor needs (property slots, unit layout).
+#[derive(Debug)]
+pub struct ConsumerOutcome<'r> {
+    /// The engine holding all optimized translations.
+    pub engine: JitEngine<'r>,
+    /// Physical slot per (class, property) under the installed layout.
+    pub prop_slots: HashMap<(ClassId, StrId), u16>,
+    /// Unit preload order applied.
+    pub unit_order: Vec<UnitId>,
+    /// Functions compiled to optimized code.
+    pub compiled_funcs: usize,
+    /// Bytes of optimized code emitted.
+    pub compile_bytes: u64,
+}
+
+/// Resolves physical property slots for every class, honoring the
+/// package's installed orders (or declared order with reordering off).
+pub(crate) fn resolve_prop_slots(
+    repo: &Repo,
+    prop_orders: &[(ClassId, Vec<StrId>)],
+    apply: bool,
+) -> HashMap<(ClassId, StrId), u16> {
+    let mut table = ClassTable::new(repo);
+    if apply {
+        table.install_prop_orders(prop_orders.iter().cloned());
+    }
+    let mut slots = HashMap::new();
+    for class in repo.classes() {
+        let rc = table.resolve(repo, class.id);
+        for (&name, &slot) in &rc.layout.slot_by_name {
+            slots.insert((class.id, name), slot as u16);
+        }
+    }
+    slots
+}
+
+/// Runs the consumer boot sequence over a deserialized package.
+///
+/// Translation runs on `threads` worker threads (the paper: "JITing
+/// happens in parallel using all the cores", §IV-A); emission then places
+/// translations sequentially in the package's function order.
+///
+/// # Errors
+///
+/// Returns [`ConsumerError::JitCrash`] for compile-poisoned packages.
+pub fn consume<'r>(
+    repo: &'r Repo,
+    pkg: &ProfilePackage,
+    jit_opts: JitOptions,
+    opts: &JumpStartOptions,
+    threads: usize,
+) -> Result<ConsumerOutcome<'r>, ConsumerError> {
+    if pkg.meta.poison == Poison::CompileCrash {
+        return Err(ConsumerError::JitCrash);
+    }
+    // Property layout must be installed before any translation resolves
+    // slots (the same ordering constraint HHVM has, §V-C).
+    let apply_props = opts.prop_reorder != PropReorder::Off;
+    let prop_slots = resolve_prop_slots(repo, &pkg.prop_orders, apply_props);
+
+    let weights = if opts.accurate_bb_weights {
+        WeightSource::Accurate
+    } else {
+        WeightSource::TierOnly
+    };
+    let jit_opts = JitOptions { weights, ..jit_opts };
+    let mut engine = JitEngine::new(repo, jit_opts);
+
+    let order: Vec<FuncId> = if pkg.func_order.is_empty() || opts.func_sort == FuncSort::SourceOrder
+    {
+        pkg.tier.functions_by_heat()
+    } else {
+        pkg.func_order.clone()
+    };
+
+    // Parallel translation; sequential in-order emission.
+    let resolver = |class: ClassId, name: StrId| prop_slots.get(&(class, name)).copied();
+    let units: Vec<jit::vasm::VasmUnit> = if threads <= 1 {
+        order
+            .iter()
+            .filter(|f| pkg.tier.funcs.contains_key(f))
+            .map(|&f| {
+                translate_optimized(
+                    repo,
+                    f,
+                    &pkg.tier,
+                    &pkg.ctx,
+                    weights,
+                    jit_opts.inline,
+                    &resolver,
+                )
+            })
+            .collect()
+    } else {
+        let work: Vec<FuncId> = order
+            .iter()
+            .copied()
+            .filter(|f| pkg.tier.funcs.contains_key(f))
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slot_refs: Vec<parking_lot::Mutex<Option<jit::vasm::VasmUnit>>> =
+            (0..work.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let unit = translate_optimized(
+                        repo,
+                        work[i],
+                        &pkg.tier,
+                        &pkg.ctx,
+                        weights,
+                        jit_opts.inline,
+                        &resolver,
+                    );
+                    *slot_refs[i].lock() = Some(unit);
+                });
+            }
+        })
+        .expect("translation workers do not panic");
+        slot_refs
+            .into_iter()
+            .map(|m| m.into_inner().expect("every slot filled"))
+            .collect()
+    };
+
+    let mut compile_bytes = 0;
+    let mut compiled_funcs = 0;
+    for unit in units {
+        let bytes = engine.emit_optimized(unit);
+        if bytes > 0 {
+            compiled_funcs += 1;
+            compile_bytes += bytes;
+        }
+    }
+
+    let unit_order = if opts.preload_units {
+        pkg.preload.unit_order.clone()
+    } else {
+        Vec::new()
+    };
+    Ok(ConsumerOutcome { engine, prop_slots, unit_order, compiled_funcs, compile_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageMeta;
+    use crate::seeder::{build_package, SeederInputs};
+    use jit::ProfileCollector;
+    use vm::{Value, Vm};
+
+    fn make_package() -> (Repo, ProfilePackage) {
+        let src = r#"
+            class P { public $cold = 0; public $hot = 0; }
+            function work($x) {
+                $o = new P();
+                $o->hot = $x;
+                return $o->hot * 2;
+            }
+            function main($n) {
+                $s = 0;
+                for ($i = 0; $i < $n; $i++) { $s += work($i); }
+                return $s;
+            }
+        "#;
+        let repo = hackc::compile_unit("c.hl", src).unwrap();
+        let f = repo.func_by_name("main").unwrap().id;
+        let mut vm = Vm::new(&repo);
+        let mut col = ProfileCollector::new(&repo);
+        for _ in 0..4 {
+            vm.call_observed(f, &[Value::Int(30)], &mut col).unwrap();
+            col.end_request();
+        }
+        let order = vm.loader().load_order();
+        let (tier, ctx) = (col.tier, col.ctx);
+        let pkg = build_package(
+            SeederInputs {
+                repo: &repo,
+                tier,
+                ctx,
+                unit_order: order,
+                requests: 4,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions::default(),
+            &JitOptions::default(),
+        );
+        (repo, pkg)
+    }
+
+    #[test]
+    fn consumer_compiles_everything_before_serving() {
+        let (repo, pkg) = make_package();
+        let out = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
+            .unwrap();
+        assert!(out.compiled_funcs >= 2, "main and work should be optimized");
+        assert!(out.compile_bytes > 0);
+        let main = repo.func_by_name("main").unwrap().id;
+        assert!(out.engine.code_cache.translation(main).is_some());
+    }
+
+    #[test]
+    fn parallel_consume_matches_sequential() {
+        let (repo, pkg) = make_package();
+        let seq = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
+            .unwrap();
+        let par = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 4)
+            .unwrap();
+        assert_eq!(seq.compiled_funcs, par.compiled_funcs);
+        assert_eq!(seq.compile_bytes, par.compile_bytes);
+    }
+
+    #[test]
+    fn prop_reorder_changes_hot_slot() {
+        let (repo, pkg) = make_package();
+        let class = repo.class_by_name("P").unwrap().id;
+        let hot = repo.str_id("hot").unwrap();
+        let with = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
+            .unwrap();
+        let without = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions { prop_reorder: PropReorder::Off, ..Default::default() },
+            1,
+        )
+        .unwrap();
+        assert_eq!(with.prop_slots[&(class, hot)], 0, "hot property moves to slot 0");
+        assert_eq!(without.prop_slots[&(class, hot)], 1, "declared order keeps slot 1");
+    }
+
+    #[test]
+    fn compile_poison_errors_out() {
+        let (repo, mut pkg) = make_package();
+        pkg.meta.poison = Poison::CompileCrash;
+        let err = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
+            .unwrap_err();
+        assert_eq!(err, ConsumerError::JitCrash);
+        let _ = PackageMeta::default();
+    }
+
+    #[test]
+    fn round_tripped_package_consumes_identically() {
+        let (repo, pkg) = make_package();
+        let bytes = pkg.serialize();
+        let back = ProfilePackage::deserialize(&bytes).unwrap();
+        let a = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
+            .unwrap();
+        let b = consume(&repo, &back, JitOptions::default(), &JumpStartOptions::default(), 1)
+            .unwrap();
+        assert_eq!(a.compile_bytes, b.compile_bytes);
+        assert_eq!(a.prop_slots, b.prop_slots);
+    }
+}

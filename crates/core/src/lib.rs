@@ -1,0 +1,45 @@
+//! **HHVM Jump-Start** — sharing JIT profile data across VM executions.
+//!
+//! This crate is the paper's primary contribution (§III–§VI): a practical
+//! mechanism for collecting a *profile-data package* on a few seeder
+//! servers and reusing it across a large fleet of consumers, so each
+//! server starts executing optimized code before serving its first
+//! request.
+//!
+//! * [`ProfilePackage`] / [`PackageMeta`] — the four §IV-B data categories
+//!   (repo preload lists, tier-1 JIT profile, optimized-code profile,
+//!   precomputed intermediate results like the function order), with a
+//!   versioned, checksummed binary wire format ([`wire`] errors surface
+//!   corruption),
+//! * [`build_package`] — the seeder's serialization step (Fig. 3b),
+//! * [`consume`] — the consumer workflow (Fig. 3c): deserialize, preload
+//!   units, install property orders, then JIT *all* optimized code in
+//!   parallel before serving,
+//! * [`Validator`] — seeder-side validation incl. coverage thresholds
+//!   (§VI-A.1, §VI-B),
+//! * [`PackageStore`] — multiple randomized packages per (region, bucket)
+//!   (§VI-A.2),
+//! * [`BootController`] — automatic no-Jump-Start fallback (§VI-A.3).
+//!
+//! Fault injection for the reliability experiments lives in
+//! [`Poison`]: a package can be marked as triggering a compile-time or a
+//! latent runtime JIT bug, which is how the §VI scenarios are simulated.
+
+mod boot;
+mod config;
+mod consumer;
+mod crc32;
+mod package;
+mod seeder;
+mod store;
+mod validate;
+pub mod wire;
+
+pub use boot::{BootController, BootDecision};
+pub use config::{FuncSort, JumpStartOptions, PropReorder};
+pub use consumer::{consume, ConsumerError, ConsumerOutcome};
+pub use crc32::crc32;
+pub use package::{Coverage, PackageMeta, Poison, PreloadLists, ProfilePackage};
+pub use seeder::{build_package, SeederInputs};
+pub use store::{PackageStore, StoredPackage};
+pub use validate::{ValidationError, ValidationReport, Validator};

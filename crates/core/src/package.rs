@@ -1,0 +1,502 @@
+//! The profile-data package: contents and serialization (paper §IV-B).
+
+use bytes::Bytes;
+
+use bytecode::{ClassId, FuncId, StrId, UnitId};
+use jit::{BranchCount, CtxProfile, FuncProfile, InlineCtx, TierProfile, TypeDist};
+use vm::ValueKind;
+
+use crate::wire::{seal, unseal, Reader, WireError, Writer};
+
+/// Fault-injection marker for the §VI reliability experiments: a package
+/// whose profile data triggers a JIT bug.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Poison {
+    /// Healthy package.
+    #[default]
+    None,
+    /// Deterministically crashes JIT compilation — validation (§VI-A.1)
+    /// must catch this class.
+    CompileCrash,
+    /// Latent bug: compiles fine, but each consumer boot crashes with
+    /// probability `per_mille`/1000 — the class that can slip through
+    /// validation and that randomized selection (§VI-A.2) contains.
+    RuntimeCrash {
+        /// Crash probability in 1/1000 units.
+        per_mille: u16,
+    },
+}
+
+/// Profile coverage, checked against thresholds before publication
+/// (§VI-B).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Functions with any profile data.
+    pub funcs_profiled: u64,
+    /// Total block-counter mass.
+    pub counter_mass: u64,
+    /// Requests observed while profiling.
+    pub requests: u64,
+}
+
+/// Package identification and provenance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackageMeta {
+    /// Data-center region the profile was collected in.
+    pub region: u32,
+    /// Semantic bucket (§II-C).
+    pub bucket: u32,
+    /// Which seeder produced it.
+    pub seeder_id: u64,
+    /// Collection timestamp (simulated ms).
+    pub created_ms: u64,
+    /// Coverage counters.
+    pub coverage: Coverage,
+    /// Fault-injection marker (always `None` in healthy operation).
+    pub poison: Poison,
+}
+
+/// Repo global data to preload before compiling (§IV-B category 1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PreloadLists {
+    /// Units in the order a warmed server loaded them.
+    pub unit_order: Vec<UnitId>,
+}
+
+/// The complete Jump-Start package.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfilePackage {
+    /// Provenance and coverage.
+    pub meta: PackageMeta,
+    /// Category 1: preload lists.
+    pub preload: PreloadLists,
+    /// Category 2: tier-1 JIT profile data.
+    pub tier: TierProfile,
+    /// Category 3: profile data from instrumented optimized code.
+    pub ctx: CtxProfile,
+    /// Category 4a (intermediate result): per-class physical property
+    /// orders (own layer only), from §V-C.
+    pub prop_orders: Vec<(ClassId, Vec<StrId>)>,
+    /// Category 4b (intermediate result): the function-sorting order, from
+    /// §V-B, computed on the seeder.
+    pub func_order: Vec<FuncId>,
+}
+
+impl ProfilePackage {
+    /// Serializes to the sealed wire format.
+    pub fn serialize(&self) -> Bytes {
+        let mut w = Writer::new();
+        // --- meta ---
+        w.u32(self.meta.region);
+        w.u32(self.meta.bucket);
+        w.u64(self.meta.seeder_id);
+        w.u64(self.meta.created_ms);
+        w.u64(self.meta.coverage.funcs_profiled);
+        w.u64(self.meta.coverage.counter_mass);
+        w.u64(self.meta.coverage.requests);
+        match self.meta.poison {
+            Poison::None => w.u8(0),
+            Poison::CompileCrash => w.u8(1),
+            Poison::RuntimeCrash { per_mille } => {
+                w.u8(2);
+                w.u32(per_mille as u32);
+            }
+        }
+        // --- preload ---
+        w.seq(self.preload.unit_order.len());
+        for u in &self.preload.unit_order {
+            w.u32(u.0);
+        }
+        // --- tier profile ---
+        write_tier(&mut w, &self.tier);
+        // --- ctx profile ---
+        write_ctx(&mut w, &self.ctx);
+        // --- prop orders ---
+        w.seq(self.prop_orders.len());
+        for (c, order) in &self.prop_orders {
+            w.u32(c.0);
+            w.seq(order.len());
+            for s in order {
+                w.u32(s.0);
+            }
+        }
+        // --- func order ---
+        w.seq(self.func_order.len());
+        for f in &self.func_order {
+            w.u32(f.0);
+        }
+        seal(w.finish())
+    }
+
+    /// Deserializes from the sealed wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any corruption; never panics.
+    pub fn deserialize(data: &[u8]) -> Result<ProfilePackage, WireError> {
+        let payload = unseal(data)?;
+        let mut r = Reader::new(payload);
+        let mut meta = PackageMeta {
+            region: r.u32()?,
+            bucket: r.u32()?,
+            seeder_id: r.u64()?,
+            created_ms: r.u64()?,
+            coverage: Coverage {
+                funcs_profiled: r.u64()?,
+                counter_mass: r.u64()?,
+                requests: r.u64()?,
+            },
+            poison: Poison::None,
+        };
+        meta.poison = match r.u8()? {
+            0 => Poison::None,
+            1 => Poison::CompileCrash,
+            2 => Poison::RuntimeCrash { per_mille: r.u32()? as u16 },
+            t => return Err(WireError::Corrupt(format!("poison tag {t}"))),
+        };
+        let n = r.seq()?;
+        let mut unit_order = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            unit_order.push(UnitId(r.u32()?));
+        }
+        let tier = read_tier(&mut r)?;
+        let ctx = read_ctx(&mut r)?;
+        let n = r.seq()?;
+        let mut prop_orders = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let c = ClassId(r.u32()?);
+            let m = r.seq()?;
+            let mut order = Vec::with_capacity(m.min(1 << 12));
+            for _ in 0..m {
+                order.push(StrId(r.u32()?));
+            }
+            prop_orders.push((c, order));
+        }
+        let n = r.seq()?;
+        let mut func_order = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            func_order.push(FuncId(r.u32()?));
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::Corrupt(format!("{} trailing bytes", r.remaining())));
+        }
+        Ok(ProfilePackage {
+            meta,
+            preload: PreloadLists { unit_order },
+            tier,
+            ctx,
+            prop_orders,
+            func_order,
+        })
+    }
+
+    /// Approximate serialized size in bytes without serializing.
+    pub fn approx_size(&self) -> usize {
+        self.serialize().len()
+    }
+}
+
+fn write_tier(w: &mut Writer, tier: &TierProfile) {
+    let mut funcs: Vec<_> = tier.funcs.iter().collect();
+    funcs.sort_by_key(|(f, _)| **f);
+    w.seq(funcs.len());
+    for (f, p) in funcs {
+        w.u32(f.0);
+        w.u64(p.enter_count);
+        w.seq(p.block_counts.len());
+        for &c in &p.block_counts {
+            w.u64(c);
+        }
+        let mut sites: Vec<_> = p.call_targets.iter().collect();
+        sites.sort_by_key(|(s, _)| **s);
+        w.seq(sites.len());
+        for (s, targets) in sites {
+            w.u32(*s);
+            let mut ts: Vec<_> = targets.iter().collect();
+            ts.sort_by_key(|(f2, _)| **f2);
+            w.seq(ts.len());
+            for (f2, c) in ts {
+                w.u32(f2.0);
+                w.u64(*c);
+            }
+        }
+        let mut types: Vec<_> = p.types.iter().collect();
+        types.sort_by_key(|((at, slot), _)| (*at, *slot));
+        w.seq(types.len());
+        for ((at, slot), dist) in types {
+            w.u32(*at);
+            w.u8(*slot);
+            for &c in dist.counts() {
+                w.u64(c);
+            }
+        }
+        let mut props: Vec<_> = p.prop_site_classes.iter().collect();
+        props.sort_by_key(|(at, _)| **at);
+        w.seq(props.len());
+        for (at, classes) in props {
+            w.u32(*at);
+            let mut cs: Vec<_> = classes.iter().collect();
+            cs.sort_by_key(|(c, _)| **c);
+            w.seq(cs.len());
+            for (c, n) in cs {
+                w.u32(c.0);
+                w.u64(*n);
+            }
+        }
+    }
+    let mut counts: Vec<_> = tier.prop_counts.iter().collect();
+    counts.sort_by_key(|((c, p), _)| (*c, *p));
+    w.seq(counts.len());
+    for ((c, p), n) in counts {
+        w.u32(c.0);
+        w.u32(p.0);
+        w.u64(*n);
+    }
+    let mut pairs: Vec<_> = tier.prop_pairs.iter().collect();
+    pairs.sort_by_key(|((c, a, b), _)| (*c, *a, *b));
+    w.seq(pairs.len());
+    for ((c, a, b), n) in pairs {
+        w.u32(c.0);
+        w.u32(a.0);
+        w.u32(b.0);
+        w.u64(*n);
+    }
+}
+
+fn read_tier(r: &mut Reader<'_>) -> Result<TierProfile, WireError> {
+    let mut tier = TierProfile::default();
+    let nf = r.seq()?;
+    for _ in 0..nf {
+        let f = FuncId(r.u32()?);
+        let mut p = FuncProfile { enter_count: r.u64()?, ..Default::default() };
+        let nb = r.seq()?;
+        p.block_counts.reserve(nb.min(1 << 16));
+        for _ in 0..nb {
+            p.block_counts.push(r.u64()?);
+        }
+        let ns = r.seq()?;
+        for _ in 0..ns {
+            let site = r.u32()?;
+            let nt = r.seq()?;
+            let mut targets = std::collections::HashMap::with_capacity(nt.min(1 << 10));
+            for _ in 0..nt {
+                let callee = FuncId(r.u32()?);
+                targets.insert(callee, r.u64()?);
+            }
+            p.call_targets.insert(site, targets);
+        }
+        let ny = r.seq()?;
+        for _ in 0..ny {
+            let at = r.u32()?;
+            let slot = r.u8()?;
+            let mut dist = TypeDist::default();
+            for kind in ValueKind::ALL {
+                let c = r.u64()?;
+                dist.add_raw(kind, c);
+            }
+            p.types.insert((at, slot), dist);
+        }
+        let np = r.seq()?;
+        for _ in 0..np {
+            let at = r.u32()?;
+            let nc = r.seq()?;
+            let mut classes = std::collections::HashMap::with_capacity(nc.min(1 << 10));
+            for _ in 0..nc {
+                let c = ClassId(r.u32()?);
+                classes.insert(c, r.u64()?);
+            }
+            p.prop_site_classes.insert(at, classes);
+        }
+        tier.funcs.insert(f, p);
+    }
+    let n = r.seq()?;
+    for _ in 0..n {
+        let c = ClassId(r.u32()?);
+        let p = StrId(r.u32()?);
+        tier.prop_counts.insert((c, p), r.u64()?);
+    }
+    let n = r.seq()?;
+    for _ in 0..n {
+        let c = ClassId(r.u32()?);
+        let a = StrId(r.u32()?);
+        let b = StrId(r.u32()?);
+        tier.prop_pairs.insert((c, a, b), r.u64()?);
+    }
+    Ok(tier)
+}
+
+fn write_ctx(w: &mut Writer, ctx: &CtxProfile) {
+    let mut branches: Vec<_> = ctx.branches.iter().collect();
+    branches.sort_by_key(|(k, _)| **k);
+    w.seq(branches.len());
+    for ((ictx, f, at), b) in branches {
+        write_inline_ctx(w, *ictx);
+        w.u32(f.0);
+        w.u32(*at);
+        w.u64(b.taken);
+        w.u64(b.not_taken);
+    }
+    let mut entries: Vec<_> = ctx.entries.iter().collect();
+    entries.sort_by_key(|(k, _)| **k);
+    w.seq(entries.len());
+    for ((ictx, f), n) in entries {
+        write_inline_ctx(w, *ictx);
+        w.u32(f.0);
+        w.u64(*n);
+    }
+}
+
+fn read_ctx(r: &mut Reader<'_>) -> Result<CtxProfile, WireError> {
+    let mut ctx = CtxProfile::default();
+    let n = r.seq()?;
+    for _ in 0..n {
+        let ictx = read_inline_ctx(r)?;
+        let f = FuncId(r.u32()?);
+        let at = r.u32()?;
+        let b = BranchCount { taken: r.u64()?, not_taken: r.u64()? };
+        ctx.branches.insert((ictx, f, at), b);
+    }
+    let n = r.seq()?;
+    for _ in 0..n {
+        let ictx = read_inline_ctx(r)?;
+        let f = FuncId(r.u32()?);
+        ctx.entries.insert((ictx, f), r.u64()?);
+    }
+    Ok(ctx)
+}
+
+fn write_inline_ctx(w: &mut Writer, ctx: InlineCtx) {
+    match ctx {
+        None => w.u8(0),
+        Some((f, at)) => {
+            w.u8(1);
+            w.u32(f.0);
+            w.u32(at);
+        }
+    }
+}
+
+fn read_inline_ctx(r: &mut Reader<'_>) -> Result<InlineCtx, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let f = FuncId(r.u32()?);
+            let at = r.u32()?;
+            Ok(Some((f, at)))
+        }
+        t => Err(WireError::Corrupt(format!("inline-ctx tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit::ProfileCollector;
+    use vm::{Value, Vm};
+
+    fn sample_package() -> ProfilePackage {
+        let src = r#"
+            class C { public $a = 1; public $b = 2; }
+            function helper($f) { if ($f) { return 1; } return 2; }
+            function main($n) {
+                $o = new C();
+                $s = $o->a;
+                for ($i = 0; $i < $n; $i++) {
+                    $s = $s + helper($i % 2) + $o->b;
+                }
+                return $s;
+            }
+        "#;
+        let repo = hackc::compile_unit("p.hl", src).unwrap();
+        let f = repo.func_by_name("main").unwrap().id;
+        let mut vm = Vm::new(&repo);
+        let mut col = ProfileCollector::new(&repo);
+        for _ in 0..3 {
+            vm.call_observed(f, &[Value::Int(20)], &mut col).unwrap();
+            col.end_request();
+        }
+        let c = repo.class_by_name("C").unwrap().id;
+        let a = repo.str_id("a").unwrap();
+        let b = repo.str_id("b").unwrap();
+        ProfilePackage {
+            meta: PackageMeta {
+                region: 3,
+                bucket: 7,
+                seeder_id: 42,
+                created_ms: 1234,
+                coverage: Coverage {
+                    funcs_profiled: col.tier.profiled_count() as u64,
+                    counter_mass: col.tier.total_counter_mass(),
+                    requests: 3,
+                },
+                poison: Poison::None,
+            },
+            preload: PreloadLists { unit_order: vm.loader().load_order() },
+            tier: col.tier,
+            ctx: col.ctx,
+            prop_orders: vec![(c, vec![b, a])],
+            func_order: vec![f],
+        }
+    }
+
+    #[test]
+    fn package_round_trips_exactly() {
+        let pkg = sample_package();
+        let bytes = pkg.serialize();
+        let back = ProfilePackage::deserialize(&bytes).unwrap();
+        assert_eq!(pkg, back);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let pkg = sample_package();
+        assert_eq!(pkg.serialize(), pkg.serialize());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_survivable() {
+        let pkg = sample_package();
+        let bytes = pkg.serialize().to_vec();
+        // Flip a sample of bytes: each must produce Err (never panic) or —
+        // only for flips inside the magic-length prefix region — a clean
+        // structured error.
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x5a;
+            assert!(
+                ProfilePackage::deserialize(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let pkg = sample_package();
+        let bytes = pkg.serialize();
+        for len in (0..bytes.len()).step_by(11) {
+            assert!(ProfilePackage::deserialize(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn poison_variants_round_trip() {
+        for poison in [
+            Poison::None,
+            Poison::CompileCrash,
+            Poison::RuntimeCrash { per_mille: 250 },
+        ] {
+            let mut pkg = sample_package();
+            pkg.meta.poison = poison;
+            let back = ProfilePackage::deserialize(&pkg.serialize()).unwrap();
+            assert_eq!(back.meta.poison, poison);
+        }
+    }
+
+    #[test]
+    fn empty_package_round_trips() {
+        let pkg = ProfilePackage::default();
+        let back = ProfilePackage::deserialize(&pkg.serialize()).unwrap();
+        assert_eq!(pkg, back);
+    }
+}

@@ -1,0 +1,420 @@
+//! The seeder workflow: turning collected profiles into a package
+//! (Fig. 3b's "serialize profile data" step, plus the §V intermediate
+//! results that are computed seeder-side).
+
+use std::collections::HashMap;
+
+use bytecode::{ClassId, Repo, StrId, UnitId};
+use jit::{CtxProfile, JitEngine, JitOptions, TierProfile};
+use layout::{reorder_props_by_affinity, reorder_props_by_hotness, PropAccess};
+
+use crate::config::{FuncSort, JumpStartOptions, PropReorder};
+use crate::package::{Coverage, PackageMeta, PreloadLists, ProfilePackage};
+
+/// Everything a seeder has gathered by the time it serializes.
+#[derive(Debug)]
+pub struct SeederInputs<'a> {
+    /// The deployed repo.
+    pub repo: &'a Repo,
+    /// Tier-1 profile (Fig. 3b "collect profile data").
+    pub tier: TierProfile,
+    /// Instrumented-optimized-code profile (Fig. 3b "collect profile data
+    /// for optimized code").
+    pub ctx: CtxProfile,
+    /// Unit load order observed while serving.
+    pub unit_order: Vec<UnitId>,
+    /// Requests observed.
+    pub requests: u64,
+    /// Region of this seeder.
+    pub region: u32,
+    /// Semantic bucket of this seeder.
+    pub bucket: u32,
+    /// Seeder identity.
+    pub seeder_id: u64,
+    /// Simulated wall clock (ms).
+    pub now_ms: u64,
+}
+
+/// Builds the profile-data package, computing the seeder-side intermediate
+/// results: per-class property orders (§V-C) and the function-sorting
+/// order (§V-B, §IV-B category 4).
+pub fn build_package(
+    inputs: SeederInputs<'_>,
+    opts: &JumpStartOptions,
+    jit_opts: &JitOptions,
+) -> ProfilePackage {
+    let repo = inputs.repo;
+    let prop_orders = match opts.prop_reorder {
+        PropReorder::Off => Vec::new(),
+        PropReorder::Hotness => prop_orders_by_hotness(repo, &inputs.tier),
+        PropReorder::Affinity => prop_orders_by_affinity(repo, &inputs.tier),
+    };
+
+    let candidates = inputs.tier.functions_by_heat();
+    let func_order = match opts.func_sort {
+        FuncSort::SourceOrder => candidates,
+        FuncSort::C3TierOnly => {
+            // Pre-Jump-Start HHVM: C3 over the tier-1 call graph, which
+            // still contains every arc that inlining will remove (§V-B).
+            let engine = JitEngine::new(repo, *jit_opts);
+            engine.function_order(&candidates, &inputs.tier, &inputs.ctx, false, true)
+        }
+        FuncSort::C3InliningAware => {
+            c3_from_optimized_code(repo, &candidates, &inputs.tier, &inputs.ctx, jit_opts)
+        }
+    };
+
+    // Preload list: the observed load order, stably re-sorted hottest unit
+    // first. Loading hot metadata first packs it into few pages, which is
+    // the §VII-A data-locality benefit of the preload lists.
+    let mut unit_heat: HashMap<UnitId, u64> = HashMap::new();
+    for (f, p) in &inputs.tier.funcs {
+        if f.index() < repo.funcs().len() {
+            *unit_heat.entry(repo.func(*f).unit).or_insert(0) +=
+                p.block_counts.iter().sum::<u64>();
+        }
+    }
+    let mut unit_order = inputs.unit_order;
+    unit_order.sort_by_key(|u| std::cmp::Reverse(unit_heat.get(u).copied().unwrap_or(0)));
+
+    let coverage = Coverage {
+        funcs_profiled: inputs.tier.profiled_count() as u64,
+        counter_mass: inputs.tier.total_counter_mass(),
+        requests: inputs.requests,
+    };
+    ProfilePackage {
+        meta: PackageMeta {
+            region: inputs.region,
+            bucket: inputs.bucket,
+            seeder_id: inputs.seeder_id,
+            created_ms: inputs.now_ms,
+            coverage,
+            poison: Default::default(),
+        },
+        preload: PreloadLists { unit_order },
+        tier: inputs.tier,
+        ctx: inputs.ctx,
+        prop_orders,
+        func_order,
+    }
+}
+
+/// Builds the §V-B *accurate* call graph by instrumenting the optimized
+/// code itself: the seeder translates each hot function exactly as the
+/// consumer will, then records the call arcs that actually remain after
+/// inlining, weighted by the (context-sensitive) block counts. The C3
+/// order computed from this graph matches the code the fleet will run.
+fn c3_from_optimized_code(
+    repo: &Repo,
+    candidates: &[bytecode::FuncId],
+    tier: &TierProfile,
+    ctx: &CtxProfile,
+    jit_opts: &JitOptions,
+) -> Vec<bytecode::FuncId> {
+    use jit::vasm::VInstr;
+    let index_of: HashMap<bytecode::FuncId, usize> =
+        candidates.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let mut nodes = vec![layout::FuncNode { size: 16, weight: 0 }; candidates.len()];
+    let mut arcs: Vec<layout::CallArc> = Vec::new();
+    for (i, &func) in candidates.iter().enumerate() {
+        let unit = jit::translate_optimized(
+            repo,
+            func,
+            tier,
+            ctx,
+            jit::WeightSource::Accurate,
+            jit_opts.inline,
+            &|_, _| None,
+        );
+        nodes[i] = layout::FuncNode {
+            size: unit.code_size().max(16),
+            weight: unit.blocks.iter().map(|b| b.est_weight).sum(),
+        };
+        for block in &unit.blocks {
+            for instr in &block.instrs {
+                match *instr {
+                    VInstr::CallStatic { callee } => {
+                        if let Some(&j) = index_of.get(&callee) {
+                            arcs.push(layout::CallArc {
+                                caller: i,
+                                callee: j,
+                                weight: block.est_weight,
+                            });
+                        }
+                    }
+                    VInstr::CallDynamic { owner, site } => {
+                        // Distribute the site's weight over its observed
+                        // dynamic targets.
+                        let Some(targets) =
+                            tier.funcs.get(&owner).and_then(|p| p.call_targets.get(&site))
+                        else {
+                            continue;
+                        };
+                        let total: u64 = targets.values().sum();
+                        if total == 0 {
+                            continue;
+                        }
+                        for (&callee, &c) in targets {
+                            if let Some(&j) = index_of.get(&callee) {
+                                arcs.push(layout::CallArc {
+                                    caller: i,
+                                    callee: j,
+                                    weight: block.est_weight * c / total,
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // A standalone translation only runs when something still *calls* it
+    // after inlining: scale each function's execution mass by the fraction
+    // of its entries that remain as real calls (arcs) or external request
+    // entries. Always-inlined helpers drop to ~zero — precisely what the
+    // inlining-unaware tier graph gets wrong (§V-B).
+    let mut incoming = vec![0u64; candidates.len()];
+    for a in &arcs {
+        incoming[a.callee] += a.weight;
+    }
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let func = candidates[i];
+        let enter = tier.funcs.get(&func).map(|p| p.enter_count).unwrap_or(0);
+        if enter == 0 {
+            continue;
+        }
+        let external = ctx.entries.get(&(None, func)).copied().unwrap_or(0);
+        // Arc weights carry the translator's 1024x fixed-point scale.
+        let remaining_calls = incoming[i] / 1024 + external;
+        let fraction = (remaining_calls as f64 / enter as f64).min(1.0);
+        node.weight = (node.weight as f64 * fraction) as u64;
+    }
+    layout::c3_order(&nodes, &arcs, 4096)
+        .into_iter()
+        .map(|i| candidates[i])
+        .collect()
+}
+
+/// Sums per-property access counts up the hierarchy: an access reported
+/// against a *receiver* class R counts toward the *declaring* layer K for
+/// every K in R's ancestry that declares the property.
+fn own_layer_counts(repo: &Repo, tier: &TierProfile) -> HashMap<(ClassId, StrId), u64> {
+    let mut out: HashMap<(ClassId, StrId), u64> = HashMap::new();
+    for (&(receiver, prop), &count) in &tier.prop_counts {
+        if receiver.index() >= repo.classes().len() {
+            continue;
+        }
+        for k in repo.ancestry(receiver) {
+            if repo.class(k).props.iter().any(|p| p.name == prop) {
+                *out.entry((k, prop)).or_insert(0) += count;
+            }
+        }
+    }
+    out
+}
+
+fn prop_orders_by_hotness(repo: &Repo, tier: &TierProfile) -> Vec<(ClassId, Vec<StrId>)> {
+    let counts = own_layer_counts(repo, tier);
+    let mut orders = Vec::new();
+    for class in repo.classes() {
+        if class.props.is_empty() {
+            continue;
+        }
+        let accesses: Vec<PropAccess<StrId>> = class
+            .props
+            .iter()
+            .map(|p| PropAccess {
+                prop: p.name,
+                count: counts.get(&(class.id, p.name)).copied().unwrap_or(0),
+            })
+            .collect();
+        if accesses.iter().all(|a| a.count == 0) {
+            continue; // never touched: keep declared order, ship nothing
+        }
+        orders.push((class.id, reorder_props_by_hotness(&accesses)));
+    }
+    orders
+}
+
+fn prop_orders_by_affinity(repo: &Repo, tier: &TierProfile) -> Vec<(ClassId, Vec<StrId>)> {
+    let counts = own_layer_counts(repo, tier);
+    let mut orders = Vec::new();
+    for class in repo.classes() {
+        let n = class.props.len();
+        if n == 0 {
+            continue;
+        }
+        let accesses: Vec<PropAccess<StrId>> = class
+            .props
+            .iter()
+            .map(|p| PropAccess {
+                prop: p.name,
+                count: counts.get(&(class.id, p.name)).copied().unwrap_or(0),
+            })
+            .collect();
+        if accesses.iter().all(|a| a.count == 0) {
+            continue;
+        }
+        let index_of: HashMap<StrId, usize> =
+            class.props.iter().enumerate().map(|(i, p)| (p.name, i)).collect();
+        let mut matrix = vec![vec![0u64; n]; n];
+        for (&(c, a, b), &w) in &tier.prop_pairs {
+            // Pair counts are keyed by receiver class; attribute them to
+            // this layer when both props are declared here.
+            if c.index() >= repo.classes().len() {
+                continue;
+            }
+            if !repo.ancestry(c).contains(&class.id) {
+                continue;
+            }
+            if let (Some(&i), Some(&j)) = (index_of.get(&a), index_of.get(&b)) {
+                matrix[i][j] += w;
+                matrix[j][i] += w;
+            }
+        }
+        orders.push((class.id, reorder_props_by_affinity(&accesses, &matrix)));
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit::ProfileCollector;
+    use vm::{Value, Vm};
+
+    fn collect() -> (Repo, TierProfile, CtxProfile, Vec<UnitId>) {
+        let src = r#"
+            class Base { public $cold0 = 0; public $hot = 0; }
+            class Kid extends Base { public $cold1 = 0; public $warm = 0; }
+            function touch($k) {
+                $o = new Kid();
+                $o->hot = $k;
+                $s = $o->hot + $o->hot + $o->warm;
+                return $s;
+            }
+            function main($n) {
+                $t = 0;
+                for ($i = 0; $i < $n; $i++) { $t += touch($i); }
+                return $t;
+            }
+        "#;
+        let repo = hackc::compile_unit("s.hl", src).unwrap();
+        let f = repo.func_by_name("main").unwrap().id;
+        let mut vm = Vm::new(&repo);
+        let mut col = ProfileCollector::new(&repo);
+        for _ in 0..4 {
+            vm.call_observed(f, &[Value::Int(25)], &mut col).unwrap();
+            col.end_request();
+        }
+        let order = vm.loader().load_order();
+        let (tier, ctx) = (col.tier, col.ctx);
+        (repo, tier, ctx, order)
+    }
+
+    #[test]
+    fn package_contains_all_categories() {
+        let (repo, tier, ctx, unit_order) = collect();
+        let pkg = build_package(
+            SeederInputs {
+                repo: &repo,
+                tier,
+                ctx,
+                unit_order: unit_order.clone(),
+                requests: 4,
+                region: 1,
+                bucket: 2,
+                seeder_id: 9,
+                now_ms: 500,
+            },
+            &JumpStartOptions::default(),
+            &JitOptions::default(),
+        );
+        // The preload list is a hot-first permutation of the observed order.
+        let mut got = pkg.preload.unit_order.clone();
+        let mut expect = unit_order.clone();
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect);
+        assert!(pkg.meta.coverage.funcs_profiled >= 2);
+        assert!(!pkg.func_order.is_empty());
+        assert!(!pkg.prop_orders.is_empty());
+        assert!(pkg.tier.profiled_count() >= 2);
+    }
+
+    #[test]
+    fn hot_property_is_ordered_first_in_its_layer() {
+        let (repo, tier, ctx, unit_order) = collect();
+        let pkg = build_package(
+            SeederInputs {
+                repo: &repo,
+                tier,
+                ctx,
+                unit_order,
+                requests: 4,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions::default(),
+            &JitOptions::default(),
+        );
+        let base = repo.class_by_name("Base").unwrap().id;
+        let hot = repo.str_id("hot").unwrap();
+        let (_, order) = pkg
+            .prop_orders
+            .iter()
+            .find(|(c, _)| *c == base)
+            .expect("Base layer reordered");
+        assert_eq!(order[0], hot, "hottest property leads its layer");
+    }
+
+    #[test]
+    fn prop_reorder_off_ships_no_orders() {
+        let (repo, tier, ctx, unit_order) = collect();
+        let pkg = build_package(
+            SeederInputs {
+                repo: &repo,
+                tier,
+                ctx,
+                unit_order,
+                requests: 4,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions { prop_reorder: PropReorder::Off, ..Default::default() },
+            &JitOptions::default(),
+        );
+        assert!(pkg.prop_orders.is_empty());
+    }
+
+    #[test]
+    fn affinity_orders_are_valid_permutations() {
+        let (repo, tier, ctx, unit_order) = collect();
+        let pkg = build_package(
+            SeederInputs {
+                repo: &repo,
+                tier,
+                ctx,
+                unit_order,
+                requests: 4,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions { prop_reorder: PropReorder::Affinity, ..Default::default() },
+            &JitOptions::default(),
+        );
+        for (c, order) in &pkg.prop_orders {
+            let declared: std::collections::HashSet<StrId> =
+                repo.class(*c).props.iter().map(|p| p.name).collect();
+            let got: std::collections::HashSet<StrId> = order.iter().copied().collect();
+            assert_eq!(declared, got, "order must permute the declared layer");
+        }
+    }
+}

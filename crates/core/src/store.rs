@@ -1,0 +1,169 @@
+//! The package store: multiple randomized packages per (region, bucket).
+//!
+//! §VI-A.2: "Instead of having a single seeder server for each data center
+//! and semantic partition, we actually have several. ... A consumer
+//! randomly picks a profile-data package for its corresponding data center
+//! and semantic partition each time it restarts."
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::package::PackageMeta;
+
+/// A published package: serialized bytes plus a meta summary.
+#[derive(Clone, Debug)]
+pub struct StoredPackage {
+    /// Store-assigned id.
+    pub id: u64,
+    /// Serialized (sealed) package bytes.
+    pub bytes: Bytes,
+    /// Meta summary (as published; the authoritative copy is in `bytes`).
+    pub meta: PackageMeta,
+}
+
+/// Thread-safe store keyed by (region, bucket).
+#[derive(Debug, Default)]
+pub struct PackageStore {
+    inner: RwLock<HashMap<(u32, u32), Vec<StoredPackage>>>,
+    next_id: AtomicU64,
+}
+
+impl PackageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a validated package; returns its id.
+    pub fn publish(&self, meta: PackageMeta, bytes: Bytes) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .write()
+            .entry((meta.region, meta.bucket))
+            .or_default()
+            .push(StoredPackage { id, bytes, meta });
+        id
+    }
+
+    /// Picks a random package for (region, bucket), if any.
+    pub fn pick_random(&self, region: u32, bucket: u32, rng: &mut SmallRng) -> Option<StoredPackage> {
+        let inner = self.inner.read();
+        let list = inner.get(&(region, bucket))?;
+        if list.is_empty() {
+            return None;
+        }
+        Some(list[rng.gen_range(0..list.len())].clone())
+    }
+
+    /// Number of packages available for (region, bucket).
+    pub fn count(&self, region: u32, bucket: u32) -> usize {
+        self.inner.read().get(&(region, bucket)).map_or(0, Vec::len)
+    }
+
+    /// Removes a package by id (e.g. pulled after incident response).
+    pub fn remove(&self, id: u64) -> bool {
+        let mut inner = self.inner.write();
+        for list in inner.values_mut() {
+            if let Some(i) = list.iter().position(|p| p.id == id) {
+                list.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Corrupts one byte of a stored package (fault injection for the
+    /// §VI-A.3 "package itself gets corrupted" scenario).
+    pub fn corrupt(&self, id: u64, byte: usize) -> bool {
+        let mut inner = self.inner.write();
+        for list in inner.values_mut() {
+            if let Some(p) = list.iter_mut().find(|p| p.id == id) {
+                let mut v = p.bytes.to_vec();
+                if v.is_empty() {
+                    return false;
+                }
+                let i = byte % v.len();
+                v[i] ^= 0xa5;
+                p.bytes = Bytes::from(v);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops everything (a new release invalidates old profiles).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn meta(region: u32, bucket: u32, seeder: u64) -> PackageMeta {
+        PackageMeta { region, bucket, seeder_id: seeder, ..Default::default() }
+    }
+
+    #[test]
+    fn publish_and_pick() {
+        let store = PackageStore::new();
+        assert_eq!(store.count(0, 0), 0);
+        store.publish(meta(0, 0, 1), Bytes::from_static(b"aaa"));
+        store.publish(meta(0, 0, 2), Bytes::from_static(b"bbb"));
+        store.publish(meta(1, 0, 3), Bytes::from_static(b"ccc"));
+        assert_eq!(store.count(0, 0), 2);
+        assert_eq!(store.count(1, 0), 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let p = store.pick_random(0, 0, &mut rng).unwrap();
+        assert!(p.meta.seeder_id == 1 || p.meta.seeder_id == 2);
+        assert!(store.pick_random(9, 9, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_pick_covers_all_packages() {
+        let store = PackageStore::new();
+        for s in 0..4 {
+            store.publish(meta(0, 0, s), Bytes::from_static(b"x"));
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(store.pick_random(0, 0, &mut rng).unwrap().meta.seeder_id);
+        }
+        assert_eq!(seen.len(), 4, "randomized selection should spread load");
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let store = PackageStore::new();
+        let id = store.publish(meta(0, 1, 1), Bytes::from_static(b"x"));
+        assert!(store.remove(id));
+        assert!(!store.remove(id));
+        assert_eq!(store.count(0, 1), 0);
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let store = PackageStore::new();
+        let id = store.publish(meta(0, 0, 1), Bytes::from_static(b"hello"));
+        assert!(store.corrupt(id, 1));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let p = store.pick_random(0, 0, &mut rng).unwrap();
+        assert_ne!(&p.bytes[..], b"hello");
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store = PackageStore::new();
+        store.publish(meta(0, 0, 1), Bytes::from_static(b"x"));
+        store.clear();
+        assert_eq!(store.count(0, 0), 0);
+    }
+}

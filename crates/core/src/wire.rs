@@ -1,0 +1,300 @@
+//! The package wire format: a small, explicit binary codec.
+//!
+//! HHVM's profile serializer is bespoke (acknowledgments credit its
+//! initial implementation); this reproduction's codec is likewise
+//! hand-rolled on top of [`bytes`]: little-endian primitives,
+//! length-prefixed sequences, and a trailing CRC-32 over the payload.
+//! Every decode path returns a typed [`WireError`] — a corrupted package
+//! must never panic a consumer (§VI-A.3 falls back instead).
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than a field required.
+    Truncated { needed: usize, left: usize },
+    /// The magic prefix did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion { found: u32, supported: u32 },
+    /// Payload checksum mismatch (corruption in transit/storage).
+    BadChecksum { expected: u32, found: u32 },
+    /// Structurally invalid content (bad tag, oversized length, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, left } => {
+                write!(f, "truncated package: needed {needed} bytes, {left} left")
+            }
+            WireError::BadMagic => write!(f, "not a jump-start package (bad magic)"),
+            WireError::BadVersion { found, supported } => {
+                write!(f, "unsupported package version {found} (supported: {supported})")
+            }
+            WireError::BadChecksum { expected, found } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, found {found:#010x}")
+            }
+            WireError::Corrupt(msg) => write!(f, "corrupt package: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Write cursor.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `f64` (LE bits).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a sequence length (for the caller to follow with items).
+    pub fn seq(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+
+    /// Finishes, returning the raw payload (no envelope).
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Read cursor.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+/// Cap on decoded sequence lengths; anything bigger is corruption, not a
+/// real package (prevents attacker-controlled allocations).
+const MAX_SEQ: u32 = 64 << 20;
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError::Truncated { needed: n, left: self.buf.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()?;
+        if len > MAX_SEQ {
+            return Err(WireError::Corrupt(format!("byte string of {len} bytes")));
+        }
+        self.need(len as usize)?;
+        let mut v = vec![0u8; len as usize];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| WireError::Corrupt("invalid utf-8".into()))
+    }
+
+    /// Reads a sequence length.
+    pub fn seq(&mut self) -> Result<usize, WireError> {
+        let len = self.u32()?;
+        if len > MAX_SEQ {
+            return Err(WireError::Corrupt(format!("sequence of {len} items")));
+        }
+        Ok(len as usize)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+/// Magic prefix of every package.
+pub const MAGIC: &[u8; 8] = b"HHJSPKG\0";
+
+/// Current format version.
+pub const VERSION: u32 = 3;
+
+/// Wraps a payload in the envelope: magic, version, length, payload, CRC.
+pub fn seal(payload: Bytes) -> Bytes {
+    let mut out = BytesMut::with_capacity(payload.len() + 20);
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(&payload);
+    out.put_u32_le(crate::crc32::crc32(&payload));
+    out.freeze()
+}
+
+/// Unwraps the envelope, verifying magic, version, length and checksum.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first problem found.
+pub fn unseal(data: &[u8]) -> Result<&[u8], WireError> {
+    if data.len() < MAGIC.len() + 12 {
+        return Err(WireError::Truncated { needed: MAGIC.len() + 12, left: data.len() });
+    }
+    if &data[..8] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(WireError::BadVersion { found: version, supported: VERSION });
+    }
+    let len = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+    if data.len() < 16 + len + 4 {
+        return Err(WireError::Truncated { needed: 16 + len + 4, left: data.len() });
+    }
+    let payload = &data[16..16 + len];
+    let stored =
+        u32::from_le_bytes(data[16 + len..16 + len + 4].try_into().expect("4 bytes"));
+    let actual = crate::crc32::crc32(payload);
+    if stored != actual {
+        return Err(WireError::BadChecksum { expected: stored, found: actual });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX);
+        w.f64(0.25);
+        w.str("héllo");
+        w.seq(3);
+        let payload = w.finish();
+        let mut r = Reader::new(&payload);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.seq().unwrap(), 3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_sequences_are_corrupt() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let payload = w.finish();
+        let mut r = Reader::new(&payload);
+        assert!(matches!(r.seq(), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let mut w = Writer::new();
+        w.str("payload");
+        let sealed = seal(w.finish());
+        let payload = unseal(&sealed).unwrap();
+        let mut r = Reader::new(payload);
+        assert_eq!(r.str().unwrap(), "payload");
+    }
+
+    #[test]
+    fn envelope_rejects_corruption() {
+        let mut w = Writer::new();
+        w.u64(12345);
+        let sealed = seal(w.finish());
+
+        let mut bad_magic = sealed.to_vec();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(unseal(&bad_magic), Err(WireError::BadMagic));
+
+        let mut bad_version = sealed.to_vec();
+        bad_version[8] = 99;
+        assert!(matches!(unseal(&bad_version), Err(WireError::BadVersion { found: 99, .. })));
+
+        let mut bad_payload = sealed.to_vec();
+        bad_payload[18] ^= 0x40;
+        assert!(matches!(unseal(&bad_payload), Err(WireError::BadChecksum { .. })));
+
+        assert!(matches!(unseal(&sealed[..10]), Err(WireError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,238 @@
+//! The continuous-deployment pipeline: C1 → C2 (seeders) → C3 (consumers),
+//! per §II-C and §IV-A.
+
+use jit::JitOptions;
+use jumpstart::{build_package, JumpStartOptions, PackageStore, SeederInputs, Validator};
+use workload::{App, RequestMix};
+
+use crate::metrics::Timeline;
+use crate::model::{build_app_model, WarmupParams};
+use crate::server::{simulate_warmup, ServerConfig};
+
+/// Deployment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DeployParams {
+    /// Data-center regions.
+    pub regions: u32,
+    /// Semantic buckets per region.
+    pub buckets: u32,
+    /// Seeders per (region, bucket) cell (§VI-A.2 recommends several).
+    pub seeders_per_cell: u32,
+    /// Requests each seeder profiles during C2.
+    pub seeder_requests: usize,
+    /// Warmup calibration for the C3 consumers.
+    pub warmup: WarmupParams,
+    /// Jump-Start options.
+    pub js_opts: JumpStartOptions,
+    /// JIT options.
+    pub jit_opts: JitOptions,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeployParams {
+    fn default() -> Self {
+        Self {
+            regions: 2,
+            buckets: 2,
+            seeders_per_cell: 2,
+            seeder_requests: 150,
+            warmup: WarmupParams::fig4(),
+            js_opts: JumpStartOptions::default(),
+            jit_opts: JitOptions::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one push.
+#[derive(Debug)]
+pub struct DeployReport {
+    /// Packages published after validation.
+    pub published: usize,
+    /// Seeder packages rejected by validation.
+    pub validation_failures: usize,
+    /// Representative consumer warmup timeline per cell (Jump-Start).
+    pub js_timelines: Vec<Timeline>,
+    /// The same cells booted without Jump-Start.
+    pub nojs_timelines: Vec<Timeline>,
+}
+
+impl DeployReport {
+    /// Mean capacity loss over `window_ms` with Jump-Start.
+    pub fn mean_loss_js(&self, window_ms: u64) -> f64 {
+        mean(self.js_timelines.iter().map(|t| t.capacity_loss_over(window_ms)))
+    }
+
+    /// Mean capacity loss without Jump-Start.
+    pub fn mean_loss_nojs(&self, window_ms: u64) -> f64 {
+        mean(self.nojs_timelines.iter().map(|t| t.capacity_loss_over(window_ms)))
+    }
+
+    /// The headline metric: relative reduction in capacity loss (the paper
+    /// reports 54.9% over the first 10 minutes).
+    pub fn capacity_loss_reduction(&self, window_ms: u64) -> f64 {
+        let nojs = self.mean_loss_nojs(window_ms);
+        if nojs == 0.0 {
+            0.0
+        } else {
+            (nojs - self.mean_loss_js(window_ms)) / nojs * 100.0
+        }
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Runs one deployment: C2 seeders profile their cell's traffic, validate
+/// and publish; C3 consumers in each cell boot with a package (vs. the
+/// no-Jump-Start baseline on identical traffic).
+pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
+    let store = PackageStore::new();
+    let validator = Validator::new(params.js_opts, params.jit_opts);
+    let mut published = 0;
+    let mut validation_failures = 0;
+
+    // --- C2: seeders ---
+    for region in 0..params.regions {
+        for bucket in 0..params.buckets {
+            let mix = RequestMix::new(app, region as usize, bucket as usize);
+            for s in 0..params.seeders_per_cell {
+                let seed = params.seed
+                    ^ (region as u64) << 32
+                    ^ (bucket as u64) << 16
+                    ^ s as u64;
+                let run = workload::profile_run(app, &mix, params.seeder_requests, seed);
+                let pkg = build_package(
+                    SeederInputs {
+                        repo: &app.repo,
+                        tier: run.tier,
+                        ctx: run.ctx,
+                        unit_order: run.unit_order,
+                        requests: run.requests,
+                        region,
+                        bucket,
+                        seeder_id: seed,
+                        now_ms: 0,
+                    },
+                    &params.js_opts,
+                    &params.jit_opts,
+                );
+                match validator.validate_package(&app.repo, &pkg, 0) {
+                    Ok(_) => {
+                        store.publish(pkg.meta, pkg.serialize());
+                        published += 1;
+                    }
+                    Err(_) => validation_failures += 1,
+                }
+            }
+        }
+    }
+
+    // --- C3: consumers, one representative server per cell ---
+    let mut js_timelines = Vec::new();
+    let mut nojs_timelines = Vec::new();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(params.seed);
+    for region in 0..params.regions {
+        for bucket in 0..params.buckets {
+            let mix = RequestMix::new(app, region as usize, bucket as usize);
+            // The consumer's model is measured on its own cell's traffic.
+            let truth = workload::profile_run(
+                app,
+                &mix,
+                params.seeder_requests,
+                params.seed ^ 0xdead,
+            );
+            let model = build_app_model(app, &truth);
+            let picked = store.pick_random(region, bucket, &mut rng);
+            let pkg = picked
+                .as_ref()
+                .map(|p| jumpstart::ProfilePackage::deserialize(&p.bytes).expect("validated"));
+            js_timelines.push(simulate_warmup(
+                app,
+                &model,
+                &mix,
+                &ServerConfig { params: params.warmup, jumpstart: pkg.as_ref() },
+            ));
+            nojs_timelines.push(simulate_warmup(
+                app,
+                &model,
+                &mix,
+                &ServerConfig { params: params.warmup, jumpstart: None },
+            ));
+        }
+    }
+
+    DeployReport { published, validation_failures, js_timelines, nojs_timelines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{generate, AppParams};
+
+    #[test]
+    fn deployment_publishes_and_improves_warmup() {
+        let app = generate(&AppParams::tiny());
+        let params = DeployParams {
+            regions: 1,
+            buckets: 2,
+            seeders_per_cell: 1,
+            seeder_requests: 120,
+            warmup: WarmupParams {
+                duration_ms: 300_000,
+                sample_ms: 5_000,
+                init_ms_nojs: 20_000,
+                init_ms_js: 8_000,
+                deserialize_ms: 2_000,
+                profile_serve_ms: 60_000,
+                relocation_ms: 20_000,
+                ..WarmupParams::fig4()
+            },
+            js_opts: JumpStartOptions {
+                min_funcs_profiled: 5,
+                min_counter_mass: 100,
+                min_requests: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_deployment(&app, &params);
+        assert_eq!(report.published, 2);
+        assert_eq!(report.validation_failures, 0);
+        let reduction = report.capacity_loss_reduction(300_000);
+        assert!(
+            reduction > 20.0,
+            "Jump-Start should substantially reduce capacity loss, got {reduction:.1}%"
+        );
+    }
+
+    #[test]
+    fn undersampled_seeders_fail_validation() {
+        let app = generate(&AppParams::tiny());
+        let params = DeployParams {
+            regions: 1,
+            buckets: 1,
+            seeders_per_cell: 1,
+            seeder_requests: 3, // a drained data center (§VI-B)
+            js_opts: JumpStartOptions {
+                min_requests: 50,
+                ..Default::default()
+            },
+            warmup: WarmupParams {
+                duration_ms: 100_000,
+                ..WarmupParams::fig4()
+            },
+            ..Default::default()
+        };
+        let report = run_deployment(&app, &params);
+        assert_eq!(report.published, 0);
+        assert_eq!(report.validation_failures, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Crash-loop containment experiments (§VI-A).
+//!
+//! Scenario: a crash-inducing package slipped through validation. Without
+//! randomized selection every consumer would pick it, crash, restart,
+//! pick it again — a fleet-wide crash loop. With several randomized
+//! packages, "the number of affected consumers [reduces] exponentially
+//! with each restart", and the automatic fallback bounds the worst case.
+
+use bytes::Bytes;
+use jumpstart::{BootController, BootDecision, PackageMeta, PackageStore, Poison};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashLoopParams {
+    /// Consumers in the (region, bucket) cell.
+    pub servers: usize,
+    /// Packages published for the cell (§VI-A.2's "several seeders").
+    pub packages: usize,
+    /// How many of those are crash-inducing.
+    pub poisoned: usize,
+    /// Crash probability per boot with a poisoned package (per-mille).
+    pub poison_per_mille: u16,
+    /// Jump-Start boot attempts before automatic fallback (§VI-A.3).
+    pub max_boot_attempts: u32,
+    /// Restart waves to simulate.
+    pub waves: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrashLoopParams {
+    fn default() -> Self {
+        Self {
+            servers: 2000,
+            packages: 5,
+            poisoned: 1,
+            poison_per_mille: 1000,
+            max_boot_attempts: 3,
+            waves: 8,
+            seed: 0xfb,
+        }
+    }
+}
+
+/// Experiment outcome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashLoopReport {
+    /// Servers that crashed in each wave.
+    pub crashed_per_wave: Vec<usize>,
+    /// Servers that ended up booting without Jump-Start.
+    pub fallbacks: usize,
+    /// Servers healthy with Jump-Start.
+    pub healthy_jumpstart: usize,
+    /// Waves until the whole fleet was healthy (`None` if never).
+    pub waves_to_healthy: Option<u32>,
+}
+
+/// Runs the crash-loop experiment.
+pub fn run_crashloop(params: &CrashLoopParams) -> CrashLoopReport {
+    let store = PackageStore::new();
+    for i in 0..params.packages {
+        let poison = if i < params.poisoned {
+            Poison::RuntimeCrash { per_mille: params.poison_per_mille }
+        } else {
+            Poison::None
+        };
+        store.publish(
+            PackageMeta { region: 0, bucket: 0, seeder_id: i as u64, poison, ..Default::default() },
+            Bytes::from_static(b"pkg"),
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut controllers: Vec<BootController> =
+        (0..params.servers).map(|_| BootController::new(params.max_boot_attempts)).collect();
+    let mut healthy = vec![false; params.servers];
+    let mut via_fallback = vec![false; params.servers];
+    let mut report = CrashLoopReport::default();
+
+    for wave in 0..params.waves {
+        let mut crashed = 0;
+        for (s, ctl) in controllers.iter_mut().enumerate() {
+            if healthy[s] {
+                continue;
+            }
+            match ctl.decide(&store, 0, 0, &mut rng) {
+                BootDecision::Fallback => {
+                    healthy[s] = true;
+                    via_fallback[s] = true;
+                }
+                BootDecision::TryPackage(pkg) => {
+                    let crashes = match pkg.meta.poison {
+                        Poison::None => false,
+                        Poison::CompileCrash => true,
+                        Poison::RuntimeCrash { per_mille } => {
+                            rng.gen_range(0..1000) < per_mille as u32
+                        }
+                    };
+                    if crashes {
+                        crashed += 1;
+                    } else {
+                        ctl.record_healthy();
+                        healthy[s] = true;
+                    }
+                }
+            }
+        }
+        report.crashed_per_wave.push(crashed);
+        if healthy.iter().all(|&h| h) && report.waves_to_healthy.is_none() {
+            report.waves_to_healthy = Some(wave + 1);
+            break;
+        }
+    }
+    report.fallbacks = via_fallback.iter().filter(|&&f| f).count();
+    report.healthy_jumpstart = healthy
+        .iter()
+        .zip(&via_fallback)
+        .filter(|(&h, &f)| h && !f)
+        .count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crashes_decay_exponentially_with_randomized_packages() {
+        let report = run_crashloop(&CrashLoopParams {
+            servers: 5000,
+            packages: 5,
+            poisoned: 1,
+            ..Default::default()
+        });
+        let w = &report.crashed_per_wave;
+        // Wave 0: ~1/5 of the fleet crashes; each later wave shrinks ~5x.
+        assert!(w[0] > 800 && w[0] < 1200, "wave0 {w:?}");
+        assert!(w[1] < w[0] / 3, "decay: {w:?}");
+        if w.len() > 2 {
+            assert!(w[2] <= w[1] / 2, "decay: {w:?}");
+        }
+        assert_eq!(report.waves_to_healthy.is_some(), true);
+    }
+
+    #[test]
+    fn single_bad_package_without_randomization_crash_loops_then_falls_back() {
+        let report = run_crashloop(&CrashLoopParams {
+            servers: 1000,
+            packages: 1,
+            poisoned: 1,
+            max_boot_attempts: 3,
+            waves: 10,
+            ..Default::default()
+        });
+        // Every server crashes for max_boot_attempts waves, then falls back.
+        assert_eq!(report.crashed_per_wave[0], 1000);
+        assert_eq!(report.crashed_per_wave[1], 1000);
+        assert_eq!(report.crashed_per_wave[2], 1000);
+        assert_eq!(report.fallbacks, 1000);
+        assert_eq!(report.healthy_jumpstart, 0);
+        assert_eq!(report.waves_to_healthy, Some(4));
+    }
+
+    #[test]
+    fn healthy_packages_boot_everyone_first_wave() {
+        let report = run_crashloop(&CrashLoopParams {
+            servers: 500,
+            packages: 4,
+            poisoned: 0,
+            ..Default::default()
+        });
+        assert_eq!(report.crashed_per_wave[0], 0);
+        assert_eq!(report.waves_to_healthy, Some(1));
+        assert_eq!(report.healthy_jumpstart, 500);
+        assert_eq!(report.fallbacks, 0);
+    }
+
+    #[test]
+    fn no_packages_means_everyone_falls_back() {
+        let report = run_crashloop(&CrashLoopParams {
+            servers: 100,
+            packages: 0,
+            poisoned: 0,
+            ..Default::default()
+        });
+        assert_eq!(report.fallbacks, 100);
+        assert_eq!(report.waves_to_healthy, Some(1));
+    }
+}

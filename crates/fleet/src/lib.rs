@@ -1,0 +1,31 @@
+//! Data-center fleet simulation: server warmup, continuous deployment and
+//! reliability.
+//!
+//! The paper's warmup evaluation (Figs. 1, 2, 4) is about what one web
+//! server goes through after a restart: initialization, lazy loading,
+//! profiling translations, the retranslate-all event, relocation, live
+//! JITing — all while serving (or failing to serve) production traffic.
+//! This crate simulates that timeline:
+//!
+//! * [`AppModel`] — per-function static facts (sizes of each translation
+//!   kind, average work per call, per-endpoint call vectors) measured once
+//!   from the real pipeline,
+//! * [`ServerSim`] / [`simulate_warmup`] — a discrete-time single-server
+//!   simulation producing RPS/latency/code-size timelines,
+//! * [`capacity_loss`] — the area-above-the-curve metric of Fig. 2,
+//! * [`deploy`] — the C1/C2/C3 phased push with seeders and validation,
+//! * [`faults`] — crash-loop containment experiments for §VI.
+
+mod deploy;
+mod faults;
+mod metrics;
+mod model;
+mod server;
+mod steady;
+
+pub use deploy::{run_deployment, DeployParams, DeployReport};
+pub use faults::{run_crashloop, CrashLoopParams, CrashLoopReport};
+pub use metrics::{capacity_loss, Sample, Timeline};
+pub use model::{build_app_model, AppModel, WarmupParams};
+pub use server::{simulate_warmup, ServerConfig, ServerSim};
+pub use steady::{measure_steady_state, SteadyConfig, SteadyOutcome, SteadyParams};

@@ -1,0 +1,127 @@
+//! Warmup timelines and the capacity-loss metric.
+
+/// One timeline sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Server uptime (ms since process start).
+    pub t_ms: u64,
+    /// Served requests per second, normalized to the warmed-up rate.
+    pub rps_norm: f64,
+    /// Average wall latency per request (ms).
+    pub latency_ms: f64,
+    /// Total JITed code bytes produced so far.
+    pub code_bytes: u64,
+}
+
+/// A server warmup timeline plus lifecycle markers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// Periodic samples.
+    pub samples: Vec<Sample>,
+    /// When the server started accepting requests.
+    pub serve_start_ms: u64,
+    /// Point A: profiling stopped / retranslate-all began (no-Jump-Start).
+    pub point_a_ms: Option<u64>,
+    /// Point B: optimized compilation finished (relocation begins).
+    pub point_b_ms: Option<u64>,
+    /// Point C: relocation finished, optimized code live.
+    pub point_c_ms: Option<u64>,
+}
+
+impl Timeline {
+    /// Fraction of capacity lost over `[0, window_ms)` relative to a
+    /// server that never restarted (Fig. 2's area above the curve).
+    pub fn capacity_loss_over(&self, window_ms: u64) -> f64 {
+        capacity_loss(&self.samples, window_ms)
+    }
+
+    /// The sample closest to `t_ms`.
+    pub fn at(&self, t_ms: u64) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .min_by_key(|s| s.t_ms.abs_diff(t_ms))
+    }
+
+    /// First time normalized RPS reaches `level`, if ever.
+    pub fn time_to_rps(&self, level: f64) -> Option<u64> {
+        self.samples.iter().find(|s| s.rps_norm >= level).map(|s| s.t_ms)
+    }
+}
+
+/// Capacity loss over a window: `1 - mean(rps_norm)` using trapezoidal
+/// integration over `[0, window_ms)`.
+pub fn capacity_loss(samples: &[Sample], window_ms: u64) -> f64 {
+    if samples.is_empty() || window_ms == 0 {
+        return 1.0;
+    }
+    let mut area = 0.0;
+    let mut prev_t = 0u64;
+    let mut prev_v = 0.0f64;
+    for s in samples {
+        if s.t_ms > window_ms {
+            let span = window_ms - prev_t;
+            area += span as f64 * (prev_v + s.rps_norm.min(1.0)) / 2.0;
+            prev_t = window_ms;
+            break;
+        }
+        let span = s.t_ms - prev_t;
+        area += span as f64 * (prev_v + s.rps_norm.min(1.0)) / 2.0;
+        prev_t = s.t_ms;
+        prev_v = s.rps_norm.min(1.0);
+    }
+    if prev_t < window_ms {
+        area += (window_ms - prev_t) as f64 * prev_v;
+    }
+    1.0 - (area / window_ms as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t_ms: u64, rps: f64) -> Sample {
+        Sample { t_ms, rps_norm: rps, latency_ms: 1.0, code_bytes: 0 }
+    }
+
+    #[test]
+    fn full_capacity_has_zero_loss() {
+        let samples = vec![s(0, 1.0), s(500, 1.0), s(1000, 1.0)];
+        assert!(capacity_loss(&samples, 1000) < 1e-9);
+    }
+
+    #[test]
+    fn dead_server_loses_everything() {
+        let samples = vec![s(0, 0.0), s(1000, 0.0)];
+        assert!((capacity_loss(&samples, 1000) - 1.0).abs() < 1e-9);
+        assert_eq!(capacity_loss(&[], 1000), 1.0);
+    }
+
+    #[test]
+    fn linear_ramp_loses_half() {
+        let samples: Vec<Sample> = (0..=10).map(|i| s(i * 100, i as f64 / 10.0)).collect();
+        let loss = capacity_loss(&samples, 1000);
+        assert!((loss - 0.5).abs() < 0.01, "got {loss}");
+    }
+
+    #[test]
+    fn window_truncates() {
+        // Full for 500ms then dead: loss over 1000ms = 0.5.
+        let samples = vec![s(0, 1.0), s(500, 1.0), s(501, 0.0), s(1000, 0.0)];
+        let loss = capacity_loss(&samples, 1000);
+        assert!((loss - 0.5).abs() < 0.01, "got {loss}");
+        // Over the first 500ms only: no loss.
+        assert!(capacity_loss(&samples, 500) < 0.01);
+    }
+
+    #[test]
+    fn timeline_helpers() {
+        let tl = Timeline {
+            samples: vec![s(0, 0.1), s(100, 0.5), s(200, 0.95)],
+            serve_start_ms: 10,
+            ..Default::default()
+        };
+        assert_eq!(tl.time_to_rps(0.9), Some(200));
+        assert_eq!(tl.time_to_rps(0.99), None);
+        assert_eq!(tl.at(120).unwrap().t_ms, 100);
+    }
+}

@@ -1,0 +1,457 @@
+//! Single-server warmup simulation.
+//!
+//! A discrete-time (1 s step) model of one web server's life after a
+//! restart, following Fig. 3's workflows exactly:
+//!
+//! * **No Jump-Start** (Fig. 3a): init (sequential warmup requests) →
+//!   serve; hot functions get profiling translations; after the profiling
+//!   request target, a retranslate-all event compiles every profiled
+//!   function on background JIT threads (point A→B), then relocation
+//!   (B→C); newly discovered functions get live translations.
+//! * **Consumer** (Fig. 3c): deserialize → preload units → compile all
+//!   optimized code on *all* cores → serve near peak immediately.
+//!
+//! Requests compete with compilation for cores; service time per request
+//! follows each touched function's current execution mode. Everything
+//! dynamic (what compiles when, how much code, how slow interp is) comes
+//! from the measured [`AppModel`].
+
+use jumpstart::ProfilePackage;
+use workload::{App, RequestMix};
+
+use crate::metrics::{Sample, Timeline};
+use crate::model::{AppModel, WarmupParams};
+
+/// Per-function execution mode in the warmup model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Interp,
+    Profiling,
+    Optimized,
+    Live,
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig<'p> {
+    /// Calibration constants.
+    pub params: WarmupParams,
+    /// Boot as a Jump-Start consumer with this package.
+    pub jumpstart: Option<&'p ProfilePackage>,
+}
+
+/// The simulation state (exposed for tests and incremental stepping).
+#[derive(Debug)]
+pub struct ServerSim<'a> {
+    app: &'a App,
+    model: &'a AppModel,
+    params: WarmupParams,
+    ep_probs: Vec<f64>,
+    mode: Vec<Mode>,
+    calls: Vec<f64>,
+    unit_loaded: Vec<bool>,
+    // Compile queue: (func index or NONE for batch end, bytes remaining).
+    queue: std::collections::VecDeque<(usize, u64, Mode)>,
+    code_bytes: u64,
+    retranslate_started: bool,
+    optimize_remaining: usize,
+    relocation_left_ms: f64,
+    relocating: bool,
+    optimized_ready: Vec<usize>,
+    optimized_phase_done: bool,
+    peak_ms_per_req: f64,
+    serve_start_ms: u64,
+    point_a_ms: Option<u64>,
+    point_b_ms: Option<u64>,
+    point_c_ms: Option<u64>,
+}
+
+impl<'a> ServerSim<'a> {
+    /// Creates the simulation for one server boot.
+    pub fn new(
+        app: &'a App,
+        model: &'a AppModel,
+        mix: &RequestMix,
+        config: &ServerConfig<'_>,
+    ) -> Self {
+        let params = config.params;
+        let n = app.repo.funcs().len();
+        let mut sim = Self {
+            app,
+            model,
+            params,
+            ep_probs: mix.probabilities(),
+            mode: vec![Mode::Interp; n],
+            calls: vec![0.0; n],
+            unit_loaded: vec![false; app.repo.units().len()],
+            queue: std::collections::VecDeque::new(),
+            code_bytes: 0,
+            retranslate_started: false,
+            optimize_remaining: 0,
+            relocation_left_ms: 0.0,
+            relocating: false,
+            optimized_ready: Vec::new(),
+            optimized_phase_done: false,
+            peak_ms_per_req: model.peak_request_core_ms(app, mix, &params),
+            serve_start_ms: 0,
+            point_a_ms: None,
+            point_b_ms: None,
+            point_c_ms: None,
+        };
+        sim.serve_start_ms = match config.jumpstart {
+            None => params.init_ms_nojs,
+            Some(pkg) => {
+                // Deserialize + preload + compile-all on every core, then
+                // parallel (shorter) init — §IV-A and §VII-A.
+                let mut compile_bytes = 0u64;
+                for f in pkg.tier.funcs.keys() {
+                    if f.index() < n {
+                        compile_bytes += model.opt_bytes[f.index()];
+                    }
+                }
+                let compile_ms = compile_bytes as f64
+                    / (params.compile_bytes_per_core_ms * params.cores as f64);
+                let mut preload_kb = 0.0;
+                for u in &pkg.preload.unit_order {
+                    if u.index() < sim.unit_loaded.len() && !sim.unit_loaded[u.index()] {
+                        sim.unit_loaded[u.index()] = true;
+                        preload_kb +=
+                            vm::unit_bytes(&app.repo, *u) as f64 / 1024.0;
+                    }
+                }
+                let preload_ms = preload_kb * params.load_ms_per_kb / params.cores as f64;
+                // Optimized code is available from the start.
+                for f in pkg.tier.funcs.keys() {
+                    if f.index() < n {
+                        sim.mode[f.index()] = Mode::Optimized;
+                    }
+                }
+                sim.code_bytes = compile_bytes;
+                sim.optimized_phase_done = true;
+                // Consumers never run the profiling phase (Fig. 3c).
+                sim.retranslate_started = true;
+                params.deserialize_ms
+                    + params.init_ms_js
+                    + (compile_ms + preload_ms) as u64
+            }
+        };
+        sim
+    }
+
+    /// Expected core-milliseconds to serve one request right now,
+    /// including lazy-load overhead committed this step.
+    fn service_core_ms(&mut self, dt_requests: f64) -> f64 {
+        let p = &self.params;
+        let mut total_cycles = 0.0;
+        let mut load_ms = 0.0;
+        for (e, &prob) in self.ep_probs.iter().enumerate() {
+            if prob <= 0.0 {
+                continue;
+            }
+            for &(f, calls) in &self.model.endpoint_calls[e] {
+                let i = f.index();
+                let cpi = match self.mode[i] {
+                    Mode::Interp => p.interp_cpi,
+                    Mode::Profiling => p.profiling_cpi,
+                    Mode::Optimized => p.optimized_cpi,
+                    Mode::Live => p.live_cpi,
+                };
+                total_cycles += prob * calls * self.model.avg_instrs[i] * p.work_scale * cpi;
+                // Lazy unit load on first touch (amortized over this step's
+                // requests).
+                let u = self.app.repo.func(f).unit.index();
+                if !self.unit_loaded[u] && prob * dt_requests >= 0.5 {
+                    self.unit_loaded[u] = true;
+                    load_ms += self.model.unit_bytes[i] as f64 / 1024.0 * p.load_ms_per_kb
+                        / dt_requests.max(1.0);
+                }
+            }
+        }
+        total_cycles / p.cycles_per_ms + load_ms
+    }
+
+    /// Applies the per-function effects of serving `requests` requests.
+    fn account_requests(&mut self, requests: f64, now_ms: u64) {
+        let p = self.params;
+        for (e, &prob) in self.ep_probs.iter().enumerate() {
+            let share = prob * requests;
+            if share <= 0.0 {
+                continue;
+            }
+            for &(f, calls) in &self.model.endpoint_calls[e] {
+                let i = f.index();
+                self.calls[i] += share * calls;
+                if self.mode[i] == Mode::Interp && self.calls[i] >= p.promote_calls as f64 {
+                    if self.optimized_phase_done {
+                        self.queue.push_back((i, self.model.live_bytes[i], Mode::Live));
+                    } else if !self.retranslate_started {
+                        self.queue.push_back((i, self.model.prof_bytes[i], Mode::Profiling));
+                    }
+                    // Mark as queued so it isn't enqueued again.
+                    self.mode[i] = if self.optimized_phase_done {
+                        Mode::Live
+                    } else {
+                        Mode::Profiling
+                    };
+                    self.code_bytes += 0; // bytes counted at compile completion
+                }
+            }
+        }
+        let _ = requests;
+        if !self.retranslate_started {
+            if now_ms >= self.serve_start_ms + p.profile_serve_ms {
+                self.retranslate_started = true;
+                self.point_a_ms = Some(now_ms);
+                // Enqueue optimize-all jobs hottest-first.
+                for &f in &self.model.profiled {
+                    let i = f.index();
+                    self.queue.push_back((i, self.model.opt_bytes[i], Mode::Optimized));
+                    self.optimize_remaining += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains the compile queue with `core_ms` of JIT-thread time;
+    /// returns the core-milliseconds actually consumed.
+    fn run_compilers(&mut self, mut core_ms: f64, now_ms: u64) -> f64 {
+        let budget = core_ms;
+        let rate = self.params.compile_bytes_per_core_ms;
+        if self.relocating {
+            self.relocation_left_ms -= core_ms;
+            if self.relocation_left_ms <= 0.0 {
+                self.relocating = false;
+                self.point_c_ms = Some(now_ms);
+                for &i in &self.optimized_ready {
+                    self.mode[i] = Mode::Optimized;
+                }
+                self.optimized_ready.clear();
+                self.optimized_phase_done = true;
+            }
+            return budget;
+        }
+        while core_ms > 0.0 {
+            let Some((i, bytes, kind)) = self.queue.front().copied() else { break };
+            let affordable = (core_ms * rate) as u64;
+            if affordable >= bytes {
+                core_ms -= bytes as f64 / rate;
+                self.queue.pop_front();
+                self.code_bytes += bytes;
+                match kind {
+                    Mode::Optimized => {
+                        self.optimized_ready.push(i);
+                        self.optimize_remaining -= 1;
+                        if self.optimize_remaining == 0 {
+                            // Point B: relocation begins.
+                            self.point_b_ms = Some(now_ms);
+                            self.relocating = true;
+                            self.relocation_left_ms = self.params.relocation_ms as f64;
+                            return budget;
+                        }
+                    }
+                    mode => self.mode[i] = mode,
+                }
+            } else {
+                self.queue.front_mut().expect("checked").1 -= affordable;
+                core_ms = 0.0;
+                break;
+            }
+        }
+        budget - core_ms
+    }
+}
+
+/// Runs the warmup simulation, returning the timeline.
+pub fn simulate_warmup(
+    app: &App,
+    model: &AppModel,
+    mix: &RequestMix,
+    config: &ServerConfig<'_>,
+) -> Timeline {
+    let params = config.params;
+    let mut sim = ServerSim::new(app, model, mix, config);
+    let peak_rps = params.cores as f64 * 1000.0 / sim.peak_ms_per_req;
+    let offered = peak_rps * params.offered_fraction;
+
+    let mut timeline = Timeline { serve_start_ms: sim.serve_start_ms, ..Default::default() };
+    let step = 1000u64; // 1 s
+    let mut t = 0u64;
+    while t < params.duration_ms {
+        let now = t + step;
+        if now <= sim.serve_start_ms {
+            // Booting: Jump-Start compile work happens inside the boot
+            // window (already priced into serve_start_ms).
+            if now % params.sample_ms == 0 {
+                let frac = if config.jumpstart.is_some() && sim.serve_start_ms > 0 {
+                    now as f64 / sim.serve_start_ms as f64
+                } else {
+                    0.0
+                };
+                timeline.samples.push(Sample {
+                    t_ms: now,
+                    rps_norm: 0.0,
+                    latency_ms: 0.0,
+                    code_bytes: (sim.code_bytes as f64 * frac.min(1.0)) as u64,
+                });
+            }
+            t = now;
+            continue;
+        }
+        // Background compile threads (serving competes for the rest);
+        // only the core time actually consumed is taken from serving.
+        let used_core_ms =
+            sim.run_compilers(params.jit_threads as f64 * step as f64, now);
+        let serve_cores = params.cores as f64 - used_core_ms / step as f64;
+        let offered_this_step = offered * step as f64 / 1000.0;
+        let service_ms = sim.service_core_ms(offered_this_step).max(0.01);
+        let capacity = serve_cores * step as f64 / service_ms;
+        let served = offered_this_step.min(capacity);
+        sim.account_requests(served, now);
+
+        if now % params.sample_ms == 0 {
+            let util = (offered_this_step / capacity).min(3.0);
+            let queue_factor = 1.0 + 2.0 * (util.min(1.0)).powi(3);
+            timeline.samples.push(Sample {
+                t_ms: now,
+                rps_norm: served / offered_this_step,
+                latency_ms: service_ms * queue_factor,
+                code_bytes: sim.code_bytes,
+            });
+        }
+        t = now;
+    }
+    timeline.point_a_ms = sim.point_a_ms;
+    timeline.point_b_ms = sim.point_b_ms;
+    timeline.point_c_ms = sim.point_c_ms;
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_app_model;
+    use jit::JitOptions;
+    use jumpstart::{build_package, JumpStartOptions, SeederInputs};
+    use workload::{generate, profile_run, AppParams};
+
+    fn setup() -> (App, AppModel, ProfilePackage) {
+        let app = generate(&AppParams::tiny());
+        let mix = RequestMix::new(&app, 0, 0);
+        let run = profile_run(&app, &mix, 150, 11);
+        let model = build_app_model(&app, &run);
+        let pkg = build_package(
+            SeederInputs {
+                repo: &app.repo,
+                tier: run.tier,
+                ctx: run.ctx,
+                unit_order: run.unit_order,
+                requests: run.requests,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions::default(),
+            &JitOptions::default(),
+        );
+        (app, model, pkg)
+    }
+
+    fn quick_params(model: &AppModel) -> WarmupParams {
+        WarmupParams {
+            duration_ms: 300_000,
+            sample_ms: 5_000,
+            init_ms_nojs: 20_000,
+            init_ms_js: 8_000,
+            deserialize_ms: 2_000,
+            profile_serve_ms: 60_000,
+            relocation_ms: 20_000,
+            ..WarmupParams::fig4()
+        }
+        .with_compile_window(model, 90_000)
+    }
+
+    #[test]
+    fn no_jumpstart_walks_through_the_lifecycle() {
+        let (app, model, _pkg) = setup();
+        let mix = RequestMix::new(&app, 0, 0);
+        let tl = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig { params: quick_params(&model), jumpstart: None },
+        );
+        assert!(tl.point_a_ms.is_some(), "profiling must end");
+        assert!(tl.point_b_ms.is_some(), "optimization must finish");
+        assert!(tl.point_c_ms.is_some(), "relocation must finish");
+        let (a, b, c) = (tl.point_a_ms.unwrap(), tl.point_b_ms.unwrap(), tl.point_c_ms.unwrap());
+        assert!(a < b && b < c, "A < B < C");
+        // Code grows over time.
+        let last = tl.samples.last().unwrap();
+        assert!(last.code_bytes > 0);
+        // RPS eventually recovers.
+        assert!(last.rps_norm > 0.9, "got {}", last.rps_norm);
+    }
+
+    #[test]
+    fn jumpstart_starts_near_peak() {
+        let (app, model, pkg) = setup();
+        let mix = RequestMix::new(&app, 0, 0);
+        let params = quick_params(&model);
+        let js = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig { params, jumpstart: Some(&pkg) },
+        );
+        let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+        // Shortly after serving begins, the consumer is already fast.
+        let early = js.at(js.serve_start_ms + 20_000).unwrap();
+        assert!(early.rps_norm > 0.8, "JS early rps {}", early.rps_norm);
+        let early_nojs = nojs.at(nojs.serve_start_ms + 20_000).unwrap();
+        assert!(
+            early.rps_norm > early_nojs.rps_norm + 0.2,
+            "JS {} vs no-JS {}",
+            early.rps_norm,
+            early_nojs.rps_norm
+        );
+        // Headline: capacity loss reduced substantially.
+        let loss_js = js.capacity_loss_over(params.duration_ms);
+        let loss_nojs = nojs.capacity_loss_over(params.duration_ms);
+        assert!(
+            loss_js < 0.7 * loss_nojs,
+            "JS loss {loss_js:.3} should be well below no-JS {loss_nojs:.3}"
+        );
+    }
+
+    #[test]
+    fn latency_improves_with_jumpstart_early_on() {
+        let (app, model, pkg) = setup();
+        let mix = RequestMix::new(&app, 0, 0);
+        let params = quick_params(&model);
+        let js = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: Some(&pkg) });
+        let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+        let t = nojs.serve_start_ms + 30_000;
+        let l_js = js.at(t).unwrap().latency_ms;
+        let l_nojs = nojs.at(t).unwrap().latency_ms;
+        assert!(
+            l_nojs > 1.5 * l_js,
+            "early latency: no-JS {l_nojs:.2}ms vs JS {l_js:.2}ms"
+        );
+    }
+
+    #[test]
+    fn code_size_curve_is_monotonic() {
+        let (app, model, _pkg) = setup();
+        let mix = RequestMix::new(&app, 0, 0);
+        let tl = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig { params: quick_params(&model), jumpstart: None },
+        );
+        for w in tl.samples.windows(2) {
+            assert!(w[1].code_bytes >= w[0].code_bytes);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The Hacklet abstract syntax tree.
+
+use crate::error::Pos;
+
+/// A whole parsed file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A free function.
+    Func(FuncDecl),
+    /// A class declaration.
+    Class(ClassDecl),
+}
+
+/// A function or method declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter variable names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+/// A property definition inside a class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropDef {
+    /// Property name (without `$`).
+    pub name: String,
+    /// Whether declared `public` (vs `private`).
+    pub public: bool,
+    /// Optional literal default.
+    pub default: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Parent class name, if `extends` was used.
+    pub parent: Option<String>,
+    /// Properties in declared order.
+    pub props: Vec<PropDef>,
+    /// Methods in declared order.
+    pub methods: Vec<FuncDecl>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Binary operators (surface level; compiled to [`bytecode::BinOp`] except
+/// the short-circuiting `And`/`Or`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `.` (string concatenation)
+    Concat,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `$name`
+    Var(String),
+    /// `$this`
+    This,
+    /// `vec[e1, e2, ...]`
+    VecLit(Vec<Expr>),
+    /// `dict[k1 => v1, ...]`
+    DictLit(Vec<(Expr, Expr)>),
+    /// `op e`
+    Unary(UnaryOp, Box<Expr>),
+    /// `a op b`
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `f(args)` — resolved to a repo function or builtin at compile time.
+    Call { name: String, args: Vec<Expr>, pos: Pos },
+    /// `recv->m(args)` — dynamic dispatch.
+    MethodCall { recv: Box<Expr>, method: String, args: Vec<Expr> },
+    /// `recv->prop`
+    Prop { recv: Box<Expr>, prop: String },
+    /// `e[k]`
+    Index { recv: Box<Expr>, index: Box<Expr> },
+    /// `new C(args)` — runs `__construct` if the class declares one.
+    New { class: String, args: Vec<Expr>, pos: Pos },
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Expression statement (value discarded).
+    Expr(Expr),
+    /// `$x = e;`
+    Assign { var: String, value: Expr },
+    /// `recv->prop = e;`
+    PropAssign { recv: Expr, prop: String, value: Expr },
+    /// `recv[k] = e;`
+    IndexAssign { recv: Expr, index: Expr, value: Expr },
+    /// `if (c) { .. } else { .. }`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `while (c) { .. }`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (init; cond; step) { .. }`
+    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Box<Stmt>>, body: Vec<Stmt> },
+    /// `foreach (e as $v)` / `foreach (e as $k => $v)`
+    Foreach { iter: Expr, key: Option<String>, value: String, body: Vec<Stmt> },
+    /// `return e;` (`return;` returns null)
+    Return(Option<Expr>),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `echo e;` (sugar for `print(e)`)
+    Echo(Expr),
+}

@@ -1,0 +1,688 @@
+//! AST → bytecode compilation.
+//!
+//! Mirrors HHVM's offline compilation step: the whole program is compiled
+//! and optimized before deployment, so function calls are resolved to dense
+//! [`FuncId`]s here, while method calls stay dynamic (dispatched per
+//! receiver class at runtime, which is what the JIT's call-target profiles
+//! then specialize).
+
+use std::collections::{HashMap, HashSet};
+
+use bytecode::{
+    BinOp, Builtin, FuncBuilder, FuncId, Instr, LitArray, Literal, Repo, RepoBuilder, UnOp,
+    Visibility,
+};
+
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use crate::parser::parse;
+
+/// Compiles a single source file into a repo.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile_unit(name: &str, src: &str) -> Result<Repo, CompileError> {
+    compile_program(&[(name, src)])
+}
+
+/// Compiles a multi-file program into a repo (the offline deployment build).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
+    let mut parsed = Vec::with_capacity(files.len());
+    for (name, src) in files {
+        parsed.push((name.to_owned(), parse(name, src)?));
+    }
+
+    let mut repo = RepoBuilder::new();
+
+    // Pass 1a: declare units and collect classes/functions.
+    struct PendingClass<'a> {
+        file: &'a str,
+        unit: bytecode::UnitId,
+        decl: &'a ClassDecl,
+    }
+    struct PendingFunc<'a> {
+        file: &'a str,
+        unit: bytecode::UnitId,
+        decl: &'a FuncDecl,
+        class: Option<String>,
+    }
+    let mut classes: Vec<PendingClass> = Vec::new();
+    let mut funcs: Vec<PendingFunc> = Vec::new();
+    for (name, prog) in &parsed {
+        let unit = repo.declare_unit(name);
+        for item in &prog.items {
+            match item {
+                Item::Func(f) => {
+                    funcs.push(PendingFunc { file: name, unit, decl: f, class: None })
+                }
+                Item::Class(c) => {
+                    classes.push(PendingClass { file: name, unit, decl: c });
+                    for m in &c.methods {
+                        funcs.push(PendingFunc {
+                            file: name,
+                            unit,
+                            decl: m,
+                            class: Some(c.name.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 1b: declare classes topologically (parents first).
+    let by_name: HashMap<&str, usize> =
+        classes.iter().enumerate().map(|(i, c)| (c.decl.name.as_str(), i)).collect();
+    if by_name.len() != classes.len() {
+        // Find the duplicate for a good message.
+        let mut seen = HashSet::new();
+        for c in &classes {
+            if !seen.insert(c.decl.name.as_str()) {
+                return Err(CompileError::new(
+                    c.file,
+                    c.decl.pos,
+                    format!("duplicate class `{}`", c.decl.name),
+                ));
+            }
+        }
+    }
+    let mut class_ids: HashMap<String, bytecode::ClassId> = HashMap::new();
+    let mut state = vec![0u8; classes.len()]; // 0 unvisited, 1 visiting, 2 done
+    fn declare_class(
+        i: usize,
+        classes: &[PendingClass],
+        by_name: &HashMap<&str, usize>,
+        state: &mut [u8],
+        class_ids: &mut HashMap<String, bytecode::ClassId>,
+        repo: &mut RepoBuilder,
+    ) -> Result<(), CompileError> {
+        if state[i] == 2 {
+            return Ok(());
+        }
+        if state[i] == 1 {
+            return Err(CompileError::new(
+                classes[i].file,
+                classes[i].decl.pos,
+                format!("inheritance cycle through `{}`", classes[i].decl.name),
+            ));
+        }
+        state[i] = 1;
+        let parent_id = match &classes[i].decl.parent {
+            Some(p) => {
+                let pi = *by_name.get(p.as_str()).ok_or_else(|| {
+                    CompileError::new(
+                        classes[i].file,
+                        classes[i].decl.pos,
+                        format!("unknown parent class `{p}`"),
+                    )
+                })?;
+                declare_class(pi, classes, by_name, state, class_ids, repo)?;
+                Some(class_ids[p])
+            }
+            None => None,
+        };
+        let mut props = Vec::new();
+        for p in &classes[i].decl.props {
+            let default = match &p.default {
+                None => Literal::Null,
+                Some(e) => literal_of(classes[i].file, p.pos, e, repo)?,
+            };
+            let vis = if p.public { Visibility::Public } else { Visibility::Private };
+            props.push((p.name.clone(), default, vis));
+        }
+        let id = repo.declare_class(classes[i].unit, &classes[i].decl.name, parent_id, props);
+        class_ids.insert(classes[i].decl.name.clone(), id);
+        state[i] = 2;
+        Ok(())
+    }
+    for i in 0..classes.len() {
+        declare_class(i, &classes, &by_name, &mut state, &mut class_ids, &mut repo)?;
+    }
+
+    // Pass 1c: pre-assign function ids in definition order.
+    let mut func_ids: HashMap<String, FuncId> = HashMap::new();
+    let mut arities: Vec<u16> = Vec::new();
+    for (i, f) in funcs.iter().enumerate() {
+        let full = match &f.class {
+            Some(c) => format!("{c}::{}", f.decl.name),
+            None => f.decl.name.clone(),
+        };
+        if func_ids.insert(full.clone(), FuncId::new(i as u32)).is_some() {
+            return Err(CompileError::new(
+                f.file,
+                f.decl.pos,
+                format!("duplicate function `{full}`"),
+            ));
+        }
+        arities.push(f.decl.params.len() as u16);
+    }
+
+    // Map classes to their (transitively) resolved constructor, if any.
+    let mut ctor_of: HashMap<String, (String, u16)> = HashMap::new();
+    for c in &classes {
+        let mut cur = Some(&c.decl.name);
+        while let Some(name) = cur {
+            let ci = by_name[name.as_str()];
+            if let Some(m) = classes[ci].decl.methods.iter().find(|m| m.name == "__construct") {
+                ctor_of.insert(c.decl.name.clone(), (name.clone(), m.params.len() as u16));
+                break;
+            }
+            cur = classes[ci].decl.parent.as_ref();
+        }
+    }
+
+    // Pass 2: compile bodies in the pre-assigned order.
+    let env = Env { func_ids: &func_ids, arities: &arities, class_ids: &class_ids, ctor_of: &ctor_of };
+    for (i, f) in funcs.iter().enumerate() {
+        let full = match &f.class {
+            Some(c) => format!("{c}::{}", f.decl.name),
+            None => f.decl.name.clone(),
+        };
+        let fb = compile_func(f.file, &full, f.decl, f.class.is_some(), &env, &mut repo)?;
+        let id = match &f.class {
+            Some(c) => repo.define_method(f.unit, class_ids[c.as_str()], fb),
+            None => repo.define_func(f.unit, fb),
+        };
+        debug_assert_eq!(id, FuncId::new(i as u32), "id pre-assignment must match");
+    }
+
+    repo.try_finish().map_err(|e| {
+        CompileError::new(files[0].0, Pos::default(), format!("repo error: {e}"))
+    })
+}
+
+struct Env<'a> {
+    func_ids: &'a HashMap<String, FuncId>,
+    arities: &'a [u16],
+    class_ids: &'a HashMap<String, bytecode::ClassId>,
+    ctor_of: &'a HashMap<String, (String, u16)>,
+}
+
+fn literal_of(
+    file: &str,
+    pos: Pos,
+    e: &Expr,
+    repo: &mut RepoBuilder,
+) -> Result<Literal, CompileError> {
+    Ok(match e {
+        Expr::Null => Literal::Null,
+        Expr::Bool(b) => Literal::Bool(*b),
+        Expr::Int(i) => Literal::Int(*i),
+        Expr::Float(f) => Literal::Float(*f),
+        Expr::Str(s) => Literal::Str(repo.intern(s)),
+        Expr::Unary(UnaryOp::Neg, inner) => match literal_of(file, pos, inner, repo)? {
+            Literal::Int(i) => Literal::Int(-i),
+            Literal::Float(f) => Literal::Float(-f),
+            _ => {
+                return Err(CompileError::new(file, pos, "negation of non-numeric default"))
+            }
+        },
+        Expr::VecLit(items) => {
+            let lits = items
+                .iter()
+                .map(|i| literal_of(file, pos, i, repo))
+                .collect::<Result<Vec<_>, _>>()?;
+            Literal::Arr(repo.add_lit_array(LitArray::Vec(lits)))
+        }
+        Expr::DictLit(items) => {
+            let mut pairs = Vec::with_capacity(items.len());
+            for (k, v) in items {
+                let key = match k {
+                    Expr::Str(s) => repo.intern(s),
+                    _ => {
+                        return Err(CompileError::new(
+                            file,
+                            pos,
+                            "static dict defaults need string keys",
+                        ))
+                    }
+                };
+                pairs.push((key, literal_of(file, pos, v, repo)?));
+            }
+            Literal::Arr(repo.add_lit_array(LitArray::Dict(pairs)))
+        }
+        _ => {
+            return Err(CompileError::new(
+                file,
+                pos,
+                "property defaults must be literals",
+            ))
+        }
+    })
+}
+
+struct FnCtx<'a> {
+    file: &'a str,
+    is_method: bool,
+    env: &'a Env<'a>,
+    locals: HashMap<String, u16>,
+    fb: FuncBuilder,
+    // (continue target, break target) per enclosing loop.
+    loops: Vec<(bytecode::Label, bytecode::Label)>,
+}
+
+fn compile_func(
+    file: &str,
+    full_name: &str,
+    decl: &FuncDecl,
+    is_method: bool,
+    env: &Env<'_>,
+    repo: &mut RepoBuilder,
+) -> Result<FuncBuilder, CompileError> {
+    let mut fb = FuncBuilder::new(full_name, decl.params.len() as u16);
+    let mut locals = HashMap::new();
+    for (i, p) in decl.params.iter().enumerate() {
+        if locals.insert(p.clone(), i as u16).is_some() {
+            return Err(CompileError::new(
+                file,
+                decl.pos,
+                format!("duplicate parameter `${p}`"),
+            ));
+        }
+    }
+    // Pre-scan: every assigned variable gets a slot so reads in earlier
+    // statements (e.g. loop-carried) resolve.
+    let mut assigned = Vec::new();
+    collect_assigned(&decl.body, &mut assigned);
+    for v in assigned {
+        if !locals.contains_key(&v) {
+            let slot = fb.new_local();
+            locals.insert(v, slot);
+        }
+    }
+    let mut ctx = FnCtx { file, is_method, env, locals, fb, loops: Vec::new() };
+    compile_block(&mut ctx, &decl.body, repo)?;
+    // Implicit `return null;`.
+    ctx.fb.emit(Instr::Null);
+    ctx.fb.emit(Instr::Ret);
+    Ok(ctx.fb)
+}
+
+fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { var, .. } => out.push(var.clone()),
+            Stmt::If { then_body, else_body, .. } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_assigned(body, out),
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    collect_assigned(std::slice::from_ref(i), out);
+                }
+                if let Some(st) = step {
+                    collect_assigned(std::slice::from_ref(st), out);
+                }
+                collect_assigned(body, out);
+            }
+            Stmt::Foreach { key, value, body, .. } => {
+                if let Some(k) = key {
+                    out.push(k.clone());
+                }
+                out.push(value.clone());
+                collect_assigned(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn compile_block(ctx: &mut FnCtx<'_>, body: &[Stmt], repo: &mut RepoBuilder) -> Result<(), CompileError> {
+    for s in body {
+        compile_stmt(ctx, s, repo)?;
+    }
+    Ok(())
+}
+
+fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Expr(e) => {
+            compile_expr(ctx, e, repo)?;
+            ctx.fb.emit(Instr::Pop);
+        }
+        Stmt::Assign { var, value } => {
+            compile_expr(ctx, value, repo)?;
+            let slot = ctx.locals[var.as_str()];
+            ctx.fb.emit(Instr::SetL(slot));
+        }
+        Stmt::PropAssign { recv, prop, value } => {
+            compile_expr(ctx, recv, repo)?;
+            compile_expr(ctx, value, repo)?;
+            let name = repo.intern(prop);
+            ctx.fb.emit(Instr::SetProp(name));
+        }
+        Stmt::IndexAssign { recv, index, value } => {
+            compile_expr(ctx, recv, repo)?;
+            compile_expr(ctx, index, repo)?;
+            compile_expr(ctx, value, repo)?;
+            ctx.fb.emit(Instr::SetIdx);
+            ctx.fb.emit(Instr::Pop);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let else_l = ctx.fb.new_label();
+            compile_expr(ctx, cond, repo)?;
+            ctx.fb.emit_jmp_z(else_l);
+            compile_block(ctx, then_body, repo)?;
+            if else_body.is_empty() {
+                ctx.fb.bind(else_l);
+            } else {
+                let end = ctx.fb.new_label();
+                ctx.fb.emit_jmp(end);
+                ctx.fb.bind(else_l);
+                compile_block(ctx, else_body, repo)?;
+                ctx.fb.bind(end);
+            }
+        }
+        Stmt::While { cond, body } => {
+            let top = ctx.fb.new_label();
+            let out = ctx.fb.new_label();
+            ctx.fb.bind(top);
+            compile_expr(ctx, cond, repo)?;
+            ctx.fb.emit_jmp_z(out);
+            ctx.loops.push((top, out));
+            compile_block(ctx, body, repo)?;
+            ctx.loops.pop();
+            ctx.fb.emit_jmp(top);
+            ctx.fb.bind(out);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                compile_stmt(ctx, i, repo)?;
+            }
+            let top = ctx.fb.new_label();
+            let cont = ctx.fb.new_label();
+            let out = ctx.fb.new_label();
+            ctx.fb.bind(top);
+            if let Some(c) = cond {
+                compile_expr(ctx, c, repo)?;
+                ctx.fb.emit_jmp_z(out);
+            }
+            ctx.loops.push((cont, out));
+            compile_block(ctx, body, repo)?;
+            ctx.loops.pop();
+            ctx.fb.bind(cont);
+            if let Some(s) = step {
+                compile_stmt(ctx, s, repo)?;
+            }
+            ctx.fb.emit_jmp(top);
+            ctx.fb.bind(out);
+        }
+        Stmt::Foreach { iter, key, value, body } => {
+            // Lowered to an index loop over keys():
+            //   __c = iter; __k = keys(__c); __n = count(__k); __i = 0;
+            //   while (__i < __n) {
+            //     key = __k[__i]; value = __c[key]; body; __i++;
+            //   }
+            let c = ctx.fb.new_local();
+            let ks = ctx.fb.new_local();
+            let n = ctx.fb.new_local();
+            let i = ctx.fb.new_local();
+            compile_expr(ctx, iter, repo)?;
+            ctx.fb.emit(Instr::SetL(c));
+            ctx.fb.emit(Instr::GetL(c));
+            ctx.fb.emit(Instr::CallBuiltin { builtin: Builtin::Keys, argc: 1 });
+            ctx.fb.emit(Instr::SetL(ks));
+            ctx.fb.emit(Instr::GetL(ks));
+            ctx.fb.emit(Instr::CallBuiltin { builtin: Builtin::Count, argc: 1 });
+            ctx.fb.emit(Instr::SetL(n));
+            ctx.fb.emit(Instr::Int(0));
+            ctx.fb.emit(Instr::SetL(i));
+            let top = ctx.fb.new_label();
+            let cont = ctx.fb.new_label();
+            let out = ctx.fb.new_label();
+            ctx.fb.bind(top);
+            ctx.fb.emit(Instr::GetL(i));
+            ctx.fb.emit(Instr::GetL(n));
+            ctx.fb.emit(Instr::Bin(BinOp::Lt));
+            ctx.fb.emit_jmp_z(out);
+            // key = __k[__i]
+            let key_slot = match key {
+                Some(k) => ctx.locals[k.as_str()],
+                None => ctx.fb.new_local(),
+            };
+            ctx.fb.emit(Instr::GetL(ks));
+            ctx.fb.emit(Instr::GetL(i));
+            ctx.fb.emit(Instr::Idx);
+            ctx.fb.emit(Instr::SetL(key_slot));
+            // value = __c[key]
+            let val_slot = ctx.locals[value.as_str()];
+            ctx.fb.emit(Instr::GetL(c));
+            ctx.fb.emit(Instr::GetL(key_slot));
+            ctx.fb.emit(Instr::Idx);
+            ctx.fb.emit(Instr::SetL(val_slot));
+            ctx.loops.push((cont, out));
+            compile_block(ctx, body, repo)?;
+            ctx.loops.pop();
+            ctx.fb.bind(cont);
+            ctx.fb.emit(Instr::IncL(i, 1));
+            ctx.fb.emit(Instr::Pop);
+            ctx.fb.emit_jmp(top);
+            ctx.fb.bind(out);
+        }
+        Stmt::Return(e) => {
+            match e {
+                Some(e) => compile_expr(ctx, e, repo)?,
+                None => ctx.fb.emit(Instr::Null),
+            }
+            ctx.fb.emit(Instr::Ret);
+        }
+        Stmt::Break(pos) => {
+            let (_, brk) = *ctx
+                .loops
+                .last()
+                .ok_or_else(|| CompileError::new(ctx.file, *pos, "`break` outside a loop"))?;
+            ctx.fb.emit_jmp(brk);
+        }
+        Stmt::Continue(pos) => {
+            let (cont, _) = *ctx
+                .loops
+                .last()
+                .ok_or_else(|| CompileError::new(ctx.file, *pos, "`continue` outside a loop"))?;
+            ctx.fb.emit_jmp(cont);
+        }
+        Stmt::Echo(e) => {
+            compile_expr(ctx, e, repo)?;
+            ctx.fb.emit(Instr::CallBuiltin { builtin: Builtin::Print, argc: 1 });
+            ctx.fb.emit(Instr::Pop);
+        }
+    }
+    Ok(())
+}
+
+fn compile_expr(ctx: &mut FnCtx<'_>, e: &Expr, repo: &mut RepoBuilder) -> Result<(), CompileError> {
+    match e {
+        Expr::Null => ctx.fb.emit(Instr::Null),
+        Expr::Bool(true) => ctx.fb.emit(Instr::True),
+        Expr::Bool(false) => ctx.fb.emit(Instr::False),
+        Expr::Int(i) => ctx.fb.emit(Instr::Int(*i)),
+        Expr::Float(f) => ctx.fb.emit(Instr::Double(*f)),
+        Expr::Str(s) => {
+            let id = repo.intern(s);
+            ctx.fb.emit(Instr::Str(id));
+        }
+        Expr::Var(v) => {
+            let slot = *ctx.locals.get(v.as_str()).ok_or_else(|| {
+                CompileError::new(ctx.file, Pos::default(), format!("undefined variable `${v}`"))
+            })?;
+            ctx.fb.emit(Instr::GetL(slot));
+        }
+        Expr::This => {
+            if !ctx.is_method {
+                return Err(CompileError::new(
+                    ctx.file,
+                    Pos::default(),
+                    "`$this` outside a method",
+                ));
+            }
+            ctx.fb.emit(Instr::This);
+        }
+        Expr::VecLit(items) => {
+            for i in items {
+                compile_expr(ctx, i, repo)?;
+            }
+            ctx.fb.emit(Instr::NewVec(items.len() as u16));
+        }
+        Expr::DictLit(items) => {
+            for (k, v) in items {
+                compile_expr(ctx, k, repo)?;
+                compile_expr(ctx, v, repo)?;
+            }
+            ctx.fb.emit(Instr::NewDict(items.len() as u16));
+        }
+        Expr::Unary(op, inner) => {
+            compile_expr(ctx, inner, repo)?;
+            ctx.fb.emit(Instr::Un(match op {
+                UnaryOp::Neg => UnOp::Neg,
+                UnaryOp::Not => UnOp::Not,
+            }));
+        }
+        Expr::Binary(BinaryOp::And, a, b) => {
+            let fail = ctx.fb.new_label();
+            let end = ctx.fb.new_label();
+            compile_expr(ctx, a, repo)?;
+            ctx.fb.emit_jmp_z(fail);
+            compile_expr(ctx, b, repo)?;
+            ctx.fb.emit_jmp_z(fail);
+            ctx.fb.emit(Instr::True);
+            ctx.fb.emit_jmp(end);
+            ctx.fb.bind(fail);
+            ctx.fb.emit(Instr::False);
+            ctx.fb.bind(end);
+        }
+        Expr::Binary(BinaryOp::Or, a, b) => {
+            let succeed = ctx.fb.new_label();
+            let end = ctx.fb.new_label();
+            compile_expr(ctx, a, repo)?;
+            ctx.fb.emit_jmp_nz(succeed);
+            compile_expr(ctx, b, repo)?;
+            ctx.fb.emit_jmp_nz(succeed);
+            ctx.fb.emit(Instr::False);
+            ctx.fb.emit_jmp(end);
+            ctx.fb.bind(succeed);
+            ctx.fb.emit(Instr::True);
+            ctx.fb.bind(end);
+        }
+        Expr::Binary(op, a, b) => {
+            compile_expr(ctx, a, repo)?;
+            compile_expr(ctx, b, repo)?;
+            let op = match op {
+                BinaryOp::Add => BinOp::Add,
+                BinaryOp::Sub => BinOp::Sub,
+                BinaryOp::Mul => BinOp::Mul,
+                BinaryOp::Div => BinOp::Div,
+                BinaryOp::Mod => BinOp::Mod,
+                BinaryOp::Concat => BinOp::Concat,
+                BinaryOp::Eq => BinOp::Eq,
+                BinaryOp::Neq => BinOp::Neq,
+                BinaryOp::Lt => BinOp::Lt,
+                BinaryOp::Le => BinOp::Le,
+                BinaryOp::Gt => BinOp::Gt,
+                BinaryOp::Ge => BinOp::Ge,
+                BinaryOp::BitAnd => BinOp::BitAnd,
+                BinaryOp::BitOr => BinOp::BitOr,
+                BinaryOp::BitXor => BinOp::BitXor,
+                BinaryOp::Shl => BinOp::Shl,
+                BinaryOp::Shr => BinOp::Shr,
+                BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+            };
+            ctx.fb.emit(Instr::Bin(op));
+        }
+        Expr::Call { name, args, pos } => {
+            // User functions shadow builtins.
+            if let Some(&id) = ctx.env.func_ids.get(name.as_str()) {
+                let arity = ctx.env.arities[id.index()] as usize;
+                if arity != args.len() {
+                    return Err(CompileError::new(
+                        ctx.file,
+                        *pos,
+                        format!("`{name}` expects {arity} args, got {}", args.len()),
+                    ));
+                }
+                for a in args {
+                    compile_expr(ctx, a, repo)?;
+                }
+                ctx.fb.emit_raw(Instr::Call { func: id, argc: args.len() as u8 });
+            } else if let Some(b) = Builtin::by_name(name) {
+                if b.arity() != args.len() {
+                    return Err(CompileError::new(
+                        ctx.file,
+                        *pos,
+                        format!("`{name}` expects {} args, got {}", b.arity(), args.len()),
+                    ));
+                }
+                for a in args {
+                    compile_expr(ctx, a, repo)?;
+                }
+                ctx.fb.emit(Instr::CallBuiltin { builtin: b, argc: args.len() as u8 });
+            } else {
+                return Err(CompileError::new(
+                    ctx.file,
+                    *pos,
+                    format!("unknown function `{name}`"),
+                ));
+            }
+        }
+        Expr::MethodCall { recv, method, args } => {
+            compile_expr(ctx, recv, repo)?;
+            for a in args {
+                compile_expr(ctx, a, repo)?;
+            }
+            let name = repo.intern(method);
+            ctx.fb.emit(Instr::CallMethod { name, argc: args.len() as u8 });
+        }
+        Expr::Prop { recv, prop } => {
+            compile_expr(ctx, recv, repo)?;
+            let name = repo.intern(prop);
+            ctx.fb.emit(Instr::GetProp(name));
+        }
+        Expr::Index { recv, index } => {
+            compile_expr(ctx, recv, repo)?;
+            compile_expr(ctx, index, repo)?;
+            ctx.fb.emit(Instr::Idx);
+        }
+        Expr::New { class, args, pos } => {
+            let id = *ctx.env.class_ids.get(class.as_str()).ok_or_else(|| {
+                CompileError::new(ctx.file, *pos, format!("unknown class `{class}`"))
+            })?;
+            ctx.fb.emit(Instr::NewObj(id));
+            match ctx.env.ctor_of.get(class.as_str()) {
+                Some((_, arity)) => {
+                    if *arity as usize != args.len() {
+                        return Err(CompileError::new(
+                            ctx.file,
+                            *pos,
+                            format!(
+                                "`{class}::__construct` expects {arity} args, got {}",
+                                args.len()
+                            ),
+                        ));
+                    }
+                    // obj; dup; args...; callmethod __construct; pop result
+                    ctx.fb.emit(Instr::Dup);
+                    for a in args {
+                        compile_expr(ctx, a, repo)?;
+                    }
+                    let ctor = repo.intern("__construct");
+                    ctx.fb.emit(Instr::CallMethod { name: ctor, argc: args.len() as u8 });
+                    ctx.fb.emit(Instr::Pop);
+                }
+                None => {
+                    if !args.is_empty() {
+                        return Err(CompileError::new(
+                            ctx.file,
+                            *pos,
+                            format!("`{class}` has no constructor but got {} args", args.len()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

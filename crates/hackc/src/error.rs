@@ -1,0 +1,54 @@
+//! Compile-time diagnostics.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced by the lexer, parser or bytecode compiler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// The file being compiled.
+    pub file: String,
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(file: &str, pos: Pos, message: impl Into<String>) -> Self {
+        Self { file: file.to_owned(), pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = CompileError::new("a.hl", Pos { line: 3, col: 7 }, "unexpected `}`");
+        assert_eq!(e.to_string(), "a.hl:3:7: unexpected `}`");
+    }
+}

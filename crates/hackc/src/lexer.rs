@@ -1,0 +1,373 @@
+//! The Hacklet lexer.
+
+use crate::error::{CompileError, Pos};
+
+/// A token's kind, carrying its payload where applicable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (escapes resolved).
+    Str(String),
+    /// A `$variable`.
+    Var(String),
+    /// A bare identifier or keyword.
+    Ident(String),
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `.`
+    Dot,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `.=`
+    DotEq,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Lexes a whole file into tokens (ending with [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed numbers, unterminated strings,
+/// or unexpected characters.
+pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(file, pos, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        CompileError::new(file, pos, format!("bad float literal `{text}`"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        CompileError::new(file, pos, format!("bad int literal `{text}`"))
+                    })?)
+                };
+                out.push(Token { kind, pos });
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CompileError::new(file, pos, "unterminated string"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            if i >= bytes.len() {
+                                return Err(CompileError::new(file, pos, "unterminated string"));
+                            }
+                            let e = bytes[i];
+                            s.push(match e {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'0' => '\0',
+                                other => {
+                                    return Err(CompileError::new(
+                                        file,
+                                        pos,
+                                        format!("unknown escape `\\{}`", other as char),
+                                    ))
+                                }
+                            });
+                            bump!();
+                        }
+                        b => {
+                            s.push(b as char);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), pos });
+            }
+            b'$' => {
+                bump!();
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                if start == i {
+                    return Err(CompileError::new(file, pos, "`$` without a variable name"));
+                }
+                out.push(Token { kind: TokenKind::Var(src[start..i].to_owned()), pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                out.push(Token { kind: TokenKind::Ident(src[start..i].to_owned()), pos });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let kind2 = match two {
+                    "->" => Some(TokenKind::Arrow),
+                    "=>" => Some(TokenKind::FatArrow),
+                    "==" => Some(TokenKind::EqEq),
+                    "!=" => Some(TokenKind::BangEq),
+                    "<=" => Some(TokenKind::Le),
+                    ">=" => Some(TokenKind::Ge),
+                    "&&" => Some(TokenKind::AndAnd),
+                    "||" => Some(TokenKind::OrOr),
+                    "<<" => Some(TokenKind::Shl),
+                    ">>" => Some(TokenKind::Shr),
+                    "++" => Some(TokenKind::PlusPlus),
+                    "--" => Some(TokenKind::MinusMinus),
+                    "+=" => Some(TokenKind::PlusEq),
+                    "-=" => Some(TokenKind::MinusEq),
+                    ".=" => Some(TokenKind::DotEq),
+                    _ => None,
+                };
+                if let Some(kind) = kind2 {
+                    bump!();
+                    bump!();
+                    out.push(Token { kind, pos });
+                    continue;
+                }
+                let kind1 = match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b';' => TokenKind::Semi,
+                    b',' => TokenKind::Comma,
+                    b'=' => TokenKind::Assign,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b'.' => TokenKind::Dot,
+                    b'<' => TokenKind::Lt,
+                    b'>' => TokenKind::Gt,
+                    b'!' => TokenKind::Bang,
+                    b'&' => TokenKind::Amp,
+                    b'|' => TokenKind::Pipe,
+                    b'^' => TokenKind::Caret,
+                    other => {
+                        return Err(CompileError::new(
+                            file,
+                            pos,
+                            format!("unexpected character `{}`", other as char),
+                        ))
+                    }
+                };
+                bump!();
+                out.push(Token { kind: kind1, pos });
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex("t.hl", src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_numbers_strings_vars() {
+        assert_eq!(
+            kinds(r#"42 2.5 "hi\n" $x foo"#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.5),
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("-> => == != <= >= && || << >> ++ += .="),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::FatArrow,
+                TokenKind::EqEq,
+                TokenKind::BangEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::PlusPlus,
+                TokenKind::PlusEq,
+                TokenKind::DotEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // line\n2 /* block\nstill */ 3"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("t.hl", "1\n  2").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(lex("t.hl", "\"unterminated").is_err());
+        assert!(lex("t.hl", "$ ").is_err());
+        assert!(lex("t.hl", "#").is_err());
+        assert!(lex("t.hl", "/* never closed").is_err());
+    }
+}

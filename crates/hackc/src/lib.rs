@@ -1,0 +1,48 @@
+//! `hackc` — the offline compiler for **Hacklet**, a small PHP/Hack-like
+//! dynamic language.
+//!
+//! HHVM's deployment model compiles Hack source to bytecode *offline* and
+//! ships the resulting repo to every web server (paper §II-A). This crate
+//! reproduces that step for Hacklet, a deliberately small dialect with the
+//! features the paper's mechanisms care about: dynamically-typed values,
+//! classes with inheritance and observable property order, dynamic method
+//! dispatch, closures over `$this`, arrays, and string operations.
+//!
+//! # Language sketch
+//!
+//! ```text
+//! class Point extends Base {
+//!   public $x = 0;
+//!   private $tag = "p";
+//!   function mag2() { return $this->x * $this->x; }
+//! }
+//! function main($n) {
+//!   $sum = 0;
+//!   for ($i = 0; $i < $n; $i = $i + 1) { $sum = $sum + $i; }
+//!   if ($sum > 10 && $n != 0) { return $sum; }
+//!   return 0;
+//! }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let repo = hackc::compile_unit("m.hl", "function main() { return 6 * 7; }")?;
+//! let mut vm = vm::Vm::new(&repo);
+//! assert_eq!(vm.call_by_name("main", &[])?, vm::Value::Int(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod ast;
+mod compile;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    BinaryOp, ClassDecl, Expr, FuncDecl, Item, Program, PropDef, Stmt, UnaryOp,
+};
+pub use compile::{compile_program, compile_unit};
+pub use error::{CompileError, Pos};
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::parse;

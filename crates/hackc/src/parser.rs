@@ -1,0 +1,612 @@
+//! Recursive-descent parser for Hacklet.
+
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a file into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+pub fn parse(file: &str, src: &str) -> Result<Program, CompileError> {
+    let tokens = lex(file, src)?;
+    let mut p = Parser { file, tokens, at: 0 };
+    let mut items = Vec::new();
+    while !p.check(&TokenKind::Eof) {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+struct Parser<'f> {
+    file: &'f str,
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), CompileError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError::new(self.file, self.pos(), message)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&self) -> Option<&str> {
+        match self.peek() {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        match self.keyword() {
+            Some("function") => {
+                self.bump();
+                Ok(Item::Func(self.func_decl()?))
+            }
+            Some("class") => {
+                self.bump();
+                Ok(Item::Class(self.class_decl()?))
+            }
+            _ => Err(self.err("expected `function` or `class`")),
+        }
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, CompileError> {
+        let pos = self.pos();
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                match self.bump() {
+                    TokenKind::Var(v) => params.push(v),
+                    other => {
+                        return Err(self.err(format!("expected parameter, found {other:?}")))
+                    }
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, body, pos })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, CompileError> {
+        let pos = self.pos();
+        let name = self.ident("class name")?;
+        let parent = if self.keyword() == Some("extends") {
+            self.bump();
+            Some(self.ident("parent class name")?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut props = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            match self.keyword() {
+                Some(vis @ ("public" | "private")) => {
+                    let public = vis == "public";
+                    let ppos = self.pos();
+                    self.bump();
+                    let pname = match self.bump() {
+                        TokenKind::Var(v) => v,
+                        other => {
+                            return Err(
+                                self.err(format!("expected property name, found {other:?}"))
+                            )
+                        }
+                    };
+                    let default = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    props.push(PropDef { name: pname, public, default, pos: ppos });
+                }
+                Some("function") => {
+                    self.bump();
+                    methods.push(self.func_decl()?);
+                }
+                _ => return Err(self.err("expected property or method declaration")),
+            }
+        }
+        Ok(ClassDecl { name, parent, props, methods, pos })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match self.keyword() {
+            Some("return") => {
+                self.bump();
+                if self.eat(&TokenKind::Semi) {
+                    return Ok(Stmt::Return(None));
+                }
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                return Ok(Stmt::Return(Some(e)));
+            }
+            Some("break") => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                return Ok(Stmt::Break(pos));
+            }
+            Some("continue") => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                return Ok(Stmt::Continue(pos));
+            }
+            Some("echo") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                return Ok(Stmt::Echo(e));
+            }
+            Some("if") => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.keyword() == Some("else") {
+                    self.bump();
+                    if self.keyword() == Some("if") {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                return Ok(Stmt::If { cond, then_body, else_body });
+            }
+            Some("while") => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                return Ok(Stmt::While { cond, body });
+            }
+            Some("for") => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let init = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::Semi, "`;`")?;
+                let cond = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi, "`;`")?;
+                let step = if self.check(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                return Ok(Stmt::For { init, cond, step, body });
+            }
+            Some("foreach") => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let iter = self.expr()?;
+                if self.keyword() != Some("as") {
+                    return Err(self.err("expected `as` in foreach"));
+                }
+                self.bump();
+                let first = match self.bump() {
+                    TokenKind::Var(v) => v,
+                    other => return Err(self.err(format!("expected variable, found {other:?}"))),
+                };
+                let (key, value) = if self.eat(&TokenKind::FatArrow) {
+                    let v = match self.bump() {
+                        TokenKind::Var(v) => v,
+                        other => {
+                            return Err(self.err(format!("expected variable, found {other:?}")))
+                        }
+                    };
+                    (Some(first), v)
+                } else {
+                    (None, first)
+                };
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                return Ok(Stmt::Foreach { iter, key, value, body });
+            }
+            _ => {}
+        }
+        let s = self.simple_stmt()?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(s)
+    }
+
+    /// A statement without its trailing `;`: assignment, compound
+    /// assignment, `++`/`--`, or a bare expression.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let e = self.expr()?;
+        // Postfix ++/-- as statement sugar.
+        if self.check(&TokenKind::PlusPlus) || self.check(&TokenKind::MinusMinus) {
+            let inc = self.bump() == TokenKind::PlusPlus;
+            return match e {
+                Expr::Var(v) => {
+                    let delta = Expr::Int(if inc { 1 } else { -1 });
+                    Ok(Stmt::Assign {
+                        var: v.clone(),
+                        value: Expr::Binary(
+                            BinaryOp::Add,
+                            Box::new(Expr::Var(v)),
+                            Box::new(delta),
+                        ),
+                    })
+                }
+                _ => Err(self.err("`++`/`--` requires a variable")),
+            };
+        }
+        let op = match self.peek() {
+            TokenKind::Assign => None,
+            TokenKind::PlusEq => Some(BinaryOp::Add),
+            TokenKind::MinusEq => Some(BinaryOp::Sub),
+            TokenKind::DotEq => Some(BinaryOp::Concat),
+            _ => return Ok(Stmt::Expr(e)),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        let value = match op {
+            None => rhs,
+            Some(op) => Expr::Binary(op, Box::new(e.clone()), Box::new(rhs)),
+        };
+        match e {
+            Expr::Var(v) => Ok(Stmt::Assign { var: v, value }),
+            Expr::Prop { recv, prop } => Ok(Stmt::PropAssign { recv: *recv, prop, value }),
+            Expr::Index { recv, index } => {
+                Ok(Stmt::IndexAssign { recv: *recv, index: *index, value })
+            }
+            _ => Err(self.err("invalid assignment target")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::OrOr => (BinaryOp::Or, 1),
+                TokenKind::AndAnd => (BinaryOp::And, 2),
+                TokenKind::Pipe => (BinaryOp::BitOr, 3),
+                TokenKind::Caret => (BinaryOp::BitXor, 3),
+                TokenKind::Amp => (BinaryOp::BitAnd, 3),
+                TokenKind::EqEq => (BinaryOp::Eq, 4),
+                TokenKind::BangEq => (BinaryOp::Neq, 4),
+                TokenKind::Lt => (BinaryOp::Lt, 5),
+                TokenKind::Le => (BinaryOp::Le, 5),
+                TokenKind::Gt => (BinaryOp::Gt, 5),
+                TokenKind::Ge => (BinaryOp::Ge, 5),
+                TokenKind::Shl => (BinaryOp::Shl, 6),
+                TokenKind::Shr => (BinaryOp::Shr, 6),
+                TokenKind::Plus => (BinaryOp::Add, 7),
+                TokenKind::Minus => (BinaryOp::Sub, 7),
+                TokenKind::Dot => (BinaryOp::Concat, 7),
+                TokenKind::Star => (BinaryOp::Mul, 8),
+                TokenKind::Slash => (BinaryOp::Div, 8),
+                TokenKind::Percent => (BinaryOp::Mod, 8),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Arrow => {
+                    self.bump();
+                    let name = self.ident("property or method name")?;
+                    if self.eat(&TokenKind::LParen) {
+                        let args = self.args()?;
+                        e = Expr::MethodCall { recv: Box::new(e), method: name, args };
+                    } else {
+                        e = Expr::Prop { recv: Box::new(e), prop: name };
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    e = Expr::Index { recv: Box::new(e), index: Box::new(idx) };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        let mut args = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Var(v) => {
+                if v == "this" {
+                    Ok(Expr::This)
+                } else {
+                    Ok(Expr::Var(v))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(id) => match id.as_str() {
+                "null" => Ok(Expr::Null),
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "new" => {
+                    let class = self.ident("class name")?;
+                    let args = if self.eat(&TokenKind::LParen) {
+                        self.args()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Expr::New { class, args, pos })
+                }
+                "vec" => {
+                    self.expect(&TokenKind::LBracket, "`[`")?;
+                    let mut items = Vec::new();
+                    if !self.check(&TokenKind::RBracket) {
+                        loop {
+                            items.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    Ok(Expr::VecLit(items))
+                }
+                "dict" => {
+                    self.expect(&TokenKind::LBracket, "`[`")?;
+                    let mut items = Vec::new();
+                    if !self.check(&TokenKind::RBracket) {
+                        loop {
+                            let k = self.expr()?;
+                            self.expect(&TokenKind::FatArrow, "`=>`")?;
+                            let v = self.expr()?;
+                            items.push((k, v));
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    Ok(Expr::DictLit(items))
+                }
+                _ => {
+                    if self.eat(&TokenKind::LParen) {
+                        let args = self.args()?;
+                        Ok(Expr::Call { name: id, args, pos })
+                    } else {
+                        Err(CompileError::new(
+                            self.file,
+                            pos,
+                            format!("bare identifier `{id}` (functions need `(...)`)"),
+                        ))
+                    }
+                }
+            },
+            other => Err(CompileError::new(
+                self.file,
+                pos,
+                format!("unexpected token {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Program {
+        parse("t.hl", src).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let prog = p("function add($a, $b) { return $a + $b; }");
+        assert_eq!(prog.items.len(), 1);
+        let Item::Func(f) = &prog.items[0] else { panic!("expected func") };
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let prog = p("function f() { return 1 + 2 * 3; }");
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary(BinaryOp::Add, _, rhs))) = &f.body[0] else {
+            panic!("expected add at top")
+        };
+        assert!(matches!(**rhs, Expr::Binary(BinaryOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_class_with_props_and_methods() {
+        let prog = p(r#"
+            class Point extends Base {
+                public $x = 0;
+                private $tag = "p";
+                function get_x() { return $this->x; }
+            }
+        "#);
+        let Item::Class(c) = &prog.items[0] else { panic!() };
+        assert_eq!(c.name, "Point");
+        assert_eq!(c.parent.as_deref(), Some("Base"));
+        assert_eq!(c.props.len(), 2);
+        assert!(c.props[0].public);
+        assert!(!c.props[1].public);
+        assert_eq!(c.methods.len(), 1);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let prog = p(r#"
+            function f($n) {
+                $s = 0;
+                for ($i = 0; $i < $n; $i++) {
+                    if ($i % 2 == 0) { continue; }
+                    $s += $i;
+                }
+                while ($s > 100) { $s = $s - 1; break; }
+                foreach (vec[1,2] as $v) { echo $v; }
+                foreach (dict["a" => 1] as $k => $v) { echo $k; }
+                return $s;
+            }
+        "#);
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        assert_eq!(f.body.len(), 6);
+    }
+
+    #[test]
+    fn parses_chained_postfix() {
+        let prog = p("function f($o) { return $o->a->b($o->c)[0]; }");
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Index { recv, .. })) = &f.body[0] else { panic!() };
+        assert!(matches!(**recv, Expr::MethodCall { .. }));
+    }
+
+    #[test]
+    fn parses_new_and_prop_assign() {
+        let prog = p("function f() { $p = new Point(1, 2); $p->x = 5; $p->y += 1; }");
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::Assign { .. }));
+        assert!(matches!(f.body[1], Stmt::PropAssign { .. }));
+        assert!(matches!(f.body[2], Stmt::PropAssign { .. }));
+    }
+
+    #[test]
+    fn short_circuit_ops_parse() {
+        let prog = p("function f($a, $b) { return $a && $b || !$a; }");
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary(BinaryOp::Or, _, _))) = &f.body[0] else {
+            panic!("|| should be outermost")
+        };
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let e = parse("t.hl", "function f( { }").unwrap_err();
+        assert_eq!(e.pos.line, 1);
+        assert!(e.message.contains("expected parameter"));
+    }
+
+    #[test]
+    fn elseif_chains() {
+        let prog = p("function f($x) { if ($x) { return 1; } else if ($x == 2) { return 2; } else { return 3; } }");
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+}

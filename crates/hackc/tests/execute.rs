@@ -1,0 +1,291 @@
+//! End-to-end tests: Hacklet source → bytecode → interpreter result.
+
+use hackc::compile_unit;
+use vm::{Value, Vm};
+
+fn run(src: &str, func: &str, args: &[Value]) -> Value {
+    let repo = compile_unit("test.hl", src).expect("compiles");
+    bytecode::verify_repo(&repo).expect("verifies");
+    let mut vm = Vm::new(&repo);
+    vm.call_by_name(func, args).expect("runs")
+}
+
+fn run_main(src: &str) -> Value {
+    run(src, "main", &[])
+}
+
+#[test]
+fn arithmetic_precedence() {
+    assert_eq!(run_main("function main() { return 2 + 3 * 4 - 6 / 2; }"), Value::Int(11));
+}
+
+#[test]
+fn string_concat_and_strlen() {
+    assert_eq!(
+        run_main(r#"function main() { $s = "ab" . "cd"; return strlen($s . "!"); }"#),
+        Value::Int(5)
+    );
+}
+
+#[test]
+fn while_loop_sums() {
+    let src = r#"
+        function main() {
+            $i = 0; $sum = 0;
+            while ($i < 100) { $sum += $i; $i++; }
+            return $sum;
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(4950));
+}
+
+#[test]
+fn for_loop_with_continue_and_break() {
+    let src = r#"
+        function main() {
+            $sum = 0;
+            for ($i = 0; $i < 100; $i++) {
+                if ($i % 2 == 0) { continue; }
+                if ($i > 10) { break; }
+                $sum += $i;
+            }
+            return $sum;
+        }
+    "#;
+    // 1 + 3 + 5 + 7 + 9 = 25
+    assert_eq!(run_main(src), Value::Int(25));
+}
+
+#[test]
+fn foreach_over_vec_and_dict() {
+    let src = r#"
+        function main() {
+            $total = 0;
+            foreach (vec[10, 20, 30] as $v) { $total += $v; }
+            $names = "";
+            foreach (dict["a" => 1, "b" => 2] as $k => $v) {
+                $names = $names . $k;
+                $total += $v;
+            }
+            return $names . $total;
+        }
+    "#;
+    assert_eq!(run_main(src), Value::str("ab63"));
+}
+
+#[test]
+fn functions_call_each_other_forward() {
+    let src = r#"
+        function main() { return helper(5) + 1; }
+        function helper($x) { return $x * 2; }
+    "#;
+    assert_eq!(run_main(src), Value::Int(11));
+}
+
+#[test]
+fn recursion_fib() {
+    let src = r#"
+        function fib($n) {
+            if ($n < 2) { return $n; }
+            return fib($n - 1) + fib($n - 2);
+        }
+    "#;
+    assert_eq!(run(src, "fib", &[Value::Int(12)]), Value::Int(144));
+}
+
+#[test]
+fn classes_with_constructor_and_methods() {
+    let src = r#"
+        class Point {
+            public $x = 0;
+            public $y = 0;
+            function __construct($x, $y) { $this->x = $x; $this->y = $y; }
+            function mag2() { return $this->x * $this->x + $this->y * $this->y; }
+        }
+        function main() {
+            $p = new Point(3, 4);
+            return $p->mag2();
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(25));
+}
+
+#[test]
+fn inheritance_and_override() {
+    let src = r#"
+        class Animal {
+            public $name = "generic";
+            function speak() { return "..."; }
+            function describe() { return $this->name . " says " . $this->speak(); }
+        }
+        class Dog extends Animal {
+            function __construct($n) { $this->name = $n; }
+            function speak() { return "woof"; }
+        }
+        function main() {
+            $d = new Dog("rex");
+            return $d->describe();
+        }
+    "#;
+    assert_eq!(run_main(src), Value::str("rex says woof"));
+}
+
+#[test]
+fn inherited_constructor_runs() {
+    let src = r#"
+        class Base {
+            public $v = 0;
+            function __construct($v) { $this->v = $v; }
+        }
+        class Kid extends Base {}
+        function main() { $k = new Kid(9); return $k->v; }
+    "#;
+    assert_eq!(run_main(src), Value::Int(9));
+}
+
+#[test]
+fn short_circuit_evaluation_skips_rhs() {
+    let src = r#"
+        function boom() { return 1 / 0; }
+        function main() {
+            if (false && boom()) { return 1; }
+            if (true || boom()) { return 2; }
+            return 3;
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(2));
+}
+
+#[test]
+fn vec_and_dict_mutation() {
+    let src = r#"
+        function main() {
+            $v = vec[1, 2, 3];
+            $v[1] = 20;
+            $v[3] = 40;
+            $d = dict["k" => 1];
+            $d["k"] = $d["k"] + 1;
+            $d["j"] = 10;
+            return $v[0] + $v[1] + $v[3] + $d["k"] + $d["j"] + count($v);
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(1 + 20 + 40 + 2 + 10 + 4));
+}
+
+#[test]
+fn echo_writes_output() {
+    let repo = compile_unit(
+        "t.hl",
+        r#"function main() { echo "x="; echo 42; return null; }"#,
+    )
+    .unwrap();
+    let mut vm = Vm::new(&repo);
+    vm.call_by_name("main", &[]).unwrap();
+    assert_eq!(vm.take_output(), "x=42");
+}
+
+#[test]
+fn builtins_work_from_source() {
+    let src = r#"
+        function main() {
+            $v = vec[];
+            push($v, 5);
+            push($v, 7);
+            return max(min(10, 20), abs(-3)) + count($v) + to_int("8");
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(10 + 2 + 8));
+}
+
+#[test]
+fn multi_file_programs_link() {
+    let files = [
+        ("lib.hl", "function square($x) { return $x * $x; }"),
+        ("main.hl", "function main() { return square(7); }"),
+    ];
+    let repo = hackc::compile_program(&files).unwrap();
+    let mut vm = Vm::new(&repo);
+    assert_eq!(vm.call_by_name("main", &[]).unwrap(), Value::Int(49));
+    // main.hl triggers lazy load of lib.hl on first call.
+    assert_eq!(vm.loader().loaded_count(), 2);
+}
+
+#[test]
+fn prop_defaults_including_arrays() {
+    let src = r#"
+        class Config {
+            public $limit = 10;
+            public $tags = vec["a", "b"];
+            public $map = dict["k" => 1];
+        }
+        function main() {
+            $c = new Config();
+            return $c->limit + count($c->tags) + $c->map["k"];
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(13));
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    assert!(compile_unit("t.hl", "function f() { return $nope; }")
+        .unwrap_err()
+        .message
+        .contains("undefined variable"));
+    assert!(compile_unit("t.hl", "function f() { return g(); }")
+        .unwrap_err()
+        .message
+        .contains("unknown function"));
+    assert!(compile_unit("t.hl", "function f() { break; }")
+        .unwrap_err()
+        .message
+        .contains("outside a loop"));
+    assert!(compile_unit("t.hl", "function f() { return $this; }")
+        .unwrap_err()
+        .message
+        .contains("outside a method"));
+    assert!(compile_unit("t.hl", "function f($a) { return 0; } function g() { return f(); }")
+        .unwrap_err()
+        .message
+        .contains("expects 1 args"));
+    assert!(compile_unit("t.hl", "class A extends B {}")
+        .unwrap_err()
+        .message
+        .contains("unknown parent"));
+    assert!(compile_unit("t.hl", "class A extends A {}")
+        .unwrap_err()
+        .message
+        .contains("cycle"));
+}
+
+#[test]
+fn nested_loops_break_inner_only() {
+    let src = r#"
+        function main() {
+            $count = 0;
+            for ($i = 0; $i < 3; $i++) {
+                for ($j = 0; $j < 10; $j++) {
+                    if ($j == 2) { break; }
+                    $count++;
+                }
+            }
+            return $count;
+        }
+    "#;
+    assert_eq!(run_main(src), Value::Int(6));
+}
+
+#[test]
+fn every_compiled_function_passes_the_verifier() {
+    let src = r#"
+        class C { public $p = 1; function m($a) { return $a + $this->p; } }
+        function main() {
+            $c = new C();
+            $t = 0;
+            foreach (vec[1,2,3] as $v) { $t += $c->m($v); }
+            return $t;
+        }
+    "#;
+    let repo = compile_unit("t.hl", src).unwrap();
+    bytecode::verify_repo(&repo).unwrap();
+}

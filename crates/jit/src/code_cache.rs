@@ -1,0 +1,298 @@
+//! The code cache: address regions for emitted translations.
+//!
+//! HHVM's code cache has separate areas for hot optimized code, cold paths,
+//! live translations and profiling code; optimized code is placed in
+//! function-sorting order (paper §II-B, Fig. 1's relocation step B→C).
+//! Addresses here feed the I-cache/I-TLB model, so *where* a block lands
+//! directly changes the measured locality.
+
+use std::collections::HashMap;
+
+use bytecode::FuncId;
+
+use crate::vasm::VasmUnit;
+
+/// Which tier a translation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransKind {
+    /// Tracelet JIT output (no profile).
+    Live,
+    /// Tier-1 instrumented code.
+    Profiling,
+    /// Tier-2 PGO output.
+    Optimized,
+}
+
+/// A contiguous address region with bump allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region.
+    pub base: u64,
+    /// Bytes already allocated.
+    pub used: u64,
+    /// Total bytes available.
+    pub capacity: u64,
+}
+
+impl Region {
+    fn new(base: u64, capacity: u64) -> Self {
+        Self { base, used: 0, capacity }
+    }
+
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        if self.used + size > self.capacity {
+            return None;
+        }
+        let addr = self.base + self.used;
+        self.used += size;
+        Some(addr)
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+}
+
+/// Region sizes (bytes). Defaults are scaled-down versions of HHVM's
+/// multi-hundred-MB cache (Fig. 1 shows ~500 MB total; our synthetic app
+/// is ~20× smaller).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeCacheConfig {
+    /// Hot optimized region capacity.
+    pub hot_capacity: u64,
+    /// Cold (split) region capacity.
+    pub cold_capacity: u64,
+    /// Live-translation region capacity.
+    pub live_capacity: u64,
+    /// Profiling-translation region capacity.
+    pub profiling_capacity: u64,
+}
+
+impl Default for CodeCacheConfig {
+    fn default() -> Self {
+        Self {
+            hot_capacity: 24 << 20,
+            cold_capacity: 24 << 20,
+            live_capacity: 24 << 20,
+            profiling_capacity: 24 << 20,
+        }
+    }
+}
+
+/// One emitted (placed) translation.
+#[derive(Clone, Debug)]
+pub struct EmittedTranslation {
+    /// The translated function.
+    pub func: FuncId,
+    /// Translation kind.
+    pub kind: TransKind,
+    /// The Vasm body (block indices match `placement`).
+    pub vasm: VasmUnit,
+    /// Per-Vasm-block (address, size); sizes come from the block encoding.
+    pub placement: Vec<(u64, u32)>,
+}
+
+impl EmittedTranslation {
+    /// Total emitted bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.placement.iter().map(|&(_, s)| s as u64).sum()
+    }
+}
+
+/// The code cache.
+#[derive(Clone, Debug)]
+pub struct CodeCache {
+    /// Hot optimized code.
+    pub hot: Region,
+    /// Cold split-off code.
+    pub cold: Region,
+    /// Live translations.
+    pub live: Region,
+    /// Profiling translations.
+    pub profiling: Region,
+    translations: HashMap<FuncId, EmittedTranslation>,
+}
+
+impl CodeCache {
+    /// Creates an empty cache with the given capacities. Regions are
+    /// placed far apart so they never share pages.
+    pub fn new(config: CodeCacheConfig) -> Self {
+        Self {
+            hot: Region::new(0x1000_0000, config.hot_capacity),
+            cold: Region::new(0x4000_0000, config.cold_capacity),
+            live: Region::new(0x7000_0000, config.live_capacity),
+            profiling: Region::new(0xa000_0000, config.profiling_capacity),
+        translations: HashMap::new(),
+        }
+    }
+
+    /// Emits a translation, placing `hot_order` blocks contiguously in the
+    /// translation's main region and `cold_order` blocks in the cold
+    /// region. Returns `false` (emitting nothing) if the region is full —
+    /// HHVM stops JITing when the cache fills (paper §IV-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_order` + `cold_order` don't cover each block exactly
+    /// once.
+    pub fn emit(
+        &mut self,
+        unit: VasmUnit,
+        kind: TransKind,
+        hot_order: &[usize],
+        cold_order: &[usize],
+    ) -> bool {
+        assert_eq!(
+            hot_order.len() + cold_order.len(),
+            unit.blocks.len(),
+            "layout must cover all blocks"
+        );
+        let hot_bytes: u64 = hot_order.iter().map(|&b| unit.blocks[b].size() as u64).sum();
+        let cold_bytes: u64 = cold_order.iter().map(|&b| unit.blocks[b].size() as u64).sum();
+        let (main_region, cold_region) = match kind {
+            TransKind::Optimized => (&mut self.hot, &mut self.cold),
+            TransKind::Live => (&mut self.live, &mut self.cold),
+            TransKind::Profiling => (&mut self.profiling, &mut self.cold),
+        };
+        if main_region.free() < hot_bytes || cold_region.free() < cold_bytes {
+            return false;
+        }
+        let mut placement = vec![(0u64, 0u32); unit.blocks.len()];
+        let mut covered = vec![false; unit.blocks.len()];
+        for &b in hot_order {
+            assert!(!covered[b], "block placed twice");
+            covered[b] = true;
+            let size = unit.blocks[b].size();
+            let addr = main_region.alloc(size as u64).expect("checked free space");
+            placement[b] = (addr, size);
+        }
+        for &b in cold_order {
+            assert!(!covered[b], "block placed twice");
+            covered[b] = true;
+            let size = unit.blocks[b].size();
+            let addr = cold_region.alloc(size as u64).expect("checked free space");
+            placement[b] = (addr, size);
+        }
+        let func = unit.func;
+        self.translations.insert(func, EmittedTranslation { func, kind, vasm: unit, placement });
+        true
+    }
+
+    /// Looks up the current translation for a function.
+    pub fn translation(&self, func: FuncId) -> Option<&EmittedTranslation> {
+        self.translations.get(&func)
+    }
+
+    /// All translations.
+    pub fn translations(&self) -> &HashMap<FuncId, EmittedTranslation> {
+        &self.translations
+    }
+
+    /// Drops a function's translation (used when optimized code replaces
+    /// profiling code).
+    pub fn evict(&mut self, func: FuncId) -> Option<EmittedTranslation> {
+        self.translations.remove(&func)
+    }
+
+    /// Total bytes emitted across all regions (Fig. 1's y-axis).
+    pub fn total_code_bytes(&self) -> u64 {
+        self.hot.used + self.cold.used + self.live.used + self.profiling.used
+    }
+}
+
+impl Default for CodeCache {
+    fn default() -> Self {
+        Self::new(CodeCacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vasm::{Term, VBlock, VInstr};
+
+    fn unit(func: u32, nblocks: usize) -> VasmUnit {
+        let blocks = (0..nblocks)
+            .map(|i| VBlock {
+                instrs: vec![VInstr::IntArith; 4],
+                term: if i + 1 < nblocks { Term::Jump(i + 1) } else { Term::Ret },
+                est_weight: 10,
+                true_weight: 10,
+                true_taken_prob: 0.0,
+                est_taken_prob: 0.0,
+                bc_origin: None,
+            })
+            .collect();
+        VasmUnit { func: FuncId::new(func), blocks }
+    }
+
+    #[test]
+    fn emit_places_blocks_contiguously_in_order() {
+        let mut cc = CodeCache::default();
+        let u = unit(0, 3);
+        let sizes: Vec<u32> = u.blocks.iter().map(|b| b.size()).collect();
+        assert!(cc.emit(u, TransKind::Optimized, &[0, 2, 1], &[]));
+        let t = cc.translation(FuncId::new(0)).unwrap();
+        let (a0, _) = t.placement[0];
+        let (a1, _) = t.placement[1];
+        let (a2, _) = t.placement[2];
+        assert_eq!(a2, a0 + sizes[0] as u64);
+        assert_eq!(a1, a2 + sizes[2] as u64);
+    }
+
+    #[test]
+    fn cold_blocks_go_to_the_cold_region() {
+        let mut cc = CodeCache::default();
+        assert!(cc.emit(unit(1, 4), TransKind::Optimized, &[0, 1], &[2, 3]));
+        let t = cc.translation(FuncId::new(1)).unwrap();
+        assert!(t.placement[0].0 >= cc.hot.base && t.placement[0].0 < cc.cold.base);
+        assert!(t.placement[2].0 >= cc.cold.base);
+        assert!(cc.cold.used > 0);
+    }
+
+    #[test]
+    fn regions_fill_and_reject() {
+        let mut cc = CodeCache::new(CodeCacheConfig {
+            hot_capacity: 40,
+            cold_capacity: 40,
+            live_capacity: 40,
+            profiling_capacity: 40,
+        });
+        // Each unit(_,3) is ~3*(4*3+5) bytes > 40: rejected.
+        let u = unit(2, 3);
+        let order: Vec<usize> = (0..3).collect();
+        assert!(!cc.emit(u, TransKind::Optimized, &order, &[]));
+        assert_eq!(cc.total_code_bytes(), 0);
+        assert!(cc.translation(FuncId::new(2)).is_none());
+    }
+
+    #[test]
+    fn kinds_use_distinct_regions() {
+        let mut cc = CodeCache::default();
+        assert!(cc.emit(unit(0, 1), TransKind::Live, &[0], &[]));
+        assert!(cc.emit(unit(1, 1), TransKind::Profiling, &[0], &[]));
+        assert!(cc.emit(unit(2, 1), TransKind::Optimized, &[0], &[]));
+        assert!(cc.live.used > 0 && cc.profiling.used > 0 && cc.hot.used > 0);
+        let live_addr = cc.translation(FuncId::new(0)).unwrap().placement[0].0;
+        let opt_addr = cc.translation(FuncId::new(2)).unwrap().placement[0].0;
+        assert!(live_addr > opt_addr, "regions are far apart");
+    }
+
+    #[test]
+    fn evict_replaces_profiling_with_optimized() {
+        let mut cc = CodeCache::default();
+        assert!(cc.emit(unit(5, 2), TransKind::Profiling, &[0, 1], &[]));
+        assert_eq!(cc.translation(FuncId::new(5)).unwrap().kind, TransKind::Profiling);
+        cc.evict(FuncId::new(5));
+        assert!(cc.emit(unit(5, 2), TransKind::Optimized, &[0, 1], &[]));
+        assert_eq!(cc.translation(FuncId::new(5)).unwrap().kind, TransKind::Optimized);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all blocks")]
+    fn incomplete_layout_panics() {
+        let mut cc = CodeCache::default();
+        cc.emit(unit(0, 3), TransKind::Optimized, &[0, 1], &[]);
+    }
+}

@@ -1,0 +1,869 @@
+//! Bytecode → Vasm lowering for the three translation kinds.
+//!
+//! The *optimized* translation applies the profile-guided machinery of
+//! paper §II-A: entry type guards, operand type specialization, property
+//! slot specialization, and depth-1 inlining at monomorphic call sites.
+//!
+//! Each Vasm block carries **two** weight views:
+//!
+//! * `est_*` — what the layout optimizations see. With
+//!   [`WeightSource::TierOnly`] (no Jump-Start), branch probabilities are
+//!   *inferred from bytecode block counters* (tier-1 has no edge counts)
+//!   and inlined bodies get the callee's *average* behavior scaled by call
+//!   ratio (tier-1 does no inlining) — both inaccuracies the paper calls
+//!   out in §V-A/§V-B. With [`WeightSource::Accurate`] (Jump-Start), the
+//!   seeder's instrumented optimized code supplies exact, context-sensitive
+//!   branch counts.
+//! * `true_*` — ground truth, used only by the replay executor.
+
+use bytecode::{BlockId, Cfg, ClassId, FuncId, Instr, Repo, StrId};
+use vm::ValueKind;
+
+use crate::profile::{CtxProfile, FuncProfile, InlineCtx, TierProfile, PARAM_SITE};
+use crate::vasm::{Term, VBlock, VInstr, VasmUnit};
+
+/// Where layout weights come from (the §V-A knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightSource {
+    /// Tier-1 bytecode counters only (no Jump-Start).
+    TierOnly,
+    /// Context-sensitive Vasm-level counters from instrumented optimized
+    /// code (Jump-Start seeders).
+    Accurate,
+}
+
+/// Inlining policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InlineParams {
+    /// Master switch.
+    pub enabled: bool,
+    /// Maximum callee size in bytecode instructions.
+    pub max_callee_instrs: usize,
+    /// Minimum share of the dominant target at a dynamic site.
+    pub min_target_share: f64,
+}
+
+impl Default for InlineParams {
+    fn default() -> Self {
+        Self { enabled: true, max_callee_instrs: 96, min_target_share: 0.95 }
+    }
+}
+
+/// Threshold above which an operand type is considered monomorphic.
+const MONO: f64 = 0.95;
+
+/// Produces the optimized translation of `func`.
+///
+/// `slot_resolver` maps (class, property name) to the physical slot under
+/// the currently-installed property layout — translation must therefore run
+/// *after* property orders are installed, exactly like HHVM's consumer
+/// workflow (Fig. 3c).
+pub fn translate_optimized(
+    repo: &Repo,
+    func: FuncId,
+    tier: &TierProfile,
+    ctx_profile: &CtxProfile,
+    weights: WeightSource,
+    inline: InlineParams,
+    slot_resolver: &dyn Fn(ClassId, StrId) -> Option<u16>,
+) -> VasmUnit {
+    let mut tr = Translator {
+        repo,
+        tier,
+        ctx_profile,
+        weights,
+        inline,
+        slot_resolver,
+        blocks: Vec::new(),
+        kind: Kind::Optimized,
+        depth: 0,
+    };
+    let empty = FuncProfile::default();
+    let fp = tier.funcs.get(&func).unwrap_or(&empty);
+    let entry_weight = fp.enter_count;
+    tr.translate_function(func, fp, None, 1.0, true);
+    let mut unit = VasmUnit { func, blocks: tr.blocks };
+    // Block weights derive from the entry count flowed through the branch
+    // probabilities of the chosen weight source — so TierOnly and Accurate
+    // weights differ exactly where their probability estimates differ.
+    propagate_est_weights(&mut unit, entry_weight);
+    unit
+}
+
+/// Recomputes every block's `est_weight` by propagating `entry_weight`
+/// through the `est_taken_prob` branch estimates (relaxation handles
+/// loops).
+fn propagate_est_weights(unit: &mut VasmUnit, entry_weight: u64) {
+    let n = unit.blocks.len();
+    let mut w = vec![0f64; n];
+    for _ in 0..12 {
+        let mut next = vec![0f64; n];
+        next[0] = entry_weight as f64;
+        for i in 0..n {
+            let out = w[i];
+            match unit.blocks[i].term {
+                Term::Jump(t) => next[t] += out,
+                Term::Cond { taken, fall } => {
+                    let p = unit.blocks[i].est_taken_prob;
+                    next[taken] += out * p;
+                    next[fall] += out * (1.0 - p);
+                }
+                Term::Ret | Term::Exit => {}
+            }
+        }
+        w = next;
+    }
+    // Fixed-point scale keeps low-traffic functions' blocks from rounding
+    // to zero (which would spuriously mark them cold).
+    for (i, b) in unit.blocks.iter_mut().enumerate() {
+        b.est_weight = (w[i] * 1024.0).round() as u64;
+    }
+}
+
+/// Produces a live (tracelet-style) translation: no guards, generic ops,
+/// no inlining. `ctx_profile` supplies ground-truth branch behavior for
+/// the replay (0.5 when the function was never observed).
+pub fn translate_live(repo: &Repo, func: FuncId, ctx_profile: &CtxProfile) -> VasmUnit {
+    translate_unoptimized(repo, func, ctx_profile, Kind::Live)
+}
+
+/// Produces a profiling translation: live code plus block counters
+/// ([`VInstr::CountOp`]), bigger and slower — the tier-1 code of Fig. 3.
+pub fn translate_profiling(repo: &Repo, func: FuncId, ctx_profile: &CtxProfile) -> VasmUnit {
+    translate_unoptimized(repo, func, ctx_profile, Kind::Profiling)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Live,
+    Profiling,
+    Optimized,
+}
+
+fn translate_unoptimized(
+    repo: &Repo,
+    func: FuncId,
+    ctx_profile: &CtxProfile,
+    kind: Kind,
+) -> VasmUnit {
+    let mut tr = Translator {
+        repo,
+        tier: &EMPTY_TIER,
+        ctx_profile,
+        weights: WeightSource::TierOnly,
+        inline: InlineParams { enabled: false, ..Default::default() },
+        slot_resolver: &|_, _| None,
+        blocks: Vec::new(),
+        kind,
+        depth: 0,
+    };
+    let empty = FuncProfile::default();
+    tr.translate_function(func, &empty, None, 1.0, false);
+    VasmUnit { func, blocks: tr.blocks }
+}
+
+static EMPTY_TIER: once_tier::Lazy = once_tier::Lazy;
+
+// A tiny zero-dependency lazy static for the empty tier profile.
+mod once_tier {
+    use std::ops::Deref;
+    use std::sync::OnceLock;
+
+    pub struct Lazy;
+
+    static CELL: OnceLock<crate::profile::TierProfile> = OnceLock::new();
+
+    impl Deref for Lazy {
+        type Target = crate::profile::TierProfile;
+
+        fn deref(&self) -> &Self::Target {
+            CELL.get_or_init(crate::profile::TierProfile::default)
+        }
+    }
+}
+
+struct Translator<'a> {
+    repo: &'a Repo,
+    tier: &'a TierProfile,
+    ctx_profile: &'a CtxProfile,
+    weights: WeightSource,
+    inline: InlineParams,
+    slot_resolver: &'a dyn Fn(ClassId, StrId) -> Option<u16>,
+    blocks: Vec<VBlock>,
+    kind: Kind,
+    depth: u32,
+}
+
+impl Translator<'_> {
+    /// Translates one function body (outer or inlined), returning the
+    /// mapping from its bytecode blocks to Vasm entry indices. `scale` is
+    /// the weight multiplier for inlined bodies under TierOnly estimation.
+    /// Ret terminators are kept as `Term::Ret`; the inliner rewrites them.
+    fn translate_function(
+        &mut self,
+        func: FuncId,
+        fp: &FuncProfile,
+        inline_ctx: InlineCtx,
+        scale: f64,
+        with_guards: bool,
+    ) -> Vec<usize> {
+        let f = self.repo.func(func);
+        let cfg = Cfg::build(f);
+        let profiled = self.kind == Kind::Optimized && !fp.block_counts.is_empty();
+        // First pass: translate each bytecode block into one or more Vasm
+        // blocks. Record the entry index per bytecode block, plus pending
+        // outer-branch fixups (targets as bytecode block ids).
+        let mut entry_of: Vec<usize> = Vec::with_capacity(cfg.len());
+        // (vasm block idx, bc target for taken, optional bc target for fall)
+        let mut fixups: Vec<(usize, BlockId, Option<BlockId>)> = Vec::new();
+
+        for (bi, bblock) in cfg.blocks().iter().enumerate() {
+            let bc_id = BlockId(bi as u32);
+            let est_w = if profiled {
+                let raw = fp.block_counts.get(bi).copied().unwrap_or(0);
+                (raw as f64 * scale) as u64
+            } else {
+                0
+            };
+            let entry = self.start_block(func, bc_id, est_w);
+            let mut cur = entry;
+            if bi == 0 && with_guards {
+                self.emit_entry_guards(cur, func, fp);
+            }
+            entry_of.push(entry);
+            let mut terminated = false;
+            for at in bblock.start..bblock.end {
+                let instr = f.code[at as usize];
+                match instr {
+                    Instr::Jmp(_) => {
+                        let t = cfg.block_of(instr.jump_target().expect("jmp"));
+                        self.blocks[cur].term = Term::Jump(usize::MAX);
+                        fixups.push((cur, t, None));
+                        terminated = true;
+                    }
+                    Instr::JmpZ(_) | Instr::JmpNZ(_) => {
+                        let t = cfg.block_of(instr.jump_target().expect("branch"));
+                        let fall = cfg.block_of(bblock.end.min(f.code.len() as u32 - 1));
+                        self.blocks[cur].instrs.push(VInstr::CmpInt);
+                        self.blocks[cur].term = Term::Cond { taken: usize::MAX, fall: usize::MAX };
+                        // Branch probabilities: truth from context-sensitive
+                        // measurements; estimate per the weight source.
+                        let true_p = self.ctx_profile.taken_prob(inline_ctx, func, at);
+                        let est_p = match self.weights {
+                            WeightSource::Accurate => true_p,
+                            WeightSource::TierOnly => {
+                                // Inferred from block counters alone: split
+                                // by target-block counts (wrong at joins).
+                                if profiled {
+                                    let tw =
+                                        fp.block_counts.get(t.index()).copied().unwrap_or(0);
+                                    let fw =
+                                        fp.block_counts.get(fall.index()).copied().unwrap_or(0);
+                                    if tw + fw == 0 {
+                                        0.5
+                                    } else {
+                                        tw as f64 / (tw + fw) as f64
+                                    }
+                                } else {
+                                    0.5
+                                }
+                            }
+                        };
+                        self.blocks[cur].true_taken_prob = true_p;
+                        self.blocks[cur].est_taken_prob = est_p;
+                        fixups.push((cur, t, Some(fall)));
+                        terminated = true;
+                    }
+                    Instr::Ret => {
+                        self.blocks[cur].instrs.push(VInstr::RetOp);
+                        self.blocks[cur].term = Term::Ret;
+                        terminated = true;
+                    }
+                    Instr::Call { func: callee, argc: _ } => {
+                        if self.should_inline(func, at, callee, fp) {
+                            cur = self.inline_call(cur, func, at, callee);
+                        } else {
+                            self.blocks[cur].instrs.push(VInstr::CallStatic { callee });
+                        }
+                    }
+                    Instr::CallMethod { .. } => {
+                        // Monomorphic dynamic sites can be inlined behind a
+                        // class guard, like HHVM's method dispatch profiles.
+                        match fp.dominant_target(at) {
+                            Some((target, share))
+                                if share >= self.inline.min_target_share
+                                    && self.should_inline(func, at, target, fp) =>
+                            {
+                                self.blocks[cur].instrs.push(VInstr::GuardType { local: 0 });
+                                cur = self.inline_call(cur, func, at, target);
+                            }
+                            _ => {
+                                self.blocks[cur]
+                                    .instrs
+                                    .push(VInstr::CallDynamic { owner: func, site: at });
+                            }
+                        }
+                    }
+                    other => {
+                        let lowered = self.lower_simple(func, at, other, fp);
+                        self.blocks[cur].instrs.extend(lowered);
+                    }
+                }
+            }
+            if !terminated {
+                // Fallthrough into the next bytecode block.
+                let next = BlockId(bi as u32 + 1);
+                self.blocks[cur].term = Term::Jump(usize::MAX);
+                fixups.push((cur, next, None));
+            }
+        }
+
+        // Patch branch targets to Vasm indices.
+        for (vi, t, fall) in fixups {
+            match (&mut self.blocks[vi].term, fall) {
+                (Term::Jump(slot), None) => *slot = entry_of[t.index()],
+                (Term::Cond { taken, fall: fslot }, Some(fb)) => {
+                    *taken = entry_of[t.index()];
+                    *fslot = entry_of[fb.index()];
+                }
+                other => unreachable!("fixup mismatch: {other:?}"),
+            }
+        }
+
+        // One side-exit block per function body (guard/exception funnel).
+        if self.kind == Kind::Optimized {
+            self.blocks.push(VBlock {
+                instrs: vec![VInstr::InterpOne, VInstr::InterpOne, VInstr::InterpOne],
+                term: Term::Exit,
+                est_weight: 0,
+                true_weight: 0,
+                true_taken_prob: 0.0,
+                est_taken_prob: 0.0,
+                bc_origin: None,
+            });
+        }
+        entry_of
+    }
+
+    fn start_block(&mut self, func: FuncId, bc: BlockId, est_weight: u64) -> usize {
+        self.blocks.push(VBlock {
+            instrs: Vec::new(),
+            term: Term::Ret, // replaced when the block is finished
+            est_weight,
+            true_weight: est_weight,
+            true_taken_prob: 0.0,
+            est_taken_prob: 0.0,
+            bc_origin: Some((func, bc)),
+        });
+        self.blocks.len() - 1
+    }
+
+    fn emit_entry_guards(&mut self, cur: usize, _func: FuncId, fp: &FuncProfile) {
+        let params: Vec<u16> = fp
+            .types
+            .iter()
+            .filter(|((site, _), d)| *site == PARAM_SITE && d.is_monomorphic(MONO).is_some())
+            .map(|((_, slot), _)| *slot as u16)
+            .collect();
+        let mut sorted = params;
+        sorted.sort_unstable();
+        for p in sorted {
+            self.blocks[cur].instrs.push(VInstr::GuardType { local: p });
+        }
+    }
+
+    fn should_inline(&self, caller: FuncId, at: u32, callee: FuncId, fp: &FuncProfile) -> bool {
+        if !self.inline.enabled
+            || self.kind != Kind::Optimized
+            || callee == caller
+            || self.depth > 0
+        {
+            return false;
+        }
+        let callee_f = self.repo.func(callee);
+        if callee_f.code.len() > self.inline.max_callee_instrs {
+            return false;
+        }
+        // Only inline sites that actually ran (we need some profile signal).
+        fp.call_targets.get(&at).map_or(false, |t| t.values().sum::<u64>() > 0)
+    }
+
+    /// Splices `callee`'s translation in place of a call in block `cur`.
+    /// Returns the continuation block index to keep emitting into.
+    fn inline_call(&mut self, cur: usize, caller: FuncId, at: u32, callee: FuncId) -> usize {
+        let ctx: InlineCtx = Some((caller, at));
+        // Estimated scale for TierOnly: the callee's average profile scaled
+        // by how often this site calls it (tier-1 has no per-site data).
+        let empty = FuncProfile::default();
+        let callee_fp = self.tier.funcs.get(&callee).unwrap_or(&empty);
+        let site_calls: u64 = self
+            .tier
+            .funcs
+            .get(&caller)
+            .and_then(|fp| fp.call_targets.get(&at))
+            .map(|t| t.values().sum())
+            .unwrap_or(0);
+        let scale = if callee_fp.enter_count == 0 {
+            0.0
+        } else {
+            site_calls as f64 / callee_fp.enter_count as f64
+        };
+
+        // Translate the callee body in-line, sharing our block vector.
+        // Under Accurate weights the context-sensitive counters give
+        // per-site truth; under TierOnly the callee average is scaled.
+        let mark = self.blocks.len();
+        self.depth += 1;
+        let callee_fp = callee_fp.clone();
+        let entry_of = self.translate_function(callee, &callee_fp, ctx, scale, false);
+        self.depth -= 1;
+        let callee_entry = mark;
+        debug_assert_eq!(entry_of.first().copied().unwrap_or(mark), mark);
+        // Continuation block: rest of the caller's bytecode block.
+        let cont = {
+            let origin = self.blocks[cur].bc_origin;
+            let est = self.blocks[cur].est_weight;
+            self.blocks.push(VBlock {
+                instrs: Vec::new(),
+                term: Term::Ret,
+                est_weight: est,
+                true_weight: est,
+                true_taken_prob: 0.0,
+                est_taken_prob: 0.0,
+                bc_origin: origin,
+            });
+            self.blocks.len() - 1
+        };
+        // Rewrite the callee's Ret terminators to jump to the continuation,
+        // and remove the RetOp they emitted.
+        for b in mark..cont {
+            if self.blocks[b].term == Term::Ret {
+                if let Some(VInstr::RetOp) = self.blocks[b].instrs.last() {
+                    self.blocks[b].instrs.pop();
+                }
+                self.blocks[b].term = Term::Jump(cont);
+            }
+        }
+        // Jump from the call block into the inlined entry.
+        self.blocks[cur].term = Term::Jump(callee_entry);
+        cont
+    }
+
+    fn lower_simple(&self, func: FuncId, at: u32, instr: Instr, fp: &FuncProfile) -> Vec<VInstr> {
+        let optimized = self.kind == Kind::Optimized;
+        let mut out = Vec::with_capacity(2);
+        if self.kind == Kind::Profiling {
+            // Block counters land on the first instruction of each block in
+            // real HHVM; per-instruction is a fine cost approximation.
+            if at == 0 {
+                out.push(VInstr::CountOp);
+            }
+        }
+        match instr {
+            Instr::Null | Instr::True | Instr::False | Instr::Int(_) | Instr::Double(_) => {
+                out.push(VInstr::ConstSmall);
+            }
+            Instr::Str(_) | Instr::LitArr(_) => out.push(VInstr::ConstStr),
+            Instr::Pop | Instr::Dup => out.push(VInstr::ConstSmall),
+            Instr::GetL(l) => out.push(VInstr::LoadLocal(l)),
+            Instr::SetL(l) => out.push(VInstr::StoreLocal(l)),
+            Instr::IncL(l, _) => {
+                out.push(VInstr::LoadLocal(l));
+                out.push(VInstr::IntArith);
+                out.push(VInstr::StoreLocal(l));
+            }
+            Instr::Bin(op) => {
+                let spec = optimized && self.operands_monomorphic_int(func, at, fp);
+                let float = optimized && self.operands_float(func, at, fp);
+                out.push(match op {
+                    bytecode::BinOp::Concat => VInstr::ConcatOp,
+                    bytecode::BinOp::Eq
+                    | bytecode::BinOp::Neq
+                    | bytecode::BinOp::Lt
+                    | bytecode::BinOp::Le
+                    | bytecode::BinOp::Gt
+                    | bytecode::BinOp::Ge => {
+                        if spec {
+                            VInstr::CmpInt
+                        } else {
+                            VInstr::GenCmp
+                        }
+                    }
+                    _ => {
+                        if spec {
+                            VInstr::IntArith
+                        } else if float {
+                            VInstr::FloatArith
+                        } else {
+                            VInstr::GenBin
+                        }
+                    }
+                });
+            }
+            Instr::Un(_) => out.push(if optimized { VInstr::IntArith } else { VInstr::GenBin }),
+            Instr::CallBuiltin { builtin, .. } => out.push(VInstr::BuiltinOp { builtin }),
+            Instr::NewObj(class) => out.push(VInstr::NewObjOp { class }),
+            Instr::GetProp(name) | Instr::SetProp(name) => {
+                let spec = if optimized {
+                    self.prop_site_slot(func, at, name, fp)
+                } else {
+                    None
+                };
+                match spec {
+                    Some((class, slot)) => {
+                        out.push(VInstr::GuardType { local: 0 });
+                        out.push(if matches!(instr, Instr::GetProp(_)) {
+                            VInstr::LoadProp { class, slot }
+                        } else {
+                            VInstr::StoreProp { class, slot }
+                        });
+                    }
+                    None => out.push(VInstr::GenProp),
+                }
+            }
+            Instr::This => out.push(VInstr::LoadLocal(0)),
+            Instr::NewVec(_) | Instr::NewDict(_) => out.push(VInstr::NewArrOp),
+            Instr::Idx | Instr::SetIdx => out.push(VInstr::IdxOp),
+            Instr::Jmp(_)
+            | Instr::JmpZ(_)
+            | Instr::JmpNZ(_)
+            | Instr::Ret
+            | Instr::Call { .. }
+            | Instr::CallMethod { .. } => unreachable!("handled by the block loop"),
+        }
+        out
+    }
+
+    fn operands_monomorphic_int(&self, _func: FuncId, at: u32, fp: &FuncProfile) -> bool {
+        let mono = |slot: u8| {
+            fp.types
+                .get(&(at, slot))
+                .and_then(|d| d.is_monomorphic(MONO))
+                == Some(ValueKind::Int)
+        };
+        mono(0) && mono(1)
+    }
+
+    fn operands_float(&self, _func: FuncId, at: u32, fp: &FuncProfile) -> bool {
+        let kind = |slot: u8| fp.types.get(&(at, slot)).and_then(|d| d.is_monomorphic(MONO));
+        matches!(
+            (kind(0), kind(1)),
+            (Some(ValueKind::Float), Some(_)) | (Some(_), Some(ValueKind::Float))
+        )
+    }
+
+    fn prop_site_slot(
+        &self,
+        _func: FuncId,
+        at: u32,
+        name: StrId,
+        fp: &FuncProfile,
+    ) -> Option<(ClassId, u16)> {
+        let classes = fp.prop_site_classes.get(&at)?;
+        let total: u64 = classes.values().sum();
+        let (&class, &count) = classes.iter().max_by_key(|(_, &c)| c)?;
+        if total == 0 || (count as f64 / total as f64) < MONO {
+            return None;
+        }
+        let slot = (self.slot_resolver)(class, name)?;
+        Some((class, slot))
+    }
+}
+
+/// Computes `true_weight` for each block by propagating the function entry
+/// count through ground-truth branch probabilities (a few relaxation
+/// passes handle loops). Used for hot/cold decisions in *accurate* mode
+/// and by tests; the replay samples probabilities directly.
+pub fn propagate_true_weights(unit: &mut VasmUnit, entry_count: u64) {
+    let n = unit.blocks.len();
+    let mut w = vec![0f64; n];
+    for _ in 0..12 {
+        let mut next = vec![0f64; n];
+        next[0] = entry_count as f64;
+        for i in 0..n {
+            let out = w[i];
+            match unit.blocks[i].term {
+                Term::Jump(t) => next[t] += out,
+                Term::Cond { taken, fall } => {
+                    let p = unit.blocks[i].true_taken_prob;
+                    next[taken] += out * p;
+                    next[fall] += out * (1.0 - p);
+                }
+                Term::Ret | Term::Exit => {}
+            }
+        }
+        w = next;
+    }
+    for (i, b) in unit.blocks.iter_mut().enumerate() {
+        b.true_weight = w[i] as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileCollector;
+    use vm::{Value, Vm};
+
+    fn profile_src(src: &str, entry: &str, args: &[Value], runs: usize) -> (Repo, TierProfile, CtxProfile) {
+        let repo = hackc::compile_unit("t.hl", src).expect("compiles");
+        let f = repo.func_by_name(entry).unwrap().id;
+        let mut vm = Vm::new(&repo);
+        let mut col = ProfileCollector::new(&repo);
+        for _ in 0..runs {
+            vm.call_observed(f, args, &mut col).unwrap();
+            col.end_request();
+        }
+        let (tier, ctx) = (col.tier, col.ctx);
+        (repo, tier, ctx)
+    }
+
+    #[test]
+    fn monomorphic_int_ops_get_specialized() {
+        let (repo, tier, ctx) = profile_src(
+            "function main($n) { $s = 0; for ($i = 0; $i < $n; $i++) { $s = $s + $i; } return $s; }",
+            "main",
+            &[Value::Int(50)],
+            3,
+        );
+        let f = repo.func_by_name("main").unwrap().id;
+        let unit = translate_optimized(
+            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+        );
+        let ints = unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, VInstr::IntArith))
+            .count();
+        let gens = unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, VInstr::GenBin))
+            .count();
+        assert!(ints > 0, "loop arithmetic should specialize to IntArith");
+        assert_eq!(gens, 0, "no generic binops expected in a monomorphic loop");
+        // Entry guards for the int parameter.
+        assert!(unit.blocks[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, VInstr::GuardType { .. })));
+    }
+
+    #[test]
+    fn live_translation_uses_generic_ops() {
+        let (repo, _, ctx) = profile_src(
+            "function main($n) { return $n + 1; }",
+            "main",
+            &[Value::Int(1)],
+            1,
+        );
+        let f = repo.func_by_name("main").unwrap().id;
+        let unit = translate_live(&repo, f, &ctx);
+        assert!(unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, VInstr::GenBin)));
+        assert!(!unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, VInstr::IntArith | VInstr::GuardType { .. })));
+    }
+
+    #[test]
+    fn profiling_translation_is_bigger_than_live() {
+        let (repo, _, ctx) = profile_src(
+            "function main($n) { if ($n > 0) { return 1; } return 0; }",
+            "main",
+            &[Value::Int(1)],
+            1,
+        );
+        let f = repo.func_by_name("main").unwrap().id;
+        let live = translate_live(&repo, f, &ctx);
+        let prof = translate_profiling(&repo, f, &ctx);
+        assert!(prof.code_size() > live.code_size());
+    }
+
+    #[test]
+    fn hot_callee_gets_inlined() {
+        let src = r#"
+            function tiny($x) { return $x + 1; }
+            function main($n) {
+                $s = 0;
+                for ($i = 0; $i < $n; $i++) { $s = tiny($s); }
+                return $s;
+            }
+        "#;
+        let (repo, tier, ctx) = profile_src(src, "main", &[Value::Int(30)], 2);
+        let f = repo.func_by_name("main").unwrap().id;
+        let inlined = translate_optimized(
+            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+        );
+        let not_inlined = translate_optimized(
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            InlineParams { enabled: false, ..Default::default() },
+            &|_, _| None,
+        );
+        let calls = |u: &VasmUnit| {
+            u.blocks
+                .iter()
+                .flat_map(|b| &b.instrs)
+                .filter(|i| matches!(i, VInstr::CallStatic { .. }))
+                .count()
+        };
+        assert_eq!(calls(&inlined), 0, "the tiny callee should be inlined");
+        assert_eq!(calls(&not_inlined), 1);
+        assert!(inlined.blocks.len() > not_inlined.blocks.len());
+    }
+
+    #[test]
+    fn tieronly_misestimates_join_probabilities() {
+        // Two callers pass constant-but-different flags to a shared helper;
+        // tier-1 sees a 50/50 aggregate while per-site truth is 0/100.
+        let src = r#"
+            function helper($flag) {
+                if ($flag) { return 1; }
+                return 2;
+            }
+            function main($n) {
+                $s = 0;
+                for ($i = 0; $i < $n; $i++) {
+                    $s = $s + helper(true) + helper(false);
+                }
+                return $s;
+            }
+        "#;
+        let (repo, tier, ctx) = profile_src(src, "main", &[Value::Int(25)], 2);
+        let f = repo.func_by_name("main").unwrap().id;
+        let inline = InlineParams::default();
+        let est = translate_optimized(
+            &repo, f, &tier, &ctx, WeightSource::TierOnly, inline, &|_, _| None,
+        );
+        let acc = translate_optimized(
+            &repo, f, &tier, &ctx, WeightSource::Accurate, inline, &|_, _| None,
+        );
+        // Find inlined conditional blocks (origin = helper).
+        let helper = repo.func_by_name("helper").unwrap().id;
+        let est_probs: Vec<f64> = est
+            .blocks
+            .iter()
+            .filter(|b| {
+                b.bc_origin.map_or(false, |(f2, _)| f2 == helper)
+                    && matches!(b.term, Term::Cond { .. })
+            })
+            .map(|b| b.est_taken_prob)
+            .collect();
+        let acc_probs: Vec<f64> = acc
+            .blocks
+            .iter()
+            .filter(|b| {
+                b.bc_origin.map_or(false, |(f2, _)| f2 == helper)
+                    && matches!(b.term, Term::Cond { .. })
+            })
+            .map(|b| b.est_taken_prob)
+            .collect();
+        assert_eq!(est_probs.len(), 2, "helper inlined twice");
+        // TierOnly: both sites get the same aggregate-derived estimate.
+        assert!((est_probs[0] - est_probs[1]).abs() < 1e-9);
+        // Accurate: per-site truth differs sharply (one ~0, one ~1).
+        assert!((acc_probs[0] - acc_probs[1]).abs() > 0.9);
+        // And the accurate view matches ground truth.
+        let true_probs: Vec<f64> = acc
+            .blocks
+            .iter()
+            .filter(|b| {
+                b.bc_origin.map_or(false, |(f2, _)| f2 == helper)
+                    && matches!(b.term, Term::Cond { .. })
+            })
+            .map(|b| b.true_taken_prob)
+            .collect();
+        for (a, t) in acc_probs.iter().zip(true_probs.iter()) {
+            assert!((a - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prop_sites_specialize_to_slots() {
+        let src = r#"
+            class P { public $a = 1; public $b = 2; }
+            function main($n) {
+                $p = new P();
+                $s = 0;
+                for ($i = 0; $i < $n; $i++) { $s = $s + $p->a; }
+                return $s;
+            }
+        "#;
+        let (repo, tier, ctx) = profile_src(src, "main", &[Value::Int(20)], 2);
+        let f = repo.func_by_name("main").unwrap().id;
+        let resolver = |_c: ClassId, name: StrId| {
+            // "a" -> slot 7 under some installed order.
+            (repo.str(name) == "a").then_some(7u16)
+        };
+        let unit = translate_optimized(
+            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &resolver,
+        );
+        assert!(unit
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, VInstr::LoadProp { slot: 7, .. })));
+    }
+
+    #[test]
+    fn true_weight_propagation_follows_probabilities() {
+        let (repo, tier, ctx) = profile_src(
+            "function main($n) { if ($n > 10) { return 1; } return 2; }",
+            "main",
+            &[Value::Int(5)],
+            10,
+        );
+        let f = repo.func_by_name("main").unwrap().id;
+        let mut unit = translate_optimized(
+            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+        );
+        propagate_true_weights(&mut unit, 1000);
+        assert_eq!(unit.blocks[0].true_weight, 1000);
+        // `$n > 10` is always false for arg 5: JmpZ taken -> return-2 path.
+        let hot: u64 = unit
+            .blocks
+            .iter()
+            .skip(1)
+            .map(|b| b.true_weight)
+            .max()
+            .unwrap();
+        assert!(hot >= 990, "one arm should carry ~all weight, got {hot}");
+    }
+
+    #[test]
+    fn block_structure_has_valid_targets() {
+        let src = r#"
+            function leaf($a) { if ($a > 2) { return $a; } return $a * 2; }
+            function main($n) {
+                $t = 0;
+                for ($i = 0; $i < $n; $i++) {
+                    if ($i % 3 == 0) { $t += leaf($i); } else { $t -= 1; }
+                }
+                return $t;
+            }
+        "#;
+        let (repo, tier, ctx) = profile_src(src, "main", &[Value::Int(30)], 1);
+        let f = repo.func_by_name("main").unwrap().id;
+        for ws in [WeightSource::TierOnly, WeightSource::Accurate] {
+            let unit = translate_optimized(
+                &repo, f, &tier, &ctx, ws, InlineParams::default(), &|_, _| None,
+            );
+            for b in &unit.blocks {
+                for s in b.term.successors() {
+                    assert!(s < unit.blocks.len(), "dangling successor");
+                }
+            }
+        }
+    }
+}

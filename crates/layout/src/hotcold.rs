@@ -1,0 +1,90 @@
+//! Hot/cold code splitting.
+//!
+//! HHVM applies hot/cold splitting together with basic-block layout, driven
+//! by the same profile counters (paper §V-A). Cold blocks (never or rarely
+//! executed: side exits, error paths) are moved to a separate "cold" code
+//! region so the hot path stays dense in the I-cache and I-TLB.
+
+/// Result of splitting: both lists preserve the relative order of the input
+/// layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HotColdSplit {
+    /// Blocks placed in the hot region.
+    pub hot: Vec<usize>,
+    /// Blocks placed in the cold region.
+    pub cold: Vec<usize>,
+}
+
+/// Splits a laid-out function's blocks into hot and cold regions.
+///
+/// A block is cold when its execution count is `<= cold_threshold`, or
+/// below `cold_fraction` of the entry block's count. The entry block is
+/// always hot.
+pub fn split_hot_cold(
+    order: &[usize],
+    weights: &[u64],
+    cold_threshold: u64,
+    cold_fraction: f64,
+) -> HotColdSplit {
+    let entry_weight = weights.first().copied().unwrap_or(0);
+    let frac_cut = (entry_weight as f64 * cold_fraction) as u64;
+    let mut split = HotColdSplit::default();
+    for &b in order {
+        let w = weights[b];
+        let is_cold = b != 0 && (w <= cold_threshold || w < frac_cut);
+        if is_cold {
+            split.cold.push(b);
+        } else {
+            split.hot.push(b);
+        }
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_weight_blocks_go_cold() {
+        let order = vec![0, 1, 2, 3];
+        let weights = vec![100, 0, 50, 0];
+        let s = split_hot_cold(&order, &weights, 0, 0.0);
+        assert_eq!(s.hot, vec![0, 2]);
+        assert_eq!(s.cold, vec![1, 3]);
+    }
+
+    #[test]
+    fn entry_never_goes_cold() {
+        let order = vec![0, 1];
+        let weights = vec![0, 10];
+        let s = split_hot_cold(&order, &weights, 0, 0.0);
+        assert_eq!(s.hot, vec![0, 1]);
+        assert!(s.cold.is_empty());
+    }
+
+    #[test]
+    fn fraction_threshold_moves_rare_blocks() {
+        let order = vec![0, 1, 2];
+        let weights = vec![1000, 5, 999];
+        // Below 1% of entry -> cold.
+        let s = split_hot_cold(&order, &weights, 0, 0.01);
+        assert_eq!(s.hot, vec![0, 2]);
+        assert_eq!(s.cold, vec![1]);
+    }
+
+    #[test]
+    fn relative_order_is_preserved() {
+        let order = vec![0, 3, 1, 2];
+        let weights = vec![10, 0, 0, 10];
+        let s = split_hot_cold(&order, &weights, 0, 0.0);
+        assert_eq!(s.hot, vec![0, 3]);
+        assert_eq!(s.cold, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let s = split_hot_cold(&[], &[], 0, 0.0);
+        assert!(s.hot.is_empty() && s.cold.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Code- and data-layout algorithms used by the Jump-Start optimizations
+//! (paper §V).
+//!
+//! * [`exttsp_order`] — Ext-TSP basic-block reordering (Newell & Pupyrev
+//!   [18]), driven by block/branch weights; used with accurate Vasm-level
+//!   counters from the Jump-Start package (§V-A).
+//! * [`split_hot_cold`] — hot/cold code splitting, applied together with
+//!   block layout (§V-A).
+//! * [`c3_order`] — the C3 call-chain-clustering function sort (Ottoni &
+//!   Maher [20]), driven by the inlining-aware call graph (§V-B).
+//! * [`pettis_hansen_order`] — the classic Pettis–Hansen function ordering,
+//!   kept as an ablation baseline.
+//! * [`reorder_props_by_hotness`] / [`reorder_props_by_affinity`] — object
+//!   property reordering (§V-C; the affinity variant implements the paper's
+//!   "future work" suggestion).
+//!
+//! All functions here are pure: they map weights to orders and know nothing
+//! about the VM, so they are directly property-testable.
+
+mod c3;
+mod exttsp;
+mod hotcold;
+mod pettis;
+mod propreorder;
+
+pub use c3::{c3_order, CallArc, FuncNode};
+pub use exttsp::{exttsp_order, exttsp_score, BlockEdge, BlockNode, ExtTspParams};
+pub use hotcold::{split_hot_cold, HotColdSplit};
+pub use pettis::pettis_hansen_order;
+pub use propreorder::{reorder_props_by_affinity, reorder_props_by_hotness, PropAccess};

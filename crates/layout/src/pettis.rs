@@ -1,0 +1,103 @@
+//! Pettis–Hansen function ordering (PLDI 1990), kept as the ablation
+//! baseline that C3 (paper §V-B) improves on.
+//!
+//! PH treats the call graph as *undirected*: edge weights between cluster
+//! pairs are summed, and the heaviest pair is merged until no edges remain.
+//! Unlike C3 it loses call direction (callers before callees) and processes
+//! edges rather than functions.
+
+use std::collections::HashMap;
+
+use crate::c3::{CallArc, FuncNode};
+
+/// Computes a function order with the classic Pettis–Hansen clustering.
+///
+/// # Panics
+///
+/// Panics if an arc references a function index out of range.
+pub fn pettis_hansen_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<usize> {
+    let n = funcs.len();
+    for a in arcs {
+        assert!(a.caller < n && a.callee < n, "arc references unknown function");
+    }
+    // Undirected pair weights.
+    let mut pair_w: HashMap<(usize, usize), u64> = HashMap::new();
+    for a in arcs {
+        if a.caller == a.callee || a.weight == 0 {
+            continue;
+        }
+        let key = (a.caller.min(a.callee), a.caller.max(a.callee));
+        *pair_w.entry(key).or_insert(0) += a.weight;
+    }
+    let mut clusters: Vec<Option<Vec<usize>>> = (0..n).map(|f| Some(vec![f])).collect();
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<u64> = funcs.iter().map(|f| f.size as u64).collect();
+
+    let mut edges: Vec<((usize, usize), u64)> = pair_w.into_iter().collect();
+    edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for ((x, y), _) in edges {
+        let (cx, cy) = (cluster_of[x], cluster_of[y]);
+        if cx == cy || sizes[cx] + sizes[cy] > merge_limit as u64 {
+            continue;
+        }
+        let tail = clusters[cy].take().expect("live");
+        for &m in &tail {
+            cluster_of[m] = cx;
+        }
+        sizes[cx] += sizes[cy];
+        clusters[cx].as_mut().expect("live").extend(tail);
+    }
+
+    let mut live: Vec<Vec<usize>> = clusters.into_iter().flatten().collect();
+    live.sort_by(|a, b| {
+        let wa: u64 = a.iter().map(|&f| funcs[f].weight).sum();
+        let wb: u64 = b.iter().map(|&f| funcs[f].weight).sum();
+        wb.cmp(&wa)
+    });
+    live.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_heaviest_pairs_first() {
+        let funcs = vec![
+            FuncNode { size: 10, weight: 1 },
+            FuncNode { size: 10, weight: 1 },
+            FuncNode { size: 10, weight: 1 },
+        ];
+        let arcs = vec![
+            CallArc { caller: 0, callee: 2, weight: 100 },
+            CallArc { caller: 0, callee: 1, weight: 1 },
+        ];
+        let order = pettis_hansen_order(&funcs, &arcs, 4096);
+        let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        assert_eq!(pos[&2].abs_diff(pos[&0]), 1, "0 and 2 should be adjacent");
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // Bidirectional weights add up.
+        let funcs = vec![FuncNode { size: 10, weight: 1 }; 2];
+        let arcs = vec![
+            CallArc { caller: 0, callee: 1, weight: 30 },
+            CallArc { caller: 1, callee: 0, weight: 40 },
+        ];
+        let order = pettis_hansen_order(&funcs, &arcs, 4096);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let funcs: Vec<FuncNode> =
+            (0..15).map(|i| FuncNode { size: 8, weight: i as u64 }).collect();
+        let arcs: Vec<CallArc> = (0..14)
+            .map(|i| CallArc { caller: i, callee: (i + 3) % 15, weight: (i + 1) as u64 })
+            .collect();
+        let mut order = pettis_hansen_order(&funcs, &arcs, 1 << 20);
+        order.sort_unstable();
+        assert_eq!(order, (0..15).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the layout algorithms.
+
+use layout::{
+    c3_order, exttsp_order, exttsp_score, pettis_hansen_order, reorder_props_by_hotness,
+    split_hot_cold, BlockEdge, BlockNode, CallArc, ExtTspParams, FuncNode, PropAccess,
+};
+use proptest::prelude::*;
+
+fn arb_blocks(max_n: usize) -> impl Strategy<Value = Vec<BlockNode>> {
+    prop::collection::vec(
+        (1u32..64, 0u64..1000).prop_map(|(size, weight)| BlockNode { size, weight }),
+        1..max_n,
+    )
+}
+
+fn arb_cfg(max_n: usize) -> impl Strategy<Value = (Vec<BlockNode>, Vec<BlockEdge>)> {
+    arb_blocks(max_n).prop_flat_map(|blocks| {
+        let n = blocks.len();
+        let edges = prop::collection::vec(
+            (0..n, 0..n, 0u64..500).prop_map(|(src, dst, weight)| BlockEdge { src, dst, weight }),
+            0..(2 * n).max(1),
+        );
+        (Just(blocks), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn exttsp_output_is_permutation_with_entry_first((blocks, edges) in arb_cfg(24)) {
+        let order = exttsp_order(&blocks, &edges, &ExtTspParams::default());
+        prop_assert_eq!(order[0], 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..blocks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exttsp_score_nonnegative_and_bounded((blocks, edges) in arb_cfg(16)) {
+        let order = exttsp_order(&blocks, &edges, &ExtTspParams::default());
+        let s = exttsp_score(&blocks, &edges, &order, &ExtTspParams::default());
+        let max: f64 = edges.iter().map(|e| e.weight as f64).sum();
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= max + 1e-6);
+    }
+
+    #[test]
+    fn exttsp_beats_or_ties_reverse_order((blocks, edges) in arb_cfg(12)) {
+        // The optimized order should score at least as well as the
+        // pessimal reverse-of-source order (a weak but universal bound;
+        // strict comparison against source order can tie).
+        let p = ExtTspParams::default();
+        let order = exttsp_order(&blocks, &edges, &p);
+        let mut rev: Vec<usize> = (0..blocks.len()).collect();
+        rev[1..].reverse();
+        let opt = exttsp_score(&blocks, &edges, &order, &p);
+        // Compare against the better of source and reversed-source to keep
+        // the bound meaningful without being flaky.
+        let src: Vec<usize> = (0..blocks.len()).collect();
+        let base = exttsp_score(&blocks, &edges, &src, &p)
+            .min(exttsp_score(&blocks, &edges, &rev, &p));
+        prop_assert!(opt + 1e-6 >= base);
+    }
+
+    #[test]
+    fn hot_cold_partitions_exactly(weights in prop::collection::vec(0u64..100, 1..40)) {
+        let order: Vec<usize> = (0..weights.len()).collect();
+        let s = split_hot_cold(&order, &weights, 0, 0.0);
+        let mut all = s.hot.clone();
+        all.extend(&s.cold);
+        all.sort_unstable();
+        prop_assert_eq!(all, order);
+        for &c in &s.cold {
+            prop_assert_eq!(weights[c], 0);
+        }
+    }
+
+    #[test]
+    fn c3_output_is_permutation(
+        sizes in prop::collection::vec(1u32..200, 1..30),
+        seed in 0u64..1000,
+    ) {
+        let funcs: Vec<FuncNode> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| FuncNode { size: s, weight: (i as u64 * 7 + seed) % 100 })
+            .collect();
+        let n = funcs.len();
+        let arcs: Vec<CallArc> = (0..n)
+            .map(|i| CallArc {
+                caller: i,
+                callee: (i * 3 + seed as usize) % n,
+                weight: (i as u64 + seed) % 50,
+            })
+            .collect();
+        let mut order = c3_order(&funcs, &arcs, 4096);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pettis_hansen_output_is_permutation(
+        sizes in prop::collection::vec(1u32..200, 1..30),
+    ) {
+        let funcs: Vec<FuncNode> =
+            sizes.iter().map(|&s| FuncNode { size: s, weight: s as u64 }).collect();
+        let n = funcs.len();
+        let arcs: Vec<CallArc> = (0..n)
+            .map(|i| CallArc { caller: i, callee: (i + 1) % n, weight: i as u64 })
+            .collect();
+        let mut order = pettis_hansen_order(&funcs, &arcs, 4096);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hotness_reorder_is_permutation_and_sorted(
+        counts in prop::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let props: Vec<PropAccess<usize>> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| PropAccess { prop: i, count: c })
+            .collect();
+        let order = reorder_props_by_hotness(&props);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..counts.len()).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(counts[w[0]] >= counts[w[1]]);
+        }
+    }
+}

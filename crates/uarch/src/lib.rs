@@ -1,0 +1,29 @@
+//! Micro-architecture simulators.
+//!
+//! The paper's Fig. 5 reports Jump-Start's steady-state effect as miss-rate
+//! reductions on branch prediction, I-cache, I-TLB, D-cache, D-TLB and LLC.
+//! Those metrics come from real Broadwell hardware; this crate supplies the
+//! simulated stand-ins the executor drives instead:
+//!
+//! * [`Cache`] — set-associative, true-LRU cache (L1I/L1D/shared LLC),
+//! * [`Tlb`] — fully-associative LRU TLB,
+//! * [`BranchPredictor`] — gshare direction predictor,
+//! * [`CoreModel`] — one core's fetch/load/store/branch interface with a
+//!   cycle cost model,
+//! * [`MissReport`] — snapshotting and comparing miss rates between runs.
+//!
+//! Addresses are plain `u64`s in a flat simulated address space; the JIT's
+//! code cache hands out code addresses and the executor synthesizes data
+//! addresses for objects and repo metadata.
+
+mod branch;
+mod cache;
+mod core_model;
+mod metrics;
+mod tlb;
+
+pub use branch::BranchPredictor;
+pub use cache::{Cache, CacheConfig};
+pub use core_model::{CoreModel, CoreParams};
+pub use metrics::{AccessStats, MissReport};
+pub use tlb::Tlb;

@@ -1,0 +1,165 @@
+//! Miss statistics and cross-run comparison.
+
+use std::fmt;
+
+/// Access/miss counters for one structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Total accesses (for the branch predictor: executed branches).
+    pub accesses: u64,
+    /// Misses (for the branch predictor: mispredictions).
+    pub misses: u64,
+}
+
+impl AccessStats {
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per thousand of `instructions`.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+impl std::ops::Add for AccessStats {
+    type Output = AccessStats;
+
+    fn add(self, rhs: AccessStats) -> AccessStats {
+        AccessStats {
+            accesses: self.accesses + rhs.accesses,
+            misses: self.misses + rhs.misses,
+        }
+    }
+}
+
+/// A full snapshot of the metrics the paper reports in Fig. 5.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MissReport {
+    /// Branch direction mispredictions.
+    pub branch: AccessStats,
+    /// L1 instruction cache.
+    pub icache: AccessStats,
+    /// Instruction TLB.
+    pub itlb: AccessStats,
+    /// L1 data cache.
+    pub dcache: AccessStats,
+    /// Data TLB.
+    pub dtlb: AccessStats,
+    /// Shared last-level cache (instruction + data fills).
+    pub llc: AccessStats,
+    /// Instructions executed (for MPKI).
+    pub instructions: u64,
+    /// Total cycles accumulated by the cost model.
+    pub cycles: u64,
+}
+
+impl MissReport {
+    /// Percent reduction in misses-per-instruction of `self` relative to
+    /// `baseline` for each metric, in Fig. 5's order:
+    /// `[branch, icache, itlb, dcache, dtlb, llc]`. Positive = fewer misses.
+    pub fn reduction_vs(&self, baseline: &MissReport) -> [f64; 6] {
+        let pick = |s: &AccessStats, i: u64| s.mpki(i.max(1));
+        let pairs = [
+            (pick(&self.branch, self.instructions), pick(&baseline.branch, baseline.instructions)),
+            (pick(&self.icache, self.instructions), pick(&baseline.icache, baseline.instructions)),
+            (pick(&self.itlb, self.instructions), pick(&baseline.itlb, baseline.instructions)),
+            (pick(&self.dcache, self.instructions), pick(&baseline.dcache, baseline.instructions)),
+            (pick(&self.dtlb, self.instructions), pick(&baseline.dtlb, baseline.instructions)),
+            (pick(&self.llc, self.instructions), pick(&baseline.llc, baseline.instructions)),
+        ];
+        pairs.map(|(new, old)| if old == 0.0 { 0.0 } else { (old - new) / old * 100.0 })
+    }
+
+    /// Percent speedup of `self` over `baseline` by cycles-per-instruction
+    /// (positive = `self` is faster).
+    pub fn speedup_vs(&self, baseline: &MissReport) -> f64 {
+        let cpi_new = self.cycles as f64 / self.instructions.max(1) as f64;
+        let cpi_old = baseline.cycles as f64 / baseline.instructions.max(1) as f64;
+        if cpi_new == 0.0 {
+            0.0
+        } else {
+            (cpi_old / cpi_new - 1.0) * 100.0
+        }
+    }
+}
+
+impl fmt::Display for MissReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions: {}  cycles: {}", self.instructions, self.cycles)?;
+        let row = |name: &str, s: &AccessStats| {
+            format!(
+                "  {name:<8} accesses {:>12}  misses {:>10}  rate {:>7.4}  mpki {:>8.3}",
+                s.accesses,
+                s.misses,
+                s.miss_rate(),
+                s.mpki(self.instructions)
+            )
+        };
+        writeln!(f, "{}", row("branch", &self.branch))?;
+        writeln!(f, "{}", row("icache", &self.icache))?;
+        writeln!(f, "{}", row("itlb", &self.itlb))?;
+        writeln!(f, "{}", row("dcache", &self.dcache))?;
+        writeln!(f, "{}", row("dtlb", &self.dtlb))?;
+        write!(f, "{}", row("llc", &self.llc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(AccessStats::default().miss_rate(), 0.0);
+        let s = AccessStats { accesses: 10, misses: 3 };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.mpki(1000) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_is_positive_when_fewer_misses() {
+        let old = MissReport {
+            icache: AccessStats { accesses: 1000, misses: 100 },
+            instructions: 1000,
+            cycles: 2000,
+            ..Default::default()
+        };
+        let new = MissReport {
+            icache: AccessStats { accesses: 1000, misses: 50 },
+            instructions: 1000,
+            cycles: 1800,
+            ..Default::default()
+        };
+        let red = new.reduction_vs(&old);
+        assert!((red[1] - 50.0).abs() < 1e-9);
+        assert!(new.speedup_vs(&old) > 0.0);
+    }
+
+    #[test]
+    fn speedup_is_symmetric_around_zero() {
+        let a = MissReport { instructions: 100, cycles: 100, ..Default::default() };
+        let b = MissReport { instructions: 100, cycles: 110, ..Default::default() };
+        assert!(a.speedup_vs(&b) > 0.0);
+        assert!(b.speedup_vs(&a) < 0.0);
+        assert_eq!(a.speedup_vs(&a), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let r = MissReport { instructions: 10, cycles: 20, ..Default::default() };
+        let s = r.to_string();
+        for k in ["branch", "icache", "itlb", "dcache", "dtlb", "llc"] {
+            assert!(s.contains(k));
+        }
+    }
+}

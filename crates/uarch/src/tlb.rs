@@ -1,0 +1,105 @@
+//! Fully-associative, LRU translation look-aside buffer.
+
+use crate::metrics::AccessStats;
+
+/// A TLB with a fixed number of page entries.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page, last_use); u64::MAX = invalid
+    page_bytes: u64,
+    tick: u64,
+    stats: AccessStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots over `page_bytes`-sized pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    pub fn new(entries: u32, page_bytes: u64) -> Self {
+        assert!(entries > 0, "TLB needs at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Self {
+            entries: vec![(u64::MAX, 0); entries as usize],
+            page_bytes,
+            tick: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// A 64-entry, 4 KiB-page TLB (Broadwell-like first level).
+    pub fn broadwell() -> Self {
+        Self::new(64, 4096)
+    }
+
+    /// Translates one address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let page = addr / self.page_bytes;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = self
+            .entries
+            .iter_mut()
+            .min_by_key(|(_, last)| *last)
+            .expect("entries non-empty");
+        *victim = (page, self.tick);
+        false
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Clears counters but keeps contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(100));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn lru_eviction_over_capacity() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // page 0 MRU
+        assert!(!t.access(8192)); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = Tlb::broadwell();
+        for i in 0..100u64 {
+            t.access(i * 4096);
+        }
+        assert_eq!(t.stats().accesses, 100);
+        assert_eq!(t.stats().misses, 100);
+        t.reset_stats();
+        assert_eq!(t.stats().accesses, 0);
+    }
+}

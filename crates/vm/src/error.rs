@@ -1,0 +1,60 @@
+//! Runtime errors.
+
+use std::fmt;
+
+use bytecode::FuncId;
+
+/// An error raised during interpretation.
+///
+/// JIT-compiled code must raise exactly the same errors as the interpreter;
+/// the differential tests in `crates/jit` rely on that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// An operator was applied to operand types it does not support.
+    TypeError { func: FuncId, at: u32, detail: String },
+    /// A named function does not exist.
+    UndefinedFunction(String),
+    /// A method was not found on the receiver's class or its ancestors.
+    UndefinedMethod { class: String, method: String },
+    /// A property was not found on the receiver's class.
+    UndefinedProperty { class: String, prop: String },
+    /// A vec/dict index was missing or out of range.
+    IndexError { detail: String },
+    /// Integer division or modulus by zero.
+    DivisionByZero { func: FuncId, at: u32 },
+    /// `this` used outside a method.
+    NoThis { func: FuncId },
+    /// Recursion exceeded the configured frame limit.
+    StackOverflow,
+    /// The configured instruction budget was exhausted (runaway loop guard).
+    FuelExhausted,
+    /// A method call receiver was not an object.
+    NotAnObject { func: FuncId, at: u32, found: &'static str },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::TypeError { func, at, detail } => {
+                write!(f, "{func}@{at}: type error: {detail}")
+            }
+            VmError::UndefinedFunction(n) => write!(f, "undefined function `{n}`"),
+            VmError::UndefinedMethod { class, method } => {
+                write!(f, "undefined method `{class}::{method}`")
+            }
+            VmError::UndefinedProperty { class, prop } => {
+                write!(f, "undefined property `{class}::${prop}`")
+            }
+            VmError::IndexError { detail } => write!(f, "index error: {detail}"),
+            VmError::DivisionByZero { func, at } => write!(f, "{func}@{at}: division by zero"),
+            VmError::NoThis { func } => write!(f, "{func}: `this` outside a method"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            VmError::NotAnObject { func, at, found } => {
+                write!(f, "{func}@{at}: method call on non-object ({found})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

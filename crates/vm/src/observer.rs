@@ -1,0 +1,135 @@
+//! Instrumentation hooks.
+//!
+//! HHVM's profiling translations are JITed code with embedded counters
+//! (paper §II-A); in this reproduction the interpreter raises callbacks at
+//! the equivalent points and the `jit` crate's profile collector implements
+//! [`ExecObserver`] to fill its counter tables. The categories match the
+//! package contents of paper §IV-B: block counters and observed types (JIT
+//! profile data), call targets (target profiles), property accesses
+//! (object-layout profile).
+
+use bytecode::{BlockId, ClassId, FuncId, StrId};
+
+use crate::value::Value;
+
+/// A coarse dynamic type tag for profile purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKind {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// Float.
+    Float,
+    /// String.
+    Str,
+    /// Vec.
+    Vec,
+    /// Dict.
+    Dict,
+    /// Object (class id carried separately where it matters).
+    Obj,
+}
+
+impl ValueKind {
+    /// The tag of a runtime value.
+    pub fn of(v: &Value) -> ValueKind {
+        match v {
+            Value::Null => ValueKind::Null,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Vec(_) => ValueKind::Vec,
+            Value::Dict(_) => ValueKind::Dict,
+            Value::Obj(_) => ValueKind::Obj,
+        }
+    }
+
+    /// Dense index (for counter arrays).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of distinct kinds.
+    pub const COUNT: usize = 8;
+
+    /// All kinds in index order.
+    pub const ALL: [ValueKind; ValueKind::COUNT] = [
+        ValueKind::Null,
+        ValueKind::Bool,
+        ValueKind::Int,
+        ValueKind::Float,
+        ValueKind::Str,
+        ValueKind::Vec,
+        ValueKind::Dict,
+        ValueKind::Obj,
+    ];
+}
+
+/// Callbacks raised by the interpreter while executing instrumented code.
+///
+/// All methods have empty defaults so observers implement only what they
+/// need. Callbacks are only raised when the [`crate::Vm`] runs in observed
+/// mode, so plain execution pays nothing.
+pub trait ExecObserver {
+    /// A function body was entered with the given arguments.
+    fn on_func_enter(&mut self, _func: FuncId, _args: &[Value]) {}
+
+    /// A bytecode basic block was entered.
+    fn on_block(&mut self, _func: FuncId, _block: BlockId) {}
+
+    /// A conditional branch at instruction `at` resolved to `taken`.
+    fn on_branch(&mut self, _func: FuncId, _at: u32, _taken: bool) {}
+
+    /// A call site at instruction `at` dispatched to `callee`.
+    fn on_call(&mut self, _caller: FuncId, _at: u32, _callee: FuncId) {}
+
+    /// A property was read or written on an instance of `class`, at
+    /// instruction `at` of `func`.
+    fn on_prop_access(&mut self, _func: FuncId, _at: u32, _class: ClassId, _prop: StrId, _write: bool) {
+    }
+
+    /// A value's type was observed at a profiling point (binary op input,
+    /// instruction `at`, operand index `slot`).
+    fn on_type_observed(&mut self, _func: FuncId, _at: u32, _slot: u8, _kind: ValueKind) {}
+
+    /// A function returned normally.
+    fn on_func_exit(&mut self, _func: FuncId) {}
+}
+
+/// An observer that records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl ExecObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_kind_of_covers_all_variants() {
+        assert_eq!(ValueKind::of(&Value::Null), ValueKind::Null);
+        assert_eq!(ValueKind::of(&Value::Int(1)), ValueKind::Int);
+        assert_eq!(ValueKind::of(&Value::str("x")), ValueKind::Str);
+        assert_eq!(ValueKind::of(&Value::vec(vec![])), ValueKind::Vec);
+    }
+
+    #[test]
+    fn kind_indices_are_dense() {
+        for (i, k) in ValueKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn null_observer_is_usable_as_dyn() {
+        let mut obs = NullObserver;
+        let o: &mut dyn ExecObserver = &mut obs;
+        o.on_block(FuncId::new(0), BlockId(0));
+        o.on_branch(FuncId::new(0), 1, true);
+    }
+}

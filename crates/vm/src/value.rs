@@ -1,0 +1,334 @@
+//! Dynamic values.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::fmt;
+use std::rc::Rc;
+
+use bytecode::ClassId;
+
+/// A key in a dict: PHP arrays are keyed by int or string.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DictKey {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(Rc<str>),
+}
+
+impl fmt::Display for DictKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictKey::Int(i) => write!(f, "{i}"),
+            DictKey::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A heap object: class id plus property slots in *physical* order.
+///
+/// The logical (declared) property order is observable in Hacklet, so the
+/// class table keeps a logical→physical map per class (paper §V-C); the
+/// object itself only stores the physical slots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Object {
+    /// The object's class.
+    pub class: ClassId,
+    /// Property values in physical slot order.
+    pub slots: Vec<Value>,
+}
+
+/// Shared, mutable reference to a heap object.
+pub type ObjRef = Rc<RefCell<Object>>;
+
+/// A runtime value.
+///
+/// Aggregates are reference types (shared via `Rc`), matching PHP object
+/// semantics closely enough for the workloads we model. (Real PHP arrays
+/// are copy-on-write values; we use reference semantics for vecs/dicts,
+/// which none of the generated workloads rely on distinguishing.)
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// The null value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An immutable string.
+    Str(Rc<str>),
+    /// A growable vector.
+    Vec(Rc<RefCell<Vec<Value>>>),
+    /// An ordered dictionary.
+    Dict(Rc<RefCell<Vec<(DictKey, Value)>>>),
+    /// An object.
+    Obj(ObjRef),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Rc::from(s))
+    }
+
+    /// Creates a vec value.
+    pub fn vec(items: Vec<Value>) -> Value {
+        Value::Vec(Rc::new(RefCell::new(items)))
+    }
+
+    /// Creates a dict value.
+    pub fn dict(items: Vec<(DictKey, Value)>) -> Value {
+        Value::Dict(Rc::new(RefCell::new(items)))
+    }
+
+    /// PHP-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty() && &**s != "0",
+            Value::Vec(v) => !v.borrow().is_empty(),
+            Value::Dict(d) => !d.borrow().is_empty(),
+            Value::Obj(_) => true,
+        }
+    }
+
+    /// Short type name, used in error messages and the disassembly of
+    /// observed type profiles.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Vec(_) => "vec",
+            Value::Dict(_) => "dict",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Numeric view, if the value is an int or float.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Loose equality (see module docs for the exact rules).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), _) => *a == other.truthy(),
+            (_, Value::Bool(b)) => self.truthy() == *b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Vec(a), Value::Vec(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.loose_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
+            }
+            (Value::Obj(a), Value::Obj(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Ordering for `<`, `<=`, `>`, `>=`. Numbers compare numerically
+    /// (int/float mix allowed), strings lexicographically.
+    pub fn loose_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_number()?, other.as_number()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// String coercion (`print`, `concat`, `to_str`).
+    pub fn coerce_to_string(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(true) => "1".into(),
+            Value::Bool(false) => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Str(s) => s.to_string(),
+            Value::Vec(_) => "Vec".into(),
+            Value::Dict(_) => "Dict".into(),
+            Value::Obj(_) => "Object".into(),
+        }
+    }
+
+    /// Int coercion (`to_int`).
+    pub fn coerce_to_int(&self) -> i64 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(b) => *b as i64,
+            Value::Int(i) => *i,
+            Value::Float(f) => *f as i64,
+            Value::Str(s) => s.trim().parse::<i64>().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Converts to a dict key, if the value is an int or string.
+    pub fn as_dict_key(&self) -> Option<DictKey> {
+        match self {
+            Value::Int(i) => Some(DictKey::Int(*i)),
+            Value::Str(s) => Some(DictKey::Str(s.clone())),
+            Value::Bool(b) => Some(DictKey::Int(*b as i64)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality for tests; runtime comparisons use loose_eq.
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Vec(a), Value::Vec(b)) => *a.borrow() == *b.borrow(),
+            (Value::Dict(a), Value::Dict(b)) => *a.borrow() == *b.borrow(),
+            (Value::Obj(a), Value::Obj(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.coerce_to_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_rules() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(!Value::str("0").truthy());
+        assert!(Value::str("00").truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(Value::vec(vec![Value::Null]).truthy());
+        assert!(!Value::vec(vec![]).truthy());
+    }
+
+    #[test]
+    fn loose_eq_mixes_numbers() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).loose_eq(&Value::str("2")));
+        assert!(Value::Bool(true).loose_eq(&Value::Int(7)));
+        assert!(Value::Null.loose_eq(&Value::Null));
+    }
+
+    #[test]
+    fn loose_cmp_numbers_and_strings() {
+        assert_eq!(Value::Int(1).loose_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(2.5).loose_cmp(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::str("abc").loose_cmp(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::str("a").loose_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn string_coercion() {
+        assert_eq!(Value::Int(42).coerce_to_string(), "42");
+        assert_eq!(Value::Float(2.0).coerce_to_string(), "2");
+        assert_eq!(Value::Float(2.5).coerce_to_string(), "2.5");
+        assert_eq!(Value::Null.coerce_to_string(), "");
+        assert_eq!(Value::Bool(true).coerce_to_string(), "1");
+    }
+
+    #[test]
+    fn int_coercion_parses_strings() {
+        assert_eq!(Value::str(" 17 ").coerce_to_int(), 17);
+        assert_eq!(Value::str("x").coerce_to_int(), 0);
+        assert_eq!(Value::Float(3.9).coerce_to_int(), 3);
+    }
+
+    #[test]
+    fn dict_keys_from_values() {
+        assert_eq!(Value::Int(3).as_dict_key(), Some(DictKey::Int(3)));
+        assert_eq!(
+            Value::str("k").as_dict_key(),
+            Some(DictKey::Str(Rc::from("k")))
+        );
+        assert_eq!(Value::Null.as_dict_key(), None);
+    }
+
+    #[test]
+    fn vec_equality_is_structural() {
+        let a = Value::vec(vec![Value::Int(1)]);
+        let b = Value::vec(vec![Value::Int(1)]);
+        assert_eq!(a, b);
+        assert!(a.loose_eq(&b));
+    }
+}

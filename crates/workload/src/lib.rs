@@ -1,0 +1,26 @@
+//! Synthetic large-scale web application and traffic generator.
+//!
+//! The paper's workload is the Facebook website: a monolithic Hack code
+//! base (100M+ lines) with a *very flat* execution profile and a long tail
+//! of warm functions (§II-B), served by a fleet partitioned into 10
+//! *semantic buckets* with per-region traffic differences (§II-C).
+//!
+//! This crate generates a scaled-down application with the same load-
+//! bearing properties:
+//!
+//! * many units/classes/functions organized in *modules* aligned with the
+//!   semantic partitions,
+//! * leveled call structure (endpoints → helpers → leaves) with both
+//!   argument-dependent and constant-argument call sites — the latter make
+//!   per-site callee behavior diverge from the callee's average, which is
+//!   exactly what §V-A's instrumented optimized code recovers,
+//! * classes whose *hot* properties are declared late (so declared-order
+//!   layout is poor and §V-C's reordering has something to win),
+//! * Zipf-distributed endpoint popularity per (region, bucket) mix with
+//!   semantic-routing affinity.
+
+mod appgen;
+mod traffic;
+
+pub use appgen::{generate, App, AppParams, Endpoint};
+pub use traffic::{profile_run, ProfileRun, RequestMix, RequestSampler};

@@ -1,0 +1,83 @@
+//! Continuous deployment across a fleet (paper §II-C, §IV-A, §VI):
+//! seeders profile in C2, validate and publish; C3 consumers boot with
+//! randomized packages; a crash-loop experiment shows the reliability
+//! machinery containing a bad package.
+//!
+//! Run with: `cargo run --release --example fleet_deploy`
+
+use hhvm_jumpstart_repro::{fleet, jit, jumpstart, workload};
+
+use fleet::{run_crashloop, run_deployment, CrashLoopParams, DeployParams, WarmupParams};
+use jit::JitOptions;
+use jumpstart::JumpStartOptions;
+use workload::{generate, AppParams};
+
+fn main() {
+    let app = generate(&AppParams::tiny());
+
+    println!("== C1/C2/C3 push with Jump-Start ==");
+    let params = DeployParams {
+        regions: 2,
+        buckets: 2,
+        seeders_per_cell: 2,
+        seeder_requests: 150,
+        warmup: WarmupParams {
+            duration_ms: 420_000,
+            sample_ms: 10_000,
+            init_ms_nojs: 45_000,
+            init_ms_js: 20_000,
+            deserialize_ms: 4_000,
+            profile_serve_ms: 120_000,
+            relocation_ms: 30_000,
+            compile_bytes_per_core_ms: 1.2,
+            ..WarmupParams::fig4()
+        },
+        js_opts: JumpStartOptions {
+            min_funcs_profiled: 5,
+            min_counter_mass: 100,
+            min_requests: 10,
+            ..Default::default()
+        },
+        jit_opts: JitOptions::default(),
+        seed: 3,
+    };
+    let report = run_deployment(&app, &params);
+    println!(
+        "published {} packages ({} failed validation)",
+        report.published, report.validation_failures
+    );
+    for (i, (js, nojs)) in report.js_timelines.iter().zip(&report.nojs_timelines).enumerate() {
+        println!(
+            "cell {i}: loss JS {:>5.1}%  no-JS {:>5.1}%  (time to 90% rps: JS {:?}s, no-JS {:?}s)",
+            js.capacity_loss_over(420_000) * 100.0,
+            nojs.capacity_loss_over(420_000) * 100.0,
+            js.time_to_rps(0.9).map(|t| t / 1000),
+            nojs.time_to_rps(0.9).map(|t| t / 1000),
+        );
+    }
+    println!(
+        "fleet capacity-loss reduction: {:.1}% (paper: 54.9%)\n",
+        report.capacity_loss_reduction(420_000)
+    );
+
+    println!("== §VI: one crash-inducing package among five, 2000 consumers ==");
+    let cl = run_crashloop(&CrashLoopParams::default());
+    println!("crashed per restart wave: {:?}", cl.crashed_per_wave);
+    println!(
+        "healthy after {:?} waves; {} servers fell back to self-profiling",
+        cl.waves_to_healthy, cl.fallbacks
+    );
+
+    println!("\n== §VI: the same bad package without randomization ==");
+    let cl = run_crashloop(&CrashLoopParams {
+        packages: 1,
+        poisoned: 1,
+        servers: 2000,
+        ..Default::default()
+    });
+    println!("crashed per restart wave: {:?}", cl.crashed_per_wave);
+    println!(
+        "all {} servers crash-loop until the automatic fallback disables Jump-Start",
+        cl.fallbacks
+    );
+}

@@ -1,0 +1,78 @@
+//! Single-server warmup (paper Figs. 1/2/4): simulates one web server
+//! restarting with and without Jump-Start and prints the RPS/latency/code
+//! timelines side by side.
+//!
+//! Run with: `cargo run --release --example webserver_warmup`
+
+use hhvm_jumpstart_repro::{fleet, jit, jumpstart, workload};
+
+use fleet::{build_app_model, simulate_warmup, ServerConfig, WarmupParams};
+use jumpstart::{build_package, JumpStartOptions, SeederInputs};
+use workload::{generate, profile_run, AppParams, RequestMix};
+
+fn main() {
+    println!("generating a synthetic web application...");
+    let app = generate(&AppParams::tiny());
+    let mix = RequestMix::new(&app, 0, 0);
+    let truth = profile_run(&app, &mix, 200, 7);
+    let model = build_app_model(&app, &truth);
+
+    let pkg = build_package(
+        SeederInputs {
+            repo: &app.repo,
+            tier: truth.tier.clone(),
+            ctx: truth.ctx.clone(),
+            unit_order: truth.unit_order.clone(),
+            requests: truth.requests,
+            region: 0,
+            bucket: 0,
+            seeder_id: 1,
+            now_ms: 0,
+        },
+        &JumpStartOptions::default(),
+        &jit::JitOptions::default(),
+    );
+
+    let params = WarmupParams {
+        duration_ms: 600_000,
+        sample_ms: 20_000,
+        init_ms_nojs: 60_000,
+        init_ms_js: 25_000,
+        deserialize_ms: 5_000,
+        profile_serve_ms: 150_000,
+        relocation_ms: 40_000,
+        ..WarmupParams::fig4()
+    }
+    .with_compile_window(&model, 180_000);
+
+    let js = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: Some(&pkg) });
+    let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+
+    println!(
+        "\n{:>6} | {:>8} {:>9} {:>9} | {:>8} {:>9} {:>9}",
+        "t(s)", "JS rps", "JS lat", "JS code", "rps", "lat", "code"
+    );
+    println!("{:->70}", "");
+    for (a, b) in js.samples.iter().zip(nojs.samples.iter()) {
+        println!(
+            "{:>6} | {:>8.2} {:>7.1}ms {:>7}KB | {:>8.2} {:>7.1}ms {:>7}KB",
+            a.t_ms / 1000,
+            a.rps_norm,
+            a.latency_ms,
+            a.code_bytes / 1024,
+            b.rps_norm,
+            b.latency_ms,
+            b.code_bytes / 1024
+        );
+    }
+    println!(
+        "\nlifecycle (no Jump-Start): A={:?}s  B={:?}s  C={:?}s",
+        nojs.point_a_ms.map(|t| t / 1000),
+        nojs.point_b_ms.map(|t| t / 1000),
+        nojs.point_c_ms.map(|t| t / 1000)
+    );
+    let (lj, ln) =
+        (js.capacity_loss_over(600_000) * 100.0, nojs.capacity_loss_over(600_000) * 100.0);
+    println!("capacity loss over 10 min: Jump-Start {lj:.1}% vs no Jump-Start {ln:.1}%");
+    println!("reduction: {:.1}% (paper: 54.9%)", (ln - lj) / ln * 100.0);
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the HHVM Jump-Start reproduction.
+//!
+//! This crate re-exports the workspace's public surface so that examples and
+//! integration tests can use one coherent namespace. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use hhvm_jumpstart_repro as js;
+//!
+//! // Compile a little Hacklet program to bytecode and run it.
+//! let repo = js::hackc::compile_unit("main.hl", "function main() { return 2 + 3; }")
+//!     .expect("compiles");
+//! let mut vm = js::vm::Vm::new(&repo);
+//! let out = vm.call_by_name("main", &[]).expect("runs");
+//! assert_eq!(out, js::vm::Value::Int(5));
+//! ```
+
+pub use bytecode;
+pub use fleet;
+pub use hackc;
+pub use jit;
+pub use jumpstart;
+pub use layout;
+pub use uarch;
+pub use vm;
+pub use workload;

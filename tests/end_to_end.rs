@@ -1,0 +1,222 @@
+//! Integration tests spanning every crate: source → bytecode → profile →
+//! package → consumer → replay, plus the fleet-level behaviors the paper's
+//! evaluation depends on.
+
+use hhvm_jumpstart_repro::{fleet, jit, jumpstart, vm, workload};
+
+use fleet::{
+    build_app_model, measure_steady_state, run_crashloop, simulate_warmup, CrashLoopParams,
+    ServerConfig, SteadyConfig, SteadyParams, WarmupParams,
+};
+use jit::JitOptions;
+use jumpstart::{
+    build_package, consume, JumpStartOptions, ProfilePackage, SeederInputs, Validator,
+};
+use vm::{Value, Vm};
+use workload::{generate, profile_run, AppParams, RequestMix};
+
+fn lab() -> (workload::App, RequestMix, workload::ProfileRun) {
+    let app = generate(&AppParams::tiny());
+    let mix = RequestMix::new(&app, 0, 0);
+    let truth = profile_run(&app, &mix, 200, 33);
+    (app, mix, truth)
+}
+
+fn lax_opts() -> JumpStartOptions {
+    JumpStartOptions {
+        min_funcs_profiled: 5,
+        min_counter_mass: 100,
+        min_requests: 10,
+        ..Default::default()
+    }
+}
+
+fn package_of(app: &workload::App, truth: &workload::ProfileRun, opts: &JumpStartOptions) -> ProfilePackage {
+    build_package(
+        SeederInputs {
+            repo: &app.repo,
+            tier: truth.tier.clone(),
+            ctx: truth.ctx.clone(),
+            unit_order: truth.unit_order.clone(),
+            requests: truth.requests,
+            region: 0,
+            bucket: 0,
+            seeder_id: 1,
+            now_ms: 0,
+        },
+        opts,
+        &JitOptions::default(),
+    )
+}
+
+#[test]
+fn full_pipeline_source_to_replay() {
+    let (app, _mix, truth) = lab();
+    let opts = lax_opts();
+    let pkg = package_of(&app, &truth, &opts);
+
+    // Wire round trip.
+    let bytes = pkg.serialize();
+    let reloaded = ProfilePackage::deserialize(&bytes).expect("round-trips");
+    assert_eq!(reloaded, pkg);
+
+    // Validation accepts it.
+    Validator::new(opts, JitOptions::default())
+        .validate(&app.repo, &bytes)
+        .expect("healthy package validates");
+
+    // Consumer compiles everything in the package's order.
+    let out = consume(&app.repo, &reloaded, JitOptions::default(), &opts, 4).expect("consumes");
+    assert!(out.compiled_funcs > 50, "flat profile optimizes many functions");
+    assert!(out.compile_bytes > 10_000);
+
+    // Replay executes through the code cache without running dry.
+    let mut ex = jit::Executor::new(
+        &app.repo,
+        &out.engine.code_cache,
+        &reloaded.tier,
+        &reloaded.ctx,
+        jit::ExecutorConfig::default(),
+    );
+    for ep in app.endpoints.iter().take(5) {
+        ex.run_call(ep.func);
+    }
+    let r = ex.report();
+    assert!(r.instructions > 1_000);
+    assert!(r.cycles > r.instructions, "CPI above 1");
+}
+
+#[test]
+fn semantics_unchanged_by_jumpstart_configuration() {
+    // The same requests must produce identical results whether or not the
+    // VM installed package property orders — Jump-Start must never change
+    // program behavior (paper §III: transparency).
+    let (app, _mix, truth) = lab();
+    let pkg = package_of(&app, &truth, &lax_opts());
+
+    let run = |orders: bool| {
+        let mut vm = Vm::new(&app.repo);
+        if orders {
+            vm.classes_mut().install_prop_orders(pkg.prop_orders.iter().cloned());
+            vm.loader_mut().preload(&app.repo, pkg.preload.unit_order.iter().copied());
+        }
+        let mut outputs = Vec::new();
+        for ep in &app.endpoints {
+            for arg in [3i64, 444, 998] {
+                outputs.push(vm.call(ep.func, &[Value::Int(arg)]).expect("runs"));
+            }
+        }
+        outputs
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn warmup_improvement_is_mechanistic() {
+    let (app, mix, truth) = lab();
+    let model = build_app_model(&app, &truth);
+    let pkg = package_of(&app, &truth, &lax_opts());
+    let params = WarmupParams {
+        duration_ms: 360_000,
+        sample_ms: 10_000,
+        init_ms_nojs: 30_000,
+        init_ms_js: 12_000,
+        deserialize_ms: 3_000,
+        profile_serve_ms: 90_000,
+        relocation_ms: 30_000,
+        ..WarmupParams::fig4()
+    }
+    .with_compile_window(&model, 120_000);
+
+    let js = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: Some(&pkg) });
+    let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+
+    let (lj, ln) = (js.capacity_loss_over(360_000), nojs.capacity_loss_over(360_000));
+    assert!(lj < ln, "Jump-Start must reduce capacity loss ({lj:.3} vs {ln:.3})");
+    assert!(
+        (ln - lj) / ln > 0.3,
+        "reduction should be substantial, got {:.1}%",
+        (ln - lj) / ln * 100.0
+    );
+    // The no-JS server walks A -> B -> C; the consumer never does.
+    assert!(nojs.point_a_ms.is_some() && nojs.point_c_ms.is_some());
+    assert!(js.point_a_ms.is_none());
+}
+
+#[test]
+fn steady_state_data_layout_wins() {
+    let (app, mix, truth) = lab();
+    let params = SteadyParams {
+        warm_requests: 100,
+        measure_requests: 400,
+        threads: 2,
+        ..Default::default()
+    };
+    let js = measure_steady_state(&app, &mix, &truth, &SteadyConfig::jumpstart_full(), &params);
+    let nojs = measure_steady_state(&app, &mix, &truth, &SteadyConfig::no_jumpstart(), &params);
+    assert!(
+        js.report.dcache.misses < nojs.report.dcache.misses,
+        "property reordering should cut D-cache misses ({} vs {})",
+        js.report.dcache.misses,
+        nojs.report.dcache.misses
+    );
+}
+
+#[test]
+fn crash_loops_are_contained() {
+    let report = run_crashloop(&CrashLoopParams {
+        servers: 3000,
+        packages: 5,
+        poisoned: 1,
+        ..Default::default()
+    });
+    // Exponential decay: each wave well under half the previous.
+    for w in report.crashed_per_wave.windows(2) {
+        if w[0] > 50 {
+            assert!(w[1] * 2 < w[0], "decay too slow: {:?}", report.crashed_per_wave);
+        }
+    }
+    assert!(report.waves_to_healthy.is_some());
+}
+
+#[test]
+fn corrupted_packages_never_panic_and_fall_back() {
+    let (app, _mix, truth) = lab();
+    let pkg = package_of(&app, &truth, &lax_opts());
+    let bytes = pkg.serialize().to_vec();
+    // Every corruption either decodes to an error or (for meta-only flips)
+    // still consumes; nothing panics.
+    for i in (0..bytes.len()).step_by(97) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x80;
+        match ProfilePackage::deserialize(&bad) {
+            Err(_) => {}
+            Ok(p) => {
+                let _ = consume(&app.repo, &p, JitOptions::default(), &lax_opts(), 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn regional_packages_reflect_their_traffic() {
+    // Packages built in different regions order different functions first —
+    // the reason packages are per (region, bucket) (§II-C).
+    let app = generate(&AppParams::tiny());
+    let mix_a = RequestMix::new(&app, 0, 0);
+    let mix_b = RequestMix::new(&app, 2, 1);
+    let run_a = profile_run(&app, &mix_a, 150, 1);
+    let run_b = profile_run(&app, &mix_b, 150, 1);
+    let pkg_a = package_of(&app, &run_a, &lax_opts());
+    let pkg_b = package_of(&app, &run_b, &lax_opts());
+    assert_ne!(
+        pkg_a.func_order, pkg_b.func_order,
+        "different regions should produce different function orders"
+    );
+}
+
+#[test]
+fn verifier_accepts_all_generated_code() {
+    let app = generate(&AppParams::tiny());
+    bytecode::verify_repo(&app.repo).expect("generated app verifies");
+}

@@ -1,0 +1,221 @@
+//! Cross-crate property-based tests: randomized programs and profiles must
+//! preserve the system's core invariants.
+
+use hhvm_jumpstart_repro::{jit, jumpstart, vm};
+
+use bytecode::{ClassId, FuncId, StrId, UnitId};
+use jit::{BranchCount, CtxProfile, FuncProfile, TierProfile, TypeDist};
+use jumpstart::{Coverage, PackageMeta, Poison, PreloadLists, ProfilePackage};
+use proptest::prelude::*;
+use vm::{Value, ValueKind, Vm};
+
+// ---------- randomized Hacklet programs ----------
+
+/// Generates a small arithmetic/control-flow Hacklet function body from a
+/// seed (always valid source by construction).
+fn gen_source(seed: u64) -> String {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let iters = rng.gen_range(1..12);
+    let m = rng.gen_range(2..6);
+    let a = rng.gen_range(1..9);
+    let b = rng.gen_range(1..9);
+    let cls_props: usize = rng.gen_range(2..6);
+    let mut props = String::new();
+    for p in 0..cls_props {
+        props.push_str(&format!("  public $p{p} = {p};\n"));
+    }
+    let hot = rng.gen_range(0..cls_props);
+    format!(
+        r#"
+class K {{
+{props}}}
+function helper($x) {{
+    if ($x % {m} == 0) {{ return $x * {a}; }}
+    return $x + {b};
+}}
+function main($n) {{
+    $o = new K();
+    $s = 0;
+    for ($i = 0; $i < {iters}; $i++) {{
+        $s = $s + helper($i + $n);
+        $o->p{hot} = $s;
+        $s = $s + $o->p{hot} % 1000;
+    }}
+    return $s;
+}}
+"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs compile, verify, and produce identical results under
+    /// any property permutation the package could install (§V-C safety).
+    #[test]
+    fn random_programs_invariant_under_prop_reorder(seed in 0u64..10_000, perm_seed in 0u64..1000) {
+        let src = gen_source(seed);
+        let repo = hackc::compile_unit("gen.hl", &src).expect("generated source compiles");
+        bytecode::verify_repo(&repo).expect("verifies");
+        let k = repo.class_by_name("K").expect("exists").id;
+
+        let run = |order: Option<Vec<StrId>>| {
+            let mut vm = Vm::new(&repo);
+            if let Some(o) = order {
+                vm.classes_mut().install_prop_order(k, o);
+            }
+            (0..5i64)
+                .map(|arg| vm.call_by_name("main", &[Value::Int(arg * 7)]).expect("runs"))
+                .collect::<Vec<_>>()
+        };
+        // A pseudo-random permutation of K's own properties.
+        let mut names: Vec<StrId> = repo.class(k).props.iter().map(|p| p.name).collect();
+        let n = names.len();
+        for i in 0..n {
+            let j = ((perm_seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            names.swap(i, j);
+        }
+        prop_assert_eq!(run(None), run(Some(names)));
+    }
+
+    /// The optimized translation of any random program has structurally
+    /// valid blocks and nonzero code, regardless of weight source.
+    #[test]
+    fn random_programs_translate_validly(seed in 0u64..10_000) {
+        let src = gen_source(seed);
+        let repo = hackc::compile_unit("gen.hl", &src).expect("compiles");
+        let main = repo.func_by_name("main").expect("exists").id;
+        let mut vm = Vm::new(&repo);
+        let mut col = jit::ProfileCollector::new(&repo);
+        vm.call_observed(main, &[Value::Int(9)], &mut col).expect("runs");
+        col.end_request();
+        for ws in [jit::WeightSource::TierOnly, jit::WeightSource::Accurate] {
+            let unit = jit::translate_optimized(
+                &repo, main, &col.tier, &col.ctx, ws,
+                jit::InlineParams::default(), &|_, _| None,
+            );
+            prop_assert!(unit.code_size() > 0);
+            prop_assert!(!unit.blocks.is_empty());
+            for blk in &unit.blocks {
+                for s in blk.term.successors() {
+                    prop_assert!(s < unit.blocks.len(), "dangling successor");
+                }
+                prop_assert!(blk.est_taken_prob >= 0.0 && blk.est_taken_prob <= 1.0);
+                prop_assert!(blk.true_taken_prob >= 0.0 && blk.true_taken_prob <= 1.0);
+            }
+        }
+    }
+}
+
+// ---------- randomized packages ----------
+
+fn arb_type_dist() -> impl Strategy<Value = TypeDist> {
+    prop::collection::vec(0u64..1000, ValueKind::COUNT).prop_map(|counts| {
+        let mut d = TypeDist::default();
+        for (k, c) in ValueKind::ALL.iter().zip(counts) {
+            d.add_raw(*k, c);
+        }
+        d
+    })
+}
+
+fn arb_func_profile() -> impl Strategy<Value = FuncProfile> {
+    (
+        0u64..100_000,
+        prop::collection::vec(0u64..50_000, 0..12),
+        prop::collection::hash_map(
+            0u32..64,
+            prop::collection::hash_map((0u32..512).prop_map(FuncId), 0u64..10_000, 0..4),
+            0..4,
+        ),
+        prop::collection::hash_map((0u32..64, 0u8..4), arb_type_dist(), 0..4),
+        prop::collection::hash_map(
+            0u32..64,
+            prop::collection::hash_map((0u32..64).prop_map(ClassId), 0u64..10_000, 0..3),
+            0..3,
+        ),
+    )
+        .prop_map(|(enter_count, block_counts, call_targets, types, prop_site_classes)| {
+            FuncProfile { enter_count, block_counts, call_targets, types, prop_site_classes }
+        })
+}
+
+fn arb_package() -> impl Strategy<Value = ProfilePackage> {
+    let meta = (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(region, bucket, seeder_id, created_ms, mass)| PackageMeta {
+            region,
+            bucket,
+            seeder_id,
+            created_ms,
+            coverage: Coverage { funcs_profiled: mass % 100, counter_mass: mass, requests: mass % 999 },
+            poison: Poison::None,
+        });
+    let tier = (
+        prop::collection::hash_map((0u32..512).prop_map(FuncId), arb_func_profile(), 0..6),
+        prop::collection::hash_map(
+            ((0u32..64).prop_map(ClassId), (0u32..512).prop_map(StrId)),
+            0u64..100_000,
+            0..8,
+        ),
+    )
+        .prop_map(|(funcs, prop_counts)| TierProfile { funcs, prop_counts, ..Default::default() });
+    let ctx = prop::collection::hash_map(
+        (
+            prop::option::of(((0u32..512).prop_map(FuncId), 0u32..64)),
+            (0u32..512).prop_map(FuncId),
+            0u32..64,
+        ),
+        (0u64..1_000_000, 0u64..1_000_000)
+            .prop_map(|(taken, not_taken)| BranchCount { taken, not_taken }),
+        0..10,
+    )
+    .prop_map(|branches| CtxProfile { branches, ..Default::default() });
+    (
+        meta,
+        prop::collection::vec((0u32..256).prop_map(UnitId), 0..20),
+        tier,
+        ctx,
+        prop::collection::vec((0u32..512).prop_map(FuncId), 0..30),
+    )
+        .prop_map(|(meta, unit_order, tier, ctx, func_order)| ProfilePackage {
+            meta,
+            preload: PreloadLists { unit_order },
+            tier,
+            ctx,
+            prop_orders: Vec::new(),
+            func_order,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any package round-trips exactly through the wire format.
+    #[test]
+    fn arbitrary_packages_round_trip(pkg in arb_package()) {
+        let bytes = pkg.serialize();
+        let back = ProfilePackage::deserialize(&bytes).expect("round-trips");
+        prop_assert_eq!(back, pkg);
+    }
+
+    /// Any single-byte corruption is rejected, never a panic or a silent
+    /// success (§VI: corrupted packages must fail cleanly to fallback).
+    #[test]
+    fn arbitrary_corruption_is_detected(pkg in arb_package(), at in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let bytes = pkg.serialize().to_vec();
+        let mut bad = bytes.clone();
+        let i = at.index(bad.len());
+        bad[i] ^= flip;
+        prop_assert!(ProfilePackage::deserialize(&bad).is_err());
+    }
+
+    /// Truncation at any point is rejected.
+    #[test]
+    fn arbitrary_truncation_is_detected(pkg in arb_package(), at in any::<prop::sample::Index>()) {
+        let bytes = pkg.serialize();
+        let len = at.index(bytes.len());
+        prop_assert!(ProfilePackage::deserialize(&bytes[..len]).is_err());
+    }
+}
