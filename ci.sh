@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: everything a change must pass before it lands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== build =="
+cargo build --workspace -q
+
+echo "== test (tier-1: root package) =="
+cargo test -q
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== jslint self-check =="
+cargo run -q -p bench --bin jslint -- --demo
+
+echo "CI OK"

@@ -1,0 +1,244 @@
+//! Definite assignment of locals — a forward *must* analysis.
+//!
+//! A local is definitely assigned at a point if **every** path from the
+//! entry writes it first; parameters start assigned. Reads of locals that
+//! are not definitely assigned observe the VM's implicit null — legal, but
+//! almost always a bug in the source, so the linter surfaces them as
+//! warnings.
+
+use bytecode::{BlockId, Cfg, Func, Instr, Local};
+
+use crate::dataflow::{solve, Analysis, Direction, JoinSemiLattice};
+
+/// A fixed-width bitset of locals; the *must* join is set intersection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalSet {
+    words: Vec<u64>,
+}
+
+impl LocalSet {
+    /// The empty set sized for `n` locals.
+    pub fn empty(n: u16) -> LocalSet {
+        LocalSet {
+            words: vec![0; (n as usize).div_ceil(64).max(1)],
+        }
+    }
+
+    /// Inserts a local.
+    pub fn insert(&mut self, l: Local) {
+        self.words[l as usize / 64] |= 1 << (l % 64);
+    }
+
+    /// Whether the set contains a local.
+    pub fn contains(&self, l: Local) -> bool {
+        (self.words[l as usize / 64] >> (l % 64)) & 1 == 1
+    }
+}
+
+impl JoinSemiLattice for LocalSet {
+    // Must-analysis: joined facts are the intersection. (Bigger in this
+    // lattice's order = fewer locals; the synthetic `Option` bottom from
+    // the framework supplies the "all locals" top for unreached inputs.)
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let joined = *w & o;
+            changed |= joined != *w;
+            *w = joined;
+        }
+        changed
+    }
+}
+
+struct DefiniteAssign<'f> {
+    func: &'f Func,
+}
+
+impl DefiniteAssign<'_> {
+    fn apply(&self, set: &mut LocalSet, instr: &Instr) {
+        match *instr {
+            Instr::SetL(l) | Instr::IncL(l, _) => set.insert(l),
+            _ => {}
+        }
+    }
+}
+
+impl Analysis for DefiniteAssign<'_> {
+    type State = Option<LocalSet>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Option<LocalSet> {
+        let mut s = LocalSet::empty(self.func.locals);
+        for p in 0..self.func.params.min(self.func.locals) {
+            s.insert(p);
+        }
+        Some(s)
+    }
+
+    fn bottom(&self) -> Option<LocalSet> {
+        None
+    }
+
+    fn transfer(&self, cfg: &Cfg, b: BlockId, state: &Option<LocalSet>) -> Option<LocalSet> {
+        let mut s = state.clone()?;
+        let block = cfg.block(b);
+        for i in block.start..block.end {
+            self.apply(&mut s, &self.func.code[i as usize]);
+        }
+        Some(s)
+    }
+}
+
+/// A read of a local that some path reaches before any write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UseBeforeAssign {
+    /// Instruction index of the read.
+    pub at: u32,
+    /// The local read.
+    pub local: Local,
+}
+
+/// Finds every reachable read of a local that is not definitely assigned.
+pub fn use_before_assign(func: &Func, cfg: &Cfg) -> Vec<UseBeforeAssign> {
+    let analysis = DefiniteAssign { func };
+    let results = solve(cfg, &analysis);
+    let mut out = Vec::new();
+    for (bi, entry) in results.input.iter().enumerate() {
+        // Unreached blocks (None) can't read anything at runtime.
+        let Some(entry) = entry else { continue };
+        let mut set = entry.clone();
+        let block = &cfg.blocks()[bi];
+        for i in block.start..block.end {
+            let instr = &func.code[i as usize];
+            // IncL both reads and writes: the read happens first.
+            if let Instr::GetL(l) | Instr::IncL(l, _) = *instr {
+                if !set.contains(l) {
+                    out.push(UseBeforeAssign { at: i, local: l });
+                }
+            }
+            analysis.apply(&mut set, instr);
+        }
+    }
+    out.sort_by_key(|u| u.at);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecode::{FuncId, StrId, UnitId};
+
+    fn func(params: u16, locals: u16, code: Vec<Instr>) -> Func {
+        Func {
+            id: FuncId::new(0),
+            name: StrId::new(0),
+            unit: UnitId::new(0),
+            params,
+            locals,
+            class: None,
+            code,
+        }
+    }
+
+    #[test]
+    fn params_start_assigned() {
+        let f = func(1, 2, vec![Instr::GetL(0), Instr::Ret]);
+        let cfg = Cfg::build(&f);
+        assert!(use_before_assign(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn straight_line_read_before_write_flagged() {
+        let f = func(0, 1, vec![Instr::GetL(0), Instr::Ret]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(
+            use_before_assign(&f, &cfg),
+            vec![UseBeforeAssign { at: 0, local: 0 }]
+        );
+    }
+
+    #[test]
+    fn write_on_only_one_branch_is_not_definite() {
+        // if (p0) { l1 = 1 }; return l1  — l1 unassigned on the else path.
+        let f = func(
+            1,
+            2,
+            vec![
+                Instr::GetL(0), // 0 b0
+                Instr::JmpZ(5), // 1 b0 -> b2
+                Instr::Int(1),  // 2 b1
+                Instr::SetL(1), // 3 b1
+                Instr::Jmp(5),  // 4 b1 -> b2
+                Instr::GetL(1), // 5 b2: flagged
+                Instr::Ret,     // 6
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        assert_eq!(
+            use_before_assign(&f, &cfg),
+            vec![UseBeforeAssign { at: 5, local: 1 }]
+        );
+    }
+
+    #[test]
+    fn write_on_both_branches_is_definite() {
+        let f = func(
+            1,
+            2,
+            vec![
+                Instr::GetL(0), // 0 b0
+                Instr::JmpZ(5), // 1 b0 -> b2
+                Instr::Int(1),  // 2 b1
+                Instr::SetL(1), // 3
+                Instr::Jmp(7),  // 4 b1 -> b3
+                Instr::Int(2),  // 5 b2
+                Instr::SetL(1), // 6 (falls through)
+                Instr::GetL(1), // 7 b3: fine
+                Instr::Ret,     // 8
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        assert!(use_before_assign(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_assignment_is_not_definite_on_first_iteration() {
+        // while (p0) { use l1; l1 = 1 } — first iteration reads unassigned.
+        let f = func(
+            1,
+            2,
+            vec![
+                Instr::GetL(0), // 0 b0
+                Instr::JmpZ(7), // 1 b0 -> exit
+                Instr::GetL(1), // 2 b1: flagged (first iteration)
+                Instr::Pop,     // 3
+                Instr::Int(1),  // 4
+                Instr::SetL(1), // 5
+                Instr::Jmp(0),  // 6 -> b0
+                Instr::Ret,     // 7 b2 — pops the GetL(0)? no: JmpZ popped it.
+            ],
+        );
+        // NB: stack discipline is not this test's concern.
+        let cfg = Cfg::build(&f);
+        let uses = use_before_assign(&f, &cfg);
+        assert_eq!(uses, vec![UseBeforeAssign { at: 2, local: 1 }]);
+    }
+
+    #[test]
+    fn inc_l_counts_as_read_then_write() {
+        let f = func(
+            0,
+            1,
+            vec![Instr::IncL(0, 1), Instr::Pop, Instr::IncL(0, 1), Instr::Ret],
+        );
+        let cfg = Cfg::build(&f);
+        // Only the first IncL reads an unassigned local.
+        assert_eq!(
+            use_before_assign(&f, &cfg),
+            vec![UseBeforeAssign { at: 0, local: 0 }]
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! A reusable dataflow framework over [`bytecode::Cfg`].
+//!
+//! Classic iterative dataflow: states form a join-semilattice, each block
+//! has a monotone transfer function, and a worklist iterates to the least
+//! fixpoint. Works in both directions; blocks unreachable from the
+//! boundary keep the bottom state.
+
+use bytecode::{BlockId, Cfg};
+
+/// A join-semilattice: a partial order with a least upper bound.
+///
+/// `join` must be monotone (the result is `>=` both inputs) for the
+/// solver to terminate; it returns whether `self` actually changed so the
+/// worklist only requeues blocks whose input grew.
+pub trait JoinSemiLattice: Clone {
+    /// Joins `other` into `self`, returning `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// `Option<S>` adds a synthetic bottom ("unreached") below any lattice:
+/// `None` joined with anything becomes that thing. This is how analyses
+/// whose natural join has no bottom (e.g. must-analyses joining by
+/// intersection) fit the solver.
+impl<S: JoinSemiLattice> JoinSemiLattice for Option<S> {
+    fn join(&mut self, other: &Self) -> bool {
+        match (self.as_mut(), other) {
+            (_, None) => false,
+            (None, Some(o)) => {
+                *self = Some(o.clone());
+                true
+            }
+            (Some(s), Some(o)) => s.join(o),
+        }
+    }
+}
+
+/// Which way facts flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from block entries to successors.
+    Forward,
+    /// Facts flow from block exits to predecessors.
+    Backward,
+}
+
+/// One dataflow problem: direction, boundary/bottom states and a transfer
+/// function over a whole block.
+pub trait Analysis {
+    /// The per-program-point state.
+    type State: JoinSemiLattice;
+
+    /// Which way this analysis runs.
+    fn direction(&self) -> Direction;
+
+    /// State at the boundary: the function entry (forward) or every
+    /// exit block (backward).
+    fn boundary(&self) -> Self::State;
+
+    /// The least state, assigned to blocks until facts reach them.
+    fn bottom(&self) -> Self::State;
+
+    /// Applies the whole-block transfer function to an input state.
+    fn transfer(&self, cfg: &Cfg, block: BlockId, state: &Self::State) -> Self::State;
+}
+
+/// Fixpoint states per block.
+#[derive(Clone, Debug)]
+pub struct DataflowResults<S> {
+    /// State at each block's *input* edge: block entry for forward
+    /// analyses, block exit for backward ones. Indexed by [`BlockId`].
+    pub input: Vec<S>,
+    /// State at each block's *output* edge (input pushed through the
+    /// transfer function).
+    pub output: Vec<S>,
+}
+
+/// Runs `analysis` over `cfg` to its least fixpoint.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> DataflowResults<A::State> {
+    let n = cfg.len();
+    let mut input: Vec<A::State> = (0..n).map(|_| analysis.bottom()).collect();
+    let mut output: Vec<A::State> = (0..n).map(|_| analysis.bottom()).collect();
+    if n == 0 {
+        return DataflowResults { input, output };
+    }
+
+    let dir = analysis.direction();
+    // Successor lists in the direction facts flow, and the boundary set.
+    let (flow_succs, boundary_blocks): (Vec<Vec<BlockId>>, Vec<BlockId>) = match dir {
+        Direction::Forward => {
+            let succs: Vec<Vec<BlockId>> = cfg
+                .blocks()
+                .iter()
+                .map(|b| b.successors().collect())
+                .collect();
+            (succs, vec![BlockId::ENTRY])
+        }
+        Direction::Backward => {
+            let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+            let mut exits = Vec::new();
+            for (i, b) in cfg.blocks().iter().enumerate() {
+                let id = BlockId(i as u32);
+                let mut any = false;
+                for s in b.successors() {
+                    preds[s.index()].push(id);
+                    any = true;
+                }
+                if !any {
+                    exits.push(id);
+                }
+            }
+            (preds, exits)
+        }
+    };
+
+    let mut work: Vec<BlockId> = Vec::new();
+    let mut queued = vec![false; n];
+    let b0 = analysis.boundary();
+    for b in boundary_blocks {
+        input[b.index()].join(&b0);
+        work.push(b);
+        queued[b.index()] = true;
+    }
+
+    while let Some(b) = work.pop() {
+        queued[b.index()] = false;
+        let out = analysis.transfer(cfg, b, &input[b.index()]);
+        for &next in &flow_succs[b.index()] {
+            if input[next.index()].join(&out) && !queued[next.index()] {
+                queued[next.index()] = true;
+                work.push(next);
+            }
+        }
+        output[b.index()] = out;
+    }
+    DataflowResults { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecode::{Func, FuncId, Instr, StrId, UnitId};
+
+    fn func(code: Vec<Instr>) -> Func {
+        Func {
+            id: FuncId::new(0),
+            name: StrId::new(0),
+            unit: UnitId::new(0),
+            params: 1,
+            locals: 2,
+            class: None,
+            code,
+        }
+    }
+
+    /// Longest path length from the entry, capped — a tiny lattice:
+    /// u32 with max-join, so loops must saturate for the solver to stop.
+    #[derive(Clone, PartialEq)]
+    struct Count(u32);
+
+    impl JoinSemiLattice for Count {
+        fn join(&mut self, other: &Self) -> bool {
+            let joined = self.0.max(other.0);
+            let changed = joined != self.0;
+            self.0 = joined;
+            changed
+        }
+    }
+
+    struct Incr;
+
+    impl Analysis for Incr {
+        type State = Count;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary(&self) -> Count {
+            Count(1)
+        }
+
+        fn bottom(&self) -> Count {
+            Count(0)
+        }
+
+        fn transfer(&self, _cfg: &Cfg, _b: BlockId, s: &Count) -> Count {
+            // Saturating: monotone, finite height, so loops terminate.
+            Count(s.0.saturating_add(1).min(10))
+        }
+    }
+
+    #[test]
+    fn forward_fixpoint_terminates_on_loops() {
+        // b0 -> b1 -> b0 (loop), b0 -> b2 (exit).
+        let f = func(vec![
+            Instr::GetL(0), // 0 b0
+            Instr::JmpZ(5), // 1 b0 -> b2
+            Instr::GetL(0), // 2 b1
+            Instr::Pop,     // 3
+            Instr::Jmp(0),  // 4 b1 -> b0
+            Instr::Ret,     // 5 b2
+        ]);
+        let cfg = Cfg::build(&f);
+        let r = solve(&cfg, &Incr);
+        // The loop saturates at the cap instead of diverging.
+        assert_eq!(r.input[0].0, 10);
+        assert_eq!(r.input[1].0, 10);
+        assert_eq!(r.input[2].0, 10);
+    }
+
+    /// Set-union lattice over a tiny domain, for join correctness.
+    #[derive(Clone, PartialEq, Debug)]
+    struct Bits(u32);
+
+    impl JoinSemiLattice for Bits {
+        fn join(&mut self, other: &Self) -> bool {
+            let j = self.0 | other.0;
+            let changed = j != self.0;
+            self.0 = j;
+            changed
+        }
+    }
+
+    struct TagBlocks;
+
+    impl Analysis for TagBlocks {
+        type State = Bits;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary(&self) -> Bits {
+            Bits(0)
+        }
+
+        fn bottom(&self) -> Bits {
+            Bits(0)
+        }
+
+        fn transfer(&self, _cfg: &Cfg, b: BlockId, s: &Bits) -> Bits {
+            Bits(s.0 | (1 << b.0))
+        }
+    }
+
+    #[test]
+    fn join_unions_facts_from_all_paths() {
+        // Diamond: b0 -> {b1, b2} -> b3.
+        let f = func(vec![
+            Instr::GetL(0), // 0 b0
+            Instr::JmpZ(4), // 1 b0 -> b2
+            Instr::Int(1),  // 2 b1
+            Instr::Jmp(5),  // 3 b1 -> b3
+            Instr::Int(2),  // 4 b2 (falls through)
+            Instr::Ret,     // 5 b3
+        ]);
+        let cfg = Cfg::build(&f);
+        let r = solve(&cfg, &TagBlocks);
+        // b3's entry has seen both arms but not itself.
+        assert_eq!(r.input[3].0, 0b0111);
+        assert_eq!(r.output[3].0, 0b1111);
+        // Each arm saw only the entry block.
+        assert_eq!(r.input[1].0, 0b0001);
+        assert_eq!(r.input[2].0, 0b0001);
+    }
+
+    struct Live;
+
+    impl Analysis for Live {
+        type State = Bits;
+
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+
+        fn boundary(&self) -> Bits {
+            Bits(0)
+        }
+
+        fn bottom(&self) -> Bits {
+            Bits(0)
+        }
+
+        fn transfer(&self, _cfg: &Cfg, b: BlockId, s: &Bits) -> Bits {
+            Bits(s.0 | (1 << b.0))
+        }
+    }
+
+    #[test]
+    fn backward_flows_from_exits_to_entry() {
+        let f = func(vec![
+            Instr::GetL(0), // 0 b0
+            Instr::JmpZ(4), // 1 b0 -> b2
+            Instr::Int(1),  // 2 b1
+            Instr::Jmp(5),  // 3 b1 -> b3
+            Instr::Int(2),  // 4 b2
+            Instr::Ret,     // 5 b3 (exit)
+        ]);
+        let cfg = Cfg::build(&f);
+        let r = solve(&cfg, &Live);
+        // Entry's *output* (which feeds predecessors... none) sees every
+        // block on some path to the exit.
+        assert_eq!(r.output[0].0, 0b1111);
+        // The exit block's input is the boundary.
+        assert_eq!(r.input[3].0, 0);
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_bottom() {
+        // b1 (index 2..) is dead: entry jumps straight to the ret.
+        let f = func(vec![
+            Instr::Jmp(4), // 0 b0 -> b2
+            Instr::Int(1), // 1 b1 (dead)
+            Instr::Pop,    // 2
+            Instr::Jmp(4), // 3 b1 -> b2
+            Instr::Ret,    // 4 b2
+        ]);
+        let cfg = Cfg::build(&f);
+        let r = solve(&cfg, &TagBlocks);
+        assert_eq!(r.input[1], Bits(0), "dead block keeps bottom");
+        assert_eq!(r.input[2].0 & 0b010, 0, "dead block contributes nothing");
+    }
+
+    #[test]
+    fn option_lattice_treats_none_as_bottom() {
+        let mut a: Option<Bits> = None;
+        assert!(!a.join(&None));
+        assert!(a.join(&Some(Bits(0b01))));
+        assert!(a.join(&Some(Bits(0b10))));
+        assert!(!a.join(&Some(Bits(0b11))));
+        assert_eq!(a, Some(Bits(0b11)));
+    }
+}

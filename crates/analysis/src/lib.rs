@@ -1,0 +1,48 @@
+//! Static analysis over the bytecode repo, and the profile-package linter.
+//!
+//! The Jump-Start reliability pipeline (paper §VI) defends consumers
+//! against bad profile packages with *dynamic* machinery: a validation
+//! compile plus smoke boots on the seeder, randomized package selection,
+//! and boot-attempt fallback. All of those are expensive — a validation
+//! compile is a full consumer boot. This crate adds the cheap first line
+//! of defense: **static** checks that decide, without running anything,
+//! whether a package's profile data can possibly describe the deployed
+//! repo.
+//!
+//! Layers:
+//!
+//! * [`dataflow`] — a small reusable forward/backward dataflow framework
+//!   over [`bytecode::Cfg`] (join-semilattice states, worklist solver).
+//! * [`reach`], [`assign`], [`types`] — analyses built on it:
+//!   reachability / dead blocks, definite assignment of locals, and a
+//!   type-lattice abstract interpretation of the operand stack.
+//! * [`callgraph`] — the whole-repo static call graph: which callees each
+//!   call site can possibly produce.
+//! * [`lint`] — the profile linter: checks a profile package against the
+//!   repo for dangling ids, stale counter shapes, flow-conservation
+//!   (Kirchhoff) violations, call arcs no static site can produce,
+//!   counters on unreachable blocks, and type observations the abstract
+//!   interpretation proves impossible.
+//! * [`stale`] — the hash-based stale-profile matcher: remaps block
+//!   counters collected against an older build of a function onto the
+//!   current CFG (or reports the profile unrepairable), and prunes
+//!   instruction-indexed counters that no longer fit.
+
+pub mod assign;
+pub mod callgraph;
+pub mod dataflow;
+pub mod lint;
+pub mod reach;
+pub mod stale;
+pub mod types;
+
+pub use assign::{use_before_assign, UseBeforeAssign};
+pub use callgraph::{CallGraph, CallSite, CallSiteKind};
+pub use dataflow::{solve, Analysis, DataflowResults, Direction, JoinSemiLattice};
+pub use lint::{
+    is_own_layer_order, lint_profile, lint_profile_with, Diagnostic, LintOptions, LintReport,
+    ProfileView, Rule, Severity,
+};
+pub use reach::{reachable_blocks, unreachable_blocks};
+pub use stale::{repair_profile, RepairReport};
+pub use types::{bin_operand_types, local_type_analysis, TypeSet, TypeState};

@@ -1,0 +1,117 @@
+//! Block reachability and dead-code detection, built on [`crate::dataflow`].
+
+use bytecode::{BlockId, Cfg};
+
+use crate::dataflow::{solve, Analysis, Direction, JoinSemiLattice};
+
+/// The two-point reachability lattice: unreached (bottom) or reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Reached(pub bool);
+
+impl JoinSemiLattice for Reached {
+    fn join(&mut self, other: &Self) -> bool {
+        let changed = !self.0 && other.0;
+        self.0 |= other.0;
+        changed
+    }
+}
+
+struct Reachability;
+
+impl Analysis for Reachability {
+    type State = Reached;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Reached {
+        Reached(true)
+    }
+
+    fn bottom(&self) -> Reached {
+        Reached(false)
+    }
+
+    fn transfer(&self, _cfg: &Cfg, _b: BlockId, s: &Reached) -> Reached {
+        *s
+    }
+}
+
+/// Per-block reachability from the entry block, indexed by [`BlockId`].
+pub fn reachable_blocks(cfg: &Cfg) -> Vec<bool> {
+    solve(cfg, &Reachability)
+        .input
+        .iter()
+        .map(|r| r.0)
+        .collect()
+}
+
+/// The blocks no execution can reach — dead code.
+pub fn unreachable_blocks(cfg: &Cfg) -> Vec<BlockId> {
+    reachable_blocks(cfg)
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| !r)
+        .map(|(i, _)| BlockId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecode::{Func, FuncId, Instr, StrId, UnitId};
+
+    fn func(code: Vec<Instr>) -> Func {
+        Func {
+            id: FuncId::new(0),
+            name: StrId::new(0),
+            unit: UnitId::new(0),
+            params: 1,
+            locals: 1,
+            class: None,
+            code,
+        }
+    }
+
+    #[test]
+    fn all_blocks_reachable_in_diamond() {
+        let f = func(vec![
+            Instr::GetL(0),
+            Instr::JmpZ(4),
+            Instr::Int(1),
+            Instr::Jmp(5),
+            Instr::Int(2),
+            Instr::Ret,
+        ]);
+        let cfg = Cfg::build(&f);
+        assert!(reachable_blocks(&cfg).iter().all(|&r| r));
+        assert!(unreachable_blocks(&cfg).is_empty());
+    }
+
+    #[test]
+    fn code_after_unconditional_jump_is_dead() {
+        let f = func(vec![
+            Instr::Jmp(3), // 0 b0 -> b2
+            Instr::Int(1), // 1 b1: dead
+            Instr::Jmp(3), // 2 b1 -> b2
+            Instr::Ret,    // 3 b2 — NB: needs one stack value
+        ]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(unreachable_blocks(&cfg), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn loops_do_not_confuse_reachability() {
+        let f = func(vec![
+            Instr::GetL(0), // 0 b0
+            Instr::JmpZ(5), // 1
+            Instr::GetL(0), // 2 b1
+            Instr::Pop,     // 3
+            Instr::Jmp(0),  // 4 -> b0
+            Instr::Ret,     // 5 b2
+        ]);
+        let cfg = Cfg::build(&f);
+        assert!(reachable_blocks(&cfg).iter().all(|&r| r));
+    }
+}

@@ -1,0 +1,454 @@
+//! Stale-profile repair: remapping counters collected against an older
+//! build onto the current code.
+//!
+//! At scale, a consumer's repo is often one push ahead of the package it
+//! downloads (the paper tolerates this on purpose — §VII-C shows profiles
+//! stay useful for days of pushes). Most functions are untouched by a
+//! push, so most of the package is still exact; the functions that *did*
+//! change have counters indexed by block/instruction positions that no
+//! longer exist. This module salvages the package instead of discarding
+//! it: per-block structural hashes ([`bytecode::Cfg::block_hashes`])
+//! identify which blocks survived the edit, counters are remapped onto
+//! the current CFG by greedy in-order hash matching, functions whose
+//! counter mass mostly lands on vanished blocks are dropped, and
+//! instruction-indexed counters (call targets, types, branch outcomes)
+//! that no longer point at a matching profile point are pruned.
+
+use bytecode::{Cfg, FuncId, Instr, Repo};
+use jit::{CtxProfile, FuncProfile, TierProfile, PARAM_SITE};
+
+use crate::callgraph::CallGraph;
+
+/// Minimum fraction of a function's counter mass that must land on
+/// hash-matched blocks for the remap to be trusted.
+const MIN_MATCHED_MASS: f64 = 0.5;
+
+/// What [`repair_profile`] did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Functions whose block counters were remapped onto a changed CFG.
+    pub repaired: Vec<FuncId>,
+    /// Functions dropped entirely (dangling id, or too little counter
+    /// mass survived the remap).
+    pub dropped: Vec<FuncId>,
+    /// Instruction-indexed counter entries pruned because their profile
+    /// point no longer exists (or can't produce them).
+    pub pruned: usize,
+}
+
+impl RepairReport {
+    /// Whether the profile was already fully consistent.
+    pub fn untouched(&self) -> bool {
+        self.repaired.is_empty() && self.dropped.is_empty() && self.pruned == 0
+    }
+}
+
+/// Remaps `old` counters (with hashes `old_hashes`) onto blocks of the
+/// current CFG by greedy in-order hash matching. Returns the new counter
+/// vector and the matched counter mass.
+fn remap_counts(old: &[u64], old_hashes: &[u64], cur_hashes: &[u64]) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; cur_hashes.len()];
+    let mut matched = 0u64;
+    let mut cursor = 0usize;
+    for (i, &h) in old_hashes.iter().enumerate() {
+        let Some(&c) = old.get(i) else { break };
+        if let Some(j) = cur_hashes[cursor..].iter().position(|&ch| ch == h) {
+            let j = cursor + j;
+            counts[j] = c;
+            matched += c;
+            cursor = j + 1;
+        }
+        if cursor >= cur_hashes.len() {
+            break;
+        }
+    }
+    (counts, matched)
+}
+
+/// Repairs `tier` and `ctx` in place against `repo`.
+///
+/// After a successful repair the profile passes the structural lint rules
+/// (dangling ids, stale shapes, phantom sites, impossible arcs). Flow
+/// conservation is *not* restored — remapped counters approximate the new
+/// code — so callers should re-lint with
+/// [`crate::lint::LintOptions::flow_conservation`] off.
+pub fn repair_profile(repo: &Repo, tier: &mut TierProfile, ctx: &mut CtxProfile) -> RepairReport {
+    let mut report = RepairReport::default();
+    let graph = CallGraph::build(repo);
+    let func_count = repo.funcs().len();
+
+    // Dangling functions can't be remapped onto anything.
+    let mut dangling: Vec<FuncId> = tier
+        .funcs
+        .keys()
+        .copied()
+        .filter(|f| f.index() >= func_count)
+        .collect();
+    dangling.sort_by_key(|f| f.index());
+    for f in dangling {
+        tier.funcs.remove(&f);
+        report.dropped.push(f);
+    }
+
+    let mut stale_drops = Vec::new();
+    for (&fid, fp) in tier.funcs.iter_mut() {
+        let func = repo.func(fid);
+        let cfg = Cfg::build(func);
+        let cur_hashes = cfg.block_hashes(func);
+        let fresh = fp.block_counts.len() == cfg.len()
+            && (fp.block_hashes.is_empty() || fp.block_hashes == cur_hashes);
+        if !fresh {
+            // Without stored hashes there is nothing to match on.
+            if fp.block_hashes.len() != fp.block_counts.len() || fp.block_hashes.is_empty() {
+                stale_drops.push(fid);
+                continue;
+            }
+            let total: u64 = fp.block_counts.iter().sum();
+            let (counts, matched) = remap_counts(&fp.block_counts, &fp.block_hashes, &cur_hashes);
+            if total > 0 && (matched as f64) < MIN_MATCHED_MASS * total as f64 {
+                stale_drops.push(fid);
+                continue;
+            }
+            fp.block_counts = counts;
+            fp.block_hashes = cur_hashes;
+            report.repaired.push(fid);
+        }
+        report.pruned += prune_func_profile(repo, &graph, fid, fp);
+    }
+    stale_drops.sort_by_key(|f| f.index());
+    for f in &stale_drops {
+        tier.funcs.remove(f);
+    }
+    report.dropped.extend(stale_drops);
+
+    report.pruned += prune_prop_tables(repo, tier);
+    report.pruned += prune_ctx(repo, &graph, ctx);
+    report.repaired.sort_by_key(|f| f.index());
+    report
+}
+
+/// Drops instruction-indexed entries of one function profile whose
+/// profile point doesn't exist in the current code. Returns how many.
+fn prune_func_profile(repo: &Repo, graph: &CallGraph, fid: FuncId, fp: &mut FuncProfile) -> usize {
+    let func = repo.func(fid);
+    let func_count = repo.funcs().len();
+    let class_count = repo.classes().len();
+    let mut pruned = 0;
+
+    let is_call = |at: u32| {
+        matches!(
+            func.code.get(at as usize),
+            Some(Instr::Call { .. } | Instr::CallMethod { .. })
+        )
+    };
+    fp.call_targets.retain(|&site, targets| {
+        if !is_call(site) {
+            pruned += 1;
+            return false;
+        }
+        let before = targets.len();
+        targets
+            .retain(|&callee, _| callee.index() < func_count && graph.can_call(fid, site, callee));
+        pruned += before - targets.len();
+        !targets.is_empty()
+    });
+
+    let before = fp.types.len();
+    fp.types.retain(|&(at, slot), _| {
+        if at == PARAM_SITE {
+            (slot as u16) < func.params && slot < 8
+        } else {
+            slot <= 1 && matches!(func.code.get(at as usize), Some(Instr::Bin(_)))
+        }
+    });
+    pruned += before - fp.types.len();
+
+    fp.prop_site_classes.retain(|&site, classes| {
+        let ok = matches!(
+            func.code.get(site as usize),
+            Some(Instr::GetProp(_) | Instr::SetProp(_))
+        );
+        if !ok {
+            pruned += 1;
+            return false;
+        }
+        let before = classes.len();
+        classes.retain(|c, _| c.index() < class_count);
+        pruned += before - classes.len();
+        !classes.is_empty()
+    });
+
+    pruned
+}
+
+fn prune_prop_tables(repo: &Repo, tier: &mut TierProfile) -> usize {
+    let class_count = repo.classes().len();
+    let str_count = repo.string_count();
+    let before = tier.prop_counts.len() + tier.prop_pairs.len();
+    tier.prop_counts
+        .retain(|&(c, p), _| c.index() < class_count && p.index() < str_count);
+    tier.prop_pairs.retain(|&(c, a, b), _| {
+        c.index() < class_count && a.index() < str_count && b.index() < str_count
+    });
+    before - (tier.prop_counts.len() + tier.prop_pairs.len())
+}
+
+fn prune_ctx(repo: &Repo, graph: &CallGraph, ctx: &mut CtxProfile) -> usize {
+    let func_count = repo.funcs().len();
+    let ctx_ok = |ictx: &jit::InlineCtx| match *ictx {
+        None => true,
+        Some((caller, site)) => {
+            caller.index() < func_count
+                && matches!(
+                    repo.func(caller).code.get(site as usize),
+                    Some(Instr::Call { .. } | Instr::CallMethod { .. })
+                )
+        }
+    };
+    let before = ctx.branches.len() + ctx.entries.len();
+    ctx.branches.retain(|&(ref ictx, f, at), _| {
+        ctx_ok(ictx)
+            && f.index() < func_count
+            && matches!(
+                repo.func(f).code.get(at as usize),
+                Some(Instr::JmpZ(_) | Instr::JmpNZ(_))
+            )
+    });
+    ctx.entries.retain(|&(ref ictx, callee), _| {
+        if callee.index() >= func_count || !ctx_ok(ictx) {
+            return false;
+        }
+        match *ictx {
+            None => true,
+            Some((caller, site)) => graph.can_call(caller, site, callee),
+        }
+    });
+    before - (ctx.branches.len() + ctx.entries.len())
+}
+
+/// Convenience for tests and tooling: how much counter mass two tier
+/// profiles share per function (1.0 = identical distribution support).
+pub fn shared_mass(a: &TierProfile, b: &TierProfile) -> f64 {
+    let mut shared = 0u64;
+    let mut total = 0u64;
+    for (f, pa) in &a.funcs {
+        let ta: u64 = pa.block_counts.iter().sum();
+        total += ta;
+        if let Some(pb) = b.funcs.get(f) {
+            shared += pa
+                .block_counts
+                .iter()
+                .zip(&pb.block_counts)
+                .map(|(&x, &y)| x.min(y))
+                .sum::<u64>();
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        shared as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{lint_profile_with, LintOptions, ProfileView};
+    use bytecode::{BinOp, FuncBuilder, Instr, RepoBuilder};
+    use jit::ProfileCollector;
+    use vm::{Value, Vm};
+
+    /// Two builds of the same program: v2 inserts a prologue block into f
+    /// and leaves g untouched.
+    fn build_repo(v2: bool) -> Repo {
+        let mut b = RepoBuilder::new();
+        let u = b.declare_unit("p.hl");
+        let mut g = FuncBuilder::new("g", 1);
+        let zero = g.new_label();
+        g.emit(Instr::GetL(0));
+        g.emit_jmp_z(zero);
+        g.emit(Instr::Int(1));
+        g.emit(Instr::Ret);
+        g.bind(zero);
+        g.emit(Instr::Int(0));
+        g.emit(Instr::Ret);
+        let gid = b.define_func(u, g);
+
+        let mut f = FuncBuilder::new("f", 1);
+        let i = f.new_local();
+        if v2 {
+            // New guard: if (!n) return null — a new entry block shape.
+            let go = f.new_label();
+            f.emit(Instr::GetL(0));
+            f.emit_jmp_nz(go);
+            f.emit(Instr::Null);
+            f.emit(Instr::Ret);
+            f.bind(go);
+        }
+        let top = f.new_label();
+        let out = f.new_label();
+        f.emit(Instr::Int(0));
+        f.emit(Instr::SetL(i));
+        f.bind(top);
+        f.emit(Instr::GetL(i));
+        f.emit(Instr::GetL(0));
+        f.emit(Instr::Bin(BinOp::Lt));
+        f.emit_jmp_z(out);
+        f.emit(Instr::GetL(i));
+        f.emit(Instr::Int(2));
+        f.emit(Instr::Bin(BinOp::Mod));
+        f.emit_raw(Instr::Call { func: gid, argc: 1 });
+        f.emit(Instr::Pop);
+        f.emit(Instr::IncL(i, 1));
+        f.emit(Instr::Pop);
+        f.emit_jmp(top);
+        f.bind(out);
+        f.emit(Instr::Null);
+        f.emit(Instr::Ret);
+        b.define_func(u, f);
+        b.finish()
+    }
+
+    fn collect(repo: &Repo, n: i64) -> (TierProfile, CtxProfile) {
+        let f = repo.func_by_name("f").unwrap().id;
+        let mut vm = Vm::new(repo);
+        let mut col = ProfileCollector::new(repo);
+        vm.call_observed(f, &[Value::Int(n)], &mut col).unwrap();
+        col.end_request();
+        (col.tier, col.ctx)
+    }
+
+    #[test]
+    fn fresh_profile_is_untouched() {
+        let repo = build_repo(false);
+        let (mut tier, mut ctx) = collect(&repo, 10);
+        let report = repair_profile(&repo, &mut tier, &mut ctx);
+        assert!(report.untouched(), "got {report:?}");
+    }
+
+    #[test]
+    fn stale_profile_is_remapped_onto_new_cfg() {
+        let v1 = build_repo(false);
+        let v2 = build_repo(true);
+        let f2 = v2.func_by_name("f").unwrap().id;
+        // Profile collected on v1, consumed against v2.
+        let (mut tier, mut ctx) = collect(&v1, 10);
+        let loop_mass_before: u64 = tier.funcs[&f2].block_counts.iter().sum();
+
+        let report = repair_profile(&v2, &mut tier, &mut ctx);
+        assert!(report.repaired.contains(&f2), "got {report:?}");
+        assert!(report.dropped.is_empty());
+
+        let fp = &tier.funcs[&f2];
+        let cfg = Cfg::build(v2.func(f2));
+        assert_eq!(fp.block_counts.len(), cfg.len());
+        assert_eq!(fp.block_hashes, cfg.block_hashes(v2.func(f2)));
+        // The loop blocks are structurally unchanged, so their counter
+        // mass survives the remap.
+        let mass_after: u64 = fp.block_counts.iter().sum();
+        assert!(
+            mass_after * 2 >= loop_mass_before,
+            "{mass_after} vs {loop_mass_before}"
+        );
+
+        // And the repaired profile passes the structural lint (flow is
+        // approximate after a remap, so it stays off).
+        let g_ok = lint_profile_with(
+            &v2,
+            &ProfileView {
+                tier: &tier,
+                ctx: &ctx,
+                unit_order: &[],
+                prop_orders: &[],
+                func_order: &[],
+            },
+            &LintOptions {
+                flow_conservation: false,
+                type_feasibility: false,
+            },
+        );
+        assert_eq!(g_ok.error_count(), 0, "got: {:?}", g_ok.diagnostics);
+    }
+
+    #[test]
+    fn unmatched_mass_drops_the_function() {
+        let repo = build_repo(false);
+        let (mut tier, mut ctx) = collect(&repo, 10);
+        let f = repo.func_by_name("f").unwrap().id;
+        // Pretend the profile came from a totally different function body:
+        // same lengths, but no hash matches the current CFG.
+        let fp = tier.funcs.get_mut(&f).unwrap();
+        fp.block_counts.push(99);
+        fp.block_hashes.push(12345);
+        for h in fp.block_hashes.iter_mut() {
+            *h ^= 0xffff_ffff;
+        }
+        let report = repair_profile(&repo, &mut tier, &mut ctx);
+        assert!(report.dropped.contains(&f), "got {report:?}");
+        assert!(!tier.funcs.contains_key(&f));
+    }
+
+    #[test]
+    fn dangling_functions_are_dropped() {
+        let repo = build_repo(false);
+        let (mut tier, mut ctx) = collect(&repo, 5);
+        tier.funcs.insert(FuncId::new(1000), FuncProfile::default());
+        let report = repair_profile(&repo, &mut tier, &mut ctx);
+        assert_eq!(report.dropped, vec![FuncId::new(1000)]);
+        assert!(!tier.funcs.contains_key(&FuncId::new(1000)));
+    }
+
+    #[test]
+    fn phantom_sites_are_pruned() {
+        let repo = build_repo(false);
+        let (mut tier, mut ctx) = collect(&repo, 5);
+        let f = repo.func_by_name("f").unwrap().id;
+        let fp = tier.funcs.get_mut(&f).unwrap();
+        // Call-target data on a non-call instruction, type data past the
+        // end of the function, branch data on a non-branch.
+        fp.call_targets.insert(0, [(f, 3)].into_iter().collect());
+        fp.types.insert((9999, 0), Default::default());
+        ctx.branches.insert((None, f, 0), Default::default());
+        let report = repair_profile(&repo, &mut tier, &mut ctx);
+        assert!(report.pruned >= 3, "got {report:?}");
+        let fp = &tier.funcs[&f];
+        assert!(!fp.call_targets.contains_key(&0));
+        assert!(!fp.types.contains_key(&(9999, 0)));
+        assert!(!ctx.branches.contains_key(&(None, f, 0)));
+    }
+
+    #[test]
+    fn impossible_arcs_are_pruned_from_entries() {
+        let repo = build_repo(false);
+        let (mut tier, mut ctx) = collect(&repo, 5);
+        let f = repo.func_by_name("f").unwrap().id;
+        let g = repo.func_by_name("g").unwrap().id;
+        // Find the real call site in f (the Call to g).
+        let site = repo
+            .func(f)
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Call { .. }))
+            .unwrap() as u32;
+        // Claim the site also dispatched to f — statically impossible.
+        ctx.entries.insert((Some((f, site)), f), 7);
+        let valid_before = ctx.entries.contains_key(&(Some((f, site)), g));
+        let report = repair_profile(&repo, &mut tier, &mut ctx);
+        assert!(report.pruned >= 1, "got {report:?}");
+        assert!(!ctx.entries.contains_key(&(Some((f, site)), f)));
+        // The genuine arc survives.
+        assert_eq!(
+            ctx.entries.contains_key(&(Some((f, site)), g)),
+            valid_before
+        );
+    }
+
+    #[test]
+    fn shared_mass_of_identical_profiles_is_one() {
+        let repo = build_repo(false);
+        let (tier, _) = collect(&repo, 10);
+        assert!((shared_mass(&tier, &tier) - 1.0).abs() < 1e-9);
+        let empty = TierProfile::default();
+        assert_eq!(shared_mass(&tier, &empty), 0.0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Type-lattice abstract interpretation of the operand stack and locals.
+//!
+//! Each abstract value is the *set* of [`ValueKind`]s it might hold at
+//! runtime — a bitmask of the 8 kinds, so the lattice is the powerset with
+//! union as join. The analysis is sound but deliberately coarse: calls and
+//! container reads produce ⊤ (any kind). Its use in the linter is the
+//! contrapositive: if a profile package claims a type was *observed* at an
+//! operand slot where the static set excludes that kind, the profile can't
+//! have come from this code.
+
+use std::collections::HashMap;
+
+use bytecode::{BinOp, BlockId, Builtin, Cfg, Func, Instr, UnOp};
+use vm::ValueKind;
+
+use crate::dataflow::{solve, Analysis, DataflowResults, Direction, JoinSemiLattice};
+
+/// A set of possible [`ValueKind`]s, as a bitmask over `ValueKind::ALL`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TypeSet(pub u8);
+
+impl TypeSet {
+    /// The empty set (no kind possible — dead value).
+    pub const EMPTY: TypeSet = TypeSet(0);
+    /// Every kind possible.
+    pub const ANY: TypeSet = TypeSet(((1u16 << ValueKind::COUNT) - 1) as u8);
+
+    /// The singleton set for one kind.
+    pub fn just(k: ValueKind) -> TypeSet {
+        TypeSet(1 << k.index())
+    }
+
+    /// Whether the set contains a kind.
+    pub fn contains(self, k: ValueKind) -> bool {
+        self.0 >> k.index() & 1 == 1
+    }
+
+    /// Set union.
+    pub fn union(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 & other.0)
+    }
+
+    /// Whether no kind is possible.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Debug for TypeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == TypeSet::ANY {
+            return write!(f, "any");
+        }
+        if self.is_empty() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        for k in ValueKind::ALL {
+            if self.contains(k) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{k:?}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+const INT_OR_FLOAT: TypeSet = TypeSet(1 << 2 | 1 << 3);
+const VEC_OR_DICT: TypeSet = TypeSet(1 << 5 | 1 << 6);
+
+/// Abstract state: a type set per local and per operand-stack slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeState {
+    /// Per-local type sets, indexed by local number.
+    pub locals: Vec<TypeSet>,
+    /// The abstract operand stack, bottom first.
+    pub stack: Vec<TypeSet>,
+}
+
+impl TypeState {
+    fn entry(func: &Func) -> TypeState {
+        let mut locals = vec![TypeSet::just(ValueKind::Null); func.locals as usize];
+        // Parameters arrive with caller-controlled values.
+        for l in locals.iter_mut().take(func.params as usize) {
+            *l = TypeSet::ANY;
+        }
+        TypeState {
+            locals,
+            stack: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, t: TypeSet) {
+        self.stack.push(t);
+    }
+
+    /// Defensive pop: verified code never underflows, but the analysis
+    /// must not panic on arbitrary input.
+    fn pop(&mut self) -> TypeSet {
+        self.stack.pop().unwrap_or(TypeSet::ANY)
+    }
+
+    fn popn(&mut self, n: usize) {
+        for _ in 0..n {
+            self.pop();
+        }
+    }
+
+    fn local(&self, l: u16) -> TypeSet {
+        self.locals.get(l as usize).copied().unwrap_or(TypeSet::ANY)
+    }
+
+    fn set_local(&mut self, l: u16, t: TypeSet) {
+        if let Some(slot) = self.locals.get_mut(l as usize) {
+            *slot = t;
+        }
+    }
+}
+
+impl JoinSemiLattice for TypeState {
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (a, b) in self.locals.iter_mut().zip(&other.locals) {
+            let j = a.union(*b);
+            changed |= j != *a;
+            *a = j;
+        }
+        // Verified code joins stacks of equal depth; on malformed input we
+        // join the common prefix and keep the shorter depth (sound: excess
+        // slots can't be popped on all paths anyway).
+        if self.stack.len() > other.stack.len() {
+            self.stack.truncate(other.stack.len());
+            changed = true;
+        }
+        for (a, b) in self.stack.iter_mut().zip(&other.stack) {
+            let j = a.union(*b);
+            changed |= j != *a;
+            *a = j;
+        }
+        changed
+    }
+}
+
+fn builtin_result(b: Builtin) -> TypeSet {
+    match b {
+        Builtin::Print => TypeSet::just(ValueKind::Null),
+        Builtin::Strlen | Builtin::Count | Builtin::ToInt | Builtin::HashVal => {
+            TypeSet::just(ValueKind::Int)
+        }
+        Builtin::Keys => TypeSet::just(ValueKind::Vec),
+        Builtin::Abs => INT_OR_FLOAT,
+        Builtin::IsInt | Builtin::IsStr | Builtin::IsNull => TypeSet::just(ValueKind::Bool),
+        Builtin::ToStr | Builtin::Substr | Builtin::ClassName => TypeSet::just(ValueKind::Str),
+        Builtin::Push => TypeSet::just(ValueKind::Vec),
+        Builtin::Min | Builtin::Max | Builtin::IdxOr => TypeSet::ANY,
+    }
+}
+
+fn bin_result(op: BinOp) -> TypeSet {
+    if op.is_comparison() {
+        return TypeSet::just(ValueKind::Bool);
+    }
+    match op {
+        BinOp::Concat => TypeSet::just(ValueKind::Str),
+        BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+            TypeSet::just(ValueKind::Int)
+        }
+        // Add/Sub/Mul/Div/Mod: numeric, float on overflow or division.
+        _ => INT_OR_FLOAT,
+    }
+}
+
+fn apply(state: &mut TypeState, instr: &Instr) {
+    match *instr {
+        Instr::Null => state.push(TypeSet::just(ValueKind::Null)),
+        Instr::True | Instr::False => state.push(TypeSet::just(ValueKind::Bool)),
+        Instr::Int(_) => state.push(TypeSet::just(ValueKind::Int)),
+        Instr::Double(_) => state.push(TypeSet::just(ValueKind::Float)),
+        Instr::Str(_) => state.push(TypeSet::just(ValueKind::Str)),
+        Instr::LitArr(_) => state.push(VEC_OR_DICT),
+        Instr::Pop => {
+            state.pop();
+        }
+        Instr::Dup => {
+            let t = state.pop();
+            state.push(t);
+            state.push(t);
+        }
+        Instr::GetL(l) => {
+            let t = state.local(l);
+            state.push(t);
+        }
+        Instr::SetL(l) => {
+            let t = state.pop();
+            state.set_local(l, t);
+        }
+        Instr::IncL(l, _) => {
+            // Pushes the old value, then the local becomes numeric.
+            let t = state.local(l);
+            state.push(t);
+            state.set_local(l, INT_OR_FLOAT);
+        }
+        Instr::Bin(op) => {
+            state.popn(2);
+            state.push(bin_result(op));
+        }
+        Instr::Un(op) => {
+            state.pop();
+            state.push(match op {
+                UnOp::Not => TypeSet::just(ValueKind::Bool),
+                UnOp::Neg => INT_OR_FLOAT,
+                UnOp::BitNot => TypeSet::just(ValueKind::Int),
+            });
+        }
+        Instr::Jmp(_) => {}
+        Instr::JmpZ(_) | Instr::JmpNZ(_) => {
+            state.pop();
+        }
+        Instr::Call { argc, .. } => {
+            state.popn(argc as usize);
+            state.push(TypeSet::ANY);
+        }
+        Instr::CallMethod { argc, .. } => {
+            state.popn(1 + argc as usize);
+            state.push(TypeSet::ANY);
+        }
+        Instr::CallBuiltin { builtin, argc } => {
+            state.popn(argc as usize);
+            state.push(builtin_result(builtin));
+        }
+        Instr::Ret => {
+            state.pop();
+        }
+        Instr::NewObj(_) | Instr::This => state.push(TypeSet::just(ValueKind::Obj)),
+        Instr::GetProp(_) => {
+            state.pop();
+            state.push(TypeSet::ANY);
+        }
+        Instr::SetProp(_) => state.popn(2),
+        Instr::NewVec(n) => {
+            state.popn(n as usize);
+            state.push(TypeSet::just(ValueKind::Vec));
+        }
+        Instr::NewDict(n) => {
+            state.popn(2 * n as usize);
+            state.push(TypeSet::just(ValueKind::Dict));
+        }
+        Instr::Idx => {
+            state.popn(2);
+            state.push(TypeSet::ANY);
+        }
+        Instr::SetIdx => {
+            state.popn(3);
+            state.push(VEC_OR_DICT);
+        }
+    }
+}
+
+struct TypeAnalysis<'f> {
+    func: &'f Func,
+}
+
+impl Analysis for TypeAnalysis<'_> {
+    type State = Option<TypeState>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Option<TypeState> {
+        Some(TypeState::entry(self.func))
+    }
+
+    fn bottom(&self) -> Option<TypeState> {
+        None
+    }
+
+    fn transfer(&self, cfg: &Cfg, b: BlockId, state: &Option<TypeState>) -> Option<TypeState> {
+        let mut s = state.clone()?;
+        let block = cfg.block(b);
+        for i in block.start..block.end {
+            apply(&mut s, &self.func.code[i as usize]);
+        }
+        Some(s)
+    }
+}
+
+/// Runs the type abstract interpretation; `None` states are unreached
+/// blocks.
+pub fn local_type_analysis(func: &Func, cfg: &Cfg) -> DataflowResults<Option<TypeState>> {
+    solve(cfg, &TypeAnalysis { func })
+}
+
+/// The statically possible operand types at every `Bin` instruction,
+/// keyed by `(instruction index, operand slot)` — slot 0 is the left
+/// operand (popped second), slot 1 the right (top of stack). These are
+/// exactly the points the profiler's `on_type_observed` hook fires for
+/// instruction operands, so observed profiles must be subsets.
+pub fn bin_operand_types(func: &Func, cfg: &Cfg) -> HashMap<(u32, u8), TypeSet> {
+    let results = local_type_analysis(func, cfg);
+    let mut out = HashMap::new();
+    for (bi, entry) in results.input.iter().enumerate() {
+        let Some(entry) = entry else { continue };
+        let mut s = entry.clone();
+        let block = &cfg.blocks()[bi];
+        for i in block.start..block.end {
+            let instr = &func.code[i as usize];
+            if let Instr::Bin(_) = instr {
+                let n = s.stack.len();
+                let rhs = s
+                    .stack
+                    .get(n.wrapping_sub(1))
+                    .copied()
+                    .unwrap_or(TypeSet::ANY);
+                let lhs = s
+                    .stack
+                    .get(n.wrapping_sub(2))
+                    .copied()
+                    .unwrap_or(TypeSet::ANY);
+                out.insert((i, 0), lhs);
+                out.insert((i, 1), rhs);
+            }
+            apply(&mut s, instr);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecode::{FuncId, StrId, UnitId};
+
+    fn func(params: u16, locals: u16, code: Vec<Instr>) -> Func {
+        Func {
+            id: FuncId::new(0),
+            name: StrId::new(0),
+            unit: UnitId::new(0),
+            params,
+            locals,
+            class: None,
+            code,
+        }
+    }
+
+    #[test]
+    fn constants_have_singleton_types() {
+        // return 1 + 2.0
+        let f = func(
+            0,
+            0,
+            vec![
+                Instr::Int(1),
+                Instr::Double(2.0),
+                Instr::Bin(BinOp::Add),
+                Instr::Ret,
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let ops = bin_operand_types(&f, &cfg);
+        assert_eq!(ops[&(2, 0)], TypeSet::just(ValueKind::Int));
+        assert_eq!(ops[&(2, 1)], TypeSet::just(ValueKind::Float));
+    }
+
+    #[test]
+    fn join_unions_local_types_across_branches() {
+        // l1 = p0 ? 1 : "s"; l1 + l1
+        let f = func(
+            1,
+            2,
+            vec![
+                Instr::GetL(0),            // 0 b0
+                Instr::JmpZ(5),            // 1 -> b2
+                Instr::Int(1),             // 2 b1
+                Instr::SetL(1),            // 3
+                Instr::Jmp(7),             // 4 -> b3
+                Instr::Str(StrId::new(0)), // 5 b2
+                Instr::SetL(1),            // 6
+                Instr::GetL(1),            // 7 b3
+                Instr::GetL(1),            // 8
+                Instr::Bin(BinOp::Add),    // 9
+                Instr::Ret,                // 10
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let ops = bin_operand_types(&f, &cfg);
+        let expect = TypeSet::just(ValueKind::Int).union(TypeSet::just(ValueKind::Str));
+        assert_eq!(ops[&(9, 0)], expect);
+        assert_eq!(ops[&(9, 1)], expect);
+        // Bool is statically impossible at this site.
+        assert!(!ops[&(9, 0)].contains(ValueKind::Bool));
+    }
+
+    #[test]
+    fn params_are_any_and_unwritten_locals_are_null() {
+        let f = func(
+            1,
+            2,
+            vec![
+                Instr::GetL(0),
+                Instr::GetL(1),
+                Instr::Bin(BinOp::Eq),
+                Instr::Ret,
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let ops = bin_operand_types(&f, &cfg);
+        assert_eq!(ops[&(2, 0)], TypeSet::ANY);
+        assert_eq!(ops[&(2, 1)], TypeSet::just(ValueKind::Null));
+    }
+
+    #[test]
+    fn builtin_and_operator_result_types() {
+        // strlen(p0) + count(p0), then concat with a string.
+        let f = func(
+            1,
+            1,
+            vec![
+                Instr::GetL(0),
+                Instr::CallBuiltin {
+                    builtin: Builtin::Strlen,
+                    argc: 1,
+                },
+                Instr::GetL(0),
+                Instr::CallBuiltin {
+                    builtin: Builtin::Count,
+                    argc: 1,
+                },
+                Instr::Bin(BinOp::Add), // 4: Int + Int
+                Instr::Str(StrId::new(0)),
+                Instr::Bin(BinOp::Concat), // 6: (Int|Float) . Str
+                Instr::Ret,
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let ops = bin_operand_types(&f, &cfg);
+        assert_eq!(ops[&(4, 0)], TypeSet::just(ValueKind::Int));
+        assert_eq!(ops[&(4, 1)], TypeSet::just(ValueKind::Int));
+        assert_eq!(ops[&(6, 0)], INT_OR_FLOAT);
+        assert_eq!(ops[&(6, 1)], TypeSet::just(ValueKind::Str));
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint_with_widened_local() {
+        // l0 starts Int, loop body may make it Float (Add result).
+        let f = func(
+            0,
+            1,
+            vec![
+                Instr::Int(0),          // 0 b0
+                Instr::SetL(0),         // 1
+                Instr::GetL(0),         // 2 b1 (loop head)
+                Instr::Int(10),         // 3
+                Instr::Bin(BinOp::Lt),  // 4
+                Instr::JmpZ(11),        // 5 -> exit
+                Instr::GetL(0),         // 6 b2
+                Instr::Int(1),          // 7
+                Instr::Bin(BinOp::Add), // 8
+                Instr::SetL(0),         // 9
+                Instr::Jmp(2),          // 10 -> loop head
+                Instr::Null,            // 11 b3
+                Instr::Ret,             // 12
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let ops = bin_operand_types(&f, &cfg);
+        // At the comparison, l0 is Int on entry, Int|Float after one trip.
+        assert_eq!(ops[&(4, 0)], INT_OR_FLOAT);
+        assert_eq!(ops[&(8, 0)], INT_OR_FLOAT);
+        // Str never flows here.
+        assert!(!ops[&(4, 0)].contains(ValueKind::Str));
+    }
+
+    #[test]
+    fn type_set_algebra() {
+        let i = TypeSet::just(ValueKind::Int);
+        let s = TypeSet::just(ValueKind::Str);
+        assert!(i.union(s).contains(ValueKind::Int));
+        assert!(i.union(s).contains(ValueKind::Str));
+        assert!(i.intersect(s).is_empty());
+        assert_eq!(TypeSet::ANY.intersect(i), i);
+        assert_eq!(format!("{:?}", i.union(s)), "Int|Str");
+        assert_eq!(format!("{:?}", TypeSet::ANY), "any");
+        assert_eq!(format!("{:?}", TypeSet::EMPTY), "none");
+    }
+}

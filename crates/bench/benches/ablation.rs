@@ -60,7 +60,11 @@ fn bench_ablation(c: &mut Criterion) {
     );
     for cfg in [SteadyConfig::prop_reorder_only(), affinity] {
         let o = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &cfg, &params);
-        println!("[ablation] {}: {:+.2}% vs no-opts", o.name, o.report.speedup_vs(&base.report));
+        println!(
+            "[ablation] {}: {:+.2}% vs no-opts",
+            o.name,
+            o.report.speedup_vs(&base.report)
+        );
     }
 }
 

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use layout::{
-    c3_order, exttsp_order, exttsp_score, pettis_hansen_order, reorder_props_by_hotness,
-    BlockEdge, BlockNode, CallArc, ExtTspParams, FuncNode, PropAccess,
+    c3_order, exttsp_order, exttsp_score, pettis_hansen_order, reorder_props_by_hotness, BlockEdge,
+    BlockNode, CallArc, ExtTspParams, FuncNode, PropAccess,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -13,7 +13,10 @@ use rand::{Rng, SeedableRng};
 fn cfg(n: usize, seed: u64) -> (Vec<BlockNode>, Vec<BlockEdge>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let blocks = (0..n)
-        .map(|_| BlockNode { size: rng.gen_range(8..64), weight: rng.gen_range(0..1000) })
+        .map(|_| BlockNode {
+            size: rng.gen_range(8..64),
+            weight: rng.gen_range(0..1000),
+        })
         .collect();
     let edges = (0..2 * n)
         .map(|_| BlockEdge {
@@ -54,7 +57,10 @@ fn bench_layout(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(11);
     let n = 800;
     let funcs: Vec<FuncNode> = (0..n)
-        .map(|_| FuncNode { size: rng.gen_range(64..2048), weight: rng.gen_range(0..10_000) })
+        .map(|_| FuncNode {
+            size: rng.gen_range(64..2048),
+            weight: rng.gen_range(0..10_000),
+        })
         .collect();
     let arcs: Vec<CallArc> = (0..4 * n)
         .map(|_| CallArc {
@@ -71,7 +77,10 @@ fn bench_layout(c: &mut Criterion) {
     group.finish();
 
     let props: Vec<PropAccess<u32>> = (0..64)
-        .map(|i| PropAccess { prop: i, count: ((i * 37) % 100) as u64 })
+        .map(|i| PropAccess {
+            prop: i,
+            count: ((i * 37) % 100) as u64,
+        })
         .collect();
     c.bench_function("prop_reorder_hotness_64", |b| {
         b.iter(|| reorder_props_by_hotness(&props))

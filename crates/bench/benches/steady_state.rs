@@ -26,9 +26,20 @@ fn bench_steady(c: &mut Criterion) {
     }
     group.finish();
 
-    let js = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::jumpstart_full(), &params);
-    let nojs =
-        measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::no_jumpstart(), &params);
+    let js = measure_steady_state(
+        &lab.app,
+        &lab.mix,
+        &lab.truth,
+        &SteadyConfig::jumpstart_full(),
+        &params,
+    );
+    let nojs = measure_steady_state(
+        &lab.app,
+        &lab.mix,
+        &lab.truth,
+        &SteadyConfig::no_jumpstart(),
+        &params,
+    );
     println!(
         "[steady] speedup JS vs no-JS: {:+.2}% (paper: +5.4%)",
         js.report.speedup_vs(&nojs.report)

@@ -20,7 +20,10 @@ fn bench_warmup(c: &mut Criterion) {
                 &lab.app,
                 &lab.model,
                 &lab.mix,
-                &ServerConfig { params, jumpstart: None },
+                &ServerConfig {
+                    params,
+                    jumpstart: None,
+                },
             )
         })
     });
@@ -30,7 +33,10 @@ fn bench_warmup(c: &mut Criterion) {
                 &lab.app,
                 &lab.model,
                 &lab.mix,
-                &ServerConfig { params, jumpstart: Some(&pkg) },
+                &ServerConfig {
+                    params,
+                    jumpstart: Some(&pkg),
+                },
             )
         })
     });
@@ -41,11 +47,24 @@ fn bench_warmup(c: &mut Criterion) {
         &lab.app,
         &lab.model,
         &lab.mix,
-        &ServerConfig { params, jumpstart: Some(&pkg) },
+        &ServerConfig {
+            params,
+            jumpstart: Some(&pkg),
+        },
     );
-    let nojs =
-        simulate_warmup(&lab.app, &lab.model, &lab.mix, &ServerConfig { params, jumpstart: None });
-    let (lj, ln) = (js.capacity_loss_over(600_000), nojs.capacity_loss_over(600_000));
+    let nojs = simulate_warmup(
+        &lab.app,
+        &lab.model,
+        &lab.mix,
+        &ServerConfig {
+            params,
+            jumpstart: None,
+        },
+    );
+    let (lj, ln) = (
+        js.capacity_loss_over(600_000),
+        nojs.capacity_loss_over(600_000),
+    );
     println!(
         "[warmup] capacity loss 10min: no-JS {:.1}% JS {:.1}% reduction {:.1}% (paper: 78.3/35.3/54.9)",
         ln * 100.0,

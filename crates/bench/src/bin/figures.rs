@@ -60,7 +60,10 @@ fn main() {
 }
 
 fn print_timeline(tl: &Timeline, every: usize) {
-    println!("  {:>7} {:>9} {:>12} {:>12}", "t(min)", "rps_norm", "latency(ms)", "code(KB)");
+    println!(
+        "  {:>7} {:>9} {:>12} {:>12}",
+        "t(min)", "rps_norm", "latency(ms)", "code(KB)"
+    );
     for s in tl.samples.iter().step_by(every) {
         println!(
             "  {:>7.1} {:>9.3} {:>12.2} {:>12}",
@@ -81,7 +84,10 @@ fn fig1(lab: &Lab) {
         &lab.app,
         &lab.model,
         &lab.mix,
-        &ServerConfig { params, jumpstart: None },
+        &ServerConfig {
+            params,
+            jumpstart: None,
+        },
     );
     print_timeline(&tl, 6);
     let min = |o: Option<u64>| o.map(|v| v as f64 / 60_000.0);
@@ -103,7 +109,10 @@ fn fig2(lab: &Lab) {
         &lab.app,
         &lab.model,
         &lab.mix,
-        &ServerConfig { params, jumpstart: None },
+        &ServerConfig {
+            params,
+            jumpstart: None,
+        },
     );
     print_timeline(&tl, 6);
     println!(
@@ -120,15 +129,32 @@ fn fig4(lab: &Lab) {
         &lab.app,
         &lab.model,
         &lab.mix,
-        &ServerConfig { params, jumpstart: Some(&pkg) },
+        &ServerConfig {
+            params,
+            jumpstart: Some(&pkg),
+        },
     );
-    let nojs =
-        simulate_warmup(&lab.app, &lab.model, &lab.mix, &ServerConfig { params, jumpstart: None });
+    let nojs = simulate_warmup(
+        &lab.app,
+        &lab.model,
+        &lab.mix,
+        &ServerConfig {
+            params,
+            jumpstart: None,
+        },
+    );
 
     println!("\n  (a) average wall latency per request (ms) over uptime");
-    println!("  {:>7} {:>12} {:>12} {:>7}", "t(s)", "jumpstart", "no-js", "ratio");
+    println!(
+        "  {:>7} {:>12} {:>12} {:>7}",
+        "t(s)", "jumpstart", "no-js", "ratio"
+    );
     for (a, b) in js.samples.iter().zip(nojs.samples.iter()).step_by(6) {
-        let ratio = if a.latency_ms > 0.0 { b.latency_ms / a.latency_ms } else { 0.0 };
+        let ratio = if a.latency_ms > 0.0 {
+            b.latency_ms / a.latency_ms
+        } else {
+            0.0
+        };
         println!(
             "  {:>7} {:>12.2} {:>12.2} {:>7.2}",
             a.t_ms / 1000,
@@ -142,7 +168,12 @@ fn fig4(lab: &Lab) {
     println!("  (b) normalized RPS over uptime");
     println!("  {:>7} {:>12} {:>12}", "t(s)", "jumpstart", "no-js");
     for (a, b) in js.samples.iter().zip(nojs.samples.iter()).step_by(6) {
-        println!("  {:>7} {:>12.3} {:>12.3}", a.t_ms / 1000, a.rps_norm, b.rps_norm);
+        println!(
+            "  {:>7} {:>12.3} {:>12.3}",
+            a.t_ms / 1000,
+            a.rps_norm,
+            b.rps_norm
+        );
     }
     let loss_js = js.capacity_loss_over(600_000) * 100.0;
     let loss_nojs = nojs.capacity_loss_over(600_000) * 100.0;
@@ -158,19 +189,43 @@ fn fig4(lab: &Lab) {
 }
 
 fn steady_params() -> SteadyParams {
-    SteadyParams { warm_requests: 400, measure_requests: 2400, threads: 8, ..Default::default() }
+    SteadyParams {
+        warm_requests: 400,
+        measure_requests: 2400,
+        threads: 8,
+        ..Default::default()
+    }
 }
 
 fn fig5(lab: &Lab) {
     println!("-- Figure 5: steady-state speedup and miss reductions, JS vs no-JS --");
     let params = steady_params();
-    let js = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::jumpstart_full(), &params);
-    let nojs = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::no_jumpstart(), &params);
+    let js = measure_steady_state(
+        &lab.app,
+        &lab.mix,
+        &lab.truth,
+        &SteadyConfig::jumpstart_full(),
+        &params,
+    );
+    let nojs = measure_steady_state(
+        &lab.app,
+        &lab.mix,
+        &lab.truth,
+        &SteadyConfig::no_jumpstart(),
+        &params,
+    );
     let speedup = js.report.speedup_vs(&nojs.report);
     let red = js.report.reduction_vs(&nojs.report);
     println!("\n  {:<12} {:>9} {:>8}", "metric", "measured", "paper");
     println!("  {:<12} {:>8.2}% {:>7.1}%", "speedup", speedup, 5.4);
-    let names = ["branch MR", "i-cache MR", "i-TLB MR", "d-cache MR", "d-TLB MR", "LLC MR"];
+    let names = [
+        "branch MR",
+        "i-cache MR",
+        "i-TLB MR",
+        "d-cache MR",
+        "d-TLB MR",
+        "LLC MR",
+    ];
     let paper = [6.8, 6.2, 20.8, 1.4, 12.1, 3.5];
     for ((n, m), p) in names.iter().zip(red.iter()).zip(paper.iter()) {
         println!("  {:<12} {:>8.2}% {:>7.1}%", n, m, p);
@@ -181,8 +236,13 @@ fn fig5(lab: &Lab) {
 fn fig6(lab: &Lab) {
     println!("-- Figure 6: per-optimization speedups over Jump-Start-without-opts --");
     let params = steady_params();
-    let base =
-        measure_steady_state(&lab.app, &lab.mix, &lab.truth, &SteadyConfig::jumpstart_no_opts(), &params);
+    let base = measure_steady_state(
+        &lab.app,
+        &lab.mix,
+        &lab.truth,
+        &SteadyConfig::jumpstart_no_opts(),
+        &params,
+    );
     let heat_cfg = SteadyConfig {
         name: "no-func-sort",
         js: JumpStartOptions {
@@ -193,13 +253,32 @@ fn fig6(lab: &Lab) {
     };
     let configs = [
         (SteadyConfig::no_jumpstart(), -0.2, "no Jump-Start"),
-        (SteadyConfig::bb_layout_only(), 3.8, "BB layout (accurate Vasm weights)"),
-        (SteadyConfig::func_layout_only(), 0.75, "func layout (inlining-aware C3)"),
-        (SteadyConfig::prop_reorder_only(), 0.8, "prop reorder (hotness)"),
-        (SteadyConfig::jumpstart_full(), f64::NAN, "all optimizations"),
+        (
+            SteadyConfig::bb_layout_only(),
+            3.8,
+            "BB layout (accurate Vasm weights)",
+        ),
+        (
+            SteadyConfig::func_layout_only(),
+            0.75,
+            "func layout (inlining-aware C3)",
+        ),
+        (
+            SteadyConfig::prop_reorder_only(),
+            0.8,
+            "prop reorder (hotness)",
+        ),
+        (
+            SteadyConfig::jumpstart_full(),
+            f64::NAN,
+            "all optimizations",
+        ),
         (heat_cfg, f64::NAN, "[extra] heat order instead of C3"),
     ];
-    println!("\n  {:<38} {:>9} {:>8}", "configuration", "measured", "paper");
+    println!(
+        "\n  {:<38} {:>9} {:>8}",
+        "configuration", "measured", "paper"
+    );
     for (cfg, paper, label) in configs {
         let o = measure_steady_state(&lab.app, &lab.mix, &lab.truth, &cfg, &params);
         let s = o.report.speedup_vs(&base.report);
@@ -215,7 +294,12 @@ fn fig6(lab: &Lab) {
 fn reliability(lab: &Lab) {
     println!("-- §VI reliability: crash-loop containment --");
     println!("\n  scenario A: 1 of 5 packages is crash-inducing, randomized selection");
-    let a = run_crashloop(&CrashLoopParams { servers: 5000, packages: 5, poisoned: 1, ..Default::default() });
+    let a = run_crashloop(&CrashLoopParams {
+        servers: 5000,
+        packages: 5,
+        poisoned: 1,
+        ..Default::default()
+    });
     println!("  crashed per restart wave: {:?}", a.crashed_per_wave);
     println!(
         "  fleet healthy after {:?} waves; fallbacks {}; healthy on JS {}",
@@ -248,7 +332,10 @@ fn reliability(lab: &Lab) {
     let ok = validator.validate_package(&lab.app.repo, &pkg, 0);
     println!("  healthy package: {:?}", ok.map(|r| r.compiled_funcs));
     pkg.meta.poison = jumpstart::Poison::CompileCrash;
-    println!("  compile-crash package: {:?}", validator.validate_package(&lab.app.repo, &pkg, 0).err());
+    println!(
+        "  compile-crash package: {:?}",
+        validator.validate_package(&lab.app.repo, &pkg, 0).err()
+    );
     println!();
 }
 
@@ -262,7 +349,9 @@ fn seeder(lab: &Lab) {
     println!("  prop orders: {} classes", pkg.prop_orders.len());
     println!(
         "  coverage: {} funcs, {} counter mass, {} requests",
-        pkg.meta.coverage.funcs_profiled, pkg.meta.coverage.counter_mass, pkg.meta.coverage.requests
+        pkg.meta.coverage.funcs_profiled,
+        pkg.meta.coverage.counter_mass,
+        pkg.meta.coverage.requests
     );
     let back = jumpstart::ProfilePackage::deserialize(&bytes).expect("round-trips");
     assert_eq!(back, pkg);

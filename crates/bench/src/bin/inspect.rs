@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => {
             eprintln!("(no file given; inspecting a freshly built demo package)");
             let lab = bench::Lab::small();
-            lab.package(&JumpStartOptions::default()).serialize().to_vec()
+            lab.package(&JumpStartOptions::default())
+                .serialize()
+                .to_vec()
         }
     };
     let pkg = ProfilePackage::deserialize(&bytes)?;
@@ -32,11 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pkg.meta.coverage.counter_mass,
         pkg.meta.coverage.requests
     );
-    println!("\ncategory 1 (repo preload): {} units in load order", pkg.preload.unit_order.len());
+    println!(
+        "\ncategory 1 (repo preload): {} units in load order",
+        pkg.preload.unit_order.len()
+    );
     println!(
         "category 2 (tier-1 JIT profile): {} functions, {} block counters",
         pkg.tier.profiled_count(),
-        pkg.tier.funcs.values().map(|f| f.block_counts.len()).sum::<usize>()
+        pkg.tier
+            .funcs
+            .values()
+            .map(|f| f.block_counts.len())
+            .sum::<usize>()
     );
     let call_sites: usize = pkg.tier.funcs.values().map(|f| f.call_targets.len()).sum();
     let type_points: usize = pkg.tier.funcs.values().map(|f| f.types.len()).sum();

@@ -40,7 +40,13 @@ impl Lab {
         let truth = profile_run(&app, &mix, profile_requests, 21);
         let seeder_run = profile_run(&app, &mix, (profile_requests / 4).max(50), 22);
         let model = build_app_model(&app, &truth);
-        Lab { app, mix, truth, seeder_run, model }
+        Lab {
+            app,
+            mix,
+            truth,
+            seeder_run,
+            model,
+        }
     }
 
     /// A seeder package from the C2-window profiling run.

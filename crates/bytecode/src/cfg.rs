@@ -6,7 +6,6 @@
 //! `BlockId` can be serialized into the Jump-Start package and applied in a
 //! different process.
 
-
 use crate::program::Func;
 
 /// Dense id of a bytecode basic block within one function.
@@ -101,15 +100,18 @@ impl Cfg {
             for i in start..end {
                 block_of_instr[i as usize] = BlockId(bi as u32);
             }
-            blocks.push(CfgBlock { start, end, taken: None, fallthrough: None });
+            blocks.push(CfgBlock {
+                start,
+                end,
+                taken: None,
+                fallthrough: None,
+            });
         }
         // Wire successors now that instruction->block is known.
         for bi in 0..blocks.len() {
             let last_idx = blocks[bi].end - 1;
             let last = &code[last_idx as usize];
-            let taken = last
-                .jump_target()
-                .map(|t| block_of_instr[t as usize]);
+            let taken = last.jump_target().map(|t| block_of_instr[t as usize]);
             let falls = !last.is_terminal() && (blocks[bi].end as usize) < n;
             blocks[bi].taken = taken;
             blocks[bi].fallthrough = if falls {
@@ -118,7 +120,10 @@ impl Cfg {
                 None
             };
         }
-        Cfg { blocks, block_of_instr }
+        Cfg {
+            blocks,
+            block_of_instr,
+        }
     }
 
     /// The blocks, indexable by [`BlockId`].
@@ -146,6 +151,30 @@ impl Cfg {
         &self.blocks[id.index()]
     }
 
+    /// Structural hash of every block, for matching profile counters onto
+    /// a *changed* CFG (stale-profile repair, paper §VI reliability).
+    ///
+    /// The hash covers each instruction's shape — opcode plus immediates —
+    /// but deliberately **excludes jump-target indices** and includes the
+    /// successor *shape* instead (has-taken / has-fallthrough). Inserting
+    /// or deleting code elsewhere in the function shifts every absolute
+    /// instruction index, yet untouched blocks keep their hash, so their
+    /// counters can be remapped.
+    pub fn block_hashes(&self, func: &Func) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .map(|b| {
+                let mut h = Fnv::new();
+                for i in b.start..b.end {
+                    hash_instr_shape(&mut h, &func.code[i as usize]);
+                }
+                h.u8(b.taken.is_some() as u8);
+                h.u8(b.fallthrough.is_some() as u8);
+                h.finish()
+            })
+            .collect()
+    }
+
     /// Predecessor counts per block (entry gets an implicit +1).
     pub fn pred_counts(&self) -> Vec<u32> {
         let mut preds = vec![0u32; self.blocks.len()];
@@ -158,6 +187,123 @@ impl Cfg {
             }
         }
         preds
+    }
+}
+
+// FNV-1a, enough for structural fingerprints (no adversarial inputs).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_instr_shape(h: &mut Fnv, instr: &crate::instr::Instr) {
+    use crate::instr::Instr as I;
+    // A small opcode tag plus the non-jump-target immediates.
+    match *instr {
+        I::Null => h.u8(0),
+        I::True => h.u8(1),
+        I::False => h.u8(2),
+        I::Int(v) => {
+            h.u8(3);
+            h.u64(v as u64);
+        }
+        I::Double(v) => {
+            h.u8(4);
+            h.u64(v.to_bits());
+        }
+        I::Str(s) => {
+            h.u8(5);
+            h.u64(s.0 as u64);
+        }
+        I::LitArr(a) => {
+            h.u8(6);
+            h.u64(a.0 as u64);
+        }
+        I::Pop => h.u8(7),
+        I::Dup => h.u8(8),
+        I::GetL(l) => {
+            h.u8(9);
+            h.u64(l as u64);
+        }
+        I::SetL(l) => {
+            h.u8(10);
+            h.u64(l as u64);
+        }
+        I::IncL(l, d) => {
+            h.u8(11);
+            h.u64(l as u64);
+            h.u64(d as u64);
+        }
+        I::Bin(op) => {
+            h.u8(12);
+            h.u8(op as u8);
+        }
+        I::Un(op) => {
+            h.u8(13);
+            h.u8(op as u8);
+        }
+        // Branch opcodes hash their kind only: the absolute target index
+        // shifts whenever code is inserted upstream.
+        I::Jmp(_) => h.u8(14),
+        I::JmpZ(_) => h.u8(15),
+        I::JmpNZ(_) => h.u8(16),
+        I::Call { func, argc } => {
+            h.u8(17);
+            h.u64(func.0 as u64);
+            h.u8(argc);
+        }
+        I::CallMethod { name, argc } => {
+            h.u8(18);
+            h.u64(name.0 as u64);
+            h.u8(argc);
+        }
+        I::CallBuiltin { builtin, argc } => {
+            h.u8(19);
+            h.u8(builtin as u8);
+            h.u8(argc);
+        }
+        I::Ret => h.u8(20),
+        I::NewObj(c) => {
+            h.u8(21);
+            h.u64(c.0 as u64);
+        }
+        I::GetProp(s) => {
+            h.u8(22);
+            h.u64(s.0 as u64);
+        }
+        I::SetProp(s) => {
+            h.u8(23);
+            h.u64(s.0 as u64);
+        }
+        I::This => h.u8(24),
+        I::NewVec(n) => {
+            h.u8(25);
+            h.u64(n as u64);
+        }
+        I::NewDict(n) => {
+            h.u8(26);
+            h.u64(n as u64);
+        }
+        I::Idx => h.u8(27),
+        I::SetIdx => h.u8(28),
     }
 }
 
@@ -181,7 +327,12 @@ mod tests {
 
     #[test]
     fn straight_line_is_one_block() {
-        let f = func(vec![Instr::Int(1), Instr::Int(2), Instr::Bin(BinOp::Add), Instr::Ret]);
+        let f = func(vec![
+            Instr::Int(1),
+            Instr::Int(2),
+            Instr::Bin(BinOp::Add),
+            Instr::Ret,
+        ]);
         let cfg = Cfg::build(&f);
         assert_eq!(cfg.len(), 1);
         let b = cfg.block(BlockId::ENTRY);
@@ -194,12 +345,12 @@ mod tests {
     fn diamond_has_four_blocks() {
         // if (l0) { 1 } else { 2 }; ret
         let f = func(vec![
-            Instr::GetL(0),   // 0  b0
-            Instr::JmpZ(4),   // 1  b0 -> taken b2, fall b1
-            Instr::Int(1),    // 2  b1
-            Instr::Jmp(5),    // 3  b1 -> b3
-            Instr::Int(2),    // 4  b2 (falls to b3)
-            Instr::Ret,       // 5  b3
+            Instr::GetL(0), // 0  b0
+            Instr::JmpZ(4), // 1  b0 -> taken b2, fall b1
+            Instr::Int(1),  // 2  b1
+            Instr::Jmp(5),  // 3  b1 -> b3
+            Instr::Int(2),  // 4  b2 (falls to b3)
+            Instr::Ret,     // 5  b3
         ]);
         let cfg = Cfg::build(&f);
         assert_eq!(cfg.len(), 4);
@@ -223,8 +374,8 @@ mod tests {
             Instr::GetL(0), // 2 b1
             Instr::Int(1),  // 3
             Instr::Bin(BinOp::Sub),
-            Instr::Jmp(0),  // 5 b1 -> b0
-            Instr::Ret,     // 6 b2
+            Instr::Jmp(0), // 5 b1 -> b0
+            Instr::Ret,    // 6 b2
         ]);
         let cfg = Cfg::build(&f);
         assert_eq!(cfg.len(), 3);
@@ -238,5 +389,54 @@ mod tests {
         let cfg = Cfg::build(&f);
         assert_eq!(cfg.block_of(0), BlockId(0));
         assert_eq!(cfg.block_of(2), BlockId(1));
+    }
+
+    #[test]
+    fn block_hashes_are_stable_and_distinguish_contents() {
+        let f = func(vec![
+            Instr::GetL(0),
+            Instr::JmpZ(4),
+            Instr::Int(1),
+            Instr::Jmp(5),
+            Instr::Int(2),
+            Instr::Ret,
+        ]);
+        let cfg = Cfg::build(&f);
+        let h1 = cfg.block_hashes(&f);
+        let h2 = cfg.block_hashes(&f);
+        assert_eq!(h1, h2, "hashing is deterministic");
+        assert_eq!(h1.len(), cfg.len());
+        // Int(1)+Jmp vs Int(2)+fallthrough differ.
+        assert_ne!(h1[1], h1[2]);
+    }
+
+    #[test]
+    fn block_hashes_survive_upstream_insertion() {
+        // v1: cond; A; ret    v2: an extra instruction *before* the branch
+        // shifts every absolute index, but untouched blocks keep hashes.
+        let v1 = func(vec![
+            Instr::GetL(0), // b0
+            Instr::JmpZ(4), // b0 -> b2
+            Instr::Int(7),  // b1
+            Instr::Jmp(5),  // b1 -> b3
+            Instr::Int(9),  // b2
+            Instr::Ret,     // b3
+        ]);
+        let v2 = func(vec![
+            Instr::GetL(0), // b0 (one instr longer)
+            Instr::Dup,
+            Instr::Pop,
+            Instr::JmpZ(6), // b0 -> b2
+            Instr::Int(7),  // b1
+            Instr::Jmp(7),  // b1 -> b3
+            Instr::Int(9),  // b2
+            Instr::Ret,     // b3
+        ]);
+        let h1 = Cfg::build(&v1).block_hashes(&v1);
+        let h2 = Cfg::build(&v2).block_hashes(&v2);
+        assert_ne!(h1[0], h2[0], "edited block changes");
+        assert_eq!(h1[1], h2[1], "untouched block keeps its hash");
+        assert_eq!(h1[2], h2[2]);
+        assert_eq!(h1[3], h2[3]);
     }
 }

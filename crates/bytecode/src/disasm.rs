@@ -12,7 +12,11 @@ use crate::repo::Repo;
 pub fn disasm_func(repo: &Repo, id: FuncId) -> String {
     let func = repo.func(id);
     let mut out = String::new();
-    let kind = if func.is_method() { "method" } else { "function" };
+    let kind = if func.is_method() {
+        "method"
+    } else {
+        "function"
+    };
     let _ = writeln!(
         out,
         "{} {}({} params, {} locals) {{",

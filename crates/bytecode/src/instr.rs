@@ -389,9 +389,20 @@ mod tests {
         assert_eq!(Instr::NewVec(3).stack_delta(), -2);
         assert_eq!(Instr::NewVec(3).pops(), 3);
         assert_eq!(Instr::NewDict(2).stack_delta(), -3);
-        assert_eq!(Instr::Call { func: crate::FuncId::new(0), argc: 2 }.stack_delta(), -1);
         assert_eq!(
-            Instr::CallMethod { name: crate::StrId::new(0), argc: 2 }.stack_delta(),
+            Instr::Call {
+                func: crate::FuncId::new(0),
+                argc: 2
+            }
+            .stack_delta(),
+            -1
+        );
+        assert_eq!(
+            Instr::CallMethod {
+                name: crate::StrId::new(0),
+                argc: 2
+            }
+            .stack_delta(),
             -2
         );
     }

@@ -49,4 +49,4 @@ pub use instr::{BinOp, Builtin, Instr, UnOp};
 pub use literal::{LitArray, Literal};
 pub use program::{Class, Func, PropDecl, Unit, Visibility};
 pub use repo::{Repo, RepoBuilder, RepoError};
-pub use verify::{verify_func, verify_repo, VerifyError};
+pub use verify::{verify_func, verify_func_all, verify_repo, verify_repo_all, VerifyError};

@@ -9,9 +9,10 @@ use crate::ids::{LitArrId, StrId};
 /// repo owns all the actual data — exactly the property that makes the
 /// "repo global data" category of the Jump-Start package (paper §IV-B) a
 /// simple list of ids to preload.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum Literal {
     /// The null value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -23,12 +24,6 @@ pub enum Literal {
     Str(StrId),
     /// A static array (vec or dict) stored in the repo.
     Arr(LitArrId),
-}
-
-impl Default for Literal {
-    fn default() -> Self {
-        Literal::Null
-    }
 }
 
 /// A static array stored once in the repo and shared by all requests.

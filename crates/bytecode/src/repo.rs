@@ -212,7 +212,12 @@ impl RepoBuilder {
     pub fn declare_unit(&mut self, name: &str) -> UnitId {
         let name = self.intern(name);
         let id = UnitId::new(self.units.len() as u32);
-        self.units.push(Unit { id, name, funcs: Vec::new(), classes: Vec::new() });
+        self.units.push(Unit {
+            id,
+            name,
+            funcs: Vec::new(),
+            classes: Vec::new(),
+        });
         id
     }
 
@@ -236,7 +241,12 @@ impl RepoBuilder {
         id
     }
 
-    fn define_func_impl(&mut self, unit: UnitId, fb: FuncBuilder, class: Option<ClassId>) -> FuncId {
+    fn define_func_impl(
+        &mut self,
+        unit: UnitId,
+        fb: FuncBuilder,
+        class: Option<ClassId>,
+    ) -> FuncId {
         let id = FuncId::new(self.funcs.len() as u32);
         let func = fb.finish(self, id, unit, class);
         if class.is_none() {
@@ -275,7 +285,14 @@ impl RepoBuilder {
             let n = self.strings[name.index()].clone();
             self.errors.push(RepoError::DuplicateClass(n));
         }
-        self.classes.push(Class { id, name, parent, unit, props, methods: Vec::new() });
+        self.classes.push(Class {
+            id,
+            name,
+            parent,
+            unit,
+            props,
+            methods: Vec::new(),
+        });
         self.units[unit.index()].classes.push(id);
         id
     }
@@ -336,8 +353,7 @@ impl RepoBuilder {
                     match color[p.index()] {
                         0 => stack.push((p.index(), false)),
                         1 => {
-                            let name =
-                                self.strings[self.classes[p.index()].name.index()].clone();
+                            let name = self.strings[self.classes[p.index()].name.index()].clone();
                             return Err(RepoError::InheritanceCycle(name));
                         }
                         _ => {}
@@ -396,7 +412,10 @@ mod tests {
         f2.emit(Instr::Ret);
         b.define_func(u, f1);
         b.define_func(u, f2);
-        assert_eq!(b.try_finish().unwrap_err(), RepoError::DuplicateFunc("f".into()));
+        assert_eq!(
+            b.try_finish().unwrap_err(),
+            RepoError::DuplicateFunc("f".into())
+        );
     }
 
     #[test]
@@ -407,7 +426,10 @@ mod tests {
         let bid = b.declare_class(u, "B", Some(a), vec![]);
         // Introduce a cycle A -> B.
         b.classes[a.index()].parent = Some(bid);
-        assert!(matches!(b.try_finish(), Err(RepoError::InheritanceCycle(_))));
+        assert!(matches!(
+            b.try_finish(),
+            Err(RepoError::InheritanceCycle(_))
+        ));
     }
 
     #[test]

@@ -17,7 +17,11 @@ use crate::repo::Repo;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VerifyError {
     /// A branch targets an instruction index outside the function.
-    JumpOutOfRange { func: FuncId, at: usize, target: u32 },
+    JumpOutOfRange {
+        func: FuncId,
+        at: usize,
+        target: u32,
+    },
     /// An instruction references a local slot `>= locals`.
     LocalOutOfRange { func: FuncId, at: usize, local: u16 },
     /// The function body is empty.
@@ -27,13 +31,23 @@ pub enum VerifyError {
     /// An instruction would pop from an empty stack.
     StackUnderflow { func: FuncId, at: usize },
     /// A join point is reached with inconsistent stack depths.
-    InconsistentStackDepth { func: FuncId, block: u32, expected: i32, found: i32 },
+    InconsistentStackDepth {
+        func: FuncId,
+        block: u32,
+        expected: i32,
+        found: i32,
+    },
     /// A call's static callee id is out of range for the repo.
     UnknownCallee { func: FuncId, at: usize },
     /// A `NewObj` references an out-of-range class id.
     UnknownClass { func: FuncId, at: usize },
     /// A builtin call has the wrong number of arguments.
-    BuiltinArity { func: FuncId, at: usize, expected: usize, found: usize },
+    BuiltinArity {
+        func: FuncId,
+        at: usize,
+        expected: usize,
+        found: usize,
+    },
     /// An interned-id immediate (string/array) is out of range.
     UnknownLiteral { func: FuncId, at: usize },
 }
@@ -52,7 +66,12 @@ impl fmt::Display for VerifyError {
             VerifyError::StackUnderflow { func, at } => {
                 write!(f, "{func}: instr {at}: stack underflow")
             }
-            VerifyError::InconsistentStackDepth { func, block, expected, found } => write!(
+            VerifyError::InconsistentStackDepth {
+                func,
+                block,
+                expected,
+                found,
+            } => write!(
                 f,
                 "{func}: block b{block}: inconsistent stack depth ({expected} vs {found})"
             ),
@@ -62,7 +81,12 @@ impl fmt::Display for VerifyError {
             VerifyError::UnknownClass { func, at } => {
                 write!(f, "{func}: instr {at}: unknown class")
             }
-            VerifyError::BuiltinArity { func, at, expected, found } => write!(
+            VerifyError::BuiltinArity {
+                func,
+                at,
+                expected,
+                found,
+            } => write!(
                 f,
                 "{func}: instr {at}: builtin expects {expected} args, got {found}"
             ),
@@ -75,78 +99,92 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Verifies a single function against the repo.
+/// Verifies a single function, collecting **every** violated invariant
+/// instead of stopping at the first one.
 ///
-/// # Errors
-///
-/// Returns the first violated invariant.
-pub fn verify_func(repo: &Repo, func: &Func) -> Result<(), VerifyError> {
+/// An empty vector means the function verifies. Ordering: per-instruction
+/// structural errors in code order, then the falls-off-end check, then
+/// stack-discipline errors in traversal order.
+pub fn verify_func_all(repo: &Repo, func: &Func) -> Vec<VerifyError> {
     let id = func.id;
     let n = func.code.len();
+    let mut errors = Vec::new();
     if n == 0 {
-        return Err(VerifyError::EmptyBody { func: id });
+        return vec![VerifyError::EmptyBody { func: id }];
     }
     // Per-instruction structural checks.
     for (at, instr) in func.code.iter().enumerate() {
         if let Some(t) = instr.jump_target() {
             if t as usize >= n {
-                return Err(VerifyError::JumpOutOfRange { func: id, at, target: t });
+                errors.push(VerifyError::JumpOutOfRange {
+                    func: id,
+                    at,
+                    target: t,
+                });
             }
         }
         match *instr {
-            Instr::GetL(l) | Instr::SetL(l) | Instr::IncL(l, _) => {
-                if l >= func.locals {
-                    return Err(VerifyError::LocalOutOfRange { func: id, at, local: l });
-                }
+            Instr::GetL(l) | Instr::SetL(l) | Instr::IncL(l, _) if l >= func.locals => {
+                errors.push(VerifyError::LocalOutOfRange {
+                    func: id,
+                    at,
+                    local: l,
+                });
             }
             Instr::Call { func: callee, argc } => {
                 if callee.index() >= repo.funcs().len() {
-                    return Err(VerifyError::UnknownCallee { func: id, at });
-                }
-                let params = repo.func(callee).params;
-                if params != argc as u16 {
-                    return Err(VerifyError::BuiltinArity {
-                        func: id,
-                        at,
-                        expected: params as usize,
-                        found: argc as usize,
-                    });
-                }
-            }
-            Instr::CallBuiltin { builtin, argc } => {
-                if builtin.arity() != argc as usize {
-                    return Err(VerifyError::BuiltinArity {
-                        func: id,
-                        at,
-                        expected: builtin.arity(),
-                        found: argc as usize,
-                    });
+                    errors.push(VerifyError::UnknownCallee { func: id, at });
+                } else {
+                    let params = repo.func(callee).params;
+                    if params != argc as u16 {
+                        errors.push(VerifyError::BuiltinArity {
+                            func: id,
+                            at,
+                            expected: params as usize,
+                            found: argc as usize,
+                        });
+                    }
                 }
             }
-            Instr::NewObj(c) => {
-                if c.index() >= repo.classes().len() {
-                    return Err(VerifyError::UnknownClass { func: id, at });
-                }
+            Instr::CallBuiltin { builtin, argc } if builtin.arity() != argc as usize => {
+                errors.push(VerifyError::BuiltinArity {
+                    func: id,
+                    at,
+                    expected: builtin.arity(),
+                    found: argc as usize,
+                });
             }
-            Instr::Str(s) | Instr::GetProp(s) | Instr::SetProp(s)
-            | Instr::CallMethod { name: s, .. } => {
-                if s.index() >= repo.string_count() {
-                    return Err(VerifyError::UnknownLiteral { func: id, at });
-                }
+            Instr::NewObj(c) if c.index() >= repo.classes().len() => {
+                errors.push(VerifyError::UnknownClass { func: id, at });
             }
-            Instr::LitArr(a) => {
-                if a.index() >= repo.lit_array_count() {
-                    return Err(VerifyError::UnknownLiteral { func: id, at });
-                }
+            Instr::Str(s)
+            | Instr::GetProp(s)
+            | Instr::SetProp(s)
+            | Instr::CallMethod { name: s, .. }
+                if s.index() >= repo.string_count() =>
+            {
+                errors.push(VerifyError::UnknownLiteral { func: id, at });
+            }
+            Instr::LitArr(a) if a.index() >= repo.lit_array_count() => {
+                errors.push(VerifyError::UnknownLiteral { func: id, at });
             }
             _ => {}
         }
     }
     // Last instruction must not fall through.
     if !func.code[n - 1].is_terminal() {
-        return Err(VerifyError::FallsOffEnd { func: id });
+        errors.push(VerifyError::FallsOffEnd { func: id });
     }
-    // Abstract stack-depth interpretation over the CFG.
+    // Stack discipline relies on in-range jump targets; with broken
+    // targets the CFG itself is meaningless, so stop here.
+    if errors
+        .iter()
+        .any(|e| matches!(e, VerifyError::JumpOutOfRange { .. }))
+    {
+        return errors;
+    }
+    // Abstract stack-depth interpretation over the CFG. On underflow the
+    // depth is clamped so the walk can continue and surface later errors.
     let cfg = Cfg::build(func);
     let mut depth_at: Vec<Option<i32>> = vec![None; cfg.len()];
     depth_at[0] = Some(0);
@@ -157,7 +195,11 @@ pub fn verify_func(repo: &Repo, func: &Func) -> Result<(), VerifyError> {
         for i in block.start..block.end {
             let instr = &func.code[i as usize];
             if depth < instr.pops() as i32 {
-                return Err(VerifyError::StackUnderflow { func: id, at: i as usize });
+                errors.push(VerifyError::StackUnderflow {
+                    func: id,
+                    at: i as usize,
+                });
+                depth = instr.pops() as i32;
             }
             depth += instr.stack_delta();
         }
@@ -168,7 +210,7 @@ pub fn verify_func(repo: &Repo, func: &Func) -> Result<(), VerifyError> {
                     work.push(s);
                 }
                 Some(d) if d != depth => {
-                    return Err(VerifyError::InconsistentStackDepth {
+                    errors.push(VerifyError::InconsistentStackDepth {
                         func: id,
                         block: s.0,
                         expected: d,
@@ -179,7 +221,27 @@ pub fn verify_func(repo: &Repo, func: &Func) -> Result<(), VerifyError> {
             }
         }
     }
-    Ok(())
+    errors
+}
+
+/// Verifies every function in the repo, collecting all errors.
+pub fn verify_repo_all(repo: &Repo) -> Vec<VerifyError> {
+    repo.funcs()
+        .iter()
+        .flat_map(|func| verify_func_all(repo, func))
+        .collect()
+}
+
+/// Verifies a single function against the repo.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify_func(repo: &Repo, func: &Func) -> Result<(), VerifyError> {
+    match verify_func_all(repo, func).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Verifies every function in the repo.
@@ -225,8 +287,16 @@ mod tests {
 
     #[test]
     fn ok_function_verifies() {
-        let (repo, id) =
-            single(vec![Instr::Int(1), Instr::Int(2), Instr::Bin(BinOp::Add), Instr::Ret], 0, 0);
+        let (repo, id) = single(
+            vec![
+                Instr::Int(1),
+                Instr::Int(2),
+                Instr::Bin(BinOp::Add),
+                Instr::Ret,
+            ],
+            0,
+            0,
+        );
         assert!(verify_func(&repo, repo.func(id)).is_ok());
     }
 
@@ -270,13 +340,13 @@ mod tests {
     fn inconsistent_join_depth_detected() {
         // One arm pushes two values, the other one; both jump to the same ret.
         let code = vec![
-            Instr::GetL(0),  // 0
-            Instr::JmpZ(4),  // 1
-            Instr::Null,     // 2
-            Instr::Jmp(6),   // 3
-            Instr::Null,     // 4
-            Instr::Null,     // 5 (falls into 6 with depth 2)
-            Instr::Ret,      // 6
+            Instr::GetL(0), // 0
+            Instr::JmpZ(4), // 1
+            Instr::Null,    // 2
+            Instr::Jmp(6),  // 3
+            Instr::Null,    // 4
+            Instr::Null,    // 5 (falls into 6 with depth 2)
+            Instr::Ret,     // 6
         ];
         let (repo, id) = single(code, 1, 1);
         assert!(matches!(
@@ -289,13 +359,20 @@ mod tests {
     fn builtin_arity_checked() {
         let code = vec![
             Instr::Null,
-            Instr::CallBuiltin { builtin: Builtin::Min, argc: 1 },
+            Instr::CallBuiltin {
+                builtin: Builtin::Min,
+                argc: 1,
+            },
             Instr::Ret,
         ];
         let (repo, id) = single(code, 0, 0);
         assert!(matches!(
             verify_func(&repo, repo.func(id)),
-            Err(VerifyError::BuiltinArity { expected: 2, found: 1, .. })
+            Err(VerifyError::BuiltinArity {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
     }
 
@@ -307,6 +384,65 @@ mod tests {
             Err(VerifyError::UnknownLiteral { .. })
         ));
         let _ = UnitId::new(0);
+    }
+
+    #[test]
+    fn all_errors_are_collected() {
+        // Three independent structural violations in one function.
+        let code = vec![
+            Instr::GetL(9),              // local out of range
+            Instr::Str(StrId::new(999)), // unknown string
+            Instr::Pop,
+            Instr::Pop,                            // leaves depth 0... then:
+            Instr::NewObj(crate::ClassId::new(7)), // unknown class
+            Instr::Pop,
+            Instr::Ret, // pops from empty stack
+        ];
+        let (repo, id) = single(code, 0, 1);
+        let errors = verify_func_all(&repo, repo.func(id));
+        assert!(errors.len() >= 3, "expected several errors, got {errors:?}");
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::LocalOutOfRange { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnknownLiteral { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnknownClass { .. })));
+        // The thin wrapper reports exactly the first of them.
+        assert_eq!(verify_func(&repo, repo.func(id)).unwrap_err(), errors[0]);
+    }
+
+    #[test]
+    fn collect_all_matches_single_error_api_on_clean_funcs() {
+        let (repo, id) = single(
+            vec![
+                Instr::Int(1),
+                Instr::Int(2),
+                Instr::Bin(BinOp::Add),
+                Instr::Ret,
+            ],
+            0,
+            0,
+        );
+        assert!(verify_func_all(&repo, repo.func(id)).is_empty());
+        assert!(verify_repo_all(&repo).is_empty());
+    }
+
+    #[test]
+    fn verify_repo_all_spans_functions() {
+        let mut b = RepoBuilder::new();
+        let u = b.declare_unit("t.hl");
+        for name in ["bad1", "bad2"] {
+            let mut f = FuncBuilder::new(name, 0);
+            f.emit_raw(Instr::Pop);
+            f.emit_raw(Instr::Null);
+            f.emit_raw(Instr::Ret);
+            b.define_func(u, f);
+        }
+        let repo = b.finish();
+        assert_eq!(verify_repo_all(&repo).len(), 2);
     }
 
     #[test]

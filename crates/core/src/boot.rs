@@ -30,7 +30,10 @@ impl BootController {
     /// Creates a controller allowing `max_attempts` Jump-Start boots
     /// before fallback.
     pub fn new(max_attempts: u32) -> Self {
-        Self { max_attempts, attempts: 0 }
+        Self {
+            max_attempts,
+            attempts: 0,
+        }
     }
 
     /// Jump-Start boot attempts since the last healthy boot.
@@ -76,7 +79,12 @@ mod tests {
         let store = PackageStore::new();
         for s in 0..n {
             store.publish(
-                PackageMeta { region: 0, bucket: 0, seeder_id: s, ..Default::default() },
+                PackageMeta {
+                    region: 0,
+                    bucket: 0,
+                    seeder_id: s,
+                    ..Default::default()
+                },
                 Bytes::from_static(b"pkg"),
             );
         }
@@ -88,7 +96,10 @@ mod tests {
         let store = PackageStore::new();
         let mut ctl = BootController::new(3);
         let mut rng = SmallRng::seed_from_u64(0);
-        assert!(matches!(ctl.decide(&store, 0, 0, &mut rng), BootDecision::Fallback));
+        assert!(matches!(
+            ctl.decide(&store, 0, 0, &mut rng),
+            BootDecision::Fallback
+        ));
         assert_eq!(ctl.attempts(), 0);
     }
 
@@ -103,7 +114,10 @@ mod tests {
                 BootDecision::TryPackage(_)
             ));
         }
-        assert!(matches!(ctl.decide(&store, 0, 0, &mut rng), BootDecision::Fallback));
+        assert!(matches!(
+            ctl.decide(&store, 0, 0, &mut rng),
+            BootDecision::Fallback
+        ));
     }
 
     #[test]
@@ -116,7 +130,10 @@ mod tests {
         assert_eq!(ctl.attempts(), 2);
         ctl.record_healthy();
         assert_eq!(ctl.attempts(), 0);
-        assert!(matches!(ctl.decide(&store, 0, 0, &mut rng), BootDecision::TryPackage(_)));
+        assert!(matches!(
+            ctl.decide(&store, 0, 0, &mut rng),
+            BootDecision::TryPackage(_)
+        ));
     }
 
     #[test]
@@ -130,6 +147,9 @@ mod tests {
                 seen.insert(p.meta.seeder_id);
             }
         }
-        assert!(seen.len() >= 4, "random selection should cover most seeders");
+        assert!(
+            seen.len() >= 4,
+            "random selection should cover most seeders"
+        );
     }
 }

@@ -51,6 +51,12 @@ pub struct JumpStartOptions {
     /// Healthy-boot trials the validator simulates (§VI-A.1 "remains
     /// healthy for a few minutes").
     pub validation_trials: u32,
+    /// Run the static profile linter during seeder-side validation, before
+    /// the (much more expensive) validation compile and smoke boots.
+    pub static_lint: bool,
+    /// Let consumers lint a package and attempt stale-profile repair
+    /// instead of consuming structurally bad data blindly.
+    pub lint_repair: bool,
 }
 
 impl Default for JumpStartOptions {
@@ -66,6 +72,8 @@ impl Default for JumpStartOptions {
             min_requests: 20,
             max_boot_attempts: 3,
             validation_trials: 8,
+            static_lint: true,
+            lint_repair: true,
         }
     }
 }
@@ -73,7 +81,10 @@ impl Default for JumpStartOptions {
 impl JumpStartOptions {
     /// Jump-Start fully disabled (the paper's no-Jump-Start baseline).
     pub fn disabled() -> Self {
-        Self { enabled: false, ..Default::default() }
+        Self {
+            enabled: false,
+            ..Default::default()
+        }
     }
 
     /// Jump-Start on, but with none of the §V steady-state optimizations —
@@ -96,6 +107,7 @@ mod tests {
     fn default_enables_all_optimizations() {
         let o = JumpStartOptions::default();
         assert!(o.enabled && o.accurate_bb_weights && o.preload_units);
+        assert!(o.static_lint && o.lint_repair);
         assert_eq!(o.func_sort, FuncSort::C3InliningAware);
         assert_eq!(o.prop_reorder, PropReorder::Hotness);
     }

@@ -1,10 +1,14 @@
-//! The consumer workflow (Fig. 3c): deserialize → preload → compile all
-//! optimized code in parallel → ready to serve.
+//! The consumer workflow (Fig. 3c): deserialize → lint (and repair, if
+//! the profile is stale) → preload → compile all optimized code in
+//! parallel → ready to serve.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use analysis::{
+    is_own_layer_order, lint_profile_with, repair_profile, LintOptions, ProfileView, RepairReport,
+};
 use bytecode::{ClassId, FuncId, Repo, StrId, UnitId};
-use jit::{translate_optimized, JitEngine, JitOptions, WeightSource};
+use jit::{translate_optimized, CtxProfile, JitEngine, JitOptions, TierProfile, WeightSource};
 use vm::ClassTable;
 
 use crate::config::{FuncSort, JumpStartOptions, PropReorder};
@@ -19,6 +23,14 @@ pub enum ConsumerError {
     /// The profile data triggered a (simulated) JIT compiler crash —
     /// §VI-A's widespread-bug scenario.
     JitCrash,
+    /// The static linter found structural errors the stale-profile
+    /// repairer could not fix — the package cannot describe this repo.
+    InvalidProfile {
+        /// Error-severity diagnostics remaining after repair.
+        errors: usize,
+        /// The first diagnostic, rendered.
+        first: String,
+    },
 }
 
 impl std::fmt::Display for ConsumerError {
@@ -26,6 +38,12 @@ impl std::fmt::Display for ConsumerError {
         match self {
             ConsumerError::Wire(e) => write!(f, "package decode failed: {e}"),
             ConsumerError::JitCrash => write!(f, "JIT crashed while compiling profile data"),
+            ConsumerError::InvalidProfile { errors, first } => {
+                write!(
+                    f,
+                    "profile failed static lint ({errors} errors, unrepairable): {first}"
+                )
+            }
         }
     }
 }
@@ -52,6 +70,79 @@ pub struct ConsumerOutcome<'r> {
     pub compiled_funcs: usize,
     /// Bytes of optimized code emitted.
     pub compile_bytes: u64,
+    /// Set when the package failed the structural lint and was repaired
+    /// (stale counters remapped, dead entries pruned) before consumption.
+    pub repair: Option<RepairReport>,
+}
+
+/// The profile parts of a package after lint-and-repair, owned because
+/// repair mutates them. `None` means the package was consumable as-is.
+struct OwnedProfile {
+    tier: TierProfile,
+    ctx: CtxProfile,
+    unit_order: Vec<UnitId>,
+    prop_orders: Vec<(ClassId, Vec<StrId>)>,
+    func_order: Vec<FuncId>,
+}
+
+/// Consumers are lenient about flow conservation: a mis-weighted counter
+/// only skews code layout, while structural errors (dangling ids, phantom
+/// sites) feed garbage into translation. Type feasibility is a warning
+/// either way.
+const CONSUMER_LINT: LintOptions = LintOptions {
+    flow_conservation: false,
+    type_feasibility: false,
+};
+
+fn lint_errors(repo: &Repo, view: &ProfileView<'_>) -> usize {
+    lint_profile_with(repo, view, &CONSUMER_LINT).error_count()
+}
+
+/// Repairs a package's profile against the current repo: remaps stale
+/// block counters by structural hash, drops unrepairable functions,
+/// prunes dangling/phantom entries and sanitizes the order lists.
+fn repair_package(repo: &Repo, pkg: &ProfilePackage) -> (OwnedProfile, RepairReport) {
+    let mut tier = pkg.tier.clone();
+    let mut ctx = pkg.ctx.clone();
+    let report = repair_profile(repo, &mut tier, &mut ctx);
+
+    let mut seen_units = HashSet::new();
+    let unit_order: Vec<UnitId> = pkg
+        .preload
+        .unit_order
+        .iter()
+        .copied()
+        .filter(|u| u.index() < repo.units().len() && seen_units.insert(*u))
+        .collect();
+    let mut seen_funcs = HashSet::new();
+    let func_order: Vec<FuncId> = pkg
+        .func_order
+        .iter()
+        .copied()
+        .filter(|f| f.index() < repo.funcs().len() && seen_funcs.insert(*f))
+        .collect();
+    let mut seen_classes = HashSet::new();
+    let prop_orders: Vec<(ClassId, Vec<StrId>)> = pkg
+        .prop_orders
+        .iter()
+        .filter(|(c, order)| {
+            c.index() < repo.classes().len()
+                && is_own_layer_order(repo, *c, order)
+                && seen_classes.insert(*c)
+        })
+        .cloned()
+        .collect();
+
+    (
+        OwnedProfile {
+            tier,
+            ctx,
+            unit_order,
+            prop_orders,
+            func_order,
+        },
+        report,
+    )
 }
 
 /// Resolves physical property slots for every class, honoring the
@@ -94,24 +185,83 @@ pub fn consume<'r>(
     if pkg.meta.poison == Poison::CompileCrash {
         return Err(ConsumerError::JitCrash);
     }
+
+    // Static lint first: refuse to feed structurally impossible profile
+    // data into translation. A dirty package gets one repair attempt
+    // (stale-counter remap + pruning) before the consumer gives up and
+    // lets the boot controller fall back (§VI-A.3).
+    let mut repair = None;
+    let owned: Option<OwnedProfile> = if opts.lint_repair
+        && lint_errors(
+            repo,
+            &ProfileView {
+                tier: &pkg.tier,
+                ctx: &pkg.ctx,
+                unit_order: &pkg.preload.unit_order,
+                prop_orders: &pkg.prop_orders,
+                func_order: &pkg.func_order,
+            },
+        ) > 0
+    {
+        let (fixed, report) = repair_package(repo, pkg);
+        let relint = lint_profile_with(
+            repo,
+            &ProfileView {
+                tier: &fixed.tier,
+                ctx: &fixed.ctx,
+                unit_order: &fixed.unit_order,
+                prop_orders: &fixed.prop_orders,
+                func_order: &fixed.func_order,
+            },
+            &CONSUMER_LINT,
+        );
+        if relint.error_count() > 0 {
+            return Err(ConsumerError::InvalidProfile {
+                errors: relint.error_count(),
+                first: relint
+                    .errors()
+                    .next()
+                    .map(ToString::to_string)
+                    .unwrap_or_default(),
+            });
+        }
+        repair = Some(report);
+        Some(fixed)
+    } else {
+        None
+    };
+    let (tier, ctx): (&TierProfile, &CtxProfile) = match &owned {
+        Some(o) => (&o.tier, &o.ctx),
+        None => (&pkg.tier, &pkg.ctx),
+    };
+    let prop_orders: &[(ClassId, Vec<StrId>)] =
+        owned.as_ref().map_or(&pkg.prop_orders, |o| &o.prop_orders);
+    let pkg_func_order: &[FuncId] = owned.as_ref().map_or(&pkg.func_order, |o| &o.func_order);
+    let pkg_unit_order: &[UnitId] = owned
+        .as_ref()
+        .map_or(&pkg.preload.unit_order, |o| &o.unit_order);
+
     // Property layout must be installed before any translation resolves
     // slots (the same ordering constraint HHVM has, §V-C).
     let apply_props = opts.prop_reorder != PropReorder::Off;
-    let prop_slots = resolve_prop_slots(repo, &pkg.prop_orders, apply_props);
+    let prop_slots = resolve_prop_slots(repo, prop_orders, apply_props);
 
     let weights = if opts.accurate_bb_weights {
         WeightSource::Accurate
     } else {
         WeightSource::TierOnly
     };
-    let jit_opts = JitOptions { weights, ..jit_opts };
+    let jit_opts = JitOptions {
+        weights,
+        ..jit_opts
+    };
     let mut engine = JitEngine::new(repo, jit_opts);
 
-    let order: Vec<FuncId> = if pkg.func_order.is_empty() || opts.func_sort == FuncSort::SourceOrder
+    let order: Vec<FuncId> = if pkg_func_order.is_empty() || opts.func_sort == FuncSort::SourceOrder
     {
-        pkg.tier.functions_by_heat()
+        tier.functions_by_heat()
     } else {
-        pkg.func_order.clone()
+        pkg_func_order.to_vec()
     };
 
     // Parallel translation; sequential in-order emission.
@@ -119,28 +269,19 @@ pub fn consume<'r>(
     let units: Vec<jit::vasm::VasmUnit> = if threads <= 1 {
         order
             .iter()
-            .filter(|f| pkg.tier.funcs.contains_key(f))
-            .map(|&f| {
-                translate_optimized(
-                    repo,
-                    f,
-                    &pkg.tier,
-                    &pkg.ctx,
-                    weights,
-                    jit_opts.inline,
-                    &resolver,
-                )
-            })
+            .filter(|f| tier.funcs.contains_key(f))
+            .map(|&f| translate_optimized(repo, f, tier, ctx, weights, jit_opts.inline, &resolver))
             .collect()
     } else {
         let work: Vec<FuncId> = order
             .iter()
             .copied()
-            .filter(|f| pkg.tier.funcs.contains_key(f))
+            .filter(|f| tier.funcs.contains_key(f))
             .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slot_refs: Vec<parking_lot::Mutex<Option<jit::vasm::VasmUnit>>> =
-            (0..work.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let slot_refs: Vec<parking_lot::Mutex<Option<jit::vasm::VasmUnit>>> = (0..work.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         crossbeam::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|_| loop {
@@ -151,8 +292,8 @@ pub fn consume<'r>(
                     let unit = translate_optimized(
                         repo,
                         work[i],
-                        &pkg.tier,
-                        &pkg.ctx,
+                        tier,
+                        ctx,
                         weights,
                         jit_opts.inline,
                         &resolver,
@@ -179,11 +320,18 @@ pub fn consume<'r>(
     }
 
     let unit_order = if opts.preload_units {
-        pkg.preload.unit_order.clone()
+        pkg_unit_order.to_vec()
     } else {
         Vec::new()
     };
-    Ok(ConsumerOutcome { engine, prop_slots, unit_order, compiled_funcs, compile_bytes })
+    Ok(ConsumerOutcome {
+        engine,
+        prop_slots,
+        unit_order,
+        compiled_funcs,
+        compile_bytes,
+        repair,
+    })
 }
 
 #[cfg(test)]
@@ -239,8 +387,14 @@ mod tests {
     #[test]
     fn consumer_compiles_everything_before_serving() {
         let (repo, pkg) = make_package();
-        let out = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
-            .unwrap();
+        let out = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap();
         assert!(out.compiled_funcs >= 2, "main and work should be optimized");
         assert!(out.compile_bytes > 0);
         let main = repo.func_by_name("main").unwrap().id;
@@ -250,10 +404,22 @@ mod tests {
     #[test]
     fn parallel_consume_matches_sequential() {
         let (repo, pkg) = make_package();
-        let seq = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
-            .unwrap();
-        let par = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 4)
-            .unwrap();
+        let seq = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap();
+        let par = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            4,
+        )
+        .unwrap();
         assert_eq!(seq.compiled_funcs, par.compiled_funcs);
         assert_eq!(seq.compile_bytes, par.compile_bytes);
     }
@@ -263,26 +429,49 @@ mod tests {
         let (repo, pkg) = make_package();
         let class = repo.class_by_name("P").unwrap().id;
         let hot = repo.str_id("hot").unwrap();
-        let with = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
-            .unwrap();
+        let with = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap();
         let without = consume(
             &repo,
             &pkg,
             JitOptions::default(),
-            &JumpStartOptions { prop_reorder: PropReorder::Off, ..Default::default() },
+            &JumpStartOptions {
+                prop_reorder: PropReorder::Off,
+                ..Default::default()
+            },
             1,
         )
         .unwrap();
-        assert_eq!(with.prop_slots[&(class, hot)], 0, "hot property moves to slot 0");
-        assert_eq!(without.prop_slots[&(class, hot)], 1, "declared order keeps slot 1");
+        assert_eq!(
+            with.prop_slots[&(class, hot)],
+            0,
+            "hot property moves to slot 0"
+        );
+        assert_eq!(
+            without.prop_slots[&(class, hot)],
+            1,
+            "declared order keeps slot 1"
+        );
     }
 
     #[test]
     fn compile_poison_errors_out() {
         let (repo, mut pkg) = make_package();
         pkg.meta.poison = Poison::CompileCrash;
-        let err = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
-            .unwrap_err();
+        let err = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap_err();
         assert_eq!(err, ConsumerError::JitCrash);
         let _ = PackageMeta::default();
     }
@@ -292,10 +481,22 @@ mod tests {
         let (repo, pkg) = make_package();
         let bytes = pkg.serialize();
         let back = ProfilePackage::deserialize(&bytes).unwrap();
-        let a = consume(&repo, &pkg, JitOptions::default(), &JumpStartOptions::default(), 1)
-            .unwrap();
-        let b = consume(&repo, &back, JitOptions::default(), &JumpStartOptions::default(), 1)
-            .unwrap();
+        let a = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap();
+        let b = consume(
+            &repo,
+            &back,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap();
         assert_eq!(a.compile_bytes, b.compile_bytes);
         assert_eq!(a.prop_slots, b.prop_slots);
     }

@@ -15,8 +15,8 @@
 //! * [`consume`] — the consumer workflow (Fig. 3c): deserialize, preload
 //!   units, install property orders, then JIT *all* optimized code in
 //!   parallel before serving,
-//! * [`Validator`] — seeder-side validation incl. coverage thresholds
-//!   (§VI-A.1, §VI-B),
+//! * [`Validator`] — seeder-side validation incl. coverage thresholds and
+//!   a static profile lint via the `analysis` crate (§VI-A.1, §VI-B),
 //! * [`PackageStore`] — multiple randomized packages per (region, bucket)
 //!   (§VI-A.2),
 //! * [`BootController`] — automatic no-Jump-Start fallback (§VI-A.3).

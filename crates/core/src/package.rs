@@ -151,7 +151,9 @@ impl ProfilePackage {
         meta.poison = match r.u8()? {
             0 => Poison::None,
             1 => Poison::CompileCrash,
-            2 => Poison::RuntimeCrash { per_mille: r.u32()? as u16 },
+            2 => Poison::RuntimeCrash {
+                per_mille: r.u32()? as u16,
+            },
             t => return Err(WireError::Corrupt(format!("poison tag {t}"))),
         };
         let n = r.seq()?;
@@ -178,7 +180,10 @@ impl ProfilePackage {
             func_order.push(FuncId(r.u32()?));
         }
         if r.remaining() != 0 {
-            return Err(WireError::Corrupt(format!("{} trailing bytes", r.remaining())));
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
         }
         Ok(ProfilePackage {
             meta,
@@ -206,6 +211,10 @@ fn write_tier(w: &mut Writer, tier: &TierProfile) {
         w.seq(p.block_counts.len());
         for &c in &p.block_counts {
             w.u64(c);
+        }
+        w.seq(p.block_hashes.len());
+        for &h in &p.block_hashes {
+            w.u64(h);
         }
         let mut sites: Vec<_> = p.call_targets.iter().collect();
         sites.sort_by_key(|(s, _)| **s);
@@ -268,11 +277,19 @@ fn read_tier(r: &mut Reader<'_>) -> Result<TierProfile, WireError> {
     let nf = r.seq()?;
     for _ in 0..nf {
         let f = FuncId(r.u32()?);
-        let mut p = FuncProfile { enter_count: r.u64()?, ..Default::default() };
+        let mut p = FuncProfile {
+            enter_count: r.u64()?,
+            ..Default::default()
+        };
         let nb = r.seq()?;
         p.block_counts.reserve(nb.min(1 << 16));
         for _ in 0..nb {
             p.block_counts.push(r.u64()?);
+        }
+        let nh = r.seq()?;
+        p.block_hashes.reserve(nh.min(1 << 16));
+        for _ in 0..nh {
+            p.block_hashes.push(r.u64()?);
         }
         let ns = r.seq()?;
         for _ in 0..ns {
@@ -353,7 +370,10 @@ fn read_ctx(r: &mut Reader<'_>) -> Result<CtxProfile, WireError> {
         let ictx = read_inline_ctx(r)?;
         let f = FuncId(r.u32()?);
         let at = r.u32()?;
-        let b = BranchCount { taken: r.u64()?, not_taken: r.u64()? };
+        let b = BranchCount {
+            taken: r.u64()?,
+            not_taken: r.u64()?,
+        };
         ctx.branches.insert((ictx, f, at), b);
     }
     let n = r.seq()?;
@@ -431,7 +451,9 @@ mod tests {
                 },
                 poison: Poison::None,
             },
-            preload: PreloadLists { unit_order: vm.loader().load_order() },
+            preload: PreloadLists {
+                unit_order: vm.loader().load_order(),
+            },
             tier: col.tier,
             ctx: col.ctx,
             prop_orders: vec![(c, vec![b, a])],

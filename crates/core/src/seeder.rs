@@ -70,8 +70,7 @@ pub fn build_package(
     let mut unit_heat: HashMap<UnitId, u64> = HashMap::new();
     for (f, p) in &inputs.tier.funcs {
         if f.index() < repo.funcs().len() {
-            *unit_heat.entry(repo.func(*f).unit).or_insert(0) +=
-                p.block_counts.iter().sum::<u64>();
+            *unit_heat.entry(repo.func(*f).unit).or_insert(0) += p.block_counts.iter().sum::<u64>();
         }
     }
     let mut unit_order = inputs.unit_order;
@@ -112,9 +111,18 @@ fn c3_from_optimized_code(
     jit_opts: &JitOptions,
 ) -> Vec<bytecode::FuncId> {
     use jit::vasm::VInstr;
-    let index_of: HashMap<bytecode::FuncId, usize> =
-        candidates.iter().enumerate().map(|(i, &f)| (f, i)).collect();
-    let mut nodes = vec![layout::FuncNode { size: 16, weight: 0 }; candidates.len()];
+    let index_of: HashMap<bytecode::FuncId, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, i))
+        .collect();
+    let mut nodes = vec![
+        layout::FuncNode {
+            size: 16,
+            weight: 0
+        };
+        candidates.len()
+    ];
     let mut arcs: Vec<layout::CallArc> = Vec::new();
     for (i, &func) in candidates.iter().enumerate() {
         let unit = jit::translate_optimized(
@@ -145,8 +153,10 @@ fn c3_from_optimized_code(
                     VInstr::CallDynamic { owner, site } => {
                         // Distribute the site's weight over its observed
                         // dynamic targets.
-                        let Some(targets) =
-                            tier.funcs.get(&owner).and_then(|p| p.call_targets.get(&site))
+                        let Some(targets) = tier
+                            .funcs
+                            .get(&owner)
+                            .and_then(|p| p.call_targets.get(&site))
                         else {
                             continue;
                         };
@@ -256,8 +266,12 @@ fn prop_orders_by_affinity(repo: &Repo, tier: &TierProfile) -> Vec<(ClassId, Vec
         if accesses.iter().all(|a| a.count == 0) {
             continue;
         }
-        let index_of: HashMap<StrId, usize> =
-            class.props.iter().enumerate().map(|(i, p)| (p.name, i)).collect();
+        let index_of: HashMap<StrId, usize> = class
+            .props
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name, i))
+            .collect();
         let mut matrix = vec![vec![0u64; n]; n];
         for (&(c, a, b), &w) in &tier.prop_pairs {
             // Pair counts are keyed by receiver class; attribute them to
@@ -386,7 +400,10 @@ mod tests {
                 seeder_id: 1,
                 now_ms: 0,
             },
-            &JumpStartOptions { prop_reorder: PropReorder::Off, ..Default::default() },
+            &JumpStartOptions {
+                prop_reorder: PropReorder::Off,
+                ..Default::default()
+            },
             &JitOptions::default(),
         );
         assert!(pkg.prop_orders.is_empty());
@@ -407,7 +424,10 @@ mod tests {
                 seeder_id: 1,
                 now_ms: 0,
             },
-            &JumpStartOptions { prop_reorder: PropReorder::Affinity, ..Default::default() },
+            &JumpStartOptions {
+                prop_reorder: PropReorder::Affinity,
+                ..Default::default()
+            },
             &JitOptions::default(),
         );
         for (c, order) in &pkg.prop_orders {

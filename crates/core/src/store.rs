@@ -51,7 +51,12 @@ impl PackageStore {
     }
 
     /// Picks a random package for (region, bucket), if any.
-    pub fn pick_random(&self, region: u32, bucket: u32, rng: &mut SmallRng) -> Option<StoredPackage> {
+    pub fn pick_random(
+        &self,
+        region: u32,
+        bucket: u32,
+        rng: &mut SmallRng,
+    ) -> Option<StoredPackage> {
         let inner = self.inner.read();
         let list = inner.get(&(region, bucket))?;
         if list.is_empty() {
@@ -108,7 +113,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn meta(region: u32, bucket: u32, seeder: u64) -> PackageMeta {
-        PackageMeta { region, bucket, seeder_id: seeder, ..Default::default() }
+        PackageMeta {
+            region,
+            bucket,
+            seeder_id: seeder,
+            ..Default::default()
+        }
     }
 
     #[test]

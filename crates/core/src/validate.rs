@@ -3,11 +3,14 @@
 //! Before publishing, a seeder restarts in consumer mode with the package
 //! it just collected and "only publishes the data if it remains healthy
 //! for a few minutes". We reproduce that as: decode, coverage thresholds,
-//! a full consumer compile (catches compile-time JIT crashes), and a
-//! number of simulated healthy-boot trials (catches *most* latent runtime
-//! bugs — a `RuntimeCrash` poison with low probability can slip through,
-//! which is precisely why §VI-A.2's randomized selection exists).
+//! a static lint of the profile against the repo (cheap, catches
+//! structural corruption before anything is compiled), a full consumer
+//! compile (catches compile-time JIT crashes), and a number of simulated
+//! healthy-boot trials (catches *most* latent runtime bugs — a
+//! `RuntimeCrash` poison with low probability can slip through, which is
+//! precisely why §VI-A.2's randomized selection exists).
 
+use analysis::{lint_profile, ProfileView};
 use bytecode::Repo;
 use jit::JitOptions;
 use rand::rngs::SmallRng;
@@ -32,6 +35,15 @@ pub enum ValidationError {
         /// Required minimum.
         needed: u64,
     },
+    /// The static linter proved the profile can't describe this repo
+    /// (dangling ids, stale counters, impossible arcs...). Caught before
+    /// any compile or boot is attempted.
+    Static {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// The first diagnostic, rendered.
+        first: String,
+    },
     /// The JIT crashed compiling the profile data.
     CompileCrash,
     /// A smoke boot crashed or raised errors.
@@ -47,6 +59,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::Wire(e) => write!(f, "decode: {e}"),
             ValidationError::Coverage { what, got, needed } => {
                 write!(f, "coverage: {what} = {got} below threshold {needed}")
+            }
+            ValidationError::Static { errors, first } => {
+                write!(f, "static lint: {errors} errors, first: {first}")
             }
             ValidationError::CompileCrash => write!(f, "JIT crash during validation compile"),
             ValidationError::Unhealthy { trial } => {
@@ -110,7 +125,11 @@ impl Validator {
         // Coverage thresholds (§VI-B).
         let c = pkg.meta.coverage;
         let checks = [
-            ("funcs_profiled", c.funcs_profiled, self.opts.min_funcs_profiled),
+            (
+                "funcs_profiled",
+                c.funcs_profiled,
+                self.opts.min_funcs_profiled,
+            ),
             ("counter_mass", c.counter_mass, self.opts.min_counter_mass),
             ("requests", c.requests, self.opts.min_requests),
         ];
@@ -119,10 +138,38 @@ impl Validator {
                 return Err(ValidationError::Coverage { what, got, needed });
             }
         }
+        // Static lint — strict on the seeder: a seeder collects against
+        // the exact repo it validates with, so *any* structural error
+        // means corruption, and rejecting here costs no compile or boot.
+        if self.opts.static_lint {
+            let report = lint_profile(
+                repo,
+                &ProfileView {
+                    tier: &pkg.tier,
+                    ctx: &pkg.ctx,
+                    unit_order: &pkg.preload.unit_order,
+                    prop_orders: &pkg.prop_orders,
+                    func_order: &pkg.func_order,
+                },
+            );
+            if report.error_count() > 0 {
+                return Err(ValidationError::Static {
+                    errors: report.error_count(),
+                    first: report
+                        .errors()
+                        .next()
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
+                });
+            }
+        }
         // Full consumer compile — catches deterministic JIT crashes.
         let outcome = consume(repo, pkg, self.jit_opts, &self.opts, 1).map_err(|e| match e {
             ConsumerError::JitCrash => ValidationError::CompileCrash,
             ConsumerError::Wire(w) => ValidationError::Wire(w),
+            ConsumerError::InvalidProfile { errors, first } => {
+                ValidationError::Static { errors, first }
+            }
         })?;
         // Healthy-boot trials — each trial is one simulated consumer boot.
         // Seeded by package identity so validation is reproducible.
@@ -221,18 +268,28 @@ mod tests {
         let v = Validator::new(lax_opts(), JitOptions::default());
         let mut bytes = pkg.serialize().to_vec();
         bytes[30] ^= 0xff;
-        assert!(matches!(v.validate(&repo, &bytes), Err(ValidationError::Wire(_))));
+        assert!(matches!(
+            v.validate(&repo, &bytes),
+            Err(ValidationError::Wire(_))
+        ));
     }
 
     #[test]
     fn low_coverage_fails_validation() {
         // A drained data center: barely any requests (§VI-B).
         let (repo, mut pkg) = healthy_package();
-        pkg.meta.coverage = Coverage { funcs_profiled: 1, counter_mass: 5, requests: 1 };
+        pkg.meta.coverage = Coverage {
+            funcs_profiled: 1,
+            counter_mass: 5,
+            requests: 1,
+        };
         let v = Validator::new(lax_opts(), JitOptions::default());
         assert!(matches!(
             v.validate_package(&repo, &pkg, 0),
-            Err(ValidationError::Coverage { what: "counter_mass", .. })
+            Err(ValidationError::Coverage {
+                what: "counter_mass",
+                ..
+            })
         ));
         let _ = PackageMeta::default();
     }
@@ -271,6 +328,9 @@ mod tests {
                 slipped += 1;
             }
         }
-        assert!(slipped > 15, "rare bugs should usually pass validation, got {slipped}/20");
+        assert!(
+            slipped > 15,
+            "rare bugs should usually pass validation, got {slipped}/20"
+        );
     }
 }

@@ -34,10 +34,16 @@ impl fmt::Display for WireError {
             }
             WireError::BadMagic => write!(f, "not a jump-start package (bad magic)"),
             WireError::BadVersion { found, supported } => {
-                write!(f, "unsupported package version {found} (supported: {supported})")
+                write!(
+                    f,
+                    "unsupported package version {found} (supported: {supported})"
+                )
             }
             WireError::BadChecksum { expected, found } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
             }
             WireError::Corrupt(msg) => write!(f, "corrupt package: {msg}"),
         }
@@ -118,7 +124,10 @@ impl<'a> Reader<'a> {
 
     fn need(&self, n: usize) -> Result<(), WireError> {
         if self.buf.remaining() < n {
-            Err(WireError::Truncated { needed: n, left: self.buf.remaining() })
+            Err(WireError::Truncated {
+                needed: n,
+                left: self.buf.remaining(),
+            })
         } else {
             Ok(())
         }
@@ -162,8 +171,7 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, WireError> {
-        String::from_utf8(self.bytes()?)
-            .map_err(|_| WireError::Corrupt("invalid utf-8".into()))
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::Corrupt("invalid utf-8".into()))
     }
 
     /// Reads a sequence length.
@@ -185,7 +193,7 @@ impl<'a> Reader<'a> {
 pub const MAGIC: &[u8; 8] = b"HHJSPKG\0";
 
 /// Current format version.
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 
 /// Wraps a payload in the envelope: magic, version, length, payload, CRC.
 pub fn seal(payload: Bytes) -> Bytes {
@@ -205,25 +213,36 @@ pub fn seal(payload: Bytes) -> Bytes {
 /// Returns a [`WireError`] describing the first problem found.
 pub fn unseal(data: &[u8]) -> Result<&[u8], WireError> {
     if data.len() < MAGIC.len() + 12 {
-        return Err(WireError::Truncated { needed: MAGIC.len() + 12, left: data.len() });
+        return Err(WireError::Truncated {
+            needed: MAGIC.len() + 12,
+            left: data.len(),
+        });
     }
     if &data[..8] != MAGIC {
         return Err(WireError::BadMagic);
     }
     let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
     if version != VERSION {
-        return Err(WireError::BadVersion { found: version, supported: VERSION });
+        return Err(WireError::BadVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let len = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
     if data.len() < 16 + len + 4 {
-        return Err(WireError::Truncated { needed: 16 + len + 4, left: data.len() });
+        return Err(WireError::Truncated {
+            needed: 16 + len + 4,
+            left: data.len(),
+        });
     }
     let payload = &data[16..16 + len];
-    let stored =
-        u32::from_le_bytes(data[16 + len..16 + len + 4].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(data[16 + len..16 + len + 4].try_into().expect("4 bytes"));
     let actual = crate::crc32::crc32(payload);
     if stored != actual {
-        return Err(WireError::BadChecksum { expected: stored, found: actual });
+        return Err(WireError::BadChecksum {
+            expected: stored,
+            found: actual,
+        });
     }
     Ok(payload)
 }
@@ -289,12 +308,21 @@ mod tests {
 
         let mut bad_version = sealed.to_vec();
         bad_version[8] = 99;
-        assert!(matches!(unseal(&bad_version), Err(WireError::BadVersion { found: 99, .. })));
+        assert!(matches!(
+            unseal(&bad_version),
+            Err(WireError::BadVersion { found: 99, .. })
+        ));
 
         let mut bad_payload = sealed.to_vec();
         bad_payload[18] ^= 0x40;
-        assert!(matches!(unseal(&bad_payload), Err(WireError::BadChecksum { .. })));
+        assert!(matches!(
+            unseal(&bad_payload),
+            Err(WireError::BadChecksum { .. })
+        ));
 
-        assert!(matches!(unseal(&sealed[..10]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            unseal(&sealed[..10]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

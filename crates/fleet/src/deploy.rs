@@ -61,12 +61,20 @@ pub struct DeployReport {
 impl DeployReport {
     /// Mean capacity loss over `window_ms` with Jump-Start.
     pub fn mean_loss_js(&self, window_ms: u64) -> f64 {
-        mean(self.js_timelines.iter().map(|t| t.capacity_loss_over(window_ms)))
+        mean(
+            self.js_timelines
+                .iter()
+                .map(|t| t.capacity_loss_over(window_ms)),
+        )
     }
 
     /// Mean capacity loss without Jump-Start.
     pub fn mean_loss_nojs(&self, window_ms: u64) -> f64 {
-        mean(self.nojs_timelines.iter().map(|t| t.capacity_loss_over(window_ms)))
+        mean(
+            self.nojs_timelines
+                .iter()
+                .map(|t| t.capacity_loss_over(window_ms)),
+        )
     }
 
     /// The headline metric: relative reduction in capacity loss (the paper
@@ -104,10 +112,7 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
         for bucket in 0..params.buckets {
             let mix = RequestMix::new(app, region as usize, bucket as usize);
             for s in 0..params.seeders_per_cell {
-                let seed = params.seed
-                    ^ (region as u64) << 32
-                    ^ (bucket as u64) << 16
-                    ^ s as u64;
+                let seed = params.seed ^ (region as u64) << 32 ^ (bucket as u64) << 16 ^ s as u64;
                 let run = workload::profile_run(app, &mix, params.seeder_requests, seed);
                 let pkg = build_package(
                     SeederInputs {
@@ -143,12 +148,8 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
         for bucket in 0..params.buckets {
             let mix = RequestMix::new(app, region as usize, bucket as usize);
             // The consumer's model is measured on its own cell's traffic.
-            let truth = workload::profile_run(
-                app,
-                &mix,
-                params.seeder_requests,
-                params.seed ^ 0xdead,
-            );
+            let truth =
+                workload::profile_run(app, &mix, params.seeder_requests, params.seed ^ 0xdead);
             let model = build_app_model(app, &truth);
             let picked = store.pick_random(region, bucket, &mut rng);
             let pkg = picked
@@ -158,18 +159,29 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
                 app,
                 &model,
                 &mix,
-                &ServerConfig { params: params.warmup, jumpstart: pkg.as_ref() },
+                &ServerConfig {
+                    params: params.warmup,
+                    jumpstart: pkg.as_ref(),
+                },
             ));
             nojs_timelines.push(simulate_warmup(
                 app,
                 &model,
                 &mix,
-                &ServerConfig { params: params.warmup, jumpstart: None },
+                &ServerConfig {
+                    params: params.warmup,
+                    jumpstart: None,
+                },
             ));
         }
     }
 
-    DeployReport { published, validation_failures, js_timelines, nojs_timelines }
+    DeployReport {
+        published,
+        validation_failures,
+        js_timelines,
+        nojs_timelines,
+    }
 }
 
 #[cfg(test)]

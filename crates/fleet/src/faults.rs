@@ -62,18 +62,27 @@ pub fn run_crashloop(params: &CrashLoopParams) -> CrashLoopReport {
     let store = PackageStore::new();
     for i in 0..params.packages {
         let poison = if i < params.poisoned {
-            Poison::RuntimeCrash { per_mille: params.poison_per_mille }
+            Poison::RuntimeCrash {
+                per_mille: params.poison_per_mille,
+            }
         } else {
             Poison::None
         };
         store.publish(
-            PackageMeta { region: 0, bucket: 0, seeder_id: i as u64, poison, ..Default::default() },
+            PackageMeta {
+                region: 0,
+                bucket: 0,
+                seeder_id: i as u64,
+                poison,
+                ..Default::default()
+            },
             Bytes::from_static(b"pkg"),
         );
     }
     let mut rng = SmallRng::seed_from_u64(params.seed);
-    let mut controllers: Vec<BootController> =
-        (0..params.servers).map(|_| BootController::new(params.max_boot_attempts)).collect();
+    let mut controllers: Vec<BootController> = (0..params.servers)
+        .map(|_| BootController::new(params.max_boot_attempts))
+        .collect();
     let mut healthy = vec![false; params.servers];
     let mut via_fallback = vec![false; params.servers];
     let mut report = CrashLoopReport::default();
@@ -140,7 +149,7 @@ mod tests {
         if w.len() > 2 {
             assert!(w[2] <= w[1] / 2, "decay: {w:?}");
         }
-        assert_eq!(report.waves_to_healthy.is_some(), true);
+        assert!(report.waves_to_healthy.is_some());
     }
 
     #[test]

@@ -37,14 +37,15 @@ impl Timeline {
 
     /// The sample closest to `t_ms`.
     pub fn at(&self, t_ms: u64) -> Option<&Sample> {
-        self.samples
-            .iter()
-            .min_by_key(|s| s.t_ms.abs_diff(t_ms))
+        self.samples.iter().min_by_key(|s| s.t_ms.abs_diff(t_ms))
     }
 
     /// First time normalized RPS reaches `level`, if ever.
     pub fn time_to_rps(&self, level: f64) -> Option<u64> {
-        self.samples.iter().find(|s| s.rps_norm >= level).map(|s| s.t_ms)
+        self.samples
+            .iter()
+            .find(|s| s.rps_norm >= level)
+            .map(|s| s.t_ms)
     }
 }
 
@@ -80,7 +81,12 @@ mod tests {
     use super::*;
 
     fn s(t_ms: u64, rps: f64) -> Sample {
-        Sample { t_ms, rps_norm: rps, latency_ms: 1.0, code_bytes: 0 }
+        Sample {
+            t_ms,
+            rps_norm: rps,
+            latency_ms: 1.0,
+            code_bytes: 0,
+        }
     }
 
     #[test]

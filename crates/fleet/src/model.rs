@@ -145,12 +145,7 @@ pub struct AppModel {
 impl AppModel {
     /// Peak (fully optimized) core-milliseconds per request, averaged over
     /// the mix.
-    pub fn peak_request_core_ms(
-        &self,
-        app: &App,
-        mix: &RequestMix,
-        params: &WarmupParams,
-    ) -> f64 {
+    pub fn peak_request_core_ms(&self, app: &App, mix: &RequestMix, params: &WarmupParams) -> f64 {
         // Expectation over endpoints of optimized-mode service time.
         let mut total = 0.0;
         let mut weight = 0.0;
@@ -168,10 +163,8 @@ impl AppModel {
             }
             let mut cycles = 0.0;
             for &(f, calls) in &self.endpoint_calls[e] {
-                cycles += calls
-                    * self.avg_instrs[f.index()]
-                    * params.work_scale
-                    * params.optimized_cpi;
+                cycles +=
+                    calls * self.avg_instrs[f.index()] * params.work_scale * params.optimized_cpi;
             }
             total += hits as f64 * (cycles / params.cycles_per_ms);
             weight += hits as f64;
@@ -230,7 +223,9 @@ pub fn build_app_model(app: &App, run: &ProfileRun) -> AppModel {
     let mut endpoint_calls = Vec::with_capacity(app.endpoints.len());
     let mut vm = Vm::new(repo);
     for ep in &app.endpoints {
-        let mut counter = CallCounter { calls: HashMap::new() };
+        let mut counter = CallCounter {
+            calls: HashMap::new(),
+        };
         let trials: [i64; 3] = [1, 497, 910];
         for arg in trials {
             vm.call_observed(ep.func, &[Value::Int(arg)], &mut counter)

@@ -109,14 +109,13 @@ impl<'a> ServerSim<'a> {
                         compile_bytes += model.opt_bytes[f.index()];
                     }
                 }
-                let compile_ms = compile_bytes as f64
-                    / (params.compile_bytes_per_core_ms * params.cores as f64);
+                let compile_ms =
+                    compile_bytes as f64 / (params.compile_bytes_per_core_ms * params.cores as f64);
                 let mut preload_kb = 0.0;
                 for u in &pkg.preload.unit_order {
                     if u.index() < sim.unit_loaded.len() && !sim.unit_loaded[u.index()] {
                         sim.unit_loaded[u.index()] = true;
-                        preload_kb +=
-                            vm::unit_bytes(&app.repo, *u) as f64 / 1024.0;
+                        preload_kb += vm::unit_bytes(&app.repo, *u) as f64 / 1024.0;
                     }
                 }
                 let preload_ms = preload_kb * params.load_ms_per_kb / params.cores as f64;
@@ -130,9 +129,7 @@ impl<'a> ServerSim<'a> {
                 sim.optimized_phase_done = true;
                 // Consumers never run the profiling phase (Fig. 3c).
                 sim.retranslate_started = true;
-                params.deserialize_ms
-                    + params.init_ms_js
-                    + (compile_ms + preload_ms) as u64
+                params.deserialize_ms + params.init_ms_js + (compile_ms + preload_ms) as u64
             }
         };
         sim
@@ -183,9 +180,11 @@ impl<'a> ServerSim<'a> {
                 self.calls[i] += share * calls;
                 if self.mode[i] == Mode::Interp && self.calls[i] >= p.promote_calls as f64 {
                     if self.optimized_phase_done {
-                        self.queue.push_back((i, self.model.live_bytes[i], Mode::Live));
+                        self.queue
+                            .push_back((i, self.model.live_bytes[i], Mode::Live));
                     } else if !self.retranslate_started {
-                        self.queue.push_back((i, self.model.prof_bytes[i], Mode::Profiling));
+                        self.queue
+                            .push_back((i, self.model.prof_bytes[i], Mode::Profiling));
                     }
                     // Mark as queued so it isn't enqueued again.
                     self.mode[i] = if self.optimized_phase_done {
@@ -198,16 +197,15 @@ impl<'a> ServerSim<'a> {
             }
         }
         let _ = requests;
-        if !self.retranslate_started {
-            if now_ms >= self.serve_start_ms + p.profile_serve_ms {
-                self.retranslate_started = true;
-                self.point_a_ms = Some(now_ms);
-                // Enqueue optimize-all jobs hottest-first.
-                for &f in &self.model.profiled {
-                    let i = f.index();
-                    self.queue.push_back((i, self.model.opt_bytes[i], Mode::Optimized));
-                    self.optimize_remaining += 1;
-                }
+        if !self.retranslate_started && now_ms >= self.serve_start_ms + p.profile_serve_ms {
+            self.retranslate_started = true;
+            self.point_a_ms = Some(now_ms);
+            // Enqueue optimize-all jobs hottest-first.
+            for &f in &self.model.profiled {
+                let i = f.index();
+                self.queue
+                    .push_back((i, self.model.opt_bytes[i], Mode::Optimized));
+                self.optimize_remaining += 1;
             }
         }
     }
@@ -231,7 +229,9 @@ impl<'a> ServerSim<'a> {
             return budget;
         }
         while core_ms > 0.0 {
-            let Some((i, bytes, kind)) = self.queue.front().copied() else { break };
+            let Some((i, bytes, kind)) = self.queue.front().copied() else {
+                break;
+            };
             let affordable = (core_ms * rate) as u64;
             if affordable >= bytes {
                 core_ms -= bytes as f64 / rate;
@@ -273,7 +273,10 @@ pub fn simulate_warmup(
     let peak_rps = params.cores as f64 * 1000.0 / sim.peak_ms_per_req;
     let offered = peak_rps * params.offered_fraction;
 
-    let mut timeline = Timeline { serve_start_ms: sim.serve_start_ms, ..Default::default() };
+    let mut timeline = Timeline {
+        serve_start_ms: sim.serve_start_ms,
+        ..Default::default()
+    };
     let step = 1000u64; // 1 s
     let mut t = 0u64;
     while t < params.duration_ms {
@@ -281,7 +284,7 @@ pub fn simulate_warmup(
         if now <= sim.serve_start_ms {
             // Booting: Jump-Start compile work happens inside the boot
             // window (already priced into serve_start_ms).
-            if now % params.sample_ms == 0 {
+            if now.is_multiple_of(params.sample_ms) {
                 let frac = if config.jumpstart.is_some() && sim.serve_start_ms > 0 {
                     now as f64 / sim.serve_start_ms as f64
                 } else {
@@ -299,8 +302,7 @@ pub fn simulate_warmup(
         }
         // Background compile threads (serving competes for the rest);
         // only the core time actually consumed is taken from serving.
-        let used_core_ms =
-            sim.run_compilers(params.jit_threads as f64 * step as f64, now);
+        let used_core_ms = sim.run_compilers(params.jit_threads as f64 * step as f64, now);
         let serve_cores = params.cores as f64 - used_core_ms / step as f64;
         let offered_this_step = offered * step as f64 / 1000.0;
         let service_ms = sim.service_core_ms(offered_this_step).max(0.01);
@@ -308,7 +310,7 @@ pub fn simulate_warmup(
         let served = offered_this_step.min(capacity);
         sim.account_requests(served, now);
 
-        if now % params.sample_ms == 0 {
+        if now.is_multiple_of(params.sample_ms) {
             let util = (offered_this_step / capacity).min(3.0);
             let queue_factor = 1.0 + 2.0 * (util.min(1.0)).powi(3);
             timeline.samples.push(Sample {
@@ -379,12 +381,19 @@ mod tests {
             &app,
             &model,
             &mix,
-            &ServerConfig { params: quick_params(&model), jumpstart: None },
+            &ServerConfig {
+                params: quick_params(&model),
+                jumpstart: None,
+            },
         );
         assert!(tl.point_a_ms.is_some(), "profiling must end");
         assert!(tl.point_b_ms.is_some(), "optimization must finish");
         assert!(tl.point_c_ms.is_some(), "relocation must finish");
-        let (a, b, c) = (tl.point_a_ms.unwrap(), tl.point_b_ms.unwrap(), tl.point_c_ms.unwrap());
+        let (a, b, c) = (
+            tl.point_a_ms.unwrap(),
+            tl.point_b_ms.unwrap(),
+            tl.point_c_ms.unwrap(),
+        );
         assert!(a < b && b < c, "A < B < C");
         // Code grows over time.
         let last = tl.samples.last().unwrap();
@@ -402,9 +411,20 @@ mod tests {
             &app,
             &model,
             &mix,
-            &ServerConfig { params, jumpstart: Some(&pkg) },
+            &ServerConfig {
+                params,
+                jumpstart: Some(&pkg),
+            },
         );
-        let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+        let nojs = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig {
+                params,
+                jumpstart: None,
+            },
+        );
         // Shortly after serving begins, the consumer is already fast.
         let early = js.at(js.serve_start_ms + 20_000).unwrap();
         assert!(early.rps_norm > 0.8, "JS early rps {}", early.rps_norm);
@@ -429,8 +449,24 @@ mod tests {
         let (app, model, pkg) = setup();
         let mix = RequestMix::new(&app, 0, 0);
         let params = quick_params(&model);
-        let js = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: Some(&pkg) });
-        let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+        let js = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig {
+                params,
+                jumpstart: Some(&pkg),
+            },
+        );
+        let nojs = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig {
+                params,
+                jumpstart: None,
+            },
+        );
         let t = nojs.serve_start_ms + 30_000;
         let l_js = js.at(t).unwrap().latency_ms;
         let l_nojs = nojs.at(t).unwrap().latency_ms;
@@ -448,7 +484,10 @@ mod tests {
             &app,
             &model,
             &mix,
-            &ServerConfig { params: quick_params(&model), jumpstart: None },
+            &ServerConfig {
+                params: quick_params(&model),
+                jumpstart: None,
+            },
         );
         for w in tl.samples.windows(2) {
             assert!(w[1].code_bytes >= w[0].code_bytes);

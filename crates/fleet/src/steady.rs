@@ -27,7 +27,11 @@ pub struct SteadyConfig {
 impl SteadyConfig {
     /// Full Jump-Start (all §V optimizations) — Fig. 5's "Jump-Start".
     pub fn jumpstart_full() -> Self {
-        Self { name: "jumpstart", js: JumpStartOptions::default(), no_jumpstart: false }
+        Self {
+            name: "jumpstart",
+            js: JumpStartOptions::default(),
+            no_jumpstart: false,
+        }
     }
 
     /// Jump-Start without the §V optimizations — Fig. 6's baseline.
@@ -167,7 +171,10 @@ pub fn measure_steady_state(
         &outcome.engine.code_cache,
         &truth.tier,
         &truth.ctx,
-        ExecutorConfig { seed: params.seed, ..Default::default() },
+        ExecutorConfig {
+            seed: params.seed,
+            ..Default::default()
+        },
     );
     if config.no_jumpstart || !config.js.preload_units {
         // First-touch order: what the server's own lazy loading produced.
@@ -211,7 +218,12 @@ mod tests {
     }
 
     fn quick() -> SteadyParams {
-        SteadyParams { warm_requests: 100, measure_requests: 400, threads: 2, ..Default::default() }
+        SteadyParams {
+            warm_requests: 100,
+            measure_requests: 400,
+            threads: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -239,10 +251,18 @@ mod tests {
         // code (never-taken inlined arms) than tier-derived estimates.
         let (app, mix, truth) = lab();
         let params = quick();
-        let base =
-            measure_steady_state(&app, &mix, &truth, &SteadyConfig::jumpstart_no_opts(), &params);
+        let base = measure_steady_state(
+            &app,
+            &mix,
+            &truth,
+            &SteadyConfig::jumpstart_no_opts(),
+            &params,
+        );
         let bb = measure_steady_state(&app, &mix, &truth, &SteadyConfig::bb_layout_only(), &params);
-        assert_eq!(base.hot_bytes + base.cold_bytes, bb.hot_bytes + bb.cold_bytes);
+        assert_eq!(
+            base.hot_bytes + base.cold_bytes,
+            bb.hot_bytes + bb.cold_bytes
+        );
         assert!(
             bb.cold_bytes >= base.cold_bytes,
             "accurate weights should move code cold: {} vs {}",
@@ -258,10 +278,20 @@ mod tests {
     fn prop_reorder_reduces_dcache_misses() {
         let (app, mix, truth) = lab();
         let params = quick();
-        let base =
-            measure_steady_state(&app, &mix, &truth, &SteadyConfig::jumpstart_no_opts(), &params);
-        let pr =
-            measure_steady_state(&app, &mix, &truth, &SteadyConfig::prop_reorder_only(), &params);
+        let base = measure_steady_state(
+            &app,
+            &mix,
+            &truth,
+            &SteadyConfig::jumpstart_no_opts(),
+            &params,
+        );
+        let pr = measure_steady_state(
+            &app,
+            &mix,
+            &truth,
+            &SteadyConfig::prop_reorder_only(),
+            &params,
+        );
         let red = pr.report.reduction_vs(&base.report);
         assert!(red[3] > -2.0, "dcache reduction {red:?} should not regress");
     }

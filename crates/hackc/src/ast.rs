@@ -138,15 +138,27 @@ pub enum Expr {
     /// `a op b`
     Binary(BinaryOp, Box<Expr>, Box<Expr>),
     /// `f(args)` — resolved to a repo function or builtin at compile time.
-    Call { name: String, args: Vec<Expr>, pos: Pos },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
     /// `recv->m(args)` — dynamic dispatch.
-    MethodCall { recv: Box<Expr>, method: String, args: Vec<Expr> },
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
     /// `recv->prop`
     Prop { recv: Box<Expr>, prop: String },
     /// `e[k]`
     Index { recv: Box<Expr>, index: Box<Expr> },
     /// `new C(args)` — runs `__construct` if the class declares one.
-    New { class: String, args: Vec<Expr>, pos: Pos },
+    New {
+        class: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
 }
 
 /// A statement.
@@ -157,17 +169,39 @@ pub enum Stmt {
     /// `$x = e;`
     Assign { var: String, value: Expr },
     /// `recv->prop = e;`
-    PropAssign { recv: Expr, prop: String, value: Expr },
+    PropAssign {
+        recv: Expr,
+        prop: String,
+        value: Expr,
+    },
     /// `recv[k] = e;`
-    IndexAssign { recv: Expr, index: Expr, value: Expr },
+    IndexAssign {
+        recv: Expr,
+        index: Expr,
+        value: Expr,
+    },
     /// `if (c) { .. } else { .. }`
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `while (c) { .. }`
     While { cond: Expr, body: Vec<Stmt> },
     /// `for (init; cond; step) { .. }`
-    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Box<Stmt>>, body: Vec<Stmt> },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
     /// `foreach (e as $v)` / `foreach (e as $k => $v)`
-    Foreach { iter: Expr, key: Option<String>, value: String, body: Vec<Stmt> },
+    Foreach {
+        iter: Expr,
+        key: Option<String>,
+        value: String,
+        body: Vec<Stmt>,
+    },
     /// `return e;` (`return;` returns null)
     Return(Option<Expr>),
     /// `break;`

@@ -57,11 +57,18 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
         let unit = repo.declare_unit(name);
         for item in &prog.items {
             match item {
-                Item::Func(f) => {
-                    funcs.push(PendingFunc { file: name, unit, decl: f, class: None })
-                }
+                Item::Func(f) => funcs.push(PendingFunc {
+                    file: name,
+                    unit,
+                    decl: f,
+                    class: None,
+                }),
                 Item::Class(c) => {
-                    classes.push(PendingClass { file: name, unit, decl: c });
+                    classes.push(PendingClass {
+                        file: name,
+                        unit,
+                        decl: c,
+                    });
                     for m in &c.methods {
                         funcs.push(PendingFunc {
                             file: name,
@@ -76,8 +83,11 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
     }
 
     // Pass 1b: declare classes topologically (parents first).
-    let by_name: HashMap<&str, usize> =
-        classes.iter().enumerate().map(|(i, c)| (c.decl.name.as_str(), i)).collect();
+    let by_name: HashMap<&str, usize> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.decl.name.as_str(), i))
+        .collect();
     if by_name.len() != classes.len() {
         // Find the duplicate for a good message.
         let mut seen = HashSet::new();
@@ -132,7 +142,11 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
                 None => Literal::Null,
                 Some(e) => literal_of(classes[i].file, p.pos, e, repo)?,
             };
-            let vis = if p.public { Visibility::Public } else { Visibility::Private };
+            let vis = if p.public {
+                Visibility::Public
+            } else {
+                Visibility::Private
+            };
             props.push((p.name.clone(), default, vis));
         }
         let id = repo.declare_class(classes[i].unit, &classes[i].decl.name, parent_id, props);
@@ -152,7 +166,10 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
             Some(c) => format!("{c}::{}", f.decl.name),
             None => f.decl.name.clone(),
         };
-        if func_ids.insert(full.clone(), FuncId::new(i as u32)).is_some() {
+        if func_ids
+            .insert(full.clone(), FuncId::new(i as u32))
+            .is_some()
+        {
             return Err(CompileError::new(
                 f.file,
                 f.decl.pos,
@@ -168,7 +185,12 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
         let mut cur = Some(&c.decl.name);
         while let Some(name) = cur {
             let ci = by_name[name.as_str()];
-            if let Some(m) = classes[ci].decl.methods.iter().find(|m| m.name == "__construct") {
+            if let Some(m) = classes[ci]
+                .decl
+                .methods
+                .iter()
+                .find(|m| m.name == "__construct")
+            {
                 ctor_of.insert(c.decl.name.clone(), (name.clone(), m.params.len() as u16));
                 break;
             }
@@ -177,7 +199,12 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
     }
 
     // Pass 2: compile bodies in the pre-assigned order.
-    let env = Env { func_ids: &func_ids, arities: &arities, class_ids: &class_ids, ctor_of: &ctor_of };
+    let env = Env {
+        func_ids: &func_ids,
+        arities: &arities,
+        class_ids: &class_ids,
+        ctor_of: &ctor_of,
+    };
     for (i, f) in funcs.iter().enumerate() {
         let full = match &f.class {
             Some(c) => format!("{c}::{}", f.decl.name),
@@ -191,9 +218,8 @@ pub fn compile_program(files: &[(&str, &str)]) -> Result<Repo, CompileError> {
         debug_assert_eq!(id, FuncId::new(i as u32), "id pre-assignment must match");
     }
 
-    repo.try_finish().map_err(|e| {
-        CompileError::new(files[0].0, Pos::default(), format!("repo error: {e}"))
-    })
+    repo.try_finish()
+        .map_err(|e| CompileError::new(files[0].0, Pos::default(), format!("repo error: {e}")))
 }
 
 struct Env<'a> {
@@ -219,7 +245,11 @@ fn literal_of(
             Literal::Int(i) => Literal::Int(-i),
             Literal::Float(f) => Literal::Float(-f),
             _ => {
-                return Err(CompileError::new(file, pos, "negation of non-numeric default"))
+                return Err(CompileError::new(
+                    file,
+                    pos,
+                    "negation of non-numeric default",
+                ))
             }
         },
         Expr::VecLit(items) => {
@@ -290,12 +320,16 @@ fn compile_func(
     let mut assigned = Vec::new();
     collect_assigned(&decl.body, &mut assigned);
     for v in assigned {
-        if !locals.contains_key(&v) {
-            let slot = fb.new_local();
-            locals.insert(v, slot);
-        }
+        locals.entry(v).or_insert_with(|| fb.new_local());
     }
-    let mut ctx = FnCtx { file, is_method, env, locals, fb, loops: Vec::new() };
+    let mut ctx = FnCtx {
+        file,
+        is_method,
+        env,
+        locals,
+        fb,
+        loops: Vec::new(),
+    };
     compile_block(&mut ctx, &decl.body, repo)?;
     // Implicit `return null;`.
     ctx.fb.emit(Instr::Null);
@@ -307,12 +341,18 @@ fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
     for s in body {
         match s {
             Stmt::Assign { var, .. } => out.push(var.clone()),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_assigned(then_body, out);
                 collect_assigned(else_body, out);
             }
             Stmt::While { body, .. } => collect_assigned(body, out),
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 if let Some(i) = init {
                     collect_assigned(std::slice::from_ref(i), out);
                 }
@@ -321,7 +361,9 @@ fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
                 }
                 collect_assigned(body, out);
             }
-            Stmt::Foreach { key, value, body, .. } => {
+            Stmt::Foreach {
+                key, value, body, ..
+            } => {
                 if let Some(k) = key {
                     out.push(k.clone());
                 }
@@ -333,14 +375,22 @@ fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
     }
 }
 
-fn compile_block(ctx: &mut FnCtx<'_>, body: &[Stmt], repo: &mut RepoBuilder) -> Result<(), CompileError> {
+fn compile_block(
+    ctx: &mut FnCtx<'_>,
+    body: &[Stmt],
+    repo: &mut RepoBuilder,
+) -> Result<(), CompileError> {
     for s in body {
         compile_stmt(ctx, s, repo)?;
     }
     Ok(())
 }
 
-fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Result<(), CompileError> {
+fn compile_stmt(
+    ctx: &mut FnCtx<'_>,
+    stmt: &Stmt,
+    repo: &mut RepoBuilder,
+) -> Result<(), CompileError> {
     match stmt {
         Stmt::Expr(e) => {
             compile_expr(ctx, e, repo)?;
@@ -364,7 +414,11 @@ fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Res
             ctx.fb.emit(Instr::SetIdx);
             ctx.fb.emit(Instr::Pop);
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let else_l = ctx.fb.new_label();
             compile_expr(ctx, cond, repo)?;
             ctx.fb.emit_jmp_z(else_l);
@@ -391,7 +445,12 @@ fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Res
             ctx.fb.emit_jmp(top);
             ctx.fb.bind(out);
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(i) = init {
                 compile_stmt(ctx, i, repo)?;
             }
@@ -413,7 +472,12 @@ fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Res
             ctx.fb.emit_jmp(top);
             ctx.fb.bind(out);
         }
-        Stmt::Foreach { iter, key, value, body } => {
+        Stmt::Foreach {
+            iter,
+            key,
+            value,
+            body,
+        } => {
             // Lowered to an index loop over keys():
             //   __c = iter; __k = keys(__c); __n = count(__k); __i = 0;
             //   while (__i < __n) {
@@ -426,10 +490,16 @@ fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Res
             compile_expr(ctx, iter, repo)?;
             ctx.fb.emit(Instr::SetL(c));
             ctx.fb.emit(Instr::GetL(c));
-            ctx.fb.emit(Instr::CallBuiltin { builtin: Builtin::Keys, argc: 1 });
+            ctx.fb.emit(Instr::CallBuiltin {
+                builtin: Builtin::Keys,
+                argc: 1,
+            });
             ctx.fb.emit(Instr::SetL(ks));
             ctx.fb.emit(Instr::GetL(ks));
-            ctx.fb.emit(Instr::CallBuiltin { builtin: Builtin::Count, argc: 1 });
+            ctx.fb.emit(Instr::CallBuiltin {
+                builtin: Builtin::Count,
+                argc: 1,
+            });
             ctx.fb.emit(Instr::SetL(n));
             ctx.fb.emit(Instr::Int(0));
             ctx.fb.emit(Instr::SetL(i));
@@ -488,7 +558,10 @@ fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt, repo: &mut RepoBuilder) -> Res
         }
         Stmt::Echo(e) => {
             compile_expr(ctx, e, repo)?;
-            ctx.fb.emit(Instr::CallBuiltin { builtin: Builtin::Print, argc: 1 });
+            ctx.fb.emit(Instr::CallBuiltin {
+                builtin: Builtin::Print,
+                argc: 1,
+            });
             ctx.fb.emit(Instr::Pop);
         }
     }
@@ -508,7 +581,11 @@ fn compile_expr(ctx: &mut FnCtx<'_>, e: &Expr, repo: &mut RepoBuilder) -> Result
         }
         Expr::Var(v) => {
             let slot = *ctx.locals.get(v.as_str()).ok_or_else(|| {
-                CompileError::new(ctx.file, Pos::default(), format!("undefined variable `${v}`"))
+                CompileError::new(
+                    ctx.file,
+                    Pos::default(),
+                    format!("undefined variable `${v}`"),
+                )
             })?;
             ctx.fb.emit(Instr::GetL(slot));
         }
@@ -607,7 +684,10 @@ fn compile_expr(ctx: &mut FnCtx<'_>, e: &Expr, repo: &mut RepoBuilder) -> Result
                 for a in args {
                     compile_expr(ctx, a, repo)?;
                 }
-                ctx.fb.emit_raw(Instr::Call { func: id, argc: args.len() as u8 });
+                ctx.fb.emit_raw(Instr::Call {
+                    func: id,
+                    argc: args.len() as u8,
+                });
             } else if let Some(b) = Builtin::by_name(name) {
                 if b.arity() != args.len() {
                     return Err(CompileError::new(
@@ -619,7 +699,10 @@ fn compile_expr(ctx: &mut FnCtx<'_>, e: &Expr, repo: &mut RepoBuilder) -> Result
                 for a in args {
                     compile_expr(ctx, a, repo)?;
                 }
-                ctx.fb.emit(Instr::CallBuiltin { builtin: b, argc: args.len() as u8 });
+                ctx.fb.emit(Instr::CallBuiltin {
+                    builtin: b,
+                    argc: args.len() as u8,
+                });
             } else {
                 return Err(CompileError::new(
                     ctx.file,
@@ -634,7 +717,10 @@ fn compile_expr(ctx: &mut FnCtx<'_>, e: &Expr, repo: &mut RepoBuilder) -> Result
                 compile_expr(ctx, a, repo)?;
             }
             let name = repo.intern(method);
-            ctx.fb.emit(Instr::CallMethod { name, argc: args.len() as u8 });
+            ctx.fb.emit(Instr::CallMethod {
+                name,
+                argc: args.len() as u8,
+            });
         }
         Expr::Prop { recv, prop } => {
             compile_expr(ctx, recv, repo)?;
@@ -669,7 +755,10 @@ fn compile_expr(ctx: &mut FnCtx<'_>, e: &Expr, repo: &mut RepoBuilder) -> Result
                         compile_expr(ctx, a, repo)?;
                     }
                     let ctor = repo.intern("__construct");
-                    ctx.fb.emit(Instr::CallMethod { name: ctor, argc: args.len() as u8 });
+                    ctx.fb.emit(Instr::CallMethod {
+                        name: ctor,
+                        argc: args.len() as u8,
+                    });
                     ctx.fb.emit(Instr::Pop);
                 }
                 None => {

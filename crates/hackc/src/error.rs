@@ -30,7 +30,11 @@ pub struct CompileError {
 
 impl CompileError {
     pub(crate) fn new(file: &str, pos: Pos, message: impl Into<String>) -> Self {
-        Self { file: file.to_owned(), pos, message: message.into() }
+        Self {
+            file: file.to_owned(),
+            pos,
+            message: message.into(),
+        }
     }
 }
 

@@ -217,7 +217,10 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CompileError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), pos });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
             }
             b'$' => {
                 bump!();
@@ -228,17 +231,27 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CompileError> {
                 if start == i {
                     return Err(CompileError::new(file, pos, "`$` without a variable name"));
                 }
-                out.push(Token { kind: TokenKind::Var(src[start..i].to_owned()), pos });
+                out.push(Token {
+                    kind: TokenKind::Var(src[start..i].to_owned()),
+                    pos,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
-                out.push(Token { kind: TokenKind::Ident(src[start..i].to_owned()), pos });
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    pos,
+                });
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
                 let kind2 = match two {
                     "->" => Some(TokenKind::Arrow),
                     "=>" => Some(TokenKind::FatArrow),
@@ -298,7 +311,10 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, pos: Pos { line, col } });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: Pos { line, col },
+    });
     Ok(out)
 }
 
@@ -307,7 +323,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex("t.hl", src).unwrap().into_iter().map(|t| t.kind).collect()
+        lex("t.hl", src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -352,7 +372,12 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("1 // line\n2 /* block\nstill */ 3"),
-            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
         );
     }
 

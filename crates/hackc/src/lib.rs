@@ -39,9 +39,7 @@ mod error;
 mod lexer;
 mod parser;
 
-pub use ast::{
-    BinaryOp, ClassDecl, Expr, FuncDecl, Item, Program, PropDef, Stmt, UnaryOp,
-};
+pub use ast::{BinaryOp, ClassDecl, Expr, FuncDecl, Item, Program, PropDef, Stmt, UnaryOp};
 pub use compile::{compile_program, compile_unit};
 pub use error::{CompileError, Pos};
 pub use lexer::{lex, Token, TokenKind};

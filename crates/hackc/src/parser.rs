@@ -11,7 +11,11 @@ use crate::lexer::{lex, Token, TokenKind};
 /// Returns the first lexical or syntactic error.
 pub fn parse(file: &str, src: &str) -> Result<Program, CompileError> {
     let tokens = lex(file, src)?;
-    let mut p = Parser { file, tokens, at: 0 };
+    let mut p = Parser {
+        file,
+        tokens,
+        at: 0,
+    };
     let mut items = Vec::new();
     while !p.check(&TokenKind::Eof) {
         items.push(p.item()?);
@@ -107,9 +111,7 @@ impl Parser<'_> {
             loop {
                 match self.bump() {
                     TokenKind::Var(v) => params.push(v),
-                    other => {
-                        return Err(self.err(format!("expected parameter, found {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected parameter, found {other:?}"))),
                 }
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -118,7 +120,12 @@ impl Parser<'_> {
         }
         self.expect(&TokenKind::RParen, "`)`")?;
         let body = self.block()?;
-        Ok(FuncDecl { name, params, body, pos })
+        Ok(FuncDecl {
+            name,
+            params,
+            body,
+            pos,
+        })
     }
 
     fn class_decl(&mut self) -> Result<ClassDecl, CompileError> {
@@ -142,9 +149,7 @@ impl Parser<'_> {
                     let pname = match self.bump() {
                         TokenKind::Var(v) => v,
                         other => {
-                            return Err(
-                                self.err(format!("expected property name, found {other:?}"))
-                            )
+                            return Err(self.err(format!("expected property name, found {other:?}")))
                         }
                     };
                     let default = if self.eat(&TokenKind::Assign) {
@@ -153,7 +158,12 @@ impl Parser<'_> {
                         None
                     };
                     self.expect(&TokenKind::Semi, "`;`")?;
-                    props.push(PropDef { name: pname, public, default, pos: ppos });
+                    props.push(PropDef {
+                        name: pname,
+                        public,
+                        default,
+                        pos: ppos,
+                    });
                 }
                 Some("function") => {
                     self.bump();
@@ -162,7 +172,13 @@ impl Parser<'_> {
                 _ => return Err(self.err("expected property or method declaration")),
             }
         }
-        Ok(ClassDecl { name, parent, props, methods, pos })
+        Ok(ClassDecl {
+            name,
+            parent,
+            props,
+            methods,
+            pos,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
@@ -218,7 +234,11 @@ impl Parser<'_> {
                 } else {
                     Vec::new()
                 };
-                return Ok(Stmt::If { cond, then_body, else_body });
+                return Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                });
             }
             Some("while") => {
                 self.bump();
@@ -237,7 +257,11 @@ impl Parser<'_> {
                     Some(Box::new(self.simple_stmt()?))
                 };
                 self.expect(&TokenKind::Semi, "`;`")?;
-                let cond = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let cond = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi, "`;`")?;
                 let step = if self.check(&TokenKind::RParen) {
                     None
@@ -246,7 +270,12 @@ impl Parser<'_> {
                 };
                 self.expect(&TokenKind::RParen, "`)`")?;
                 let body = self.block()?;
-                return Ok(Stmt::For { init, cond, step, body });
+                return Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                });
             }
             Some("foreach") => {
                 self.bump();
@@ -273,7 +302,12 @@ impl Parser<'_> {
                 };
                 self.expect(&TokenKind::RParen, "`)`")?;
                 let body = self.block()?;
-                return Ok(Stmt::Foreach { iter, key, value, body });
+                return Ok(Stmt::Foreach {
+                    iter,
+                    key,
+                    value,
+                    body,
+                });
             }
             _ => {}
         }
@@ -294,11 +328,7 @@ impl Parser<'_> {
                     let delta = Expr::Int(if inc { 1 } else { -1 });
                     Ok(Stmt::Assign {
                         var: v.clone(),
-                        value: Expr::Binary(
-                            BinaryOp::Add,
-                            Box::new(Expr::Var(v)),
-                            Box::new(delta),
-                        ),
+                        value: Expr::Binary(BinaryOp::Add, Box::new(Expr::Var(v)), Box::new(delta)),
                     })
                 }
                 _ => Err(self.err("`++`/`--` requires a variable")),
@@ -319,10 +349,16 @@ impl Parser<'_> {
         };
         match e {
             Expr::Var(v) => Ok(Stmt::Assign { var: v, value }),
-            Expr::Prop { recv, prop } => Ok(Stmt::PropAssign { recv: *recv, prop, value }),
-            Expr::Index { recv, index } => {
-                Ok(Stmt::IndexAssign { recv: *recv, index: *index, value })
-            }
+            Expr::Prop { recv, prop } => Ok(Stmt::PropAssign {
+                recv: *recv,
+                prop,
+                value,
+            }),
+            Expr::Index { recv, index } => Ok(Stmt::IndexAssign {
+                recv: *recv,
+                index: *index,
+                value,
+            }),
             _ => Err(self.err("invalid assignment target")),
         }
     }
@@ -389,16 +425,26 @@ impl Parser<'_> {
                     let name = self.ident("property or method name")?;
                     if self.eat(&TokenKind::LParen) {
                         let args = self.args()?;
-                        e = Expr::MethodCall { recv: Box::new(e), method: name, args };
+                        e = Expr::MethodCall {
+                            recv: Box::new(e),
+                            method: name,
+                            args,
+                        };
                     } else {
-                        e = Expr::Prop { recv: Box::new(e), prop: name };
+                        e = Expr::Prop {
+                            recv: Box::new(e),
+                            prop: name,
+                        };
                     }
                 }
                 TokenKind::LBracket => {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect(&TokenKind::RBracket, "`]`")?;
-                    e = Expr::Index { recv: Box::new(e), index: Box::new(idx) };
+                    e = Expr::Index {
+                        recv: Box::new(e),
+                        index: Box::new(idx),
+                    };
                 }
                 _ => break,
             }
@@ -485,7 +531,11 @@ impl Parser<'_> {
                 _ => {
                     if self.eat(&TokenKind::LParen) {
                         let args = self.args()?;
-                        Ok(Expr::Call { name: id, args, pos })
+                        Ok(Expr::Call {
+                            name: id,
+                            args,
+                            pos,
+                        })
                     } else {
                         Err(CompileError::new(
                             self.file,
@@ -516,7 +566,9 @@ mod tests {
     fn parses_function_with_params() {
         let prog = p("function add($a, $b) { return $a + $b; }");
         assert_eq!(prog.items.len(), 1);
-        let Item::Func(f) = &prog.items[0] else { panic!("expected func") };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!("expected func")
+        };
         assert_eq!(f.name, "add");
         assert_eq!(f.params, vec!["a", "b"]);
         assert_eq!(f.body.len(), 1);
@@ -525,7 +577,9 @@ mod tests {
     #[test]
     fn precedence_mul_binds_tighter() {
         let prog = p("function f() { return 1 + 2 * 3; }");
-        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
         let Stmt::Return(Some(Expr::Binary(BinaryOp::Add, _, rhs))) = &f.body[0] else {
             panic!("expected add at top")
         };
@@ -541,7 +595,9 @@ mod tests {
                 function get_x() { return $this->x; }
             }
         "#);
-        let Item::Class(c) = &prog.items[0] else { panic!() };
+        let Item::Class(c) = &prog.items[0] else {
+            panic!()
+        };
         assert_eq!(c.name, "Point");
         assert_eq!(c.parent.as_deref(), Some("Base"));
         assert_eq!(c.props.len(), 2);
@@ -565,22 +621,30 @@ mod tests {
                 return $s;
             }
         "#);
-        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
         assert_eq!(f.body.len(), 6);
     }
 
     #[test]
     fn parses_chained_postfix() {
         let prog = p("function f($o) { return $o->a->b($o->c)[0]; }");
-        let Item::Func(f) = &prog.items[0] else { panic!() };
-        let Stmt::Return(Some(Expr::Index { recv, .. })) = &f.body[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Some(Expr::Index { recv, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(**recv, Expr::MethodCall { .. }));
     }
 
     #[test]
     fn parses_new_and_prop_assign() {
         let prog = p("function f() { $p = new Point(1, 2); $p->x = 5; $p->y += 1; }");
-        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
         assert!(matches!(f.body[0], Stmt::Assign { .. }));
         assert!(matches!(f.body[1], Stmt::PropAssign { .. }));
         assert!(matches!(f.body[2], Stmt::PropAssign { .. }));
@@ -589,7 +653,9 @@ mod tests {
     #[test]
     fn short_circuit_ops_parse() {
         let prog = p("function f($a, $b) { return $a && $b || !$a; }");
-        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
         let Stmt::Return(Some(Expr::Binary(BinaryOp::Or, _, _))) = &f.body[0] else {
             panic!("|| should be outermost")
         };
@@ -605,8 +671,12 @@ mod tests {
     #[test]
     fn elseif_chains() {
         let prog = p("function f($x) { if ($x) { return 1; } else if ($x == 2) { return 2; } else { return 3; } }");
-        let Item::Func(f) = &prog.items[0] else { panic!() };
-        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
+        let Stmt::If { else_body, .. } = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(else_body[0], Stmt::If { .. }));
     }
 }

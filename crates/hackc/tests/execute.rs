@@ -16,7 +16,10 @@ fn run_main(src: &str) -> Value {
 
 #[test]
 fn arithmetic_precedence() {
-    assert_eq!(run_main("function main() { return 2 + 3 * 4 - 6 / 2; }"), Value::Int(11));
+    assert_eq!(
+        run_main("function main() { return 2 + 3 * 4 - 6 / 2; }"),
+        Value::Int(11)
+    );
 }
 
 #[test]
@@ -244,10 +247,13 @@ fn compile_errors_are_reported() {
         .unwrap_err()
         .message
         .contains("outside a method"));
-    assert!(compile_unit("t.hl", "function f($a) { return 0; } function g() { return f(); }")
-        .unwrap_err()
-        .message
-        .contains("expects 1 args"));
+    assert!(compile_unit(
+        "t.hl",
+        "function f($a) { return 0; } function g() { return f(); }"
+    )
+    .unwrap_err()
+    .message
+    .contains("expects 1 args"));
     assert!(compile_unit("t.hl", "class A extends B {}")
         .unwrap_err()
         .message

@@ -36,7 +36,11 @@ pub struct Region {
 
 impl Region {
     fn new(base: u64, capacity: u64) -> Self {
-        Self { base, used: 0, capacity }
+        Self {
+            base,
+            used: 0,
+            capacity,
+        }
     }
 
     fn alloc(&mut self, size: u64) -> Option<u64> {
@@ -123,7 +127,7 @@ impl CodeCache {
             cold: Region::new(0x4000_0000, config.cold_capacity),
             live: Region::new(0x7000_0000, config.live_capacity),
             profiling: Region::new(0xa000_0000, config.profiling_capacity),
-        translations: HashMap::new(),
+            translations: HashMap::new(),
         }
     }
 
@@ -148,8 +152,14 @@ impl CodeCache {
             unit.blocks.len(),
             "layout must cover all blocks"
         );
-        let hot_bytes: u64 = hot_order.iter().map(|&b| unit.blocks[b].size() as u64).sum();
-        let cold_bytes: u64 = cold_order.iter().map(|&b| unit.blocks[b].size() as u64).sum();
+        let hot_bytes: u64 = hot_order
+            .iter()
+            .map(|&b| unit.blocks[b].size() as u64)
+            .sum();
+        let cold_bytes: u64 = cold_order
+            .iter()
+            .map(|&b| unit.blocks[b].size() as u64)
+            .sum();
         let (main_region, cold_region) = match kind {
             TransKind::Optimized => (&mut self.hot, &mut self.cold),
             TransKind::Live => (&mut self.live, &mut self.cold),
@@ -175,7 +185,15 @@ impl CodeCache {
             placement[b] = (addr, size);
         }
         let func = unit.func;
-        self.translations.insert(func, EmittedTranslation { func, kind, vasm: unit, placement });
+        self.translations.insert(
+            func,
+            EmittedTranslation {
+                func,
+                kind,
+                vasm: unit,
+                placement,
+            },
+        );
         true
     }
 
@@ -216,7 +234,11 @@ mod tests {
         let blocks = (0..nblocks)
             .map(|i| VBlock {
                 instrs: vec![VInstr::IntArith; 4],
-                term: if i + 1 < nblocks { Term::Jump(i + 1) } else { Term::Ret },
+                term: if i + 1 < nblocks {
+                    Term::Jump(i + 1)
+                } else {
+                    Term::Ret
+                },
                 est_weight: 10,
                 true_weight: 10,
                 true_taken_prob: 0.0,
@@ -224,7 +246,10 @@ mod tests {
                 bc_origin: None,
             })
             .collect();
-        VasmUnit { func: FuncId::new(func), blocks }
+        VasmUnit {
+            func: FuncId::new(func),
+            blocks,
+        }
     }
 
     #[test]
@@ -283,10 +308,16 @@ mod tests {
     fn evict_replaces_profiling_with_optimized() {
         let mut cc = CodeCache::default();
         assert!(cc.emit(unit(5, 2), TransKind::Profiling, &[0, 1], &[]));
-        assert_eq!(cc.translation(FuncId::new(5)).unwrap().kind, TransKind::Profiling);
+        assert_eq!(
+            cc.translation(FuncId::new(5)).unwrap().kind,
+            TransKind::Profiling
+        );
         cc.evict(FuncId::new(5));
         assert!(cc.emit(unit(5, 2), TransKind::Optimized, &[0, 1], &[]));
-        assert_eq!(cc.translation(FuncId::new(5)).unwrap().kind, TransKind::Optimized);
+        assert_eq!(
+            cc.translation(FuncId::new(5)).unwrap().kind,
+            TransKind::Optimized
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ impl<'r> JitEngine<'r> {
         let unit = translate_profiling(self.repo, func, truth);
         let bytes = unit.code_size() as u64;
         let order: Vec<usize> = (0..unit.blocks.len()).collect();
-        if self.code_cache.emit(unit, TransKind::Profiling, &order, &[]) {
+        if self
+            .code_cache
+            .emit(unit, TransKind::Profiling, &order, &[])
+        {
             self.states[func.index()] = FuncState::Profiling;
             self.sizes.profiling += bytes;
             bytes
@@ -237,7 +240,10 @@ impl<'r> JitEngine<'r> {
         self.code_cache.evict(func);
         let hot_bytes: u64 = hot.iter().map(|&b| unit.blocks[b].size() as u64).sum();
         let cold_bytes: u64 = cold.iter().map(|&b| unit.blocks[b].size() as u64).sum();
-        if self.code_cache.emit(unit, TransKind::Optimized, &hot, &cold) {
+        if self
+            .code_cache
+            .emit(unit, TransKind::Optimized, &hot, &cold)
+        {
             self.states[func.index()] = FuncState::Optimized;
             self.sizes.optimized_hot += hot_bytes;
             self.sizes.optimized_cold += cold_bytes;
@@ -288,8 +294,11 @@ impl<'r> JitEngine<'r> {
         if !use_c3 {
             return candidates.to_vec();
         }
-        let index_of: HashMap<FuncId, usize> =
-            candidates.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let index_of: HashMap<FuncId, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
         let nodes: Vec<layout::FuncNode> = candidates
             .iter()
             .map(|f| {
@@ -299,14 +308,21 @@ impl<'r> JitEngine<'r> {
                     .map(|p| p.block_counts.iter().sum::<u64>())
                     .unwrap_or(0);
                 let size = (self.repo.func(*f).code.len() as u32) * 8;
-                layout::FuncNode { size: size.max(16), weight }
+                layout::FuncNode {
+                    size: size.max(16),
+                    weight,
+                }
             })
             .collect();
         let mut arcs: Vec<layout::CallArc> = Vec::new();
         if inlining_aware {
             for (caller, callee, w) in truth.call_arcs() {
                 if let (Some(&a), Some(&b)) = (index_of.get(&caller), index_of.get(&callee)) {
-                    arcs.push(layout::CallArc { caller: a, callee: b, weight: w });
+                    arcs.push(layout::CallArc {
+                        caller: a,
+                        callee: b,
+                        weight: w,
+                    });
                 }
             }
         } else {
@@ -316,11 +332,17 @@ impl<'r> JitEngine<'r> {
             // this graph inaccurate for tier-2 code (§V-B). We model that
             // by keeping all arcs, including the ones inlining removed.
             for (&caller, fp) in &tier.funcs {
-                let Some(&a) = index_of.get(&caller) else { continue };
+                let Some(&a) = index_of.get(&caller) else {
+                    continue;
+                };
                 for targets in fp.call_targets.values() {
                     for (&callee, &w) in targets {
                         if let Some(&b) = index_of.get(&callee) {
-                            arcs.push(layout::CallArc { caller: a, callee: b, weight: w });
+                            arcs.push(layout::CallArc {
+                                caller: a,
+                                callee: b,
+                                weight: w,
+                            });
                         }
                     }
                 }
@@ -402,7 +424,10 @@ mod tests {
         with.optimize_all(&tier, &ctx, &order, &|_, _| None);
         let mut without = JitEngine::new(
             &repo,
-            JitOptions { use_hotcold: false, ..Default::default() },
+            JitOptions {
+                use_hotcold: false,
+                ..Default::default()
+            },
         );
         without.optimize_all(&tier, &ctx, &order, &|_, _| None);
         assert!(with.sizes().optimized_cold > 0);

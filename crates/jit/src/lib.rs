@@ -35,6 +35,6 @@ pub use profile::{
 };
 pub use replay::{DataSpace, Executor, ExecutorConfig};
 pub use translate::{
-    propagate_true_weights, translate_live, translate_optimized, translate_profiling,
-    InlineParams, WeightSource,
+    propagate_true_weights, translate_live, translate_optimized, translate_profiling, InlineParams,
+    WeightSource,
 };

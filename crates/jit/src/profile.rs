@@ -96,7 +96,8 @@ impl TypeDist {
 
     /// Whether a single kind covers at least `threshold` of observations.
     pub fn is_monomorphic(&self, threshold: f64) -> Option<ValueKind> {
-        self.dominant().and_then(|(k, share)| (share >= threshold).then_some(k))
+        self.dominant()
+            .and_then(|(k, share)| (share >= threshold).then_some(k))
     }
 
     /// Raw per-kind counts (index by [`ValueKind::index`]).
@@ -119,6 +120,11 @@ pub struct FuncProfile {
     pub enter_count: u64,
     /// Execution count per bytecode basic block (indexed by [`BlockId`]).
     pub block_counts: Vec<u64>,
+    /// Structural hash of each block's CFG at collection time (parallel to
+    /// `block_counts`, from [`Cfg::block_hashes`]). Lets a consumer detect
+    /// a profile collected against a *different* build of the function and
+    /// remap counters onto the current CFG (stale-profile repair).
+    pub block_hashes: Vec<u64>,
     /// Call-target profile per call-site instruction index.
     pub call_targets: HashMap<u32, HashMap<FuncId, u64>>,
     /// Observed operand/parameter types per (instruction, operand slot).
@@ -158,6 +164,9 @@ impl FuncProfile {
         self.enter_count += other.enter_count;
         if self.block_counts.len() < other.block_counts.len() {
             self.block_counts.resize(other.block_counts.len(), 0);
+        }
+        if self.block_hashes.is_empty() {
+            self.block_hashes = other.block_hashes.clone();
         }
         for (i, &c) in other.block_counts.iter().enumerate() {
             self.block_counts[i] += c;
@@ -312,8 +321,9 @@ pub struct ProfileCollector<'r> {
     stack: Vec<(FuncId, InlineCtx)>,
     // The call site observed immediately before the next func entry.
     pending_site: InlineCtx,
-    // Cfg block counts need sizing; cache block counts length per func.
-    block_len: HashMap<FuncId, usize>,
+    // Block counts need sizing and hashes need computing exactly once per
+    // function; cache both per func.
+    block_shape: HashMap<FuncId, (usize, Vec<u64>)>,
     // Properties touched in the current top-level request, for affinity.
     request_props: Vec<(ClassId, StrId)>,
 }
@@ -327,7 +337,7 @@ impl<'r> ProfileCollector<'r> {
             ctx: CtxProfile::default(),
             stack: Vec::new(),
             pending_site: None,
-            block_len: HashMap::new(),
+            block_shape: HashMap::new(),
             request_props: Vec::new(),
         }
     }
@@ -354,12 +364,17 @@ impl<'r> ProfileCollector<'r> {
 
     fn func_profile(&mut self, func: FuncId) -> &mut FuncProfile {
         let repo = self.repo;
-        let len = *self.block_len.entry(func).or_insert_with(|| {
-            Cfg::build(repo.func(func)).len()
+        let (len, hashes) = self.block_shape.entry(func).or_insert_with(|| {
+            let f = repo.func(func);
+            let cfg = Cfg::build(f);
+            (cfg.len(), cfg.block_hashes(f))
         });
         let p = self.tier.funcs.entry(func).or_default();
-        if p.block_counts.len() < len {
-            p.block_counts.resize(len, 0);
+        if p.block_counts.len() < *len {
+            p.block_counts.resize(*len, 0);
+        }
+        if p.block_hashes.is_empty() {
+            p.block_hashes = hashes.clone();
         }
         p
     }
@@ -399,14 +414,22 @@ impl ExecObserver for ProfileCollector<'_> {
 
     fn on_call(&mut self, caller: FuncId, at: u32, callee: FuncId) {
         let p = self.func_profile(caller);
-        *p.call_targets.entry(at).or_default().entry(callee).or_insert(0) += 1;
+        *p.call_targets
+            .entry(at)
+            .or_default()
+            .entry(callee)
+            .or_insert(0) += 1;
         self.pending_site = Some((caller, at));
     }
 
     fn on_prop_access(&mut self, func: FuncId, at: u32, class: ClassId, prop: StrId, _write: bool) {
         *self.tier.prop_counts.entry((class, prop)).or_insert(0) += 1;
         let p = self.func_profile(func);
-        *p.prop_site_classes.entry(at).or_default().entry(class).or_insert(0) += 1;
+        *p.prop_site_classes
+            .entry(at)
+            .or_default()
+            .entry(class)
+            .or_insert(0) += 1;
         self.request_props.push((class, prop));
     }
 
@@ -520,7 +543,9 @@ mod tests {
         assert_eq!(*ctx_entries[0].1, 8);
         // g's branch under that ctx: taken 4 (arg 0 -> jmpz taken), not 4.
         let arcs = col.ctx.call_arcs();
-        assert!(arcs.iter().any(|&(c, callee, w)| c == f && callee == g && w == 8));
+        assert!(arcs
+            .iter()
+            .any(|&(c, callee, w)| c == f && callee == g && w == 8));
     }
 
     #[test]

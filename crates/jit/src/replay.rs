@@ -301,9 +301,8 @@ impl<'a> Executor<'a> {
                 // Hash-table lookup plus the slot access.
                 let h: u64 = self.rng.gen_range(0..4096);
                 self.core.load(HTAB_BASE + h * 64, 8);
-                let class = ClassId::new(
-                    self.rng.gen_range(0..self.repo.classes().len().max(1)) as u32,
-                );
+                let class =
+                    ClassId::new(self.rng.gen_range(0..self.repo.classes().len().max(1)) as u32);
                 if self.repo.classes().is_empty() {
                     return;
                 }
@@ -460,7 +459,12 @@ mod tests {
     use crate::translate::{translate_optimized, InlineParams, WeightSource};
     use vm::{Value, Vm};
 
-    fn setup(src: &str, entry: &str, arg: i64, runs: usize) -> (Repo, TierProfile, CtxProfile, FuncId) {
+    fn setup(
+        src: &str,
+        entry: &str,
+        arg: i64,
+        runs: usize,
+    ) -> (Repo, TierProfile, CtxProfile, FuncId) {
         let repo = hackc::compile_unit("t.hl", src).expect("compiles");
         let f = repo.func_by_name(entry).unwrap().id;
         let mut vm = Vm::new(&repo);
@@ -487,7 +491,13 @@ mod tests {
     fn optimized_replay_is_much_faster_than_interp() {
         let (repo, tier, ctx, f) = setup(LOOPY, "main", 200, 3);
         let unit = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            InlineParams::default(),
+            &|_, _| None,
         );
         let order: Vec<usize> = (0..unit.blocks.len()).collect();
         let mut cache = CodeCache::new(CodeCacheConfig::default());
@@ -539,7 +549,11 @@ mod tests {
         }
         let r = ex.report();
         // ~500 iterations x 2 conditional branches x 30 calls, within 3x.
-        assert!(r.branch.accesses >= 10_000, "got {} branches", r.branch.accesses);
+        assert!(
+            r.branch.accesses >= 10_000,
+            "got {} branches",
+            r.branch.accesses
+        );
     }
 
     #[test]
@@ -587,6 +601,9 @@ mod tests {
         };
         let near = run(0);
         let far = run(15);
-        assert!(near <= far, "slot 0 misses {near} should be <= slot 15 misses {far}");
+        assert!(
+            near <= far,
+            "slot 0 misses {near} should be <= slot 15 misses {far}"
+        );
     }
 }

@@ -45,7 +45,11 @@ pub struct InlineParams {
 
 impl Default for InlineParams {
     fn default() -> Self {
-        Self { enabled: true, max_callee_instrs: 96, min_target_share: 0.95 }
+        Self {
+            enabled: true,
+            max_callee_instrs: 96,
+            min_target_share: 0.95,
+        }
     }
 }
 
@@ -82,7 +86,10 @@ pub fn translate_optimized(
     let fp = tier.funcs.get(&func).unwrap_or(&empty);
     let entry_weight = fp.enter_count;
     tr.translate_function(func, fp, None, 1.0, true);
-    let mut unit = VasmUnit { func, blocks: tr.blocks };
+    let mut unit = VasmUnit {
+        func,
+        blocks: tr.blocks,
+    };
     // Block weights derive from the entry count flowed through the branch
     // probabilities of the chosen weight source — so TierOnly and Accurate
     // weights differ exactly where their probability estimates differ.
@@ -99,8 +106,7 @@ fn propagate_est_weights(unit: &mut VasmUnit, entry_weight: u64) {
     for _ in 0..12 {
         let mut next = vec![0f64; n];
         next[0] = entry_weight as f64;
-        for i in 0..n {
-            let out = w[i];
+        for (i, out) in w.iter().copied().enumerate() {
             match unit.blocks[i].term {
                 Term::Jump(t) => next[t] += out,
                 Term::Cond { taken, fall } => {
@@ -151,7 +157,10 @@ fn translate_unoptimized(
         tier: &EMPTY_TIER,
         ctx_profile,
         weights: WeightSource::TierOnly,
-        inline: InlineParams { enabled: false, ..Default::default() },
+        inline: InlineParams {
+            enabled: false,
+            ..Default::default()
+        },
         slot_resolver: &|_, _| None,
         blocks: Vec::new(),
         kind,
@@ -159,7 +168,10 @@ fn translate_unoptimized(
     };
     let empty = FuncProfile::default();
     tr.translate_function(func, &empty, None, 1.0, false);
-    VasmUnit { func, blocks: tr.blocks }
+    VasmUnit {
+        func,
+        blocks: tr.blocks,
+    }
 }
 
 static EMPTY_TIER: once_tier::Lazy = once_tier::Lazy;
@@ -245,7 +257,10 @@ impl Translator<'_> {
                         let t = cfg.block_of(instr.jump_target().expect("branch"));
                         let fall = cfg.block_of(bblock.end.min(f.code.len() as u32 - 1));
                         self.blocks[cur].instrs.push(VInstr::CmpInt);
-                        self.blocks[cur].term = Term::Cond { taken: usize::MAX, fall: usize::MAX };
+                        self.blocks[cur].term = Term::Cond {
+                            taken: usize::MAX,
+                            fall: usize::MAX,
+                        };
                         // Branch probabilities: truth from context-sensitive
                         // measurements; estimate per the weight source.
                         let true_p = self.ctx_profile.taken_prob(inline_ctx, func, at);
@@ -255,8 +270,7 @@ impl Translator<'_> {
                                 // Inferred from block counters alone: split
                                 // by target-block counts (wrong at joins).
                                 if profiled {
-                                    let tw =
-                                        fp.block_counts.get(t.index()).copied().unwrap_or(0);
+                                    let tw = fp.block_counts.get(t.index()).copied().unwrap_or(0);
                                     let fw =
                                         fp.block_counts.get(fall.index()).copied().unwrap_or(0);
                                     if tw + fw == 0 {
@@ -279,7 +293,10 @@ impl Translator<'_> {
                         self.blocks[cur].term = Term::Ret;
                         terminated = true;
                     }
-                    Instr::Call { func: callee, argc: _ } => {
+                    Instr::Call {
+                        func: callee,
+                        argc: _,
+                    } => {
                         if self.should_inline(func, at, callee, fp) {
                             cur = self.inline_call(cur, func, at, callee);
                         } else {
@@ -298,9 +315,10 @@ impl Translator<'_> {
                                 cur = self.inline_call(cur, func, at, target);
                             }
                             _ => {
-                                self.blocks[cur]
-                                    .instrs
-                                    .push(VInstr::CallDynamic { owner: func, site: at });
+                                self.blocks[cur].instrs.push(VInstr::CallDynamic {
+                                    owner: func,
+                                    site: at,
+                                });
                             }
                         }
                     }
@@ -385,7 +403,9 @@ impl Translator<'_> {
             return false;
         }
         // Only inline sites that actually ran (we need some profile signal).
-        fp.call_targets.get(&at).map_or(false, |t| t.values().sum::<u64>() > 0)
+        fp.call_targets
+            .get(&at)
+            .is_some_and(|t| t.values().sum::<u64>() > 0)
     }
 
     /// Splices `callee`'s translation in place of a call in block `cur`.
@@ -500,7 +520,11 @@ impl Translator<'_> {
                     }
                 });
             }
-            Instr::Un(_) => out.push(if optimized { VInstr::IntArith } else { VInstr::GenBin }),
+            Instr::Un(_) => out.push(if optimized {
+                VInstr::IntArith
+            } else {
+                VInstr::GenBin
+            }),
             Instr::CallBuiltin { builtin, .. } => out.push(VInstr::BuiltinOp { builtin }),
             Instr::NewObj(class) => out.push(VInstr::NewObjOp { class }),
             Instr::GetProp(name) | Instr::SetProp(name) => {
@@ -545,7 +569,11 @@ impl Translator<'_> {
     }
 
     fn operands_float(&self, _func: FuncId, at: u32, fp: &FuncProfile) -> bool {
-        let kind = |slot: u8| fp.types.get(&(at, slot)).and_then(|d| d.is_monomorphic(MONO));
+        let kind = |slot: u8| {
+            fp.types
+                .get(&(at, slot))
+                .and_then(|d| d.is_monomorphic(MONO))
+        };
         matches!(
             (kind(0), kind(1)),
             (Some(ValueKind::Float), Some(_)) | (Some(_), Some(ValueKind::Float))
@@ -580,8 +608,7 @@ pub fn propagate_true_weights(unit: &mut VasmUnit, entry_count: u64) {
     for _ in 0..12 {
         let mut next = vec![0f64; n];
         next[0] = entry_count as f64;
-        for i in 0..n {
-            let out = w[i];
+        for (i, out) in w.iter().copied().enumerate() {
             match unit.blocks[i].term {
                 Term::Jump(t) => next[t] += out,
                 Term::Cond { taken, fall } => {
@@ -605,7 +632,12 @@ mod tests {
     use crate::profile::ProfileCollector;
     use vm::{Value, Vm};
 
-    fn profile_src(src: &str, entry: &str, args: &[Value], runs: usize) -> (Repo, TierProfile, CtxProfile) {
+    fn profile_src(
+        src: &str,
+        entry: &str,
+        args: &[Value],
+        runs: usize,
+    ) -> (Repo, TierProfile, CtxProfile) {
         let repo = hackc::compile_unit("t.hl", src).expect("compiles");
         let f = repo.func_by_name(entry).unwrap().id;
         let mut vm = Vm::new(&repo);
@@ -628,7 +660,13 @@ mod tests {
         );
         let f = repo.func_by_name("main").unwrap().id;
         let unit = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            InlineParams::default(),
+            &|_, _| None,
         );
         let ints = unit
             .blocks
@@ -700,7 +738,13 @@ mod tests {
         let (repo, tier, ctx) = profile_src(src, "main", &[Value::Int(30)], 2);
         let f = repo.func_by_name("main").unwrap().id;
         let inlined = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            InlineParams::default(),
+            &|_, _| None,
         );
         let not_inlined = translate_optimized(
             &repo,
@@ -708,7 +752,10 @@ mod tests {
             &tier,
             &ctx,
             WeightSource::Accurate,
-            InlineParams { enabled: false, ..Default::default() },
+            InlineParams {
+                enabled: false,
+                ..Default::default()
+            },
             &|_, _| None,
         );
         let calls = |u: &VasmUnit| {
@@ -744,10 +791,22 @@ mod tests {
         let f = repo.func_by_name("main").unwrap().id;
         let inline = InlineParams::default();
         let est = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::TierOnly, inline, &|_, _| None,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::TierOnly,
+            inline,
+            &|_, _| None,
         );
         let acc = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::Accurate, inline, &|_, _| None,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            inline,
+            &|_, _| None,
         );
         // Find inlined conditional blocks (origin = helper).
         let helper = repo.func_by_name("helper").unwrap().id;
@@ -755,7 +814,7 @@ mod tests {
             .blocks
             .iter()
             .filter(|b| {
-                b.bc_origin.map_or(false, |(f2, _)| f2 == helper)
+                b.bc_origin.is_some_and(|(f2, _)| f2 == helper)
                     && matches!(b.term, Term::Cond { .. })
             })
             .map(|b| b.est_taken_prob)
@@ -764,7 +823,7 @@ mod tests {
             .blocks
             .iter()
             .filter(|b| {
-                b.bc_origin.map_or(false, |(f2, _)| f2 == helper)
+                b.bc_origin.is_some_and(|(f2, _)| f2 == helper)
                     && matches!(b.term, Term::Cond { .. })
             })
             .map(|b| b.est_taken_prob)
@@ -779,7 +838,7 @@ mod tests {
             .blocks
             .iter()
             .filter(|b| {
-                b.bc_origin.map_or(false, |(f2, _)| f2 == helper)
+                b.bc_origin.is_some_and(|(f2, _)| f2 == helper)
                     && matches!(b.term, Term::Cond { .. })
             })
             .map(|b| b.true_taken_prob)
@@ -807,7 +866,13 @@ mod tests {
             (repo.str(name) == "a").then_some(7u16)
         };
         let unit = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &resolver,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            InlineParams::default(),
+            &resolver,
         );
         assert!(unit
             .blocks
@@ -826,7 +891,13 @@ mod tests {
         );
         let f = repo.func_by_name("main").unwrap().id;
         let mut unit = translate_optimized(
-            &repo, f, &tier, &ctx, WeightSource::Accurate, InlineParams::default(), &|_, _| None,
+            &repo,
+            f,
+            &tier,
+            &ctx,
+            WeightSource::Accurate,
+            InlineParams::default(),
+            &|_, _| None,
         );
         propagate_true_weights(&mut unit, 1000);
         assert_eq!(unit.blocks[0].true_weight, 1000);
@@ -857,7 +928,13 @@ mod tests {
         let f = repo.func_by_name("main").unwrap().id;
         for ws in [WeightSource::TierOnly, WeightSource::Accurate] {
             let unit = translate_optimized(
-                &repo, f, &tier, &ctx, ws, InlineParams::default(), &|_, _| None,
+                &repo,
+                f,
+                &tier,
+                &ctx,
+                ws,
+                InlineParams::default(),
+                &|_, _| None,
             );
             for b in &unit.blocks {
                 for s in b.term.successors() {

@@ -257,11 +257,19 @@ impl VasmUnit {
         for (i, b) in self.blocks.iter().enumerate() {
             match b.term {
                 Term::Jump(t) => {
-                    edges.push(layout::BlockEdge { src: i, dst: t, weight: b.est_weight });
+                    edges.push(layout::BlockEdge {
+                        src: i,
+                        dst: t,
+                        weight: b.est_weight,
+                    });
                 }
                 Term::Cond { taken, fall } => {
                     let tw = (b.est_weight as f64 * b.est_taken_prob) as u64;
-                    edges.push(layout::BlockEdge { src: i, dst: taken, weight: tw });
+                    edges.push(layout::BlockEdge {
+                        src: i,
+                        dst: taken,
+                        weight: tw,
+                    });
                     edges.push(layout::BlockEdge {
                         src: i,
                         dst: fall,
@@ -278,7 +286,10 @@ impl VasmUnit {
     pub fn layout_blocks(&self) -> Vec<layout::BlockNode> {
         self.blocks
             .iter()
-            .map(|b| layout::BlockNode { size: b.size(), weight: b.est_weight })
+            .map(|b| layout::BlockNode {
+                size: b.size(),
+                weight: b.est_weight,
+            })
             .collect()
     }
 }
@@ -293,8 +304,13 @@ mod tests {
             VInstr::GuardType { local: 0 },
             VInstr::IntArith,
             VInstr::GenBin,
-            VInstr::LoadProp { class: ClassId::new(0), slot: 3 },
-            VInstr::CallStatic { callee: FuncId::new(0) },
+            VInstr::LoadProp {
+                class: ClassId::new(0),
+                slot: 3,
+            },
+            VInstr::CallStatic {
+                callee: FuncId::new(0),
+            },
             VInstr::RetOp,
             VInstr::InterpOne,
         ];
@@ -308,7 +324,10 @@ mod tests {
     fn specialized_ops_are_cheaper_than_generic() {
         assert!(VInstr::IntArith.size() < VInstr::GenBin.size());
         assert!(VInstr::IntArith.cycles() < VInstr::GenBin.cycles());
-        let lp = VInstr::LoadProp { class: ClassId::new(0), slot: 0 };
+        let lp = VInstr::LoadProp {
+            class: ClassId::new(0),
+            slot: 0,
+        };
         assert!(lp.size() < VInstr::GenProp.size());
         assert!(lp.cycles() < VInstr::GenProp.cycles());
     }

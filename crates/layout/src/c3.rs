@@ -44,7 +44,10 @@ pub struct CallArc {
 pub fn c3_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<usize> {
     let n = funcs.len();
     for a in arcs {
-        assert!(a.caller < n && a.callee < n, "arc references unknown function");
+        assert!(
+            a.caller < n && a.callee < n,
+            "arc references unknown function"
+        );
     }
     // Hottest caller per callee.
     let mut hottest_caller: HashMap<usize, (usize, u64)> = HashMap::new();
@@ -52,7 +55,9 @@ pub fn c3_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<u
         if a.caller == a.callee || a.weight == 0 {
             continue;
         }
-        let e = hottest_caller.entry(a.callee).or_insert((a.caller, a.weight));
+        let e = hottest_caller
+            .entry(a.callee)
+            .or_insert((a.caller, a.weight));
         if a.weight > e.1 {
             *e = (a.caller, a.weight);
         }
@@ -67,7 +72,9 @@ pub fn c3_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<u
     let mut by_heat: Vec<usize> = (0..n).collect();
     by_heat.sort_by_key(|&f| std::cmp::Reverse(funcs[f].weight));
     for f in by_heat {
-        let Some(&(caller, _)) = hottest_caller.get(&f) else { continue };
+        let Some(&(caller, _)) = hottest_caller.get(&f) else {
+            continue;
+        };
         let cf = cluster_of[f];
         let cc = cluster_of[caller];
         if cf == cc {
@@ -114,18 +121,34 @@ mod tests {
         // 0 calls 1 heavily; 2 calls 1 lightly.
         let funcs = vec![node(100, 50), node(100, 100), node(100, 10)];
         let arcs = vec![
-            CallArc { caller: 0, callee: 1, weight: 90 },
-            CallArc { caller: 2, callee: 1, weight: 5 },
+            CallArc {
+                caller: 0,
+                callee: 1,
+                weight: 90,
+            },
+            CallArc {
+                caller: 2,
+                callee: 1,
+                weight: 5,
+            },
         ];
         let order = c3_order(&funcs, &arcs, 4096);
         let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &f)| (f, i)).collect();
-        assert_eq!(pos[&1], pos[&0] + 1, "callee should immediately follow hottest caller");
+        assert_eq!(
+            pos[&1],
+            pos[&0] + 1,
+            "callee should immediately follow hottest caller"
+        );
     }
 
     #[test]
     fn merge_limit_prevents_giant_clusters() {
         let funcs = vec![node(3000, 10), node(3000, 9)];
-        let arcs = vec![CallArc { caller: 0, callee: 1, weight: 100 }];
+        let arcs = vec![CallArc {
+            caller: 0,
+            callee: 1,
+            weight: 100,
+        }];
         let order = c3_order(&funcs, &arcs, 4096);
         // 3000 + 3000 > 4096: no merge; both emitted as singletons.
         assert_eq!(order.len(), 2);
@@ -138,8 +161,16 @@ mod tests {
         // a -> b -> c, all hot: expect contiguous a, b, c.
         let funcs = vec![node(10, 100), node(10, 90), node(10, 80), node(10, 1)];
         let arcs = vec![
-            CallArc { caller: 0, callee: 1, weight: 90 },
-            CallArc { caller: 1, callee: 2, weight: 80 },
+            CallArc {
+                caller: 0,
+                callee: 1,
+                weight: 90,
+            },
+            CallArc {
+                caller: 1,
+                callee: 2,
+                weight: 80,
+            },
         ];
         let order = c3_order(&funcs, &arcs, 4096);
         let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &f)| (f, i)).collect();
@@ -160,8 +191,16 @@ mod tests {
     fn self_calls_and_zero_arcs_are_ignored() {
         let funcs = vec![node(10, 5), node(10, 4)];
         let arcs = vec![
-            CallArc { caller: 0, callee: 0, weight: 100 },
-            CallArc { caller: 0, callee: 1, weight: 0 },
+            CallArc {
+                caller: 0,
+                callee: 0,
+                weight: 100,
+            },
+            CallArc {
+                caller: 0,
+                callee: 1,
+                weight: 0,
+            },
         ];
         let order = c3_order(&funcs, &arcs, 4096);
         assert_eq!(order.len(), 2);
@@ -171,7 +210,11 @@ mod tests {
     fn output_is_a_permutation() {
         let funcs: Vec<FuncNode> = (0..20).map(|i| node(10 + i, (20 - i) as u64)).collect();
         let arcs: Vec<CallArc> = (0..19)
-            .map(|i| CallArc { caller: i as usize, callee: i as usize + 1, weight: i as u64 + 1 })
+            .map(|i| CallArc {
+                caller: i as usize,
+                callee: i as usize + 1,
+                weight: i as u64 + 1,
+            })
             .collect();
         let mut order = c3_order(&funcs, &arcs, 1 << 20);
         order.sort_unstable();

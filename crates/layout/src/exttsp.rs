@@ -160,9 +160,8 @@ pub fn exttsp_order(
             } else {
                 let d = src_end - dst;
                 if d < params.backward_dist {
-                    s += params.backward_weight
-                        * w
-                        * (1.0 - d as f64 / params.backward_dist as f64);
+                    s +=
+                        params.backward_weight * w * (1.0 - d as f64 / params.backward_dist as f64);
                 }
             }
         }
@@ -172,15 +171,14 @@ pub fn exttsp_order(
     loop {
         // Find the best merge (a, b) -> concat(a, b).
         let mut best: Option<(usize, usize, f64)> = None;
-        let live: Vec<usize> =
-            (0..chains.len()).filter(|&i| chains[i].is_some()).collect();
+        let live: Vec<usize> = (0..chains.len()).filter(|&i| chains[i].is_some()).collect();
         for &a in &live {
             for &b in &live {
                 if a == b {
                     continue;
                 }
                 // The entry block's chain can only be a prefix.
-                if chains[b].as_ref().map_or(false, |c| c[0] == 0) {
+                if chains[b].as_ref().is_some_and(|c| c[0] == 0) {
                     continue;
                 }
                 let ca = chains[a].as_ref().expect("live");
@@ -189,7 +187,7 @@ pub fn exttsp_order(
                 let gain = chain_score(&merged, blocks, edges)
                     - chain_score(ca, blocks, edges)
                     - chain_score(cb, blocks, edges);
-                if gain > 1e-9 && best.map_or(true, |(_, _, g)| gain > g) {
+                if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((a, b, gain));
                 }
             }
@@ -241,13 +239,13 @@ fn density(chain: &[usize], blocks: &[BlockNode]) -> f64 {
 fn greedy_fallthrough(blocks: &[BlockNode], edges: &[BlockEdge]) -> Vec<usize> {
     let n = blocks.len();
     let mut sorted: Vec<&BlockEdge> = edges.iter().filter(|e| e.weight > 0).collect();
-    sorted.sort_by(|a, b| b.weight.cmp(&a.weight));
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.weight));
     // next/prev links forming disjoint paths.
     let mut next = vec![usize::MAX; n];
     let mut prev = vec![usize::MAX; n];
     // Union-find to reject cycles.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -282,15 +280,16 @@ fn greedy_fallthrough(blocks: &[BlockNode], edges: &[BlockEdge]) -> Vec<usize> {
         }
     };
     emit_path(0, &mut order, &mut emitted);
-    let mut heads: Vec<usize> =
-        (0..n).filter(|&b| !emitted[b] && prev[b] == usize::MAX).collect();
+    let mut heads: Vec<usize> = (0..n)
+        .filter(|&b| !emitted[b] && prev[b] == usize::MAX)
+        .collect();
     heads.sort_by_key(|&b| std::cmp::Reverse(blocks[b].weight));
     for h in heads {
         emit_path(h, &mut order, &mut emitted);
     }
     // Anything left (cycles fully emitted already by paths) — defensive.
-    for b in 0..n {
-        if !emitted[b] {
+    for (b, &done) in emitted.iter().enumerate() {
+        if !done {
             order.push(b);
         }
     }
@@ -317,8 +316,16 @@ mod tests {
         // fallthrough: order 0,1,...
         let blocks = uniform_blocks(3, 32);
         let edges = vec![
-            BlockEdge { src: 0, dst: 1, weight: 100 },
-            BlockEdge { src: 0, dst: 2, weight: 1 },
+            BlockEdge {
+                src: 0,
+                dst: 1,
+                weight: 100,
+            },
+            BlockEdge {
+                src: 0,
+                dst: 2,
+                weight: 1,
+            },
         ];
         let order = exttsp_order(&blocks, &edges, &ExtTspParams::default());
         assert_eq!(order[0], 0);
@@ -329,13 +336,30 @@ mod tests {
     fn entry_is_always_first() {
         // Even when the entry is cold and an edge points into it.
         let blocks = vec![
-            BlockNode { size: 16, weight: 1 },
-            BlockNode { size: 16, weight: 1000 },
-            BlockNode { size: 16, weight: 1000 },
+            BlockNode {
+                size: 16,
+                weight: 1,
+            },
+            BlockNode {
+                size: 16,
+                weight: 1000,
+            },
+            BlockNode {
+                size: 16,
+                weight: 1000,
+            },
         ];
         let edges = vec![
-            BlockEdge { src: 1, dst: 2, weight: 1000 },
-            BlockEdge { src: 2, dst: 0, weight: 500 },
+            BlockEdge {
+                src: 1,
+                dst: 2,
+                weight: 1000,
+            },
+            BlockEdge {
+                src: 2,
+                dst: 0,
+                weight: 500,
+            },
         ];
         let order = exttsp_order(&blocks, &edges, &ExtTspParams::default());
         assert_eq!(order[0], 0);
@@ -346,10 +370,26 @@ mod tests {
         // Diamond: 0 -> 1 (90) / 2 (10), both -> 3. Expect 0,1,3 contiguous.
         let blocks = uniform_blocks(4, 16);
         let edges = vec![
-            BlockEdge { src: 0, dst: 1, weight: 90 },
-            BlockEdge { src: 0, dst: 2, weight: 10 },
-            BlockEdge { src: 1, dst: 3, weight: 90 },
-            BlockEdge { src: 2, dst: 3, weight: 10 },
+            BlockEdge {
+                src: 0,
+                dst: 1,
+                weight: 90,
+            },
+            BlockEdge {
+                src: 0,
+                dst: 2,
+                weight: 10,
+            },
+            BlockEdge {
+                src: 1,
+                dst: 3,
+                weight: 90,
+            },
+            BlockEdge {
+                src: 2,
+                dst: 3,
+                weight: 10,
+            },
         ];
         let order = exttsp_order(&blocks, &edges, &ExtTspParams::default());
         let pos: Vec<usize> = {
@@ -367,7 +407,11 @@ mod tests {
     #[test]
     fn score_rewards_fallthrough_most() {
         let blocks = uniform_blocks(2, 16);
-        let edges = vec![BlockEdge { src: 0, dst: 1, weight: 10 }];
+        let edges = vec![BlockEdge {
+            src: 0,
+            dst: 1,
+            weight: 10,
+        }];
         let p = ExtTspParams::default();
         let fall = exttsp_score(&blocks, &edges, &[0, 1], &p);
         let back = exttsp_score(&blocks, &edges, &[1, 0], &p);
@@ -379,17 +423,43 @@ mod tests {
     fn greedy_never_loses_to_source_order_on_diamonds() {
         let blocks = uniform_blocks(6, 32);
         let edges = vec![
-            BlockEdge { src: 0, dst: 2, weight: 70 },
-            BlockEdge { src: 0, dst: 1, weight: 30 },
-            BlockEdge { src: 1, dst: 3, weight: 30 },
-            BlockEdge { src: 2, dst: 3, weight: 70 },
-            BlockEdge { src: 3, dst: 5, weight: 95 },
-            BlockEdge { src: 3, dst: 4, weight: 5 },
+            BlockEdge {
+                src: 0,
+                dst: 2,
+                weight: 70,
+            },
+            BlockEdge {
+                src: 0,
+                dst: 1,
+                weight: 30,
+            },
+            BlockEdge {
+                src: 1,
+                dst: 3,
+                weight: 30,
+            },
+            BlockEdge {
+                src: 2,
+                dst: 3,
+                weight: 70,
+            },
+            BlockEdge {
+                src: 3,
+                dst: 5,
+                weight: 95,
+            },
+            BlockEdge {
+                src: 3,
+                dst: 4,
+                weight: 5,
+            },
         ];
         let p = ExtTspParams::default();
         let order = exttsp_order(&blocks, &edges, &p);
         let source: Vec<usize> = (0..6).collect();
-        assert!(exttsp_score(&blocks, &edges, &order, &p) >= exttsp_score(&blocks, &edges, &source, &p));
+        assert!(
+            exttsp_score(&blocks, &edges, &order, &p) >= exttsp_score(&blocks, &edges, &source, &p)
+        );
     }
 
     #[test]
@@ -397,9 +467,16 @@ mod tests {
         let n = 500;
         let blocks = uniform_blocks(n, 8);
         let edges: Vec<BlockEdge> = (0..n - 1)
-            .map(|i| BlockEdge { src: i, dst: i + 1, weight: (n - i) as u64 })
+            .map(|i| BlockEdge {
+                src: i,
+                dst: i + 1,
+                weight: (n - i) as u64,
+            })
             .collect();
-        let p = ExtTspParams { max_exact_blocks: 100, ..Default::default() };
+        let p = ExtTspParams {
+            max_exact_blocks: 100,
+            ..Default::default()
+        };
         let order = exttsp_order(&blocks, &edges, &p);
         assert_eq!(order.len(), n);
         assert_eq!(order[0], 0);
@@ -412,9 +489,21 @@ mod tests {
     fn output_is_a_permutation() {
         let blocks = uniform_blocks(10, 16);
         let edges = vec![
-            BlockEdge { src: 0, dst: 5, weight: 3 },
-            BlockEdge { src: 5, dst: 9, weight: 7 },
-            BlockEdge { src: 9, dst: 1, weight: 2 },
+            BlockEdge {
+                src: 0,
+                dst: 5,
+                weight: 3,
+            },
+            BlockEdge {
+                src: 5,
+                dst: 9,
+                weight: 7,
+            },
+            BlockEdge {
+                src: 9,
+                dst: 1,
+                weight: 2,
+            },
         ];
         let mut order = exttsp_order(&blocks, &edges, &ExtTspParams::default());
         order.sort_unstable();

@@ -18,7 +18,10 @@ use crate::c3::{CallArc, FuncNode};
 pub fn pettis_hansen_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<usize> {
     let n = funcs.len();
     for a in arcs {
-        assert!(a.caller < n && a.callee < n, "arc references unknown function");
+        assert!(
+            a.caller < n && a.callee < n,
+            "arc references unknown function"
+        );
     }
     // Undirected pair weights.
     let mut pair_w: HashMap<(usize, usize), u64> = HashMap::new();
@@ -64,13 +67,30 @@ mod tests {
     #[test]
     fn merges_heaviest_pairs_first() {
         let funcs = vec![
-            FuncNode { size: 10, weight: 1 },
-            FuncNode { size: 10, weight: 1 },
-            FuncNode { size: 10, weight: 1 },
+            FuncNode {
+                size: 10,
+                weight: 1,
+            },
+            FuncNode {
+                size: 10,
+                weight: 1,
+            },
+            FuncNode {
+                size: 10,
+                weight: 1,
+            },
         ];
         let arcs = vec![
-            CallArc { caller: 0, callee: 2, weight: 100 },
-            CallArc { caller: 0, callee: 1, weight: 1 },
+            CallArc {
+                caller: 0,
+                callee: 2,
+                weight: 100,
+            },
+            CallArc {
+                caller: 0,
+                callee: 1,
+                weight: 1,
+            },
         ];
         let order = pettis_hansen_order(&funcs, &arcs, 4096);
         let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &f)| (f, i)).collect();
@@ -80,10 +100,24 @@ mod tests {
     #[test]
     fn direction_is_ignored() {
         // Bidirectional weights add up.
-        let funcs = vec![FuncNode { size: 10, weight: 1 }; 2];
+        let funcs = vec![
+            FuncNode {
+                size: 10,
+                weight: 1
+            };
+            2
+        ];
         let arcs = vec![
-            CallArc { caller: 0, callee: 1, weight: 30 },
-            CallArc { caller: 1, callee: 0, weight: 40 },
+            CallArc {
+                caller: 0,
+                callee: 1,
+                weight: 30,
+            },
+            CallArc {
+                caller: 1,
+                callee: 0,
+                weight: 40,
+            },
         ];
         let order = pettis_hansen_order(&funcs, &arcs, 4096);
         assert_eq!(order.len(), 2);
@@ -91,10 +125,18 @@ mod tests {
 
     #[test]
     fn output_is_a_permutation() {
-        let funcs: Vec<FuncNode> =
-            (0..15).map(|i| FuncNode { size: 8, weight: i as u64 }).collect();
+        let funcs: Vec<FuncNode> = (0..15)
+            .map(|i| FuncNode {
+                size: 8,
+                weight: i as u64,
+            })
+            .collect();
         let arcs: Vec<CallArc> = (0..14)
-            .map(|i| CallArc { caller: i, callee: (i + 3) % 15, weight: (i + 1) as u64 })
+            .map(|i| CallArc {
+                caller: i,
+                callee: (i + 3) % 15,
+                weight: (i + 1) as u64,
+            })
             .collect();
         let mut order = pettis_hansen_order(&funcs, &arcs, 1 << 20);
         order.sort_unstable();

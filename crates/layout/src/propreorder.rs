@@ -53,9 +53,9 @@ pub fn reorder_props_by_affinity<K: Clone>(
     }
     // Collect pairs sorted by affinity.
     let mut pairs: Vec<(usize, usize, u64)> = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let w = affinity[i][j].max(affinity[j][i]);
+    for (i, row) in affinity.iter().enumerate() {
+        for (j, &up) in row.iter().enumerate().skip(i + 1) {
+            let w = up.max(affinity[j][i]);
             if w > 0 {
                 pairs.push((i, j, w));
             }
@@ -67,7 +67,7 @@ pub fn reorder_props_by_affinity<K: Clone>(
     let mut next = vec![usize::MAX; n];
     let mut prev = vec![usize::MAX; n];
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -122,7 +122,10 @@ mod tests {
     use super::*;
 
     fn p(prop: &str, count: u64) -> PropAccess<String> {
-        PropAccess { prop: prop.to_owned(), count }
+        PropAccess {
+            prop: prop.to_owned(),
+            count,
+        }
     }
 
     #[test]
@@ -151,11 +154,17 @@ mod tests {
         aff[0][3] = 100;
         aff[1][2] = 60;
         let order = reorder_props_by_affinity(&props, &aff);
-        let pos: std::collections::HashMap<&str, usize> =
-            order.iter().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
+        let pos: std::collections::HashMap<&str, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
         assert_eq!(pos["a"].abs_diff(pos["d"]), 1, "affine pair adjacent");
         assert_eq!(pos["b"].abs_diff(pos["c"]), 1, "affine pair adjacent");
-        assert!(pos["a"].min(pos["d"]) < pos["b"].min(pos["c"]), "hotter chain first");
+        assert!(
+            pos["a"].min(pos["d"]) < pos["b"].min(pos["c"]),
+            "hotter chain first"
+        );
     }
 
     #[test]

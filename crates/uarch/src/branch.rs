@@ -29,7 +29,10 @@ impl BranchPredictor {
     ///
     /// Panics if `table_bits` is zero or larger than 24.
     pub fn new(table_bits: u32, history_bits: u32) -> Self {
-        assert!(table_bits > 0 && table_bits <= 24, "table_bits out of range");
+        assert!(
+            table_bits > 0 && table_bits <= 24,
+            "table_bits out of range"
+        );
         Self {
             table: vec![1; 1 << table_bits], // weakly not-taken
             history: 0,
@@ -79,7 +82,10 @@ impl BranchPredictor {
             w.1 = self.btb_tick;
             return true;
         }
-        let victim = ways.iter_mut().min_by_key(|(_, last)| *last).expect("non-empty");
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|(_, last)| *last)
+            .expect("non-empty");
         *victim = (pc, self.btb_tick);
         false
     }

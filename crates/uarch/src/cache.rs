@@ -15,12 +15,19 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     /// 32 KiB, 64 B lines, 8-way — Broadwell L1.
-    pub const L1: CacheConfig = CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 };
+    pub const L1: CacheConfig = CacheConfig {
+        size_bytes: 32 * 1024,
+        line_bytes: 64,
+        ways: 8,
+    };
 
     /// 2 MiB, 64 B lines, 16-way — a scaled-down LLC matching our
     /// scaled-down application footprint (see DESIGN.md §2).
-    pub const LLC: CacheConfig =
-        CacheConfig { size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 16 };
+    pub const LLC: CacheConfig = CacheConfig {
+        size_bytes: 2 * 1024 * 1024,
+        line_bytes: 64,
+        ways: 16,
+    };
 
     /// Number of sets implied by the geometry.
     pub fn sets(&self) -> u32 {
@@ -47,7 +54,10 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sets or non-power-of-two
     /// line size).
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = config.sets();
         assert!(sets > 0, "cache must have at least one set");
         Self {
@@ -119,7 +129,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 16B lines = 128 bytes.
-        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -165,7 +179,11 @@ mod tests {
             let _ = round;
         }
         let s = c.stats();
-        assert!(s.miss_rate() > 0.9, "cyclic thrash should keep missing, got {}", s.miss_rate());
+        assert!(
+            s.miss_rate() > 0.9,
+            "cyclic thrash should keep missing, got {}",
+            s.miss_rate()
+        );
     }
 
     #[test]

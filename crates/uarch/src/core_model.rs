@@ -141,7 +141,11 @@ impl CoreModel {
     /// `taken` means the fetch actually redirects); returns added cycles.
     pub fn branch(&mut self, pc: u64, taken: bool) -> u64 {
         let correct = self.bp.branch(pc, taken);
-        let mut added = if correct { 0 } else { self.params.mispredict_penalty };
+        let mut added = if correct {
+            0
+        } else {
+            self.params.mispredict_penalty
+        };
         if taken {
             added += self.params.taken_penalty;
         }
@@ -228,7 +232,10 @@ mod tests {
         };
         let first = run(1);
         let last = run(28);
-        assert!(first < last, "first-slot {first} should beat last-slot {last}");
+        assert!(
+            first < last,
+            "first-slot {first} should beat last-slot {last}"
+        );
     }
 
     #[test]

@@ -70,14 +70,38 @@ impl MissReport {
     pub fn reduction_vs(&self, baseline: &MissReport) -> [f64; 6] {
         let pick = |s: &AccessStats, i: u64| s.mpki(i.max(1));
         let pairs = [
-            (pick(&self.branch, self.instructions), pick(&baseline.branch, baseline.instructions)),
-            (pick(&self.icache, self.instructions), pick(&baseline.icache, baseline.instructions)),
-            (pick(&self.itlb, self.instructions), pick(&baseline.itlb, baseline.instructions)),
-            (pick(&self.dcache, self.instructions), pick(&baseline.dcache, baseline.instructions)),
-            (pick(&self.dtlb, self.instructions), pick(&baseline.dtlb, baseline.instructions)),
-            (pick(&self.llc, self.instructions), pick(&baseline.llc, baseline.instructions)),
+            (
+                pick(&self.branch, self.instructions),
+                pick(&baseline.branch, baseline.instructions),
+            ),
+            (
+                pick(&self.icache, self.instructions),
+                pick(&baseline.icache, baseline.instructions),
+            ),
+            (
+                pick(&self.itlb, self.instructions),
+                pick(&baseline.itlb, baseline.instructions),
+            ),
+            (
+                pick(&self.dcache, self.instructions),
+                pick(&baseline.dcache, baseline.instructions),
+            ),
+            (
+                pick(&self.dtlb, self.instructions),
+                pick(&baseline.dtlb, baseline.instructions),
+            ),
+            (
+                pick(&self.llc, self.instructions),
+                pick(&baseline.llc, baseline.instructions),
+            ),
         ];
-        pairs.map(|(new, old)| if old == 0.0 { 0.0 } else { (old - new) / old * 100.0 })
+        pairs.map(|(new, old)| {
+            if old == 0.0 {
+                0.0
+            } else {
+                (old - new) / old * 100.0
+            }
+        })
     }
 
     /// Percent speedup of `self` over `baseline` by cycles-per-instruction
@@ -95,7 +119,11 @@ impl MissReport {
 
 impl fmt::Display for MissReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "instructions: {}  cycles: {}", self.instructions, self.cycles)?;
+        writeln!(
+            f,
+            "instructions: {}  cycles: {}",
+            self.instructions, self.cycles
+        )?;
         let row = |name: &str, s: &AccessStats| {
             format!(
                 "  {name:<8} accesses {:>12}  misses {:>10}  rate {:>7.4}  mpki {:>8.3}",
@@ -121,7 +149,10 @@ mod tests {
     #[test]
     fn miss_rate_handles_zero() {
         assert_eq!(AccessStats::default().miss_rate(), 0.0);
-        let s = AccessStats { accesses: 10, misses: 3 };
+        let s = AccessStats {
+            accesses: 10,
+            misses: 3,
+        };
         assert!((s.miss_rate() - 0.3).abs() < 1e-12);
         assert!((s.mpki(1000) - 3.0).abs() < 1e-12);
     }
@@ -129,13 +160,19 @@ mod tests {
     #[test]
     fn reduction_is_positive_when_fewer_misses() {
         let old = MissReport {
-            icache: AccessStats { accesses: 1000, misses: 100 },
+            icache: AccessStats {
+                accesses: 1000,
+                misses: 100,
+            },
             instructions: 1000,
             cycles: 2000,
             ..Default::default()
         };
         let new = MissReport {
-            icache: AccessStats { accesses: 1000, misses: 50 },
+            icache: AccessStats {
+                accesses: 1000,
+                misses: 50,
+            },
             instructions: 1000,
             cycles: 1800,
             ..Default::default()
@@ -147,8 +184,16 @@ mod tests {
 
     #[test]
     fn speedup_is_symmetric_around_zero() {
-        let a = MissReport { instructions: 100, cycles: 100, ..Default::default() };
-        let b = MissReport { instructions: 100, cycles: 110, ..Default::default() };
+        let a = MissReport {
+            instructions: 100,
+            cycles: 100,
+            ..Default::default()
+        };
+        let b = MissReport {
+            instructions: 100,
+            cycles: 110,
+            ..Default::default()
+        };
         assert!(a.speedup_vs(&b) > 0.0);
         assert!(b.speedup_vs(&a) < 0.0);
         assert_eq!(a.speedup_vs(&a), 0.0);
@@ -156,7 +201,11 @@ mod tests {
 
     #[test]
     fn display_renders_all_rows() {
-        let r = MissReport { instructions: 10, cycles: 20, ..Default::default() };
+        let r = MissReport {
+            instructions: 10,
+            cycles: 20,
+            ..Default::default()
+        };
         let s = r.to_string();
         for k in ["branch", "icache", "itlb", "dcache", "dtlb", "llc"] {
             assert!(s.contains(k));

@@ -31,7 +31,9 @@ pub(crate) fn call_builtin(
         },
         Builtin::Keys => match &args[0] {
             Value::Vec(v) => Ok(Value::vec(
-                (0..v.borrow().len()).map(|i| Value::Int(i as i64)).collect(),
+                (0..v.borrow().len())
+                    .map(|i| Value::Int(i as i64))
+                    .collect(),
             )),
             Value::Dict(d) => Ok(Value::vec(
                 d.borrow()
@@ -51,9 +53,7 @@ pub(crate) fn call_builtin(
         },
         Builtin::Min | Builtin::Max => {
             let (a, b) = (&args[0], &args[1]);
-            let ord = a
-                .loose_cmp(b)
-                .ok_or_else(|| type_err(builtin.name(), a))?;
+            let ord = a.loose_cmp(b).ok_or_else(|| type_err(builtin.name(), a))?;
             let pick_a = match builtin {
                 Builtin::Min => ord != std::cmp::Ordering::Greater,
                 _ => ord != std::cmp::Ordering::Less,
@@ -70,9 +70,7 @@ pub(crate) fn call_builtin(
                 let start = (*start).clamp(0, s.len() as i64) as usize;
                 let end = (start + (*len).max(0) as usize).min(s.len());
                 // Byte slicing; generated workloads stay ASCII.
-                let sub = s
-                    .get(start..end)
-                    .unwrap_or("");
+                let sub = s.get(start..end).unwrap_or("");
                 Ok(Value::str(sub))
             }
             _ => Err(type_err("substr", &args[0])),
@@ -167,13 +165,19 @@ mod tests {
 
     #[test]
     fn strlen_count_keys() {
-        assert_eq!(call(Builtin::Strlen, &[Value::str("abc")]).unwrap(), Value::Int(3));
+        assert_eq!(
+            call(Builtin::Strlen, &[Value::str("abc")]).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             call(Builtin::Count, &[Value::vec(vec![Value::Null; 4])]).unwrap(),
             Value::Int(4)
         );
         let d = Value::dict(vec![(DictKey::Str("k".into()), Value::Int(1))]);
-        assert_eq!(call(Builtin::Keys, &[d]).unwrap(), Value::vec(vec![Value::str("k")]));
+        assert_eq!(
+            call(Builtin::Keys, &[d]).unwrap(),
+            Value::vec(vec![Value::str("k")])
+        );
         assert!(call(Builtin::Strlen, &[Value::Int(1)]).is_err());
     }
 
@@ -187,17 +191,28 @@ mod tests {
             call(Builtin::Max, &[Value::Float(1.5), Value::Int(1)]).unwrap(),
             Value::Float(1.5)
         );
-        assert_eq!(call(Builtin::Abs, &[Value::Int(-9)]).unwrap(), Value::Int(9));
+        assert_eq!(
+            call(Builtin::Abs, &[Value::Int(-9)]).unwrap(),
+            Value::Int(9)
+        );
     }
 
     #[test]
     fn substr_clamps() {
         assert_eq!(
-            call(Builtin::Substr, &[Value::str("hello"), Value::Int(1), Value::Int(3)]).unwrap(),
+            call(
+                Builtin::Substr,
+                &[Value::str("hello"), Value::Int(1), Value::Int(3)]
+            )
+            .unwrap(),
             Value::str("ell")
         );
         assert_eq!(
-            call(Builtin::Substr, &[Value::str("hi"), Value::Int(5), Value::Int(3)]).unwrap(),
+            call(
+                Builtin::Substr,
+                &[Value::str("hi"), Value::Int(5), Value::Int(3)]
+            )
+            .unwrap(),
             Value::str("")
         );
     }

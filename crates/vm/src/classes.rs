@@ -131,7 +131,9 @@ impl ClassTable {
             let rc = self.build(repo, class);
             self.resolved[class.index()] = Some(rc);
         }
-        self.resolved[class.index()].as_ref().expect("just resolved")
+        self.resolved[class.index()]
+            .as_ref()
+            .expect("just resolved")
     }
 
     fn build(&mut self, repo: &Repo, class: ClassId) -> RuntimeClass {
@@ -140,8 +142,7 @@ impl ClassTable {
         let (mut logical_names, mut physical_names, mut methods) = match cls.parent {
             Some(p) => {
                 let parent = self.resolve(repo, p);
-                let mut phys: Vec<StrId> =
-                    vec![StrId::new(u32::MAX); parent.layout.slot_count()];
+                let mut phys: Vec<StrId> = vec![StrId::new(u32::MAX); parent.layout.slot_count()];
                 for (li, &pi) in parent.layout.logical_to_physical.iter().enumerate() {
                     phys[pi] = parent.layout.logical_names[li];
                 }
@@ -160,8 +161,11 @@ impl ClassTable {
         logical_names.extend(own_names.iter().copied());
         let own_physical: Vec<StrId> = match self.installed_orders.get(&class) {
             Some(order) => {
-                let mut out: Vec<StrId> =
-                    order.iter().copied().filter(|n| own_names.contains(n)).collect();
+                let mut out: Vec<StrId> = order
+                    .iter()
+                    .copied()
+                    .filter(|n| own_names.contains(n))
+                    .collect();
                 for &n in &own_names {
                     if !out.contains(&n) {
                         out.push(n);
@@ -179,10 +183,8 @@ impl ClassTable {
             .enumerate()
             .map(|(i, &n)| (n, i))
             .collect();
-        let logical_to_physical: Vec<usize> = logical_names
-            .iter()
-            .map(|n| slot_by_name[n])
-            .collect();
+        let logical_to_physical: Vec<usize> =
+            logical_names.iter().map(|n| slot_by_name[n]).collect();
 
         // Defaults in physical order: find each physical name's declaring
         // PropDecl by walking the ancestry.
@@ -202,7 +204,12 @@ impl ClassTable {
         }
         let physical_defaults = physical_names
             .iter()
-            .map(|n| default_by_name.get(n).cloned().unwrap_or(DefaultSlot::Scalar(ScalarDefault::Null)))
+            .map(|n| {
+                default_by_name
+                    .get(n)
+                    .cloned()
+                    .unwrap_or(DefaultSlot::Scalar(ScalarDefault::Null))
+            })
             .collect();
 
         // Methods: own layer overrides inherited.
@@ -348,7 +355,11 @@ mod tests {
         let d = repo.str_id("d").unwrap();
         ct.install_prop_order(kid, vec![d, c]);
         let obj = ct.instantiate(&repo, kid);
-        assert_eq!(obj.slots[2], Value::Int(3), "layout must not change once resolved");
+        assert_eq!(
+            obj.slots[2],
+            Value::Int(3),
+            "layout must not change once resolved"
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@ use bytecode::FuncId;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VmError {
     /// An operator was applied to operand types it does not support.
-    TypeError { func: FuncId, at: u32, detail: String },
+    TypeError {
+        func: FuncId,
+        at: u32,
+        detail: String,
+    },
     /// A named function does not exist.
     UndefinedFunction(String),
     /// A method was not found on the receiver's class or its ancestors.
@@ -29,7 +33,11 @@ pub enum VmError {
     /// The configured instruction budget was exhausted (runaway loop guard).
     FuelExhausted,
     /// A method call receiver was not an object.
-    NotAnObject { func: FuncId, at: u32, found: &'static str },
+    NotAnObject {
+        func: FuncId,
+        at: u32,
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for VmError {

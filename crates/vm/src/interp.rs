@@ -22,7 +22,10 @@ pub struct VmOptions {
 
 impl Default for VmOptions {
     fn default() -> Self {
-        Self { fuel: 200_000_000, max_depth: 512 }
+        Self {
+            fuel: 200_000_000,
+            max_depth: 512,
+        }
     }
 }
 
@@ -179,7 +182,10 @@ impl<'r> Vm<'r> {
             let cfg = Cfg::build(f);
             self.block_maps[func.index()] = Some(Rc::new(BlockMap::build(&cfg, f.code.len())));
         }
-        self.block_maps[func.index()].as_ref().expect("just built").clone()
+        self.block_maps[func.index()]
+            .as_ref()
+            .expect("just built")
+            .clone()
     }
 
     fn autoload_for_func(&mut self, func: FuncId) {
@@ -235,9 +241,7 @@ impl<'r> Vm<'r> {
                 Instr::Int(v) => stack.push(Value::Int(v)),
                 Instr::Double(v) => stack.push(Value::Float(v)),
                 Instr::Str(s) => stack.push(Value::str(self.repo.str(s))),
-                Instr::LitArr(a) => {
-                    stack.push(crate::classes::materialize_lit_array(self.repo, a))
-                }
+                Instr::LitArr(a) => stack.push(crate::classes::materialize_lit_array(self.repo, a)),
                 Instr::Pop => {
                     let _ = pop!();
                 }
@@ -315,7 +319,8 @@ impl<'r> Vm<'r> {
                     self.stats.calls += 1;
                     let mut call_args = split_args(&mut stack, argc as usize);
                     obs.on_call(func_id, pc as u32, callee);
-                    let ret = self.exec(callee, std::mem::take(&mut call_args), None, obs, depth + 1)?;
+                    let ret =
+                        self.exec(callee, std::mem::take(&mut call_args), None, obs, depth + 1)?;
                     stack.push(ret);
                 }
                 Instr::CallMethod { name, argc } => {
@@ -430,7 +435,11 @@ impl<'r> Vm<'r> {
         }
     }
 
-    fn prop_slot(&mut self, class: bytecode::ClassId, name: bytecode::StrId) -> Result<usize, VmError> {
+    fn prop_slot(
+        &mut self,
+        class: bytecode::ClassId,
+        name: bytecode::StrId,
+    ) -> Result<usize, VmError> {
         self.classes
             .resolve(self.repo, class)
             .layout
@@ -464,13 +473,14 @@ impl<'r> Vm<'r> {
                     })
                 }
                 _ => {
-                    let (x, y) = numeric_pair(&a, &b)
-                        .ok_or_else(|| type_err(format!(
+                    let (x, y) = numeric_pair(&a, &b).ok_or_else(|| {
+                        type_err(format!(
                             "{} on {} and {}",
                             op.mnemonic(),
                             a.type_name(),
                             b.type_name()
-                        )))?;
+                        ))
+                    })?;
                     Value::Float(match op {
                         Add => x + y,
                         Sub => x - y,
@@ -565,7 +575,11 @@ fn numeric_pair(a: &Value, b: &Value) -> Option<(f64, f64)> {
 fn as_object(func: FuncId, at: u32, v: Value) -> Result<ObjRef, VmError> {
     match v {
         Value::Obj(o) => Ok(o),
-        other => Err(VmError::NotAnObject { func, at, found: other.type_name() }),
+        other => Err(VmError::NotAnObject {
+            func,
+            at,
+            found: other.type_name(),
+        }),
     }
 }
 
@@ -589,7 +603,9 @@ fn index_get(func: FuncId, at: u32, container: &Value, key: &Value) -> Result<Va
             };
             let v = v.borrow();
             if i < 0 || i as usize >= v.len() {
-                return Err(VmError::IndexError { detail: format!("vec index {i} out of range") });
+                return Err(VmError::IndexError {
+                    detail: format!("vec index {i} out of range"),
+                });
             }
             Ok(v[i as usize].clone())
         }
@@ -603,12 +619,16 @@ fn index_get(func: FuncId, at: u32, container: &Value, key: &Value) -> Result<Va
                 .iter()
                 .find(|(dk, _)| *dk == k)
                 .map(|(_, v)| v.clone())
-                .ok_or_else(|| VmError::IndexError { detail: format!("missing dict key {k}") })
+                .ok_or_else(|| VmError::IndexError {
+                    detail: format!("missing dict key {k}"),
+                })
         }
         Value::Str(s) => {
             let i = key.coerce_to_int();
             if i < 0 || i as usize >= s.len() {
-                return Err(VmError::IndexError { detail: format!("string index {i} out of range") });
+                return Err(VmError::IndexError {
+                    detail: format!("string index {i} out of range"),
+                });
             }
             Ok(Value::str(&s[i as usize..i as usize + 1]))
         }
@@ -638,7 +658,9 @@ fn index_set(
                 v.push(value);
                 Ok(())
             } else {
-                Err(VmError::IndexError { detail: format!("vec store index {i} out of range") })
+                Err(VmError::IndexError {
+                    detail: format!("vec store index {i} out of range"),
+                })
             }
         }
         Value::Dict(d) => {
@@ -689,11 +711,13 @@ mod tests {
         });
         let mut vm = Vm::new(&repo);
         assert_eq!(
-            vm.call_by_name("f", &[Value::Int(3), Value::Int(4)]).unwrap(),
+            vm.call_by_name("f", &[Value::Int(3), Value::Int(4)])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            vm.call_by_name("f", &[Value::Int(7), Value::Int(4)]).unwrap(),
+            vm.call_by_name("f", &[Value::Int(7), Value::Int(4)])
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -726,7 +750,10 @@ mod tests {
             b.define_func(u, f);
         });
         let mut vm = Vm::new(&repo);
-        assert_eq!(vm.call_by_name("f", &[6.into(), 3.into()]).unwrap(), Value::Int(2));
+        assert_eq!(
+            vm.call_by_name("f", &[6.into(), 3.into()]).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(
             vm.call_by_name("f", &[7.into(), 2.into()]).unwrap(),
             Value::Float(3.5)
@@ -768,7 +795,10 @@ mod tests {
             b.define_func(u, f);
         });
         let mut vm = Vm::new(&repo);
-        assert_eq!(vm.call_by_name("sum_to", &[10.into()]).unwrap(), Value::Int(45));
+        assert_eq!(
+            vm.call_by_name("sum_to", &[10.into()]).unwrap(),
+            Value::Int(45)
+        );
         assert!(vm.stats().branches >= 11);
     }
 
@@ -814,7 +844,10 @@ mod tests {
             f.emit(Instr::Int(4));
             f.emit(Instr::SetProp(y));
             f.emit(Instr::GetL(p));
-            f.emit(Instr::CallMethod { name: mag2, argc: 0 });
+            f.emit(Instr::CallMethod {
+                name: mag2,
+                argc: 0,
+            });
             f.emit(Instr::Ret);
             b.define_func(u, f);
         });
@@ -926,7 +959,13 @@ mod tests {
             f.emit(Instr::Ret);
             b.define_func(u, f);
         });
-        let mut vm = Vm::with_options(&repo, VmOptions { fuel: 10_000, max_depth: 16 });
+        let mut vm = Vm::with_options(
+            &repo,
+            VmOptions {
+                fuel: 10_000,
+                max_depth: 16,
+            },
+        );
         assert_eq!(vm.call_by_name("spin", &[]), Err(VmError::FuelExhausted));
     }
 
@@ -939,7 +978,13 @@ mod tests {
             f.emit(Instr::Ret);
             b.define_func(u, f);
         });
-        let mut vm = Vm::with_options(&repo, VmOptions { fuel: 1_000_000, max_depth: 64 });
+        let mut vm = Vm::with_options(
+            &repo,
+            VmOptions {
+                fuel: 1_000_000,
+                max_depth: 64,
+            },
+        );
         assert_eq!(vm.call_by_name("rec", &[]), Err(VmError::StackOverflow));
     }
 
@@ -1012,10 +1057,16 @@ mod tests {
             let s = b.intern("hi ");
             let mut f = FuncBuilder::new("f", 1);
             f.emit(Instr::Str(s));
-            f.emit(Instr::CallBuiltin { builtin: Builtin::Print, argc: 1 });
+            f.emit(Instr::CallBuiltin {
+                builtin: Builtin::Print,
+                argc: 1,
+            });
             f.emit(Instr::Pop);
             f.emit(Instr::GetL(0));
-            f.emit(Instr::CallBuiltin { builtin: Builtin::Print, argc: 1 });
+            f.emit(Instr::CallBuiltin {
+                builtin: Builtin::Print,
+                argc: 1,
+            });
             f.emit(Instr::Pop);
             f.emit(Instr::Null);
             f.emit(Instr::Ret);
@@ -1057,7 +1108,8 @@ mod tests {
         });
         let mut vm = Vm::new(&repo);
         assert_eq!(
-            vm.call_by_name("f", &[Value::str("n="), Value::Int(3)]).unwrap(),
+            vm.call_by_name("f", &[Value::str("n="), Value::Int(3)])
+                .unwrap(),
             Value::str("n=3")
         );
     }
@@ -1069,7 +1121,10 @@ mod tests {
             let nope = b.intern("nope");
             let mut f = FuncBuilder::new("callm", 0);
             f.emit(Instr::NewObj(c));
-            f.emit(Instr::CallMethod { name: nope, argc: 0 });
+            f.emit(Instr::CallMethod {
+                name: nope,
+                argc: 0,
+            });
             f.emit(Instr::Ret);
             b.define_func(u, f);
             let mut g = FuncBuilder::new("getp", 0);

@@ -89,7 +89,14 @@ pub trait ExecObserver {
 
     /// A property was read or written on an instance of `class`, at
     /// instruction `at` of `func`.
-    fn on_prop_access(&mut self, _func: FuncId, _at: u32, _class: ClassId, _prop: StrId, _write: bool) {
+    fn on_prop_access(
+        &mut self,
+        _func: FuncId,
+        _at: u32,
+        _class: ClassId,
+        _prop: StrId,
+        _write: bool,
+    ) {
     }
 
     /// A value's type was observed at a profiling point (binary op input,

@@ -47,9 +47,10 @@ pub type ObjRef = Rc<RefCell<Object>>;
 /// semantics closely enough for the workloads we model. (Real PHP arrays
 /// are copy-on-write values; we use reference semantics for vecs/dicts,
 /// which none of the generated workloads rely on distinguishing.)
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub enum Value {
     /// The null value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -223,12 +224,6 @@ impl PartialEq for Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
-
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.coerce_to_string())
@@ -286,7 +281,10 @@ mod tests {
 
     #[test]
     fn loose_cmp_numbers_and_strings() {
-        assert_eq!(Value::Int(1).loose_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(1).loose_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
         assert_eq!(
             Value::Float(2.5).loose_cmp(&Value::Int(2)),
             Some(Ordering::Greater)

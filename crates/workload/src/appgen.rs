@@ -126,7 +126,10 @@ pub fn generate(params: &AppParams) -> App {
         s.push_str("}\n");
         class_src.push_str(&s);
         if k % 8 == 7 || k + 1 == params.classes {
-            files.push((format!("classes_{}.hl", files.len()), std::mem::take(&mut class_src)));
+            files.push((
+                format!("classes_{}.hl", files.len()),
+                std::mem::take(&mut class_src),
+            ));
         }
     }
 
@@ -173,7 +176,7 @@ pub fn generate(params: &AppParams) -> App {
             unit_src.push_str(&body);
             emitted += 1;
             // ~6 functions per unit: many small files, like a real code base.
-            if emitted % 6 == 0 || i + 1 == count {
+            if emitted.is_multiple_of(6) || i + 1 == count {
                 files.push((
                     format!("mod{l}_{}.hl", files.len()),
                     std::mem::take(&mut unit_src),
@@ -190,11 +193,17 @@ pub fn generate(params: &AppParams) -> App {
         unit_src.push_str(&gen_endpoint(params, &mut rng, e, partition));
         endpoint_meta.push(partition);
         if e % 4 == 3 || e + 1 == params.endpoints {
-            files.push((format!("ep_{}.hl", files.len()), std::mem::take(&mut unit_src)));
+            files.push((
+                format!("ep_{}.hl", files.len()),
+                std::mem::take(&mut unit_src),
+            ));
         }
     }
 
-    let refs: Vec<(&str, &str)> = files.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let refs: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
     let repo = hackc::compile_program(&refs).expect("generated app compiles");
 
     // Zipf popularity over endpoints; long tail (paper: flat profile).
@@ -207,16 +216,25 @@ pub fn generate(params: &AppParams) -> App {
                 .expect("endpoint exists")
                 .id;
             let popularity = 1.0 / ((e + 1) as f64).powf(params.zipf_s);
-            Endpoint { func, partition, popularity }
+            Endpoint {
+                func,
+                partition,
+                popularity,
+            }
         })
         .collect();
 
-    App { repo, endpoints, partitions: params.partitions, params: *params }
+    App {
+        repo,
+        endpoints,
+        partitions: params.partitions,
+        params: *params,
+    }
 }
 
 /// The (hot, warm) property indices of class `k`'s own layer.
 fn hot_props_for(own_props: usize, k: usize) -> (usize, usize) {
-    if k % 3 == 0 {
+    if k.is_multiple_of(3) {
         (own_props - 1, own_props - 2)
     } else {
         (0, 1)
@@ -302,7 +320,11 @@ fn gen_endpoint(params: &AppParams, rng: &mut SmallRng, e: usize, partition: usi
     let h1 = own(rng);
     let h2 = own(rng);
     // 1-in-5 calls escape the partition (overflow routing).
-    let h3 = if rng.gen_range(0..5) == 0 { rng.gen_range(0..l0) } else { own(rng) };
+    let h3 = if rng.gen_range(0..5) == 0 {
+        rng.gen_range(0..l0)
+    } else {
+        own(rng)
+    };
     format!(
         r#"function ep_{e}($x) {{
   $s = f0_{h1}($x) + f0_{h2}($x + 2) + f0_{h3}(3);
@@ -367,7 +389,10 @@ mod tests {
     fn classes_have_inheritance() {
         let app = generate(&AppParams::tiny());
         let c1 = app.repo.class_by_name("C1").expect("C1 exists");
-        assert!(c1.parent.is_some(), "odd classes subclass their predecessor");
+        assert!(
+            c1.parent.is_some(),
+            "odd classes subclass their predecessor"
+        );
         let c0 = app.repo.class_by_name("C0").unwrap();
         assert!(c0.parent.is_none());
     }

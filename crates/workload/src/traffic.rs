@@ -30,7 +30,11 @@ impl RequestMix {
             // every bucket.
             let rot = (i + region * app.partitions) % n;
             let pop = app.endpoints[rot].popularity;
-            let affinity = if ep.partition == bucket % app.partitions { 0.9 } else { 0.1 };
+            let affinity = if ep.partition == bucket % app.partitions {
+                0.9
+            } else {
+                0.1
+            };
             weights[i] = pop * affinity;
         }
         Self::from_weights(&weights)
@@ -97,7 +101,9 @@ pub struct RequestSampler {
 impl RequestSampler {
     /// Creates a sampler with a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples one request: the endpoint function and its argument.
@@ -174,7 +180,11 @@ mod tests {
             for _ in 0..3000 {
                 counts[mix.sample(rng)] += 1;
             }
-            counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i)
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
         };
         let a = hottest(0, &mut rng);
         let b = hottest(2, &mut rng);
@@ -187,7 +197,10 @@ mod tests {
         let mix = RequestMix::new(&app, 0, 0);
         let run = profile_run(&app, &mix, 100, 3);
         assert_eq!(run.requests, 100);
-        assert!(run.tier.profiled_count() > 10, "flat profile touches many functions");
+        assert!(
+            run.tier.profiled_count() > 10,
+            "flat profile touches many functions"
+        );
         assert!(!run.unit_order.is_empty());
         assert!(run.tier.total_counter_mass() > 1000);
         assert!(!run.ctx.branches.is_empty());

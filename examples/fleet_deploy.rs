@@ -46,7 +46,12 @@ fn main() {
         "published {} packages ({} failed validation)",
         report.published, report.validation_failures
     );
-    for (i, (js, nojs)) in report.js_timelines.iter().zip(&report.nojs_timelines).enumerate() {
+    for (i, (js, nojs)) in report
+        .js_timelines
+        .iter()
+        .zip(&report.nojs_timelines)
+        .enumerate()
+    {
         println!(
             "cell {i}: loss JS {:>5.1}%  no-JS {:>5.1}%  (time to 90% rps: JS {:?}s, no-JS {:?}s)",
             js.capacity_loss_over(420_000) * 100.0,

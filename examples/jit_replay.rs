@@ -10,9 +10,7 @@
 //! Run with: `cargo run --example jit_replay`
 
 use hhvm_jumpstart_repro::{jit, jumpstart, vm};
-use jit::{
-    translate_optimized, InlineParams, JitOptions, ProfileCollector, WeightSource,
-};
+use jit::{translate_optimized, InlineParams, JitOptions, ProfileCollector, WeightSource};
 use jumpstart::{build_package, JumpStartOptions, ProfilePackage, SeederInputs};
 use vm::{Value, Vm};
 
@@ -65,14 +63,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // reload and replay the compilation deterministically.
     let path = std::env::temp_dir().join("jumpstart_replay.pkg");
     std::fs::write(&path, pkg.serialize())?;
-    println!("saved package to {} ({} bytes)", path.display(), pkg.serialize().len());
+    println!(
+        "saved package to {} ({} bytes)",
+        path.display(),
+        pkg.serialize().len()
+    );
     let reloaded = ProfilePackage::deserialize(&std::fs::read(&path)?)?;
     assert_eq!(reloaded, pkg, "replay must be deterministic");
 
     // Recompile caller_a under both weight sources and show the divergence
     // the §V-A instrumentation fixes.
     let caller_a = repo.func_by_name("caller_a").expect("exists").id;
-    for (label, ws) in [("tier-1 estimates", WeightSource::TierOnly), ("accurate (Jump-Start)", WeightSource::Accurate)] {
+    for (label, ws) in [
+        ("tier-1 estimates", WeightSource::TierOnly),
+        ("accurate (Jump-Start)", WeightSource::Accurate),
+    ] {
         let unit = translate_optimized(
             &repo,
             caller_a,
@@ -95,9 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!(
-        "\nNote how the inlined `flagged` branch is ~50/50 under tier-1 estimates but"
-    );
+    println!("\nNote how the inlined `flagged` branch is ~50/50 under tier-1 estimates but");
     println!("pinned to this call site's constant argument under accurate weights.");
     std::fs::remove_file(&path).ok();
     Ok(())

@@ -33,7 +33,11 @@ const SRC: &str = r#"
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Offline compilation (HHVM's repo-authoritative build).
     let repo = hackc::compile_unit("app.hl", SRC)?;
-    println!("compiled: {} functions, {} classes", repo.funcs().len(), repo.classes().len());
+    println!(
+        "compiled: {} functions, {} classes",
+        repo.funcs().len(),
+        repo.classes().len()
+    );
 
     // 2. Run and profile like a seeder (Fig. 3b).
     let handler = repo.func_by_name("handler").expect("entry exists").id;
@@ -68,9 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &JitOptions::default(),
     );
     let bytes = pkg.serialize();
-    println!("package: {} bytes, {} functions ordered", bytes.len(), pkg.func_order.len());
+    println!(
+        "package: {} bytes, {} functions ordered",
+        bytes.len(),
+        pkg.func_order.len()
+    );
     let report = Validator::new(opts, JitOptions::default()).validate(&repo, &bytes)?;
-    println!("validated: {} functions compile cleanly", report.compiled_funcs);
+    println!(
+        "validated: {} functions compile cleanly",
+        report.compiled_funcs
+    );
 
     // 4. Boot a consumer (Fig. 3c): compile everything before serving.
     let pkg = jumpstart::ProfilePackage::deserialize(&bytes)?;

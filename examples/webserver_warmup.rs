@@ -45,8 +45,24 @@ fn main() {
     }
     .with_compile_window(&model, 180_000);
 
-    let js = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: Some(&pkg) });
-    let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+    let js = simulate_warmup(
+        &app,
+        &model,
+        &mix,
+        &ServerConfig {
+            params,
+            jumpstart: Some(&pkg),
+        },
+    );
+    let nojs = simulate_warmup(
+        &app,
+        &model,
+        &mix,
+        &ServerConfig {
+            params,
+            jumpstart: None,
+        },
+    );
 
     println!(
         "\n{:>6} | {:>8} {:>9} {:>9} | {:>8} {:>9} {:>9}",
@@ -71,8 +87,10 @@ fn main() {
         nojs.point_b_ms.map(|t| t / 1000),
         nojs.point_c_ms.map(|t| t / 1000)
     );
-    let (lj, ln) =
-        (js.capacity_loss_over(600_000) * 100.0, nojs.capacity_loss_over(600_000) * 100.0);
+    let (lj, ln) = (
+        js.capacity_loss_over(600_000) * 100.0,
+        nojs.capacity_loss_over(600_000) * 100.0,
+    );
     println!("capacity loss over 10 min: Jump-Start {lj:.1}% vs no Jump-Start {ln:.1}%");
     println!("reduction: {:.1}% (paper: 54.9%)", (ln - lj) / ln * 100.0);
 }

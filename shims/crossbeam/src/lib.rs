@@ -1,0 +1,77 @@
+//! Offline drop-in subset of `crossbeam`: [`scope`] for structured scoped
+//! threads, implemented on `std::thread::scope` (stable since 1.63).
+//!
+//! Divergence from upstream: a panicking child causes the scope itself to
+//! panic at the join point instead of returning `Err`, because
+//! `std::thread::scope` re-raises unjoined panics. Workspace callers only
+//! ever `.expect()` the result, so the observable behavior is identical.
+
+use std::thread;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned children.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope so it can
+    /// spawn further children, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all children are joined before this returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this implementation (see module docs); the
+/// `Result` is kept for crossbeam API compatibility.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrowed_data() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: usize = chunk.iter().sum();
+                    counter.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -31,7 +31,11 @@ fn lax_opts() -> JumpStartOptions {
     }
 }
 
-fn package_of(app: &workload::App, truth: &workload::ProfileRun, opts: &JumpStartOptions) -> ProfilePackage {
+fn package_of(
+    app: &workload::App,
+    truth: &workload::ProfileRun,
+    opts: &JumpStartOptions,
+) -> ProfilePackage {
     build_package(
         SeederInputs {
             repo: &app.repo,
@@ -67,7 +71,10 @@ fn full_pipeline_source_to_replay() {
 
     // Consumer compiles everything in the package's order.
     let out = consume(&app.repo, &reloaded, JitOptions::default(), &opts, 4).expect("consumes");
-    assert!(out.compiled_funcs > 50, "flat profile optimizes many functions");
+    assert!(
+        out.compiled_funcs > 50,
+        "flat profile optimizes many functions"
+    );
     assert!(out.compile_bytes > 10_000);
 
     // Replay executes through the code cache without running dry.
@@ -97,8 +104,10 @@ fn semantics_unchanged_by_jumpstart_configuration() {
     let run = |orders: bool| {
         let mut vm = Vm::new(&app.repo);
         if orders {
-            vm.classes_mut().install_prop_orders(pkg.prop_orders.iter().cloned());
-            vm.loader_mut().preload(&app.repo, pkg.preload.unit_order.iter().copied());
+            vm.classes_mut()
+                .install_prop_orders(pkg.prop_orders.iter().cloned());
+            vm.loader_mut()
+                .preload(&app.repo, pkg.preload.unit_order.iter().copied());
         }
         let mut outputs = Vec::new();
         for ep in &app.endpoints {
@@ -128,11 +137,33 @@ fn warmup_improvement_is_mechanistic() {
     }
     .with_compile_window(&model, 120_000);
 
-    let js = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: Some(&pkg) });
-    let nojs = simulate_warmup(&app, &model, &mix, &ServerConfig { params, jumpstart: None });
+    let js = simulate_warmup(
+        &app,
+        &model,
+        &mix,
+        &ServerConfig {
+            params,
+            jumpstart: Some(&pkg),
+        },
+    );
+    let nojs = simulate_warmup(
+        &app,
+        &model,
+        &mix,
+        &ServerConfig {
+            params,
+            jumpstart: None,
+        },
+    );
 
-    let (lj, ln) = (js.capacity_loss_over(360_000), nojs.capacity_loss_over(360_000));
-    assert!(lj < ln, "Jump-Start must reduce capacity loss ({lj:.3} vs {ln:.3})");
+    let (lj, ln) = (
+        js.capacity_loss_over(360_000),
+        nojs.capacity_loss_over(360_000),
+    );
+    assert!(
+        lj < ln,
+        "Jump-Start must reduce capacity loss ({lj:.3} vs {ln:.3})"
+    );
     assert!(
         (ln - lj) / ln > 0.3,
         "reduction should be substantial, got {:.1}%",
@@ -173,7 +204,11 @@ fn crash_loops_are_contained() {
     // Exponential decay: each wave well under half the previous.
     for w in report.crashed_per_wave.windows(2) {
         if w[0] > 50 {
-            assert!(w[1] * 2 < w[0], "decay too slow: {:?}", report.crashed_per_wave);
+            assert!(
+                w[1] * 2 < w[0],
+                "decay too slow: {:?}",
+                report.crashed_per_wave
+            );
         }
     }
     assert!(report.waves_to_healthy.is_some());

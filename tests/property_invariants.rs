@@ -124,7 +124,7 @@ fn arb_type_dist() -> impl Strategy<Value = TypeDist> {
 fn arb_func_profile() -> impl Strategy<Value = FuncProfile> {
     (
         0u64..100_000,
-        prop::collection::vec(0u64..50_000, 0..12),
+        prop::collection::vec((0u64..50_000, any::<u64>()), 0..12),
         prop::collection::hash_map(
             0u32..64,
             prop::collection::hash_map((0u32..512).prop_map(FuncId), 0u64..10_000, 0..4),
@@ -137,21 +137,43 @@ fn arb_func_profile() -> impl Strategy<Value = FuncProfile> {
             0..3,
         ),
     )
-        .prop_map(|(enter_count, block_counts, call_targets, types, prop_site_classes)| {
-            FuncProfile { enter_count, block_counts, call_targets, types, prop_site_classes }
-        })
+        .prop_map(
+            |(enter_count, blocks, call_targets, types, prop_site_classes)| {
+                let (block_counts, block_hashes) = blocks.into_iter().unzip();
+                FuncProfile {
+                    enter_count,
+                    block_counts,
+                    block_hashes,
+                    call_targets,
+                    types,
+                    prop_site_classes,
+                }
+            },
+        )
 }
 
 fn arb_package() -> impl Strategy<Value = ProfilePackage> {
-    let meta = (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>())
-        .prop_map(|(region, bucket, seeder_id, created_ms, mass)| PackageMeta {
-            region,
-            bucket,
-            seeder_id,
-            created_ms,
-            coverage: Coverage { funcs_profiled: mass % 100, counter_mass: mass, requests: mass % 999 },
-            poison: Poison::None,
-        });
+    let meta = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(region, bucket, seeder_id, created_ms, mass)| PackageMeta {
+                region,
+                bucket,
+                seeder_id,
+                created_ms,
+                coverage: Coverage {
+                    funcs_profiled: mass % 100,
+                    counter_mass: mass,
+                    requests: mass % 999,
+                },
+                poison: Poison::None,
+            },
+        );
     let tier = (
         prop::collection::hash_map((0u32..512).prop_map(FuncId), arb_func_profile(), 0..6),
         prop::collection::hash_map(
@@ -160,7 +182,11 @@ fn arb_package() -> impl Strategy<Value = ProfilePackage> {
             0..8,
         ),
     )
-        .prop_map(|(funcs, prop_counts)| TierProfile { funcs, prop_counts, ..Default::default() });
+        .prop_map(|(funcs, prop_counts)| TierProfile {
+            funcs,
+            prop_counts,
+            ..Default::default()
+        });
     let ctx = prop::collection::hash_map(
         (
             prop::option::of(((0u32..512).prop_map(FuncId), 0u32..64)),
@@ -171,7 +197,10 @@ fn arb_package() -> impl Strategy<Value = ProfilePackage> {
             .prop_map(|(taken, not_taken)| BranchCount { taken, not_taken }),
         0..10,
     )
-    .prop_map(|branches| CtxProfile { branches, ..Default::default() });
+    .prop_map(|branches| CtxProfile {
+        branches,
+        ..Default::default()
+    });
     (
         meta,
         prop::collection::vec((0u32..256).prop_map(UnitId), 0..20),
