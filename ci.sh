@@ -21,4 +21,10 @@ cargo test --workspace -q
 echo "== jslint self-check =="
 cargo run -q -p bench --bin jslint -- --demo
 
+echo "== benches compile =="
+cargo bench --workspace --no-run -q
+
+echo "== jsboot smoke (parallel boot determinism + throughput) =="
+cargo run -q -p bench --bin jsboot --release -- --check
+
 echo "CI OK"

@@ -124,6 +124,9 @@ pub fn repair_profile(repo: &Repo, tier: &mut TierProfile, ctx: &mut CtxProfile)
     report.pruned += prune_prop_tables(repo, tier);
     report.pruned += prune_ctx(repo, &graph, ctx);
     report.repaired.sort_by_key(|f| f.index());
+    // Counters were dropped/remapped in place; any cached heat ranking on
+    // the profile is stale now.
+    tier.mark_counters_dirty();
     report
 }
 

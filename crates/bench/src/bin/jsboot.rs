@@ -1,0 +1,165 @@
+//! `jsboot` — consumer boot benchmark: the pipelined work-stealing
+//! translate/emit overlap of `jumpstart::consume`, measured end to end.
+//!
+//! Sweeps translation worker threads (1, 2, 4, 8) and the hottest-first
+//! early-serve fraction on the bench-scale application, prints each boot's
+//! phase timeline ([`BootStats::render`]) and writes the machine-readable
+//! results to `BENCH_boot.json` in the current directory.
+//!
+//! Usage:
+//!   jsboot            full sweep at bench scale, writes BENCH_boot.json
+//!   jsboot --small    same sweep on the small lab (quick)
+//!   jsboot --check    CI smoke: small lab; asserts parallel boots stay
+//!                     byte-identical to sequential, and (only on >= 2
+//!                     hardware cores) that the best parallel throughput
+//!                     beats sequential. Writes nothing. Exits nonzero on
+//!                     any violation.
+
+use bench::Lab;
+use jit::JitOptions;
+use jumpstart::{consume, BootStats, ConsumerOutcome, JumpStartOptions};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const EARLY_SWEEP: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+fn boot<'a>(
+    lab: &'a Lab,
+    pkg: &jumpstart::ProfilePackage,
+    opts: &JumpStartOptions,
+    threads: usize,
+) -> ConsumerOutcome<'a> {
+    consume(&lab.app.repo, pkg, JitOptions::default(), opts, threads)
+        .expect("healthy package boots")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--small") {
+        eprintln!("jsboot: unknown argument `{bad}`");
+        eprintln!("usage: jsboot [--small | --check]");
+        std::process::exit(2);
+    }
+    let check = args.iter().any(|a| a == "--check");
+    let small = check || args.iter().any(|a| a == "--small");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let lab = if small {
+        Lab::small()
+    } else {
+        Lab::bench_scale()
+    };
+    let pkg = lab.package(&JumpStartOptions::default());
+    println!(
+        "jsboot: {} lab, {} hardware cores",
+        if small { "small" } else { "bench-scale" },
+        cores
+    );
+
+    // Thread sweep: classic compile-all boot at each worker count.
+    let mut thread_boots: Vec<BootStats> = Vec::new();
+    let baseline = boot(&lab, &pkg, &JumpStartOptions::default(), 1);
+    let baseline_digest = baseline.engine.code_cache.layout_digest();
+    for &threads in &THREAD_SWEEP {
+        let out = if threads == 1 {
+            boot(&lab, &pkg, &JumpStartOptions::default(), 1)
+        } else {
+            let out = boot(&lab, &pkg, &JumpStartOptions::default(), threads);
+            assert_eq!(
+                out.engine.code_cache.layout_digest(),
+                baseline_digest,
+                "parallel boot ({threads} threads) must be byte-identical to sequential"
+            );
+            out
+        };
+        println!("--- threads={threads} ---");
+        print!("{}", out.boot.render());
+        thread_boots.push(out.boot);
+    }
+
+    // Early-serve sweep: hottest-first threshold at a fixed worker count.
+    let es_threads = 4;
+    let mut early_boots: Vec<BootStats> = Vec::new();
+    for &frac in &EARLY_SWEEP {
+        let opts = JumpStartOptions {
+            early_serve_frac: frac,
+            ..Default::default()
+        };
+        let out = boot(&lab, &pkg, &opts, es_threads);
+        assert_eq!(
+            out.engine.code_cache.layout_digest(),
+            baseline_digest,
+            "early-serve frac={frac} must not change the final layout"
+        );
+        println!("--- early_serve_frac={frac} (threads={es_threads}) ---");
+        print!("{}", out.boot.render());
+        early_boots.push(out.boot);
+    }
+
+    if check {
+        let seq = thread_boots[0].bytes_per_sec();
+        let best = thread_boots
+            .iter()
+            .map(|b| b.bytes_per_sec())
+            .fold(0.0f64, f64::max);
+        if cores >= 2 {
+            assert!(
+                best >= seq,
+                "parallel boot throughput ({best:.0} B/s) fell below sequential ({seq:.0} B/s) on {cores} cores"
+            );
+            println!("check ok: best parallel {best:.0} B/s >= sequential {seq:.0} B/s");
+        } else {
+            println!(
+                "check ok: single hardware core, throughput comparison skipped (sequential {seq:.0} B/s)"
+            );
+        }
+        println!("check ok: all parallel and early-serve boots byte-identical to sequential");
+        return;
+    }
+
+    // Machine-readable results for the committed baseline.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"boot\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"lab\": \"{}\",\n",
+        if small { "small" } else { "bench" }
+    ));
+    json.push_str(&format!(
+        "  \"compiled_funcs\": {},\n  \"compile_bytes\": {},\n",
+        thread_boots[0].compiled_funcs, thread_boots[0].compile_bytes
+    ));
+    json.push_str("  \"thread_sweep\": [\n");
+    for (i, b) in thread_boots.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&b.to_json());
+        json.push_str(if i + 1 < thread_boots.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"early_serve_sweep\": [\n");
+    for (i, b) in early_boots.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&b.to_json());
+        json.push_str(if i + 1 < early_boots.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_boot.json", &json).expect("write BENCH_boot.json");
+    println!("wrote BENCH_boot.json");
+
+    let seq = thread_boots[0].bytes_per_sec();
+    for (t, b) in THREAD_SWEEP.iter().zip(&thread_boots) {
+        println!(
+            "threads={t}: {:.2} MB/s ({:.2}x vs sequential)",
+            b.bytes_per_sec() / 1e6,
+            b.bytes_per_sec() / seq.max(1.0)
+        );
+    }
+}

@@ -57,6 +57,12 @@ pub struct JumpStartOptions {
     /// Let consumers lint a package and attempt stale-profile repair
     /// instead of consuming structurally bad data blindly.
     pub lint_repair: bool,
+    /// Hottest-first early-serve threshold: the consumer boot reports
+    /// ready once the emitted prefix of the compile order covers this
+    /// fraction of the tier profile's heat mass; the remainder compiles
+    /// in the background while serving. `1.0` (default) keeps the paper's
+    /// compile-everything-before-serving behavior (§IV-A).
+    pub early_serve_frac: f64,
 }
 
 impl Default for JumpStartOptions {
@@ -74,6 +80,7 @@ impl Default for JumpStartOptions {
             validation_trials: 8,
             static_lint: true,
             lint_repair: true,
+            early_serve_frac: 1.0,
         }
     }
 }

@@ -1,18 +1,20 @@
 //! The consumer workflow (Fig. 3c): deserialize → lint (and repair, if
-//! the profile is stale) → preload → compile all optimized code in
-//! parallel → ready to serve.
+//! the profile is stale) → preload → compile all optimized code through
+//! the streaming work-stealing pipeline → ready to serve.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use analysis::{
     is_own_layer_order, lint_profile_with, repair_profile, LintOptions, ProfileView, RepairReport,
 };
 use bytecode::{ClassId, FuncId, Repo, StrId, UnitId};
-use jit::{translate_optimized, CtxProfile, JitEngine, JitOptions, TierProfile, WeightSource};
+use jit::{CtxProfile, JitEngine, JitOptions, TierProfile, WeightSource};
 use vm::ClassTable;
 
 use crate::config::{FuncSort, JumpStartOptions, PropReorder};
 use crate::package::{Poison, ProfilePackage};
+use crate::pipeline::{self, BootStats, PipelineJob};
 use crate::wire::WireError;
 
 /// Consumer failures.
@@ -73,6 +75,9 @@ pub struct ConsumerOutcome<'r> {
     /// Set when the package failed the structural lint and was repaired
     /// (stale counters remapped, dead entries pruned) before consumption.
     pub repair: Option<RepairReport>,
+    /// Boot-phase timeline: decode, lint/repair, prop slots, per-worker
+    /// translate busy/steal/stall, emit, bytes (the `jsboot` telemetry).
+    pub boot: BootStats,
 }
 
 /// The profile parts of a package after lint-and-repair, owned because
@@ -166,15 +171,43 @@ pub(crate) fn resolve_prop_slots(
     slots
 }
 
-/// Runs the consumer boot sequence over a deserialized package.
-///
-/// Translation runs on `threads` worker threads (the paper: "JITing
-/// happens in parallel using all the cores", §IV-A); emission then places
-/// translations sequentially in the package's function order.
+/// Runs the consumer boot sequence over a serialized package, timing the
+/// decode into the boot telemetry ([`BootStats::decode_ns`]).
 ///
 /// # Errors
 ///
-/// Returns [`ConsumerError::JitCrash`] for compile-poisoned packages.
+/// As [`consume`], plus [`ConsumerError::Wire`] when decoding fails.
+pub fn consume_bytes<'r>(
+    repo: &'r Repo,
+    data: &bytes::Bytes,
+    jit_opts: JitOptions,
+    opts: &JumpStartOptions,
+    threads: usize,
+) -> Result<ConsumerOutcome<'r>, ConsumerError> {
+    let t0 = Instant::now();
+    let pkg = ProfilePackage::deserialize_shared(data)?;
+    let decode_ns = t0.elapsed().as_nanos() as u64;
+    let mut out = consume(repo, &pkg, jit_opts, opts, threads)?;
+    out.boot.decode_ns = decode_ns;
+    out.boot.total_ns += decode_ns;
+    Ok(out)
+}
+
+/// Runs the consumer boot sequence over a deserialized package.
+///
+/// Translation runs on `threads` worker threads (the paper: "JITing
+/// happens in parallel using all the cores", §IV-A), streaming completed
+/// units through a reorder buffer into the emitter, which places them in
+/// the package's function order *while translation continues* — the
+/// resulting code-cache layout is byte-identical to a sequential boot.
+/// With `opts.early_serve_frac < 1.0` the boot reports ready once the
+/// hottest fraction of heat mass is emitted ([`BootStats::early_serve`]).
+///
+/// # Errors
+///
+/// Returns [`ConsumerError::JitCrash`] for compile-poisoned packages —
+/// including when the (simulated) compiler bug panics a translation
+/// worker thread, which is caught rather than aborting the boot.
 pub fn consume<'r>(
     repo: &'r Repo,
     pkg: &ProfilePackage,
@@ -182,7 +215,11 @@ pub fn consume<'r>(
     opts: &JumpStartOptions,
     threads: usize,
 ) -> Result<ConsumerOutcome<'r>, ConsumerError> {
-    if pkg.meta.poison == Poison::CompileCrash {
+    let boot_start = Instant::now();
+    let poison_crash = pkg.meta.poison == Poison::CompileCrash;
+    if poison_crash && threads <= 1 {
+        // A sequential boot hits the compiler bug on the first unit; no
+        // worker thread exists to catch a panic from.
         return Err(ConsumerError::JitCrash);
     }
 
@@ -190,6 +227,7 @@ pub fn consume<'r>(
     // data into translation. A dirty package gets one repair attempt
     // (stale-counter remap + pruning) before the consumer gives up and
     // lets the boot controller fall back (§VI-A.3).
+    let lint_start = Instant::now();
     let mut repair = None;
     let owned: Option<OwnedProfile> = if opts.lint_repair
         && lint_errors(
@@ -240,11 +278,14 @@ pub fn consume<'r>(
     let pkg_unit_order: &[UnitId] = owned
         .as_ref()
         .map_or(&pkg.preload.unit_order, |o| &o.unit_order);
+    let lint_repair_ns = lint_start.elapsed().as_nanos() as u64;
 
     // Property layout must be installed before any translation resolves
     // slots (the same ordering constraint HHVM has, §V-C).
+    let slots_start = Instant::now();
     let apply_props = opts.prop_reorder != PropReorder::Off;
     let prop_slots = resolve_prop_slots(repo, prop_orders, apply_props);
+    let prop_slots_ns = slots_start.elapsed().as_nanos() as u64;
 
     let weights = if opts.accurate_bb_weights {
         WeightSource::Accurate
@@ -264,73 +305,52 @@ pub fn consume<'r>(
         pkg_func_order.to_vec()
     };
 
-    // Parallel translation; sequential in-order emission.
+    // The streaming pipeline: work-stealing translation feeding the
+    // reorder-buffer emitter; emission order is exactly `order`.
     let resolver = |class: ClassId, name: StrId| prop_slots.get(&(class, name)).copied();
-    let units: Vec<jit::vasm::VasmUnit> = if threads <= 1 {
-        order
-            .iter()
-            .filter(|f| tier.funcs.contains_key(f))
-            .map(|&f| translate_optimized(repo, f, tier, ctx, weights, jit_opts.inline, &resolver))
-            .collect()
-    } else {
-        let work: Vec<FuncId> = order
-            .iter()
-            .copied()
-            .filter(|f| tier.funcs.contains_key(f))
-            .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slot_refs: Vec<parking_lot::Mutex<Option<jit::vasm::VasmUnit>>> = (0..work.len())
-            .map(|_| parking_lot::Mutex::new(None))
-            .collect();
-        crossbeam::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= work.len() {
-                        break;
-                    }
-                    let unit = translate_optimized(
-                        repo,
-                        work[i],
-                        tier,
-                        ctx,
-                        weights,
-                        jit_opts.inline,
-                        &resolver,
-                    );
-                    *slot_refs[i].lock() = Some(unit);
-                });
-            }
-        })
-        .expect("translation workers do not panic");
-        slot_refs
-            .into_iter()
-            .map(|m| m.into_inner().expect("every slot filled"))
-            .collect()
+    let work: Vec<FuncId> = order
+        .into_iter()
+        .filter(|f| tier.funcs.contains_key(f))
+        .collect();
+    let job = PipelineJob {
+        repo,
+        tier,
+        ctx,
+        work,
+        jit_opts,
+        resolver: &resolver,
+        early_serve_frac: opts.early_serve_frac,
+        poison_crash,
     };
-
-    let mut compile_bytes = 0;
-    let mut compiled_funcs = 0;
-    for unit in units {
-        let bytes = engine.emit_optimized(unit);
-        if bytes > 0 {
-            compiled_funcs += 1;
-            compile_bytes += bytes;
-        }
-    }
+    let result = pipeline::run(&job, &mut engine, threads).map_err(|()| ConsumerError::JitCrash)?;
 
     let unit_order = if opts.preload_units {
         pkg_unit_order.to_vec()
     } else {
         Vec::new()
     };
+    let boot = BootStats {
+        threads: threads.max(1),
+        decode_ns: 0,
+        lint_repair_ns,
+        prop_slots_ns,
+        pipeline_ns: result.pipeline_ns,
+        emit_ns: result.emit_ns,
+        emit_stall_ns: result.emit_stall_ns,
+        total_ns: boot_start.elapsed().as_nanos() as u64,
+        compiled_funcs: result.compiled_funcs,
+        compile_bytes: result.compile_bytes,
+        workers: result.workers,
+        early_serve: result.early_serve,
+    };
     Ok(ConsumerOutcome {
         engine,
         prop_slots,
         unit_order,
-        compiled_funcs,
-        compile_bytes,
+        compiled_funcs: result.compiled_funcs,
+        compile_bytes: result.compile_bytes,
         repair,
+        boot,
     })
 }
 
@@ -422,6 +442,57 @@ mod tests {
         .unwrap();
         assert_eq!(seq.compiled_funcs, par.compiled_funcs);
         assert_eq!(seq.compile_bytes, par.compile_bytes);
+        // Byte-identical layout: the reorder buffer must place every
+        // block at the same address a sequential boot would.
+        assert_eq!(
+            seq.engine.code_cache.layout_digest(),
+            par.engine.code_cache.layout_digest()
+        );
+        assert_eq!(par.boot.threads, 4);
+        assert_eq!(par.boot.workers.len(), 4);
+        assert_eq!(
+            par.boot.workers.iter().map(|w| w.translated).sum::<usize>(),
+            par.compiled_funcs
+        );
+    }
+
+    #[test]
+    fn early_serve_reports_ready_before_full_boot() {
+        let (repo, pkg) = make_package();
+        let out = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions {
+                early_serve_frac: 0.5,
+                ..Default::default()
+            },
+            2,
+        )
+        .unwrap();
+        let early = out.boot.early_serve.expect("threshold crossing recorded");
+        assert!(early.ready_funcs >= 1);
+        assert!(early.ready_funcs + early.background_funcs == out.compiled_funcs);
+        assert!(early.ready_bytes + early.background_bytes == out.compile_bytes);
+        assert!(
+            early.ready_funcs < out.compiled_funcs,
+            "remainder is background"
+        );
+        assert!(early.ready_ns <= out.boot.pipeline_ns);
+        // The full boot still compiled everything (background completes
+        // inside consume; the fleet model prices the overlap).
+        assert_eq!(
+            out.compile_bytes,
+            consume(
+                &repo,
+                &pkg,
+                JitOptions::default(),
+                &JumpStartOptions::default(),
+                1
+            )
+            .unwrap()
+            .compile_bytes
+        );
     }
 
     #[test]
@@ -474,6 +545,27 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, ConsumerError::JitCrash);
         let _ = PackageMeta::default();
+    }
+
+    #[test]
+    fn compile_poison_panic_in_worker_is_caught() {
+        // With threads > 1 the simulated compiler bug panics inside a
+        // translation worker; the pipeline must catch it and surface a
+        // JitCrash instead of aborting the process or hanging the
+        // emitter on a disconnected channel.
+        let (repo, mut pkg) = make_package();
+        pkg.meta.poison = Poison::CompileCrash;
+        for threads in [2, 4] {
+            let err = consume(
+                &repo,
+                &pkg,
+                JitOptions::default(),
+                &JumpStartOptions::default(),
+                threads,
+            )
+            .unwrap_err();
+            assert_eq!(err, ConsumerError::JitCrash);
+        }
     }
 
     #[test]

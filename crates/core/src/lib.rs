@@ -30,6 +30,7 @@ mod config;
 mod consumer;
 mod crc32;
 mod package;
+mod pipeline;
 mod seeder;
 mod store;
 mod validate;
@@ -37,9 +38,10 @@ pub mod wire;
 
 pub use boot::{BootController, BootDecision};
 pub use config::{FuncSort, JumpStartOptions, PropReorder};
-pub use consumer::{consume, ConsumerError, ConsumerOutcome};
+pub use consumer::{consume, consume_bytes, ConsumerError, ConsumerOutcome};
 pub use crc32::crc32;
 pub use package::{Coverage, PackageMeta, Poison, PreloadLists, ProfilePackage};
+pub use pipeline::{early_serve_prefix, BootStats, EarlyServe, WorkerStats};
 pub use seeder::{build_package, SeederInputs};
 pub use store::{PackageStore, StoredPackage};
 pub use validate::{ValidationError, ValidationReport, Validator};

@@ -6,7 +6,9 @@ use bytecode::{ClassId, FuncId, StrId, UnitId};
 use jit::{BranchCount, CtxProfile, FuncProfile, InlineCtx, TierProfile, TypeDist};
 use vm::ValueKind;
 
-use crate::wire::{seal, unseal, Reader, WireError, Writer};
+use crate::wire::{
+    begin_sealed, finish_sealed, unseal, unseal_shared, Reader, WireError, Writer, ENVELOPE_LEN,
+};
 
 /// Fault-injection marker for the §VI reliability experiments: a package
 /// whose profile data triggers a JIT bug.
@@ -83,9 +85,14 @@ pub struct ProfilePackage {
 }
 
 impl ProfilePackage {
-    /// Serializes to the sealed wire format.
+    /// Serializes to the sealed wire format. The exact encoded size is
+    /// computed up front ([`ProfilePackage::encoded_len`]) and the
+    /// envelope is written inline, so the whole package lands in one
+    /// exactly-sized buffer: no payload copy, no reallocation.
     pub fn serialize(&self) -> Bytes {
-        let mut w = Writer::new();
+        let payload_len = self.encoded_len();
+        let mut w = Writer::with_capacity(payload_len + ENVELOPE_LEN);
+        begin_sealed(&mut w, payload_len);
         // --- meta ---
         w.u32(self.meta.region);
         w.u32(self.meta.bucket);
@@ -125,7 +132,32 @@ impl ProfilePackage {
         for f in &self.func_order {
             w.u32(f.0);
         }
-        seal(w.finish())
+        debug_assert_eq!(
+            w.len(),
+            payload_len + ENVELOPE_LEN - 4,
+            "encoded_len must mirror the writers exactly"
+        );
+        finish_sealed(w)
+    }
+
+    /// Exact payload size [`ProfilePackage::serialize`] will produce
+    /// (excluding the envelope), mirroring the writers field for field.
+    pub fn encoded_len(&self) -> usize {
+        // meta: region, bucket (u32) + seeder, created, 3×coverage (u64).
+        let mut len = 4 + 4 + 5 * 8;
+        len += match self.meta.poison {
+            Poison::RuntimeCrash { .. } => 1 + 4,
+            _ => 1,
+        };
+        len += 4 + 4 * self.preload.unit_order.len();
+        len += tier_encoded_len(&self.tier);
+        len += ctx_encoded_len(&self.ctx);
+        len += 4;
+        for (_, order) in &self.prop_orders {
+            len += 4 + 4 + 4 * order.len();
+        }
+        len += 4 + 4 * self.func_order.len();
+        len
     }
 
     /// Deserializes from the sealed wire format.
@@ -136,69 +168,129 @@ impl ProfilePackage {
     pub fn deserialize(data: &[u8]) -> Result<ProfilePackage, WireError> {
         let payload = unseal(data)?;
         let mut r = Reader::new(payload);
-        let mut meta = PackageMeta {
-            region: r.u32()?,
-            bucket: r.u32()?,
-            seeder_id: r.u64()?,
-            created_ms: r.u64()?,
-            coverage: Coverage {
-                funcs_profiled: r.u64()?,
-                counter_mass: r.u64()?,
-                requests: r.u64()?,
-            },
-            poison: Poison::None,
-        };
-        meta.poison = match r.u8()? {
-            0 => Poison::None,
-            1 => Poison::CompileCrash,
-            2 => Poison::RuntimeCrash {
-                per_mille: r.u32()? as u16,
-            },
-            t => return Err(WireError::Corrupt(format!("poison tag {t}"))),
-        };
-        let n = r.seq()?;
-        let mut unit_order = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            unit_order.push(UnitId(r.u32()?));
-        }
-        let tier = read_tier(&mut r)?;
-        let ctx = read_ctx(&mut r)?;
-        let n = r.seq()?;
-        let mut prop_orders = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            let c = ClassId(r.u32()?);
-            let m = r.seq()?;
-            let mut order = Vec::with_capacity(m.min(1 << 12));
-            for _ in 0..m {
-                order.push(StrId(r.u32()?));
-            }
-            prop_orders.push((c, order));
-        }
-        let n = r.seq()?;
-        let mut func_order = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            func_order.push(FuncId(r.u32()?));
-        }
-        if r.remaining() != 0 {
-            return Err(WireError::Corrupt(format!(
-                "{} trailing bytes",
-                r.remaining()
-            )));
-        }
-        Ok(ProfilePackage {
-            meta,
-            preload: PreloadLists { unit_order },
-            tier,
-            ctx,
-            prop_orders,
-            func_order,
-        })
+        decode_payload(&mut r)
     }
 
-    /// Approximate serialized size in bytes without serializing.
-    pub fn approx_size(&self) -> usize {
-        self.serialize().len()
+    /// Deserializes from shared bytes (a stored package): the payload is
+    /// accessed as a zero-copy slice of `data`'s backing allocation —
+    /// no intermediate payload `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any corruption; never panics.
+    pub fn deserialize_shared(data: &Bytes) -> Result<ProfilePackage, WireError> {
+        let payload = unseal_shared(data)?;
+        let mut r = Reader::new_shared(&payload);
+        decode_payload(&mut r)
     }
+
+    /// Exact serialized size in bytes without serializing.
+    pub fn approx_size(&self) -> usize {
+        self.encoded_len() + ENVELOPE_LEN
+    }
+}
+
+fn decode_payload(r: &mut Reader<'_>) -> Result<ProfilePackage, WireError> {
+    let mut meta = PackageMeta {
+        region: r.u32()?,
+        bucket: r.u32()?,
+        seeder_id: r.u64()?,
+        created_ms: r.u64()?,
+        coverage: Coverage {
+            funcs_profiled: r.u64()?,
+            counter_mass: r.u64()?,
+            requests: r.u64()?,
+        },
+        poison: Poison::None,
+    };
+    meta.poison = match r.u8()? {
+        0 => Poison::None,
+        1 => Poison::CompileCrash,
+        2 => Poison::RuntimeCrash {
+            per_mille: r.u32()? as u16,
+        },
+        t => return Err(WireError::Corrupt(format!("poison tag {t}"))),
+    };
+    let n = r.seq()?;
+    let mut unit_order = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        unit_order.push(UnitId(r.u32()?));
+    }
+    let tier = read_tier(r)?;
+    let ctx = read_ctx(r)?;
+    let n = r.seq()?;
+    let mut prop_orders = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let c = ClassId(r.u32()?);
+        let m = r.seq()?;
+        let mut order = Vec::with_capacity(m.min(1 << 12));
+        for _ in 0..m {
+            order.push(StrId(r.u32()?));
+        }
+        prop_orders.push((c, order));
+    }
+    let n = r.seq()?;
+    let mut func_order = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        func_order.push(FuncId(r.u32()?));
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(ProfilePackage {
+        meta,
+        preload: PreloadLists { unit_order },
+        tier,
+        ctx,
+        prop_orders,
+        func_order,
+    })
+}
+
+/// Exact encoded size of the tier-profile section, mirroring
+/// [`write_tier`] field for field.
+fn tier_encoded_len(tier: &TierProfile) -> usize {
+    let mut len = 4;
+    for p in tier.funcs.values() {
+        len += 4 + 8; // func id, enter_count
+        len += 4 + 8 * p.block_counts.len();
+        len += 4 + 8 * p.block_hashes.len();
+        len += 4;
+        for targets in p.call_targets.values() {
+            len += 4 + 4 + (4 + 8) * targets.len();
+        }
+        len += 4 + (4 + 1 + 8 * ValueKind::ALL.len()) * p.types.len();
+        len += 4;
+        for classes in p.prop_site_classes.values() {
+            len += 4 + 4 + (4 + 8) * classes.len();
+        }
+    }
+    len += 4 + (4 + 4 + 8) * tier.prop_counts.len();
+    len += 4 + (4 + 4 + 4 + 8) * tier.prop_pairs.len();
+    len
+}
+
+/// Exact encoded size of the ctx-profile section, mirroring
+/// [`write_ctx`].
+fn ctx_encoded_len(ctx: &CtxProfile) -> usize {
+    fn ictx_len(ictx: &InlineCtx) -> usize {
+        match ictx {
+            None => 1,
+            Some(_) => 1 + 4 + 4,
+        }
+    }
+    let mut len = 4;
+    for (ictx, _, _) in ctx.branches.keys() {
+        len += ictx_len(ictx) + 4 + 4 + 8 + 8;
+    }
+    len += 4;
+    for (ictx, _) in ctx.entries.keys() {
+        len += ictx_len(ictx) + 4 + 8;
+    }
+    len
 }
 
 fn write_tier(w: &mut Writer, tier: &TierProfile) {
@@ -473,6 +565,34 @@ mod tests {
     fn serialization_is_deterministic() {
         let pkg = sample_package();
         assert_eq!(pkg.serialize(), pkg.serialize());
+    }
+
+    #[test]
+    fn encoded_len_is_exact_and_stable() {
+        for pkg in [sample_package(), ProfilePackage::default()] {
+            let bytes = pkg.serialize();
+            assert_eq!(bytes.len(), pkg.encoded_len() + ENVELOPE_LEN);
+            assert_eq!(pkg.approx_size(), bytes.len());
+            // Stability: round-tripping must not change the encoded size.
+            let back = ProfilePackage::deserialize(&bytes).unwrap();
+            assert_eq!(back.encoded_len(), pkg.encoded_len());
+            assert_eq!(back.serialize(), bytes);
+        }
+    }
+
+    #[test]
+    fn deserialize_shared_matches_plain_decode() {
+        let pkg = sample_package();
+        let bytes = pkg.serialize();
+        let shared = ProfilePackage::deserialize_shared(&bytes).unwrap();
+        let plain = ProfilePackage::deserialize(&bytes).unwrap();
+        assert_eq!(shared, plain);
+        assert_eq!(shared, pkg);
+
+        // Corruption surfaces identically through the shared path.
+        let mut bad = bytes.to_vec();
+        bad[20] ^= 0x11;
+        assert!(ProfilePackage::deserialize_shared(&Bytes::from(bad)).is_err());
     }
 
     #[test]

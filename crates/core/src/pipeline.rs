@@ -1,0 +1,611 @@
+//! The streaming consumer compile pipeline.
+//!
+//! The paper's consumer "JITs all optimized code in parallel using all
+//! the cores" before serving (§IV-A). The naive way — translate on N
+//! threads into slots, barrier, then emit everything on one thread —
+//! leaves N−1 cores idle for the whole emission phase and the barrier
+//! serializes on the slowest translation. This module overlaps the two:
+//!
+//! * the compile order is split into chunks dealt round-robin onto
+//!   per-worker work-stealing deques (hottest chunks first, so the heat
+//!   mass needed for early-serve is translated earliest);
+//! * workers translate and *plan the block layout* ([`jit::plan_layout`]
+//!   — the expensive Ext-TSP step) off the critical emission path, then
+//!   stream `(seq, unit, plan)` through a channel;
+//! * the emitter thread holds a reorder buffer keyed by sequence number
+//!   and places units strictly in compile order while translation is
+//!   still running — so the code-cache addresses are **byte-identical**
+//!   to a sequential boot (addresses feed the uarch model; parallelism
+//!   may not move a single block);
+//! * once the emitted prefix covers `early_serve_frac` of the heat mass,
+//!   the boot is marked ready ([`EarlyServe`]) and the remainder is
+//!   accounted as background compilation;
+//! * a worker panic (a poisoned package tripping a JIT bug, §VI-A) is
+//!   caught with `catch_unwind` and surfaces as a clean error instead of
+//!   aborting the boot, so the fallback controller still engages.
+//!
+//! Every phase is timed into [`BootStats`], the boot-phase telemetry the
+//! `jsboot` bench binary prints and records as `BENCH_boot.json`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use bytecode::{ClassId, FuncId, Repo, StrId};
+use crossbeam::{channel, deque};
+use jit::vasm::VasmUnit;
+use jit::{
+    plan_layout, translate_optimized, CtxProfile, JitEngine, JitOptions, LayoutPlan, TierProfile,
+};
+
+/// Per-worker translation telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Units this worker translated.
+    pub translated: usize,
+    /// Of those, units taken from another worker's deque.
+    pub stolen: usize,
+    /// Time spent translating and planning layout.
+    pub busy_ns: u64,
+    /// Time spent in steal attempts (own deque empty).
+    pub steal_ns: u64,
+    /// Residual wall time: lock contention, channel sends, scheduling.
+    pub stall_ns: u64,
+}
+
+/// When the boot crossed the early-serve threshold (§IV-A relaxed:
+/// serve once the hottest `frac` of heat mass is compiled).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EarlyServe {
+    /// Configured heat-mass fraction.
+    pub frac: f64,
+    /// Functions emitted when the threshold was crossed.
+    pub ready_funcs: usize,
+    /// Bytes emitted when the threshold was crossed.
+    pub ready_bytes: u64,
+    /// Nanoseconds from pipeline start to the threshold crossing.
+    pub ready_ns: u64,
+    /// Functions left compiling in the background after ready.
+    pub background_funcs: usize,
+    /// Bytes emitted after the ready point.
+    pub background_bytes: u64,
+}
+
+/// Boot-phase timeline for one consumer boot (Fig. 3c, instrumented).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BootStats {
+    /// Worker threads used for translation.
+    pub threads: usize,
+    /// Package decode time (0 unless booted via [`crate::consume_bytes`]).
+    pub decode_ns: u64,
+    /// Static lint + stale-profile repair time.
+    pub lint_repair_ns: u64,
+    /// Property-slot resolution time (§V-C layout install).
+    pub prop_slots_ns: u64,
+    /// Wall time of the overlapped translate+emit phase.
+    pub pipeline_ns: u64,
+    /// Emitter busy time (placing blocks in the code cache).
+    pub emit_ns: u64,
+    /// Emitter idle time waiting on translations (reorder-buffer stalls).
+    pub emit_stall_ns: u64,
+    /// End-to-end boot wall time (decode excluded unless present).
+    pub total_ns: u64,
+    /// Functions compiled to optimized code.
+    pub compiled_funcs: usize,
+    /// Bytes of optimized code emitted.
+    pub compile_bytes: u64,
+    /// Per-worker telemetry (one entry for a sequential boot).
+    pub workers: Vec<WorkerStats>,
+    /// Early-serve crossing, when a fraction < 1.0 was configured.
+    pub early_serve: Option<EarlyServe>,
+}
+
+impl BootStats {
+    /// Total busy time across all workers.
+    pub fn worker_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Units stolen across all workers.
+    pub fn total_stolen(&self) -> usize {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Boot throughput in compiled bytes per second of pipeline wall time.
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.pipeline_ns == 0 {
+            return 0.0;
+        }
+        self.compile_bytes as f64 * 1e9 / self.pipeline_ns as f64
+    }
+
+    /// Renders the phase timeline as an aligned human-readable block.
+    pub fn render(&self) -> String {
+        fn ms(ns: u64) -> f64 {
+            ns as f64 / 1e6
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "boot: {} funcs, {} bytes, {} threads, {:.3} ms total\n",
+            self.compiled_funcs,
+            self.compile_bytes,
+            self.threads,
+            ms(self.total_ns)
+        ));
+        if self.decode_ns > 0 {
+            out.push_str(&format!("  decode       {:>10.3} ms\n", ms(self.decode_ns)));
+        }
+        out.push_str(&format!(
+            "  lint/repair  {:>10.3} ms\n  prop-slots   {:>10.3} ms\n  pipeline     {:>10.3} ms (emit {:.3} ms busy, {:.3} ms stalled)\n",
+            ms(self.lint_repair_ns),
+            ms(self.prop_slots_ns),
+            ms(self.pipeline_ns),
+            ms(self.emit_ns),
+            ms(self.emit_stall_ns),
+        ));
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "  worker {i:<2}    {:>6} units ({} stolen)  busy {:>9.3} ms  steal {:>8.3} ms  stall {:>8.3} ms\n",
+                w.translated,
+                w.stolen,
+                ms(w.busy_ns),
+                ms(w.steal_ns),
+                ms(w.stall_ns),
+            ));
+        }
+        if let Some(e) = &self.early_serve {
+            out.push_str(&format!(
+                "  early-serve  ready at {:.3} ms with {} funcs / {} bytes ({:.0}% heat), {} funcs / {} bytes in background\n",
+                ms(e.ready_ns),
+                e.ready_funcs,
+                e.ready_bytes,
+                e.frac * 100.0,
+                e.background_funcs,
+                e.background_bytes,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the stats as a JSON object (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"translated\":{},\"stolen\":{},\"busy_ns\":{},\"steal_ns\":{},\"stall_ns\":{}}}",
+                    w.translated, w.stolen, w.busy_ns, w.steal_ns, w.stall_ns
+                )
+            })
+            .collect();
+        let early = match &self.early_serve {
+            Some(e) => format!(
+                "{{\"frac\":{},\"ready_funcs\":{},\"ready_bytes\":{},\"ready_ns\":{},\"background_funcs\":{},\"background_bytes\":{}}}",
+                e.frac, e.ready_funcs, e.ready_bytes, e.ready_ns, e.background_funcs, e.background_bytes
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"threads\":{},\"decode_ns\":{},\"lint_repair_ns\":{},\"prop_slots_ns\":{},\"pipeline_ns\":{},\"emit_ns\":{},\"emit_stall_ns\":{},\"total_ns\":{},\"compiled_funcs\":{},\"compile_bytes\":{},\"workers\":[{}],\"early_serve\":{}}}",
+            self.threads,
+            self.decode_ns,
+            self.lint_repair_ns,
+            self.prop_slots_ns,
+            self.pipeline_ns,
+            self.emit_ns,
+            self.emit_stall_ns,
+            self.total_ns,
+            self.compiled_funcs,
+            self.compile_bytes,
+            workers.join(","),
+            early,
+        )
+    }
+}
+
+/// Length of the shortest prefix of `order` whose cumulative heat covers
+/// `frac` of the total heat mass over `order` (heat = summed tier-1 block
+/// counters). `frac >= 1` covers everything; `frac <= 0` covers nothing.
+pub fn early_serve_prefix(tier: &TierProfile, order: &[FuncId], frac: f64) -> usize {
+    if frac >= 1.0 {
+        return order.len();
+    }
+    if frac <= 0.0 {
+        return 0;
+    }
+    let heat: HashMap<FuncId, u64> = tier.heat_ranked().iter().copied().collect();
+    let total: u64 = order
+        .iter()
+        .map(|f| heat.get(f).copied().unwrap_or(0))
+        .sum();
+    if total == 0 {
+        return order.len();
+    }
+    let target = (frac * total as f64).ceil() as u64;
+    let mut cum = 0u64;
+    for (i, f) in order.iter().enumerate() {
+        cum += heat.get(f).copied().unwrap_or(0);
+        if cum >= target {
+            return i + 1;
+        }
+    }
+    order.len()
+}
+
+/// What the overlapped translate+emit phase produced.
+pub(crate) struct PipelineResult {
+    pub compiled_funcs: usize,
+    pub compile_bytes: u64,
+    pub pipeline_ns: u64,
+    pub emit_ns: u64,
+    pub emit_stall_ns: u64,
+    pub workers: Vec<WorkerStats>,
+    pub early_serve: Option<EarlyServe>,
+}
+
+/// Inputs shared by the sequential and parallel paths.
+pub(crate) struct PipelineJob<'a, 'r> {
+    pub repo: &'r Repo,
+    pub tier: &'a TierProfile,
+    pub ctx: &'a CtxProfile,
+    /// Compile order, already filtered to profiled functions.
+    pub work: Vec<FuncId>,
+    pub jit_opts: JitOptions,
+    pub resolver: &'a (dyn Fn(ClassId, StrId) -> Option<u16> + Sync),
+    /// Heat-mass fraction after which the boot reports ready.
+    pub early_serve_frac: f64,
+    /// Simulate a JIT compiler bug inside a worker (Poison::CompileCrash
+    /// with threads > 1): the worker panics and the pipeline must surface
+    /// the panic as an error, not abort.
+    pub poison_crash: bool,
+}
+
+/// Runs the compile pipeline, emitting into `engine` strictly in `work`
+/// order. Returns `Err(())` when a worker crashed (the caller maps this
+/// to `ConsumerError::JitCrash`).
+pub(crate) fn run(
+    job: &PipelineJob<'_, '_>,
+    engine: &mut JitEngine<'_>,
+    threads: usize,
+) -> Result<PipelineResult, ()> {
+    if threads <= 1 {
+        Ok(run_sequential(job, engine))
+    } else {
+        run_parallel(job, engine, threads)
+    }
+}
+
+/// The ready-point bookkeeping shared by both paths: counts emitted
+/// units/bytes and records the early-serve crossing.
+struct EmitTracker {
+    threshold_funcs: usize,
+    frac: f64,
+    start: Instant,
+    compiled_funcs: usize,
+    compile_bytes: u64,
+    early: Option<EarlyServe>,
+}
+
+impl EmitTracker {
+    fn new(job: &PipelineJob<'_, '_>, start: Instant) -> Self {
+        EmitTracker {
+            threshold_funcs: early_serve_prefix(job.tier, &job.work, job.early_serve_frac),
+            frac: job.early_serve_frac,
+            start,
+            compiled_funcs: 0,
+            compile_bytes: 0,
+            early: None,
+        }
+    }
+
+    fn on_emitted(&mut self, seq: usize, bytes: u64) {
+        if bytes > 0 {
+            self.compiled_funcs += 1;
+            self.compile_bytes += bytes;
+        }
+        // The threshold is positional over the compile order, so it
+        // crosses exactly when unit `threshold_funcs - 1` lands.
+        if self.frac < 1.0 && self.early.is_none() && seq + 1 >= self.threshold_funcs {
+            self.early = Some(EarlyServe {
+                frac: self.frac,
+                ready_funcs: self.compiled_funcs,
+                ready_bytes: self.compile_bytes,
+                ready_ns: self.start.elapsed().as_nanos() as u64,
+                background_funcs: 0,
+                background_bytes: 0,
+            });
+        }
+    }
+
+    fn finish(mut self) -> (usize, u64, Option<EarlyServe>) {
+        if let Some(e) = &mut self.early {
+            e.background_funcs = self.compiled_funcs - e.ready_funcs;
+            e.background_bytes = self.compile_bytes - e.ready_bytes;
+        }
+        (self.compiled_funcs, self.compile_bytes, self.early)
+    }
+}
+
+fn translate_and_plan(job: &PipelineJob<'_, '_>, func: FuncId) -> (VasmUnit, LayoutPlan) {
+    let unit = translate_optimized(
+        job.repo,
+        func,
+        job.tier,
+        job.ctx,
+        job.jit_opts.weights,
+        job.jit_opts.inline,
+        &job.resolver,
+    );
+    let plan = plan_layout(&job.jit_opts, &unit);
+    (unit, plan)
+}
+
+fn run_sequential(job: &PipelineJob<'_, '_>, engine: &mut JitEngine<'_>) -> PipelineResult {
+    let start = Instant::now();
+    let mut tracker = EmitTracker::new(job, start);
+    let mut worker = WorkerStats::default();
+    let mut emit_ns = 0u64;
+    for (seq, &func) in job.work.iter().enumerate() {
+        let t0 = Instant::now();
+        let (unit, plan) = translate_and_plan(job, func);
+        worker.busy_ns += t0.elapsed().as_nanos() as u64;
+        worker.translated += 1;
+        let t1 = Instant::now();
+        let bytes = engine.emit_planned(unit, &plan);
+        emit_ns += t1.elapsed().as_nanos() as u64;
+        tracker.on_emitted(seq, bytes);
+    }
+    let (compiled_funcs, compile_bytes, early_serve) = tracker.finish();
+    PipelineResult {
+        compiled_funcs,
+        compile_bytes,
+        pipeline_ns: start.elapsed().as_nanos() as u64,
+        emit_ns,
+        emit_stall_ns: 0,
+        workers: vec![worker],
+        early_serve,
+    }
+}
+
+/// How many consecutive units one deque entry carries. Small enough to
+/// keep workers load-balanced, large enough to amortize queue traffic.
+fn chunk_len(work_len: usize, threads: usize) -> usize {
+    (work_len / (threads * 4)).clamp(1, 32)
+}
+
+fn run_parallel(
+    job: &PipelineJob<'_, '_>,
+    engine: &mut JitEngine<'_>,
+    threads: usize,
+) -> Result<PipelineResult, ()> {
+    let start = Instant::now();
+    let total = job.work.len();
+
+    // Deal heat-ordered chunks of the compile order round-robin onto the
+    // per-worker deques: worker 0 gets the hottest chunk, and early
+    // chunks — the ones the reorder buffer needs first — are at the front
+    // of every queue.
+    let workers: Vec<deque::Worker<(usize, FuncId)>> =
+        (0..threads).map(|_| deque::Worker::new_fifo()).collect();
+    let chunk = chunk_len(total, threads);
+    for (c, slice) in job.work.chunks(chunk).enumerate() {
+        let base = c * chunk;
+        for (off, &func) in slice.iter().enumerate() {
+            workers[c % threads].push((base + off, func));
+        }
+    }
+    let stealers: Vec<deque::Stealer<(usize, FuncId)>> =
+        workers.iter().map(|w| w.stealer()).collect();
+
+    let (tx, rx) = channel::unbounded::<(usize, VasmUnit, LayoutPlan)>();
+    let abort = AtomicBool::new(false);
+    let crashed = AtomicBool::new(false);
+
+    let mut emit_ns = 0u64;
+    let mut emit_stall_ns = 0u64;
+    let mut tracker = EmitTracker::new(job, start);
+
+    let worker_stats: Vec<WorkerStats> = crossbeam::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(wid, own)| {
+                let tx = tx.clone();
+                let stealers = &stealers;
+                let abort = &abort;
+                let crashed = &crashed;
+                s.spawn(move |_| {
+                    let wall = Instant::now();
+                    let mut stats = WorkerStats::default();
+                    'work: loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Own queue first, then steal round-robin.
+                        let (task, was_steal) = match own.pop() {
+                            Some(t) => (t, false),
+                            None => {
+                                let t0 = Instant::now();
+                                let mut found = None;
+                                'steal: loop {
+                                    let mut saw_retry = false;
+                                    for i in 1..stealers.len() {
+                                        let victim = (wid + i) % stealers.len();
+                                        match stealers[victim].steal() {
+                                            deque::Steal::Success(t) => {
+                                                found = Some(t);
+                                                break 'steal;
+                                            }
+                                            deque::Steal::Retry => saw_retry = true,
+                                            deque::Steal::Empty => {}
+                                        }
+                                    }
+                                    if !saw_retry || abort.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                }
+                                stats.steal_ns += t0.elapsed().as_nanos() as u64;
+                                match found {
+                                    Some(t) => (t, true),
+                                    None => break 'work,
+                                }
+                            }
+                        };
+                        let (seq, func) = task;
+                        let t0 = Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if job.poison_crash {
+                                panic!("simulated JIT compiler bug (Poison::CompileCrash)");
+                            }
+                            translate_and_plan(job, func)
+                        }));
+                        stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                        match result {
+                            Ok((unit, plan)) => {
+                                stats.translated += 1;
+                                if was_steal {
+                                    stats.stolen += 1;
+                                }
+                                // Send only fails when the emitter already
+                                // bailed; nothing left to do then.
+                                if tx.send((seq, unit, plan)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                crashed.store(true, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    let wall_ns = wall.elapsed().as_nanos() as u64;
+                    stats.stall_ns = wall_ns.saturating_sub(stats.busy_ns + stats.steal_ns);
+                    stats
+                })
+            })
+            .collect();
+        drop(tx);
+
+        // The emitter: this thread. Reorder buffer keyed by sequence
+        // number; units are placed the instant the in-order prefix is
+        // complete, while translation continues on the workers.
+        let mut pending: BTreeMap<usize, (VasmUnit, LayoutPlan)> = BTreeMap::new();
+        let mut next_seq = 0usize;
+        let mut received = 0usize;
+        while received < total {
+            let t0 = Instant::now();
+            let Ok((seq, unit, plan)) = rx.recv() else {
+                // All senders gone: a worker crashed (or aborted).
+                break;
+            };
+            emit_stall_ns += t0.elapsed().as_nanos() as u64;
+            received += 1;
+            pending.insert(seq, (unit, plan));
+            while let Some((unit, plan)) = pending.remove(&next_seq) {
+                let t1 = Instant::now();
+                let bytes = engine.emit_planned(unit, &plan);
+                emit_ns += t1.elapsed().as_nanos() as u64;
+                tracker.on_emitted(next_seq, bytes);
+                next_seq += 1;
+            }
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught in-thread"))
+            .collect()
+    })
+    .expect("pipeline scope does not panic");
+
+    if crashed.load(Ordering::Relaxed) {
+        return Err(());
+    }
+    let (compiled_funcs, compile_bytes, early_serve) = tracker.finish();
+    Ok(PipelineResult {
+        compiled_funcs,
+        compile_bytes,
+        pipeline_ns: start.elapsed().as_nanos() as u64,
+        emit_ns,
+        emit_stall_ns,
+        workers: worker_stats,
+        early_serve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier_with_heat(heats: &[(u32, u64)]) -> TierProfile {
+        let mut t = TierProfile::default();
+        for &(f, h) in heats {
+            let p = t.funcs.entry(FuncId::new(f)).or_default();
+            p.block_counts = vec![h];
+        }
+        t
+    }
+
+    #[test]
+    fn early_serve_prefix_covers_heat_mass() {
+        let tier = tier_with_heat(&[(0, 70), (1, 20), (2, 10)]);
+        let order = vec![FuncId::new(0), FuncId::new(1), FuncId::new(2)];
+        assert_eq!(early_serve_prefix(&tier, &order, 1.0), 3);
+        assert_eq!(early_serve_prefix(&tier, &order, 0.0), 0);
+        assert_eq!(early_serve_prefix(&tier, &order, 0.5), 1);
+        assert_eq!(early_serve_prefix(&tier, &order, 0.7), 1);
+        assert_eq!(early_serve_prefix(&tier, &order, 0.71), 2);
+        assert_eq!(early_serve_prefix(&tier, &order, 0.95), 3);
+    }
+
+    #[test]
+    fn early_serve_prefix_with_no_heat_serves_everything() {
+        let tier = TierProfile::default();
+        let order = vec![FuncId::new(0), FuncId::new(1)];
+        assert_eq!(early_serve_prefix(&tier, &order, 0.5), 2);
+    }
+
+    #[test]
+    fn chunks_cover_all_work() {
+        for (len, threads) in [(1, 2), (7, 2), (100, 4), (5, 8), (1000, 16)] {
+            let c = chunk_len(len, threads);
+            assert!((1..=32).contains(&c));
+            let covered: usize = (0..len)
+                .collect::<Vec<_>>()
+                .chunks(c)
+                .map(<[usize]>::len)
+                .sum();
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn boot_stats_json_is_well_formed() {
+        let stats = BootStats {
+            threads: 2,
+            compiled_funcs: 3,
+            compile_bytes: 100,
+            workers: vec![WorkerStats::default(); 2],
+            early_serve: Some(EarlyServe {
+                frac: 0.5,
+                ready_funcs: 1,
+                ready_bytes: 40,
+                ready_ns: 1000,
+                background_funcs: 2,
+                background_bytes: 60,
+            }),
+            ..Default::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"threads\":2"));
+        assert!(json.contains("\"early_serve\":{\"frac\":0.5"));
+        assert_eq!(json.matches("\"translated\"").count(), 2);
+        let rendered = stats.render();
+        assert!(rendered.contains("early-serve"));
+        assert!(rendered.contains("worker 0"));
+    }
+}

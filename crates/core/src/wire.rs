@@ -64,6 +64,35 @@ impl Writer {
         Self::default()
     }
 
+    /// Creates a writer with `cap` bytes reserved up front. A caller that
+    /// knows its exact encoded size (see `ProfilePackage::encoded_len`)
+    /// never triggers a buffer reallocation while writing.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The bytes written so far (for checksumming sections in place).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends raw bytes with no length prefix (envelope fields).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
     /// Appends a `u8`.
     pub fn u8(&mut self, v: u8) {
         self.buf.put_u8(v);
@@ -110,6 +139,10 @@ impl Writer {
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
+    /// Set when the reader was built over shared [`Bytes`]: byte-string
+    /// fields can then be decoded as zero-copy slices of the backing
+    /// allocation instead of fresh `Vec`s.
+    shared: Option<&'a Bytes>,
 }
 
 /// Cap on decoded sequence lengths; anything bigger is corruption, not a
@@ -119,7 +152,16 @@ const MAX_SEQ: u32 = 64 << 20;
 impl<'a> Reader<'a> {
     /// Creates a reader over a payload.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf }
+        Self { buf, shared: None }
+    }
+
+    /// Creates a reader over shared bytes; [`Reader::bytes_shared`] then
+    /// returns zero-copy sub-slices.
+    pub fn new_shared(buf: &'a Bytes) -> Self {
+        Self {
+            buf,
+            shared: Some(buf),
+        }
     }
 
     fn need(&self, n: usize) -> Result<(), WireError> {
@@ -169,6 +211,25 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
+    /// Reads a length-prefixed byte string as a zero-copy slice of the
+    /// shared backing buffer. Falls back to a copy when the reader was
+    /// built with [`Reader::new`] over a plain slice.
+    pub fn bytes_shared(&mut self) -> Result<Bytes, WireError> {
+        let Some(origin) = self.shared else {
+            return Ok(Bytes::from(self.bytes()?));
+        };
+        let len = self.u32()?;
+        if len > MAX_SEQ {
+            return Err(WireError::Corrupt(format!("byte string of {len} bytes")));
+        }
+        self.need(len as usize)?;
+        let pos = origin.len() - self.buf.remaining();
+        let out = origin.slice(pos..pos + len as usize);
+        let (_, tail) = self.buf.split_at(len as usize);
+        self.buf = tail;
+        Ok(out)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, WireError> {
         String::from_utf8(self.bytes()?).map_err(|_| WireError::Corrupt("invalid utf-8".into()))
@@ -195,15 +256,38 @@ pub const MAGIC: &[u8; 8] = b"HHJSPKG\0";
 /// Current format version.
 pub const VERSION: u32 = 4;
 
+/// Envelope bytes before the payload: magic, version, payload length.
+pub const HEADER_LEN: usize = 16;
+
+/// Total envelope overhead: [`HEADER_LEN`] plus the trailing CRC-32.
+pub const ENVELOPE_LEN: usize = HEADER_LEN + 4;
+
+/// Writes the envelope header into `w`; the caller appends exactly
+/// `payload_len` payload bytes and then calls [`finish_sealed`]. Writing
+/// the envelope inline (instead of sealing a finished payload buffer)
+/// avoids copying the whole payload a second time.
+pub fn begin_sealed(w: &mut Writer, payload_len: usize) {
+    w.raw(MAGIC);
+    w.u32(VERSION);
+    w.u32(payload_len as u32);
+}
+
+/// Appends the CRC-32 of everything after the header and freezes. The
+/// writer must hold exactly a header plus payload.
+pub fn finish_sealed(mut w: Writer) -> Bytes {
+    let crc = crate::crc32::crc32(&w.as_slice()[HEADER_LEN..]);
+    w.u32(crc);
+    w.finish()
+}
+
 /// Wraps a payload in the envelope: magic, version, length, payload, CRC.
+/// (Copies the payload once; writers that know their encoded length use
+/// [`begin_sealed`]/[`finish_sealed`] instead.)
 pub fn seal(payload: Bytes) -> Bytes {
-    let mut out = BytesMut::with_capacity(payload.len() + 20);
-    out.put_slice(MAGIC);
-    out.put_u32_le(VERSION);
-    out.put_u32_le(payload.len() as u32);
-    out.put_slice(&payload);
-    out.put_u32_le(crate::crc32::crc32(&payload));
-    out.freeze()
+    let mut out = Writer::with_capacity(payload.len() + ENVELOPE_LEN);
+    begin_sealed(&mut out, payload.len());
+    out.raw(&payload);
+    finish_sealed(out)
 }
 
 /// Unwraps the envelope, verifying magic, version, length and checksum.
@@ -245,6 +329,18 @@ pub fn unseal(data: &[u8]) -> Result<&[u8], WireError> {
         });
     }
     Ok(payload)
+}
+
+/// Like [`unseal`], but over shared bytes: the returned payload is a
+/// zero-copy slice of `data`'s backing allocation.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first problem found.
+pub fn unseal_shared(data: &Bytes) -> Result<Bytes, WireError> {
+    let payload = unseal(data)?;
+    let len = payload.len();
+    Ok(data.slice(HEADER_LEN..HEADER_LEN + len))
 }
 
 #[cfg(test)]
@@ -294,6 +390,53 @@ mod tests {
         let payload = unseal(&sealed).unwrap();
         let mut r = Reader::new(payload);
         assert_eq!(r.str().unwrap(), "payload");
+    }
+
+    #[test]
+    fn inline_envelope_matches_seal_and_never_reallocates() {
+        let mut plain = Writer::new();
+        plain.str("payload");
+        plain.u64(77);
+        let payload = plain.finish();
+        let sealed = seal(payload.clone());
+
+        let mut inline = Writer::with_capacity(payload.len() + ENVELOPE_LEN);
+        begin_sealed(&mut inline, payload.len());
+        inline.str("payload");
+        inline.u64(77);
+        assert_eq!(inline.len(), HEADER_LEN + payload.len());
+        let inlined = finish_sealed(inline);
+        assert_eq!(sealed, inlined, "inline envelope is byte-identical");
+    }
+
+    #[test]
+    fn unseal_shared_is_zero_copy() {
+        let mut w = Writer::new();
+        w.bytes(b"0123456789");
+        let sealed = seal(w.finish());
+        let payload = unseal_shared(&sealed).unwrap();
+        // The payload view aliases the sealed buffer — no copy.
+        assert_eq!(
+            payload.as_ref().as_ptr(),
+            sealed.as_ref()[HEADER_LEN..].as_ptr()
+        );
+        let mut r = Reader::new_shared(&payload);
+        let table = r.bytes_shared().unwrap();
+        assert_eq!(&table[..], b"0123456789");
+        // ... and the decoded byte table aliases it too.
+        assert_eq!(table.as_ref().as_ptr(), payload.as_ref()[4..].as_ptr());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_shared_falls_back_to_copy_on_plain_readers() {
+        let mut w = Writer::new();
+        w.bytes(b"abc");
+        w.u8(9);
+        let payload = w.finish();
+        let mut r = Reader::new(&payload);
+        assert_eq!(&r.bytes_shared().unwrap()[..], b"abc");
+        assert_eq!(r.u8().unwrap(), 9);
     }
 
     #[test]

@@ -152,9 +152,10 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
                 workload::profile_run(app, &mix, params.seeder_requests, params.seed ^ 0xdead);
             let model = build_app_model(app, &truth);
             let picked = store.pick_random(region, bucket, &mut rng);
-            let pkg = picked
-                .as_ref()
-                .map(|p| jumpstart::ProfilePackage::deserialize(&p.bytes).expect("validated"));
+            let pkg = picked.as_ref().map(|p| {
+                // Zero-copy: section tables alias the stored buffer.
+                jumpstart::ProfilePackage::deserialize_shared(&p.bytes).expect("validated")
+            });
             js_timelines.push(simulate_warmup(
                 app,
                 &model,

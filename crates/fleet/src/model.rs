@@ -60,6 +60,11 @@ pub struct WarmupParams {
     /// Unit metadata load cost (ms per KB, lazy loading overhead folded
     /// into early requests).
     pub load_ms_per_kb: f64,
+    /// Consumer early-serve threshold: the boot reports ready once this
+    /// fraction of tier-profile heat mass is compiled hottest-first; the
+    /// remainder compiles on background JIT threads while serving
+    /// (`1.0` = classic Fig. 3c compile-all-before-serving).
+    pub early_serve_frac: f64,
 }
 
 impl WarmupParams {
@@ -85,6 +90,7 @@ impl WarmupParams {
             compile_bytes_per_core_ms: 1.0,
             relocation_ms: 150_000,
             load_ms_per_kb: 0.25,
+            early_serve_frac: 1.0,
         }
     }
 

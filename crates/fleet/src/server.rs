@@ -59,6 +59,10 @@ pub struct ServerSim<'a> {
     relocating: bool,
     optimized_ready: Vec<usize>,
     optimized_phase_done: bool,
+    // Early-serve consumer boot: background Jump-Start compiles complete
+    // directly into Optimized (no point-B batch / relocation pause).
+    consumer_bg: bool,
+    bg_pending: Vec<bool>,
     peak_ms_per_req: f64,
     serve_start_ms: u64,
     point_a_ms: Option<u64>,
@@ -92,6 +96,8 @@ impl<'a> ServerSim<'a> {
             relocating: false,
             optimized_ready: Vec::new(),
             optimized_phase_done: false,
+            consumer_bg: false,
+            bg_pending: vec![false; n],
             peak_ms_per_req: model.peak_request_core_ms(app, mix, &params),
             serve_start_ms: 0,
             point_a_ms: None,
@@ -101,16 +107,35 @@ impl<'a> ServerSim<'a> {
         sim.serve_start_ms = match config.jumpstart {
             None => params.init_ms_nojs,
             Some(pkg) => {
-                // Deserialize + preload + compile-all on every core, then
-                // parallel (shorter) init — §IV-A and §VII-A.
-                let mut compile_bytes = 0u64;
-                for f in pkg.tier.funcs.keys() {
-                    if f.index() < n {
-                        compile_bytes += model.opt_bytes[f.index()];
-                    }
+                // Deserialize + preload + compile on every core, then
+                // parallel (shorter) init — §IV-A and §VII-A. With
+                // `early_serve_frac < 1.0` only the hottest prefix of heat
+                // mass is compiled inside the boot window; the remainder
+                // finishes on the background JIT threads while serving.
+                let order: Vec<bytecode::FuncId> = pkg
+                    .tier
+                    .functions_by_heat()
+                    .into_iter()
+                    .filter(|f| f.index() < n)
+                    .collect();
+                let ready =
+                    jumpstart::early_serve_prefix(&pkg.tier, &order, params.early_serve_frac);
+                let mut ready_bytes = 0u64;
+                for f in &order[..ready] {
+                    let i = f.index();
+                    ready_bytes += model.opt_bytes[i];
+                    // Hottest code is optimized from the first request.
+                    sim.mode[i] = Mode::Optimized;
+                }
+                for f in &order[ready..] {
+                    let i = f.index();
+                    sim.bg_pending[i] = true;
+                    sim.queue
+                        .push_back((i, model.opt_bytes[i], Mode::Optimized));
+                    sim.consumer_bg = true;
                 }
                 let compile_ms =
-                    compile_bytes as f64 / (params.compile_bytes_per_core_ms * params.cores as f64);
+                    ready_bytes as f64 / (params.compile_bytes_per_core_ms * params.cores as f64);
                 let mut preload_kb = 0.0;
                 for u in &pkg.preload.unit_order {
                     if u.index() < sim.unit_loaded.len() && !sim.unit_loaded[u.index()] {
@@ -119,13 +144,7 @@ impl<'a> ServerSim<'a> {
                     }
                 }
                 let preload_ms = preload_kb * params.load_ms_per_kb / params.cores as f64;
-                // Optimized code is available from the start.
-                for f in pkg.tier.funcs.keys() {
-                    if f.index() < n {
-                        sim.mode[f.index()] = Mode::Optimized;
-                    }
-                }
-                sim.code_bytes = compile_bytes;
+                sim.code_bytes = ready_bytes;
                 sim.optimized_phase_done = true;
                 // Consumers never run the profiling phase (Fig. 3c).
                 sim.retranslate_started = true;
@@ -178,7 +197,10 @@ impl<'a> ServerSim<'a> {
             for &(f, calls) in &self.model.endpoint_calls[e] {
                 let i = f.index();
                 self.calls[i] += share * calls;
-                if self.mode[i] == Mode::Interp && self.calls[i] >= p.promote_calls as f64 {
+                if self.mode[i] == Mode::Interp
+                    && !self.bg_pending[i]
+                    && self.calls[i] >= p.promote_calls as f64
+                {
                     if self.optimized_phase_done {
                         self.queue
                             .push_back((i, self.model.live_bytes[i], Mode::Live));
@@ -238,6 +260,13 @@ impl<'a> ServerSim<'a> {
                 self.queue.pop_front();
                 self.code_bytes += bytes;
                 match kind {
+                    Mode::Optimized if self.consumer_bg => {
+                        // Early-serve background compile: the unit goes
+                        // live directly (the streaming emitter placed it
+                        // at its final address — no relocation batch).
+                        self.mode[i] = Mode::Optimized;
+                        self.bg_pending[i] = false;
+                    }
                     Mode::Optimized => {
                         self.optimized_ready.push(i);
                         self.optimize_remaining -= 1;
@@ -252,7 +281,11 @@ impl<'a> ServerSim<'a> {
                     mode => self.mode[i] = mode,
                 }
             } else {
+                // Partial progress: credit the emitted bytes now so the
+                // code-size curve (and its final value) reflects all work
+                // done, not just each job's completion-step residual.
                 self.queue.front_mut().expect("checked").1 -= affordable;
+                self.code_bytes += affordable;
                 core_ms = 0.0;
                 break;
             }
@@ -474,6 +507,56 @@ mod tests {
             l_nojs > 1.5 * l_js,
             "early latency: no-JS {l_nojs:.2}ms vs JS {l_js:.2}ms"
         );
+    }
+
+    #[test]
+    fn early_serve_boots_earlier_and_converges() {
+        let (app, model, pkg) = setup();
+        let mix = RequestMix::new(&app, 0, 0);
+        let full = quick_params(&model);
+        let early = WarmupParams {
+            early_serve_frac: 0.5,
+            ..full
+        };
+        let tl_full = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig {
+                params: full,
+                jumpstart: Some(&pkg),
+            },
+        );
+        let tl_early = simulate_warmup(
+            &app,
+            &model,
+            &mix,
+            &ServerConfig {
+                params: early,
+                jumpstart: Some(&pkg),
+            },
+        );
+        // Serving starts sooner: only the hottest prefix is priced into
+        // the boot window.
+        assert!(
+            tl_early.serve_start_ms < tl_full.serve_start_ms,
+            "early-serve {} should boot before compile-all {}",
+            tl_early.serve_start_ms,
+            tl_full.serve_start_ms
+        );
+        // And converges: background compiles finish, so the final code
+        // footprint matches and throughput is near peak.
+        let last_early = tl_early.samples.last().unwrap();
+        let last_full = tl_full.samples.last().unwrap();
+        assert_eq!(last_early.code_bytes, last_full.code_bytes);
+        assert!(
+            last_early.rps_norm > 0.9,
+            "early-serve converges, got {}",
+            last_early.rps_norm
+        );
+        // Early-serve never re-enters the Fig. 3a batch machinery.
+        assert!(tl_early.point_b_ms.is_none());
+        assert!(tl_early.point_c_ms.is_none());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! every delta is attributable to one mechanism.
 
 use jit::{Executor, ExecutorConfig, JitOptions};
-use jumpstart::{build_package, consume, FuncSort, JumpStartOptions, PropReorder, SeederInputs};
+use jumpstart::{
+    build_package, consume, BootStats, FuncSort, JumpStartOptions, PropReorder, SeederInputs,
+};
 use uarch::MissReport;
 use workload::{App, ProfileRun, RequestMix, RequestSampler};
 
@@ -131,6 +133,9 @@ pub struct SteadyOutcome {
     pub hot_bytes: u64,
     /// Bytes in the cold region.
     pub cold_bytes: u64,
+    /// Boot-phase timeline of the consumer compile (decode, lint,
+    /// translate/steal/stall per worker, emit, early-serve crossing).
+    pub boot: BootStats,
 }
 
 /// Measures one steady-state configuration.
@@ -202,6 +207,7 @@ pub fn measure_steady_state(
         code_bytes: outcome.compile_bytes,
         hot_bytes,
         cold_bytes,
+        boot: outcome.boot,
     }
 }
 

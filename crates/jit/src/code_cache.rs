@@ -217,6 +217,41 @@ impl CodeCache {
     pub fn total_code_bytes(&self) -> u64 {
         self.hot.used + self.cold.used + self.live.used + self.profiling.used
     }
+
+    /// FNV-1a digest over every placed block address and size, in
+    /// function-id order, plus the region fill levels. Two caches with the
+    /// same digest have byte-identical layouts — the determinism oracle
+    /// for the parallel boot pipeline (addresses feed the uarch model, so
+    /// parallel emission may not move a single block).
+    pub fn layout_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let mut funcs: Vec<&EmittedTranslation> = self.translations.values().collect();
+        funcs.sort_by_key(|t| t.func);
+        for t in funcs {
+            mix(t.func.index() as u64);
+            mix(match t.kind {
+                TransKind::Live => 1,
+                TransKind::Profiling => 2,
+                TransKind::Optimized => 3,
+            });
+            for &(addr, size) in &t.placement {
+                mix(addr);
+                mix(size as u64);
+            }
+        }
+        for r in [&self.hot, &self.cold, &self.live, &self.profiling] {
+            mix(r.used);
+        }
+        h
+    }
 }
 
 impl Default for CodeCache {

@@ -90,6 +90,65 @@ impl CompileSizes {
     }
 }
 
+/// A block layout computed for one optimized unit, ready to emit.
+///
+/// Produced by [`plan_layout`] — separated from emission so the expensive
+/// Ext-TSP ordering can run on translation worker threads while the single
+/// emitter thread only places bytes (the consumer boot pipeline).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayoutPlan {
+    /// Blocks placed in the hot region, in order.
+    pub hot: Vec<usize>,
+    /// Blocks split off to the cold region, in order.
+    pub cold: Vec<usize>,
+    /// Total bytes of the hot blocks.
+    pub hot_bytes: u64,
+    /// Total bytes of the cold blocks.
+    pub cold_bytes: u64,
+}
+
+impl LayoutPlan {
+    /// Total bytes the plan will emit.
+    pub fn total_bytes(&self) -> u64 {
+        self.hot_bytes + self.cold_bytes
+    }
+}
+
+/// Applies the configured block layout to a translated unit: Ext-TSP (or
+/// source order) then hot/cold splitting (or none). Pure function of the
+/// options and the unit, so it can run on any thread.
+pub fn plan_layout(options: &JitOptions, unit: &VasmUnit) -> LayoutPlan {
+    let order: Vec<usize> = if options.use_exttsp {
+        layout::exttsp_order(
+            &unit.layout_blocks(),
+            &unit.layout_edges(),
+            &ExtTspParams::default(),
+        )
+    } else {
+        (0..unit.blocks.len()).collect()
+    };
+    let (hot, cold) = if options.use_hotcold {
+        let weights: Vec<u64> = unit.blocks.iter().map(|b| b.est_weight).collect();
+        let split = split_hot_cold(
+            &order,
+            &weights,
+            options.cold_threshold,
+            options.cold_fraction,
+        );
+        (split.hot, split.cold)
+    } else {
+        (order, Vec::new())
+    };
+    let hot_bytes = hot.iter().map(|&b| unit.blocks[b].size() as u64).sum();
+    let cold_bytes = cold.iter().map(|&b| unit.blocks[b].size() as u64).sum();
+    LayoutPlan {
+        hot,
+        cold,
+        hot_bytes,
+        cold_bytes,
+    }
+}
+
 /// The engine.
 #[derive(Debug)]
 pub struct JitEngine<'r> {
@@ -234,48 +293,26 @@ impl<'r> JitEngine<'r> {
     /// the Jump-Start consumer, which translates in parallel and then
     /// emits in function order).
     pub fn emit_optimized(&mut self, unit: VasmUnit) -> u64 {
-        let func = unit.func;
-        let (hot, cold) = self.layout(&unit);
-        // Optimized code replaces any profiling translation.
-        self.code_cache.evict(func);
-        let hot_bytes: u64 = hot.iter().map(|&b| unit.blocks[b].size() as u64).sum();
-        let cold_bytes: u64 = cold.iter().map(|&b| unit.blocks[b].size() as u64).sum();
-        if self
-            .code_cache
-            .emit(unit, TransKind::Optimized, &hot, &cold)
-        {
-            self.states[func.index()] = FuncState::Optimized;
-            self.sizes.optimized_hot += hot_bytes;
-            self.sizes.optimized_cold += cold_bytes;
-            hot_bytes + cold_bytes
-        } else {
-            0
-        }
+        let plan = plan_layout(&self.options, &unit);
+        self.emit_planned(unit, &plan)
     }
 
-    /// Applies the configured block layout: Ext-TSP (or source order) then
-    /// hot/cold splitting (or none).
-    fn layout(&self, unit: &VasmUnit) -> (Vec<usize>, Vec<usize>) {
-        let order: Vec<usize> = if self.options.use_exttsp {
-            layout::exttsp_order(
-                &unit.layout_blocks(),
-                &unit.layout_edges(),
-                &ExtTspParams::default(),
-            )
+    /// Emits an optimized unit whose layout was already planned (possibly
+    /// on another thread via [`plan_layout`]). Returns bytes emitted.
+    pub fn emit_planned(&mut self, unit: VasmUnit, plan: &LayoutPlan) -> u64 {
+        let func = unit.func;
+        // Optimized code replaces any profiling translation.
+        self.code_cache.evict(func);
+        if self
+            .code_cache
+            .emit(unit, TransKind::Optimized, &plan.hot, &plan.cold)
+        {
+            self.states[func.index()] = FuncState::Optimized;
+            self.sizes.optimized_hot += plan.hot_bytes;
+            self.sizes.optimized_cold += plan.cold_bytes;
+            plan.total_bytes()
         } else {
-            (0..unit.blocks.len()).collect()
-        };
-        if self.options.use_hotcold {
-            let weights: Vec<u64> = unit.blocks.iter().map(|b| b.est_weight).collect();
-            let split = split_hot_cold(
-                &order,
-                &weights,
-                self.options.cold_threshold,
-                self.options.cold_fraction,
-            );
-            (split.hot, split.cold)
-        } else {
-            (order, Vec::new())
+            0
         }
     }
 

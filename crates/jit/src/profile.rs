@@ -18,6 +18,7 @@
 //! seeder workflow (Fig. 3b).
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use bytecode::{BlockId, Cfg, ClassId, FuncId, Repo, StrId};
 use vm::{ExecObserver, Value, ValueKind};
@@ -191,7 +192,7 @@ impl FuncProfile {
 
 /// The whole tier-1 profile: per-function data plus the global property
 /// hotness table used by §V-C.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct TierProfile {
     /// Per-function profiles (absent = never profiled).
     pub funcs: HashMap<FuncId, FuncProfile>,
@@ -200,6 +201,21 @@ pub struct TierProfile {
     /// Co-access counts per (class, propA, propB) within one request —
     /// drives the affinity extension (paper §V-C "future work").
     pub prop_pairs: HashMap<(ClassId, StrId, StrId), u64>,
+    // Lazily computed hottest-first (func, heat) ranking. The seeder,
+    // consumer and validator all ask for the heat order of the same frozen
+    // profile, so the sort is paid once; any counter mutation must call
+    // `mark_counters_dirty` to drop it.
+    heat_cache: OnceLock<Vec<(FuncId, u64)>>,
+}
+
+// The cache is derived state: two profiles are equal iff their counters
+// are, regardless of which one has ranked itself already.
+impl PartialEq for TierProfile {
+    fn eq(&self, other: &TierProfile) -> bool {
+        self.funcs == other.funcs
+            && self.prop_counts == other.prop_counts
+            && self.prop_pairs == other.prop_pairs
+    }
 }
 
 impl TierProfile {
@@ -228,18 +244,43 @@ impl TierProfile {
         for (k, c) in &other.prop_pairs {
             *self.prop_pairs.entry(*k).or_insert(0) += c;
         }
+        self.mark_counters_dirty();
+    }
+
+    /// Invalidates the cached heat ranking. Must be called after any
+    /// direct mutation of `funcs` block counters (the collector and the
+    /// stale-profile repair both mutate in place).
+    pub fn mark_counters_dirty(&mut self) {
+        self.heat_cache.take();
+    }
+
+    /// Hottest-first `(function, heat)` ranking, where heat is the summed
+    /// block counters. Computed once and cached until counters change.
+    pub fn heat_ranked(&self) -> &[(FuncId, u64)] {
+        self.heat_cache.get_or_init(|| {
+            let mut v: Vec<(FuncId, u64)> = self
+                .funcs
+                .iter()
+                .map(|(&f, p)| (f, p.block_counts.iter().sum::<u64>()))
+                .collect();
+            v.sort_by_key(|&(f, heat)| (std::cmp::Reverse(heat), f));
+            v
+        })
+    }
+
+    /// Heat (summed block counters) of one function; 0 when unprofiled.
+    pub fn func_heat(&self, func: FuncId) -> u64 {
+        self.heat_ranked()
+            .iter()
+            .find(|&&(f, _)| f == func)
+            .map(|&(_, h)| h)
+            .unwrap_or(0)
     }
 
     /// Functions sorted hottest-first by weighted block counts — the order
     /// the optimizing tier compiles them in.
     pub fn functions_by_heat(&self) -> Vec<FuncId> {
-        let mut v: Vec<(FuncId, u64)> = self
-            .funcs
-            .iter()
-            .map(|(&f, p)| (f, p.block_counts.iter().sum::<u64>()))
-            .collect();
-        v.sort_by_key(|&(f, heat)| (std::cmp::Reverse(heat), f));
-        v.into_iter().map(|(f, _)| f).collect()
+        self.heat_ranked().iter().map(|&(f, _)| f).collect()
     }
 }
 
@@ -363,6 +404,8 @@ impl<'r> ProfileCollector<'r> {
     }
 
     fn func_profile(&mut self, func: FuncId) -> &mut FuncProfile {
+        // Callers mutate counters through the returned reference.
+        self.tier.mark_counters_dirty();
         let repo = self.repo;
         let (len, hashes) = self.block_shape.entry(func).or_insert_with(|| {
             let f = repo.func(func);
@@ -597,6 +640,50 @@ mod tests {
         assert_eq!(d.is_monomorphic(0.95), Some(ValueKind::Int));
         assert_eq!(d.is_monomorphic(0.99), None);
         assert_eq!(d.total(), 100);
+    }
+
+    #[test]
+    fn heat_cache_invalidates_after_counter_updates() {
+        let repo = sample_repo();
+        let f = repo.func_by_name("f").unwrap().id;
+        let g = repo.func_by_name("g").unwrap().id;
+        let mut vm = Vm::new(&repo);
+        let mut col = ProfileCollector::new(&repo);
+        vm.call_observed(f, &[Value::Int(50)], &mut col).unwrap();
+        col.end_request();
+        let mut tier = col.tier;
+        // Prime the cache: f (the loop) is hotter than g.
+        assert_eq!(tier.functions_by_heat(), vec![f, g]);
+        let f_heat = tier.func_heat(f);
+        assert!(f_heat > tier.func_heat(g));
+
+        // Direct counter mutation + explicit dirty marker reranks.
+        let gp = tier.funcs.get_mut(&g).unwrap();
+        for c in gp.block_counts.iter_mut() {
+            *c += 10 * f_heat;
+        }
+        tier.mark_counters_dirty();
+        assert_eq!(tier.functions_by_heat(), vec![g, f]);
+        assert!(tier.func_heat(g) > tier.func_heat(f));
+
+        // merge() invalidates on its own: merging a copy doubles every
+        // counter but keeps the order, and the cached ranking must show
+        // the doubled heat rather than the stale one.
+        let snapshot = tier.clone();
+        let g_heat = tier.func_heat(g);
+        tier.merge(&snapshot);
+        assert_eq!(tier.func_heat(g), 2 * g_heat);
+
+        // Collector mutation (observer callbacks) also invalidates.
+        let mut col2 = ProfileCollector::new(&repo);
+        col2.tier = tier;
+        assert!(!col2.tier.functions_by_heat().is_empty());
+        let mut vm2 = Vm::new(&repo);
+        vm2.call_observed(f, &[Value::Int(1)], &mut col2).unwrap();
+        assert_eq!(
+            col2.tier.func_heat(f),
+            col2.tier.funcs[&f].block_counts.iter().sum::<u64>()
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Offline drop-in subset of `crossbeam`: [`scope`] for structured scoped
-//! threads, implemented on `std::thread::scope` (stable since 1.63).
+//! threads (on `std::thread::scope`, stable since 1.63), [`deque`] for
+//! work-stealing task queues, and [`channel`] for MPMC message passing.
 //!
 //! Divergence from upstream: a panicking child causes the scope itself to
 //! panic at the join point instead of returning `Err`, because
 //! `std::thread::scope` re-raises unjoined panics. Workspace callers only
 //! ever `.expect()` the result, so the observable behavior is identical.
+//! The deque and channel are mutex-based rather than lock-free — same
+//! semantics, adequate throughput for the workloads in this workspace.
 
 use std::thread;
 
@@ -40,6 +43,296 @@ where
     Ok(thread::scope(|s| f(&Scope { inner: s })))
 }
 
+/// Work-stealing double-ended queues: each worker owns a [`deque::Worker`]
+/// it pushes/pops locally; other threads grab work through cloned
+/// [`deque::Stealer`] handles when their own queue runs dry.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring crossbeam's three-way enum.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner side of a work-stealing queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO work-stealing queue (tasks pop in push order).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pops a task from the owner's end of the queue.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().unwrap().pop_front()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle other threads use to steal tasks from a [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task from the far end of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock() {
+                Ok(mut q) => match q.pop_back() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                // A poisoned lock means a pusher panicked mid-operation;
+                // surface as Retry so the caller's loop can re-observe.
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        /// Whether the queue was empty at the time of observation.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().map(|q| q.is_empty()).unwrap_or(true)
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+}
+
+/// Multi-producer multi-consumer FIFO channels. Only the unbounded
+/// flavor is provided — the consumer pipeline's reorder buffer applies
+/// its own backpressure by construction (bounded task count).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every [`Sender`] has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, waking one blocked receiver.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = match self.shared.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            inner.senders -= 1;
+            let disconnected = inner.senders == 0;
+            drop(inner);
+            if disconnected {
+                // Wake every blocked receiver so they observe disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and all senders
+        /// are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive; `None` when nothing is queued right now.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.inner.lock().unwrap().queue.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = match self.shared.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            inner.receivers -= 1;
+        }
+    }
+
+    impl<T> std::iter::IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Draining iterator over a receiver; ends at disconnect.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +366,84 @@ mod tests {
         })
         .unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deque_owner_pops_fifo_and_stealers_take_from_far_end() {
+        let w = deque::Worker::new_fifo();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 4);
+        // Owner pops in push order (FIFO).
+        assert_eq!(w.pop(), Some(0));
+        // Stealer takes from the opposite end.
+        let s = w.stealer();
+        assert_eq!(s.steal().success(), Some(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal().success(), Some(2));
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deque_steals_race_without_duplication() {
+        let w = deque::Worker::new_fifo();
+        const N: usize = 500;
+        for i in 0..N {
+            w.push(i);
+        }
+        let total = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            let (total, count) = (&total, &count);
+            for _ in 0..4 {
+                let st = w.stealer();
+                s.spawn(move |_| loop {
+                    match st.steal() {
+                        deque::Steal::Success(v) => {
+                            total.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        deque::Steal::Empty => break,
+                        deque::Steal::Retry => {}
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), N);
+        assert_eq!(total.load(Ordering::Relaxed), N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn channel_delivers_across_threads_and_disconnects() {
+        let (tx, rx) = channel::unbounded();
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            for base in [0usize, 100] {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..10 {
+                        tx.send(base + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // last sender dropped once both workers finish
+            s.spawn(|_| {
+                while let Ok(v) = rx.recv() {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 45 + 45 + 100 * 10);
+    }
+
+    #[test]
+    fn channel_send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert!(tx.send(1u32).is_err());
     }
 }

@@ -182,10 +182,11 @@ fn arb_package() -> impl Strategy<Value = ProfilePackage> {
             0..8,
         ),
     )
-        .prop_map(|(funcs, prop_counts)| TierProfile {
-            funcs,
-            prop_counts,
-            ..Default::default()
+        .prop_map(|(funcs, prop_counts)| {
+            let mut t = TierProfile::default();
+            t.funcs = funcs;
+            t.prop_counts = prop_counts;
+            t
         });
     let ctx = prop::collection::hash_map(
         (
