@@ -24,7 +24,7 @@ cargo run -q -p bench --bin jslint -- --demo
 echo "== benches compile =="
 cargo bench --workspace --no-run -q
 
-echo "== jsboot smoke (parallel boot determinism + throughput) =="
+echo "== jsboot smoke (boot determinism, cache exactness, compile-throughput floor) =="
 cargo run -q -p bench --bin jsboot --release -- --check
 
 echo "CI OK"

@@ -31,6 +31,7 @@
 pub mod assign;
 pub mod callgraph;
 pub mod dataflow;
+pub mod fingerprint;
 pub mod lint;
 pub mod reach;
 pub mod stale;
@@ -39,6 +40,7 @@ pub mod types;
 pub use assign::{use_before_assign, UseBeforeAssign};
 pub use callgraph::{CallGraph, CallSite, CallSiteKind};
 pub use dataflow::{solve, Analysis, DataflowResults, Direction, JoinSemiLattice};
+pub use fingerprint::{layout_fingerprint, unit_layout_fingerprint};
 pub use lint::{
     is_own_layer_order, lint_profile, lint_profile_with, Diagnostic, LintOptions, LintReport,
     ProfileView, Rule, Severity,

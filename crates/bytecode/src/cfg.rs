@@ -190,26 +190,35 @@ impl Cfg {
     }
 }
 
-// FNV-1a, enough for structural fingerprints (no adversarial inputs).
-struct Fnv(u64);
+/// FNV-1a, enough for structural fingerprints (no adversarial inputs).
+///
+/// This is the hash behind [`Cfg::block_hashes`]; it is exported so other
+/// structural fingerprints (e.g. the consumer's layout-plan cache keys)
+/// stay in the same hash family instead of growing parallel hashers.
+pub struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    /// A hasher at the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn u8(&mut self, b: u8) {
+    /// Absorbs one byte.
+    pub fn u8(&mut self, b: u8) {
         self.0 ^= b as u64;
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
-    fn u64(&mut self, v: u64) {
+    /// Absorbs a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.u8(b);
         }
     }
 
-    fn finish(&self) -> u64 {
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -312,6 +312,10 @@ pub fn consume<'r>(
         .into_iter()
         .filter(|f| tier.funcs.contains_key(f))
         .collect();
+    // The compile caches (inline-body templates + layout plans) are
+    // per-boot and shared across the translation workers; they memoize
+    // exactly, so the emitted layout is byte-identical with them off.
+    let caches = opts.compile_caches.then(pipeline::CompileCaches::default);
     let job = PipelineJob {
         repo,
         tier,
@@ -321,6 +325,7 @@ pub fn consume<'r>(
         resolver: &resolver,
         early_serve_frac: opts.early_serve_frac,
         poison_crash,
+        caches: caches.as_ref(),
     };
     let result = pipeline::run(&job, &mut engine, threads).map_err(|()| ConsumerError::JitCrash)?;
 
@@ -342,6 +347,7 @@ pub fn consume<'r>(
         compile_bytes: result.compile_bytes,
         workers: result.workers,
         early_serve: result.early_serve,
+        caches: caches.as_ref().map(pipeline::CompileCaches::stats),
     };
     Ok(ConsumerOutcome {
         engine,
@@ -454,6 +460,56 @@ mod tests {
             par.boot.workers.iter().map(|w| w.translated).sum::<usize>(),
             par.compiled_funcs
         );
+    }
+
+    #[test]
+    fn compile_caches_preserve_layout_and_report_stats() {
+        let (repo, pkg) = make_package();
+        let uncached = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions {
+                compile_caches: false,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let cached = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap();
+        // The caches are exact memoization: the emitted code cache must be
+        // byte-identical with them on or off.
+        assert_eq!(
+            cached.engine.code_cache.layout_digest(),
+            uncached.engine.code_cache.layout_digest()
+        );
+        assert_eq!(cached.compile_bytes, uncached.compile_bytes);
+        // Telemetry: off → absent; on → present, with every planned unit
+        // passing through the plan cache.
+        assert!(uncached.boot.caches.is_none());
+        let stats = cached.boot.caches.expect("caches on by default");
+        assert!(stats.plan_hits + stats.plan_misses >= cached.compiled_funcs as u64);
+        // A cached parallel boot still matches the uncached layout.
+        let par = consume(
+            &repo,
+            &pkg,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(
+            par.engine.code_cache.layout_digest(),
+            uncached.engine.code_cache.layout_digest()
+        );
+        assert!(par.boot.caches.is_some());
     }
 
     #[test]

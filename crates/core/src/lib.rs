@@ -41,7 +41,10 @@ pub use config::{FuncSort, JumpStartOptions, PropReorder};
 pub use consumer::{consume, consume_bytes, ConsumerError, ConsumerOutcome};
 pub use crc32::crc32;
 pub use package::{Coverage, PackageMeta, Poison, PreloadLists, ProfilePackage};
-pub use pipeline::{early_serve_prefix, BootStats, EarlyServe, WorkerStats};
+pub use pipeline::{
+    early_serve_prefix, BootStats, CacheStats, CompileCaches, EarlyServe, TemplateCache,
+    WorkerStats,
+};
 pub use seeder::{build_package, SeederInputs};
 pub use store::{PackageStore, StoredPackage};
 pub use validate::{ValidationError, ValidationReport, Validator};

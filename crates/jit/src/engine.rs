@@ -118,17 +118,25 @@ impl LayoutPlan {
 /// source order) then hot/cold splitting (or none). Pure function of the
 /// options and the unit, so it can run on any thread.
 pub fn plan_layout(options: &JitOptions, unit: &VasmUnit) -> LayoutPlan {
+    plan_layout_parts(options, &unit.layout_blocks(), &unit.layout_edges())
+}
+
+/// [`plan_layout`] on pre-extracted layout inputs. The plan is a pure
+/// function of `(options, blocks, edges)` — the basis for the consumer's
+/// layout-plan cache, which keys plans by a fingerprint of exactly these
+/// inputs.
+pub fn plan_layout_parts(
+    options: &JitOptions,
+    blocks: &[layout::BlockNode],
+    edges: &[layout::BlockEdge],
+) -> LayoutPlan {
     let order: Vec<usize> = if options.use_exttsp {
-        layout::exttsp_order(
-            &unit.layout_blocks(),
-            &unit.layout_edges(),
-            &ExtTspParams::default(),
-        )
+        layout::exttsp_order(blocks, edges, &ExtTspParams::default())
     } else {
-        (0..unit.blocks.len()).collect()
+        (0..blocks.len()).collect()
     };
     let (hot, cold) = if options.use_hotcold {
-        let weights: Vec<u64> = unit.blocks.iter().map(|b| b.est_weight).collect();
+        let weights: Vec<u64> = blocks.iter().map(|b| b.weight).collect();
         let split = split_hot_cold(
             &order,
             &weights,
@@ -139,8 +147,8 @@ pub fn plan_layout(options: &JitOptions, unit: &VasmUnit) -> LayoutPlan {
     } else {
         (order, Vec::new())
     };
-    let hot_bytes = hot.iter().map(|&b| unit.blocks[b].size() as u64).sum();
-    let cold_bytes = cold.iter().map(|&b| unit.blocks[b].size() as u64).sum();
+    let hot_bytes = hot.iter().map(|&b| blocks[b].size as u64).sum();
+    let cold_bytes = cold.iter().map(|&b| blocks[b].size as u64).sum();
     LayoutPlan {
         hot,
         cold,

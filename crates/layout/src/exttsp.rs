@@ -101,13 +101,274 @@ pub fn exttsp_score(
     score
 }
 
+/// Contribution of one laid-out edge to the Ext-TSP objective: full weight
+/// for an exact fallthrough, decayed weight for short forward/backward
+/// jumps, nothing for long jumps. Shared by the scorer and the optimizer so
+/// both produce bit-identical sums.
+#[inline]
+fn edge_gain(src_end: u64, dst: u64, w: f64, params: &ExtTspParams) -> f64 {
+    if dst == src_end {
+        w
+    } else if dst > src_end {
+        let d = dst - src_end;
+        if d < params.forward_dist {
+            params.forward_weight * w * (1.0 - d as f64 / params.forward_dist as f64)
+        } else {
+            0.0
+        }
+    } else {
+        let d = src_end - dst;
+        if d < params.backward_dist {
+            params.backward_weight * w * (1.0 - d as f64 / params.backward_dist as f64)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Computes a block order maximizing the Ext-TSP score (greedy chain
 /// merging). Block `0` (the entry) is always first in the result.
+///
+/// The greedy objective is identical to [`exttsp_order_reference`], but the
+/// inner loop is incremental: chain scores are cached when a chain is
+/// created, pair gains are memoized in a matrix and only the rows touching
+/// the merged chain are recomputed, and a merged pair is scored by walking
+/// just the edges adjacent to the two chains (in global edge order, so
+/// every floating-point sum is performed in exactly the reference order —
+/// the result is **bit-identical**, which the consumer's code-cache layout
+/// digest depends on).
 ///
 /// # Panics
 ///
 /// Panics if an edge references a block index out of range.
 pub fn exttsp_order(
+    blocks: &[BlockNode],
+    edges: &[BlockEdge],
+    params: &ExtTspParams,
+) -> Vec<usize> {
+    let n = blocks.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    for e in edges {
+        assert!(e.src < n && e.dst < n, "edge references unknown block");
+    }
+    if n > params.max_exact_blocks {
+        return greedy_fallthrough(blocks, edges);
+    }
+
+    // Chains, each a list of block indices; chain_of maps block -> chain id.
+    let mut chains: Vec<Option<Vec<usize>>> = (0..n).map(|b| Some(vec![b])).collect();
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    // Byte offset of each block within its chain, and each chain's size.
+    let mut pos: Vec<u64> = vec![0; n];
+    let mut chain_size: Vec<u64> = blocks.iter().map(|b| b.size as u64).collect();
+    // Edge indices adjacent to each chain, ascending (global edge order).
+    let mut touch: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        touch[e.src].push(i as u32);
+        if e.dst != e.src {
+            touch[e.dst].push(i as u32);
+        }
+    }
+
+    // Score of the concatenation a ++ b (or of a alone when a == b),
+    // summing edge contributions in ascending global edge index — the
+    // exact iteration order of the reference `chain_score`.
+    let merged_score = |a: usize,
+                        b: usize,
+                        chain_of: &[usize],
+                        pos: &[u64],
+                        chain_size: &[u64],
+                        touch: &[Vec<u32>]|
+     -> f64 {
+        let (ta, tb) = (&touch[a], &touch[b]);
+        let place = |blk: usize| -> Option<u64> {
+            let c = chain_of[blk];
+            if c == a {
+                Some(pos[blk])
+            } else if c == b {
+                Some(chain_size[a] + pos[blk])
+            } else {
+                None
+            }
+        };
+        let mut s = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            // Two-pointer merge of the sorted adjacency lists, deduped.
+            let ei = match (ta.get(i), if a == b { None } else { tb.get(j) }) {
+                (Some(&x), Some(&y)) => {
+                    if x <= y {
+                        i += 1;
+                        if x == y {
+                            j += 1;
+                        }
+                        x
+                    } else {
+                        j += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            let e = &edges[ei as usize];
+            let (Some(sp), Some(dp)) = (place(e.src), place(e.dst)) else {
+                continue;
+            };
+            s += edge_gain(sp + blocks[e.src].size as u64, dp, e.weight as f64, params);
+        }
+        s
+    };
+
+    // Cached per-chain scores (singletons only see their self-loops).
+    let mut score: Vec<f64> = (0..n)
+        .map(|c| merged_score(c, c, &chain_of, &pos, &chain_size, &touch))
+        .collect();
+
+    // Memoized pair gains. gain(a, b) depends only on the contents of
+    // chains a and b, so a merge invalidates exactly one row and column.
+    let mut gain: Vec<f64> = vec![f64::NEG_INFINITY; n * n];
+    let pair_gain = |a: usize,
+                     b: usize,
+                     chain_of: &[usize],
+                     pos: &[u64],
+                     chain_size: &[u64],
+                     touch: &[Vec<u32>],
+                     score: &[f64]|
+     -> f64 {
+        merged_score(a, b, chain_of, pos, chain_size, touch) - score[a] - score[b]
+    };
+    let mut live: Vec<usize> = (0..n).collect();
+    for &a in &live {
+        for &b in &live {
+            if a != b && b != chain_of[0] {
+                gain[a * n + b] = pair_gain(a, b, &chain_of, &pos, &chain_size, &touch, &score);
+            }
+        }
+    }
+
+    loop {
+        // Find the best merge (a, b) -> concat(a, b); scan order and the
+        // strict `>` tie-break match the reference exactly.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &a in &live {
+            for &b in &live {
+                if a == b || b == chain_of[0] {
+                    continue;
+                }
+                let g = gain[a * n + b];
+                if g > 1e-9 && best.is_none_or(|(_, _, bg)| g > bg) {
+                    best = Some((a, b, g));
+                }
+            }
+        }
+        let Some((a, b, _)) = best else { break };
+        // The merged chain keeps slot `a`; its score is the pair score we
+        // already agreed on (recomputed — still bit-identical).
+        let new_score = merged_score(a, b, &chain_of, &pos, &chain_size, &touch);
+        let cb = chains[b].take().expect("live");
+        let shift = chain_size[a];
+        for &blk in &cb {
+            chain_of[blk] = a;
+            pos[blk] += shift;
+        }
+        chain_size[a] += chain_size[b];
+        score[a] = new_score;
+        let tb = std::mem::take(&mut touch[b]);
+        let ta = std::mem::take(&mut touch[a]);
+        touch[a] = merge_sorted(&ta, &tb);
+        live.retain(|&c| c != b);
+        // Only pairs involving the merged chain changed.
+        for &c in &live {
+            if c == a {
+                continue;
+            }
+            if a != chain_of[0] {
+                gain[c * n + a] = pair_gain(c, a, &chain_of, &pos, &chain_size, &touch, &score);
+            }
+            if c != chain_of[0] {
+                gain[a * n + c] = pair_gain(a, c, &chain_of, &pos, &chain_size, &touch, &score);
+            }
+        }
+        let cb_blocks = cb;
+        let ca = chains[a].as_mut().expect("live");
+        ca.extend(cb_blocks);
+    }
+
+    concat_chains(chains, blocks)
+}
+
+/// Merges two ascending `u32` lists, dropping duplicates.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    if x == y {
+                        j += 1;
+                    }
+                    out.push(x);
+                } else {
+                    j += 1;
+                    out.push(y);
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                out.push(x);
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                out.push(y);
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Final concatenation: the entry chain first, then the rest by hotness
+/// density (shared by the fast path and the reference implementation).
+fn concat_chains(chains: Vec<Option<Vec<usize>>>, blocks: &[BlockNode]) -> Vec<usize> {
+    let mut rest: Vec<Vec<usize>> = Vec::new();
+    let mut first: Option<Vec<usize>> = None;
+    for c in chains.into_iter().flatten() {
+        if c[0] == 0 || c.contains(&0) {
+            first = Some(c);
+        } else {
+            rest.push(c);
+        }
+    }
+    rest.sort_by(|a, b| {
+        let da = density(a, blocks);
+        let db = density(b, blocks);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut order = first.expect("entry chain exists");
+    for c in rest {
+        order.extend(c);
+    }
+    debug_assert_eq!(order.len(), blocks.len());
+    order
+}
+
+/// The original O(chains² · edges) greedy merge, kept as the executable
+/// specification: [`exttsp_order`] must return bit-identical output (the
+/// oracle proptests compare them). Exposed for tests and benches only.
+#[doc(hidden)]
+pub fn exttsp_order_reference(
     blocks: &[BlockNode],
     edges: &[BlockEdge],
     params: &ExtTspParams,

@@ -21,10 +21,14 @@ mod c3;
 mod exttsp;
 mod hotcold;
 mod pettis;
+mod plan_cache;
 mod propreorder;
 
 pub use c3::{c3_order, CallArc, FuncNode};
+#[doc(hidden)]
+pub use exttsp::exttsp_order_reference;
 pub use exttsp::{exttsp_order, exttsp_score, BlockEdge, BlockNode, ExtTspParams};
 pub use hotcold::{split_hot_cold, HotColdSplit};
 pub use pettis::pettis_hansen_order;
+pub use plan_cache::{CachedPlan, PlanCache, PlanKey};
 pub use propreorder::{reorder_props_by_affinity, reorder_props_by_hotness, PropAccess};

@@ -1,0 +1,197 @@
+//! A sharded, read-mostly cache of computed block-layout plans.
+//!
+//! The consumer boot spends most of its CPU in [`crate::exttsp_order`], and
+//! many optimized units share identical layout inputs (same block sizes,
+//! weights and edges — e.g. every instantiation of a small accessor).
+//! Caching the computed plan by a structural fingerprint of those inputs
+//! removes that repeated work while provably preserving the emitted
+//! layout: keys compare the **full inputs**, not just the fingerprint, so
+//! a hash collision degrades to a miss, never to a wrong plan.
+//!
+//! The cache stores layout-level outputs ([`CachedPlan`]); the JIT's
+//! `LayoutPlan` is a field-for-field mirror (this crate sits below the JIT
+//! in the dependency order and cannot name that type).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::exttsp::{BlockEdge, BlockNode};
+
+/// Key of one cached plan: a precomputed fingerprint of the layout inputs
+/// plus the inputs themselves and a caller-chosen tag for anything else
+/// the plan depends on (layout options, parameter sets).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanKey {
+    /// Structural fingerprint of `(tag, blocks, edges)`; used for shard
+    /// selection and hashing only — equality checks the full inputs.
+    pub fingerprint: u64,
+    /// Caller tag covering plan inputs outside `blocks`/`edges` (e.g. the
+    /// layout options in effect). Plans computed under different tags
+    /// never alias.
+    pub tag: u64,
+    /// The block nodes the plan was computed from.
+    pub blocks: Vec<BlockNode>,
+    /// The edges the plan was computed from.
+    pub edges: Vec<BlockEdge>,
+}
+
+// All fields compare exactly (no NaN-style partial equality), so the
+// derived PartialEq is a valid total equality.
+impl Eq for PlanKey {}
+
+impl Hash for PlanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint ^ self.tag);
+    }
+}
+
+/// The outputs a plan cache stores — mirrors the JIT's `LayoutPlan`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedPlan {
+    /// Blocks placed in the hot region, in order.
+    pub hot: Vec<usize>,
+    /// Blocks split off to the cold region, in order.
+    pub cold: Vec<usize>,
+    /// Total bytes of the hot blocks.
+    pub hot_bytes: u64,
+    /// Total bytes of the cold blocks.
+    pub cold_bytes: u64,
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded `RwLock` cache of layout plans, safe to share across
+/// translation worker threads (reads take shared locks; a miss takes one
+/// shard's write lock only after computing the plan outside any lock).
+pub struct PlanCache {
+    shards: Vec<RwLock<HashMap<PlanKey, CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &RwLock<HashMap<PlanKey, CachedPlan>> {
+        &self.shards[(key.fingerprint ^ key.tag) as usize % SHARDS]
+    }
+
+    /// Returns the cached plan for `key`, or computes, caches and returns
+    /// it. `compute` receives the key (so it can plan from the stored
+    /// inputs) and runs outside any lock — concurrent misses on the same
+    /// key may compute twice; the plan is a pure function of the key, so
+    /// either result is correct and the first insert wins.
+    pub fn get_or_insert_with(
+        &self,
+        key: PlanKey,
+        compute: impl FnOnce(&PlanKey) -> CachedPlan,
+    ) -> CachedPlan {
+        let shard = self.shard(&key);
+        if let Some(hit) = shard.read().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let plan = compute(&key);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .write()
+            .expect("plan cache poisoned")
+            .entry(key)
+            .or_insert(plan)
+            .clone()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute a plan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct plans cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("plan cache poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u64, tag: u64, w: u64) -> PlanKey {
+        PlanKey {
+            fingerprint: fp,
+            tag,
+            blocks: vec![BlockNode { size: 4, weight: w }],
+            edges: vec![],
+        }
+    }
+
+    fn plan(hot: Vec<usize>) -> CachedPlan {
+        CachedPlan {
+            hot,
+            cold: vec![],
+            hot_bytes: 4,
+            cold_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_cached_value_without_recompute() {
+        let cache = PlanCache::new();
+        let p = cache.get_or_insert_with(key(7, 0, 1), |_| plan(vec![0]));
+        assert_eq!(p.hot, vec![0]);
+        let p2 = cache.get_or_insert_with(key(7, 0, 1), |_| unreachable!("must hit"));
+        assert_eq!(p, p2);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_miss_not_a_wrong_plan() {
+        // Same fingerprint, different inputs: full-key equality must keep
+        // the entries separate.
+        let cache = PlanCache::new();
+        cache.get_or_insert_with(key(7, 0, 1), |_| plan(vec![0]));
+        let p = cache.get_or_insert_with(key(7, 0, 2), |_| plan(vec![0, 1]));
+        assert_eq!(p.hot, vec![0, 1]);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 2, 2));
+    }
+
+    #[test]
+    fn tag_separates_otherwise_identical_keys() {
+        let cache = PlanCache::new();
+        cache.get_or_insert_with(key(7, 1, 1), |_| plan(vec![0]));
+        let p = cache.get_or_insert_with(key(7, 2, 1), |k| {
+            assert_eq!(k.tag, 2);
+            plan(vec![0, 1])
+        });
+        assert_eq!(p.hot, vec![0, 1]);
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -62,6 +62,32 @@ proptest! {
     }
 
     #[test]
+    fn exttsp_matches_reference_bit_for_bit((blocks, edges) in arb_cfg(28)) {
+        // The incremental merge must reproduce the reference greedy loop
+        // exactly — same merges, same tie-breaks, same final order — since
+        // consumer boots rely on the layout being byte-identical whether
+        // or not the fast path / plan cache is used.
+        let p = ExtTspParams::default();
+        let fast = exttsp_order(&blocks, &edges, &p);
+        let slow = layout::exttsp_order_reference(&blocks, &edges, &p);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn exttsp_matches_reference_on_heavy_weights((blocks, edges) in arb_cfg(20)) {
+        // Large weights stress the floating-point path: near-zero gains
+        // from sum reassociation must round identically in both loops.
+        let p = ExtTspParams::default();
+        let heavy: Vec<BlockEdge> = edges
+            .iter()
+            .map(|e| BlockEdge { src: e.src, dst: e.dst, weight: e.weight * 1_048_573 })
+            .collect();
+        let fast = exttsp_order(&blocks, &heavy, &p);
+        let slow = layout::exttsp_order_reference(&blocks, &heavy, &p);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn hot_cold_partitions_exactly(weights in prop::collection::vec(0u64..100, 1..40)) {
         let order: Vec<usize> = (0..weights.len()).collect();
         let s = split_hot_cold(&order, &weights, 0, 0.0);
