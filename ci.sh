@@ -24,7 +24,26 @@ cargo run -q -p bench --bin jslint -- --demo
 echo "== benches compile =="
 cargo bench --workspace --no-run -q
 
-echo "== jsboot smoke (boot determinism, cache exactness, compile-throughput floor) =="
-cargo run -q -p bench --bin jsboot --release -- --check
+echo "== jsboot smoke (boot determinism, cache exactness, compile-throughput floor, decode timing) =="
+cargo run -q -p bench --bin jsboot --release -- --check --trace TRACE_boot.json
+
+echo "== trace schema gate (well-formed JSON, matched B/E, monotonic per-track timestamps) =="
+cargo run -q -p bench --bin jstrace --release -- TRACE_boot.json --validate
+rm -f TRACE_boot.json
+
+echo "== boot baseline decode gate (BENCH_boot.json must time the decode) =="
+if [ -f BENCH_boot.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_boot.json"))
+rows = doc["thread_sweep"] + doc["early_serve_sweep"] + [doc["uncached_sequential"]]
+assert rows, "no boot rows in BENCH_boot.json"
+for row in rows:
+    assert row["decode_ns"] > 0, f"boot row has decode_ns == 0: {row}"
+for row in doc["early_serve_sweep"]:
+    assert row["early_serve"] is not None, f"early-serve row missing crossing: {row}"
+print(f"decode gate ok: {len(rows)} boot rows, all decode_ns > 0")
+EOF
+fi
 
 echo "CI OK"

@@ -14,37 +14,70 @@
 //!   jsboot --check    CI smoke: small lab; asserts parallel and cache-off
 //!                     boots stay byte-identical to sequential, that
 //!                     translation sustains a minimum translated-bytes-
-//!                     per-CPU-second rate, and (only on >= 2 hardware
-//!                     cores) that the best parallel throughput beats
-//!                     sequential. Writes nothing. Exits nonzero on any
-//!                     violation.
+//!                     per-CPU-second rate, that decode time is measured,
+//!                     and (only on >= 2 hardware cores) that the best
+//!                     parallel throughput beats sequential. Writes
+//!                     nothing. Exits nonzero on any violation.
+//!   jsboot --trace F  additionally runs one traced parallel boot and
+//!                     writes the Chrome trace (Perfetto-loadable, one
+//!                     track per pipeline worker) to F. Composes with
+//!                     --small / --check.
 
 use bench::Lab;
+use bytes::Bytes;
 use jit::JitOptions;
-use jumpstart::{consume, BootStats, ConsumerOutcome, JumpStartOptions};
+use jumpstart::{consume_bytes, BootStats, ConsumerOutcome, JumpStartOptions};
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const EARLY_SWEEP: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
 
 fn boot<'a>(
     lab: &'a Lab,
-    pkg: &jumpstart::ProfilePackage,
+    pkg_bytes: &Bytes,
     opts: &JumpStartOptions,
     threads: usize,
 ) -> ConsumerOutcome<'a> {
-    consume(&lab.app.repo, pkg, JitOptions::default(), opts, threads)
-        .expect("healthy package boots")
+    // Boot from serialized bytes, as a real consumer does: the decode is
+    // part of the measured boot (BootStats::decode_ns).
+    consume_bytes(
+        &lab.app.repo,
+        pkg_bytes,
+        JitOptions::default(),
+        opts,
+        threads,
+    )
+    .expect("healthy package boots")
+}
+
+fn usage() -> ! {
+    eprintln!("usage: jsboot [--small | --check] [--trace FILE]");
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--small") {
-        eprintln!("jsboot: unknown argument `{bad}`");
-        eprintln!("usage: jsboot [--small | --check]");
-        std::process::exit(2);
+    let mut check = false;
+    let mut small = false;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--small" => small = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("jsboot: --trace needs a file argument");
+                    usage();
+                }
+            },
+            bad => {
+                eprintln!("jsboot: unknown argument `{bad}`");
+                usage();
+            }
+        }
     }
-    let check = args.iter().any(|a| a == "--check");
-    let small = check || args.iter().any(|a| a == "--small");
+    let small = check || small;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let lab = if small {
@@ -53,6 +86,7 @@ fn main() {
         Lab::bench_scale()
     };
     let pkg = lab.package(&JumpStartOptions::default());
+    let pkg = pkg.serialize();
     println!(
         "jsboot: {} lab, {} hardware cores",
         if small { "small" } else { "bench-scale" },
@@ -121,7 +155,35 @@ fn main() {
         early_boots.push(out.boot);
     }
 
+    // Traced boot: one representative parallel boot with the tracer on,
+    // exported as a Chrome trace (chrome://tracing or ui.perfetto.dev).
+    if let Some(path) = &trace_path {
+        let (out, trace) =
+            telemetry::capture(|| boot(&lab, &pkg, &JumpStartOptions::default(), es_threads));
+        assert_eq!(
+            out.engine.code_cache.layout_digest(),
+            baseline_digest,
+            "traced boot must not perturb the layout"
+        );
+        let chrome = trace.to_chrome_json();
+        std::fs::write(path, &chrome).expect("write trace file");
+        println!(
+            "wrote {path}: {} events on {} tracks ({} dropped)",
+            trace.event_count(),
+            trace.tracks.len(),
+            trace.dropped
+        );
+    }
+
     if check {
+        assert!(
+            thread_boots[0].decode_ns > 0,
+            "boot must decode the serialized package (decode_ns was 0)"
+        );
+        println!(
+            "check ok: decode measured ({} ns sequential)",
+            thread_boots[0].decode_ns
+        );
         let seq = thread_boots[0].bytes_per_sec();
         let best = thread_boots
             .iter()

@@ -1,0 +1,193 @@
+//! `jstrace` — boot-trace analyzer for Chrome traces written by
+//! `jsboot --trace` (or any trace from the telemetry crate).
+//!
+//! Reads the trace, pairs begin/end events per track, and reports:
+//! the boot's phase critical path (decode → lint → prop slots →
+//! pipeline), the top-N slowest function compiles, and per-worker stall
+//! attribution (how much of the pipeline wall each worker spent busy).
+//!
+//! Usage:
+//!   jstrace FILE              analyze a Chrome trace
+//!   jstrace FILE --validate   schema-check only (CI gate): well-formed
+//!                             JSON, matched B/E pairs, monotonic
+//!                             timestamps per track. Exits nonzero on
+//!                             any violation.
+//!   jstrace FILE --top N      report the N slowest compiles (default 10)
+
+use std::collections::HashMap;
+
+use telemetry::json::{parse, Json};
+
+/// One paired begin/end span, flattened out of the event stream.
+struct FlatSpan {
+    name: String,
+    pid: u64,
+    tid: u64,
+    dur_us: f64,
+    func: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: jstrace FILE [--validate] [--top N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut validate = false;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--validate" => validate = true,
+            "--top" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => top = n,
+                None => {
+                    eprintln!("jstrace: --top needs a number");
+                    usage();
+                }
+            },
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            bad => {
+                eprintln!("jstrace: unknown argument `{bad}`");
+                usage();
+            }
+        }
+    }
+    let Some(file) = file else { usage() };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jstrace: cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Schema validation runs in both modes: analysis of a malformed
+    // trace would silently misattribute time.
+    let summary = match telemetry::validate_chrome(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("jstrace: {file} failed Chrome-trace validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{file}: valid Chrome trace — {} events, {} tracks, {} span pairs, {} instants",
+        summary.events, summary.tracks, summary.span_pairs, summary.instants
+    );
+    if validate {
+        return;
+    }
+
+    let doc = parse(&text).expect("validated JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .unwrap_or(&doc)
+        .as_arr()
+        .expect("validated trace has an event array");
+
+    // Pair B/E per (pid, tid) and pick up track names from metadata.
+    type OpenSpan = (String, f64, Option<u64>);
+    let mut stacks: HashMap<(u64, u64), Vec<OpenSpan>> = HashMap::new();
+    let mut track_names: HashMap<(u64, u64), String> = HashMap::new();
+    let mut spans: Vec<FlatSpan> = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        let pid = ev.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        match ph {
+            "M" if name == "thread_name" => {
+                if let Some(n) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    track_names.insert((pid, tid), n.to_string());
+                }
+            }
+            "B" => {
+                let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+                let func = ev
+                    .get("args")
+                    .and_then(|a| a.get("func"))
+                    .and_then(Json::as_u64);
+                stacks
+                    .entry((pid, tid))
+                    .or_default()
+                    .push((name.to_string(), ts, func));
+            }
+            "E" => {
+                let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+                if let Some((name, start, func)) = stacks.get_mut(&(pid, tid)).and_then(Vec::pop) {
+                    spans.push(FlatSpan {
+                        name,
+                        pid,
+                        tid,
+                        dur_us: ts - start,
+                        func,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Phase critical path: the sequential boot phases, in order.
+    let phase_dur = |name: &str| -> Option<f64> {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_us)
+            .fold(None, |m: Option<f64>, d| Some(m.map_or(d, |m| m.max(d))))
+    };
+    println!("\nboot critical path:");
+    let mut total = 0.0;
+    for phase in ["decode", "lint-repair", "prop-slots", "pipeline"] {
+        if let Some(d) = phase_dur(phase) {
+            total += d;
+            println!("  {phase:<12} {d:>12.1} us");
+        }
+    }
+    println!("  {:<12} {total:>12.1} us", "total");
+
+    // Top-N slowest compiles.
+    let mut compiles: Vec<&FlatSpan> = spans.iter().filter(|s| s.name == "compile").collect();
+    compiles.sort_by(|a, b| b.dur_us.total_cmp(&a.dur_us));
+    println!("\nslowest compiles (top {}):", top.min(compiles.len()));
+    for s in compiles.iter().take(top) {
+        let func = s.func.map_or_else(|| "?".to_string(), |f| f.to_string());
+        let track = track_names
+            .get(&(s.pid, s.tid))
+            .cloned()
+            .unwrap_or_else(|| format!("track {}", s.tid));
+        println!("  func {func:<8} {:>10.1} us  on {track}", s.dur_us);
+    }
+
+    // Stall attribution: how much of the pipeline wall each worker spent
+    // translating. The remainder is steal attempts, emitter waits, and
+    // scheduling — the pipeline's coordination overhead.
+    if let Some(pipeline_us) = phase_dur("pipeline") {
+        let mut busy: HashMap<(u64, u64), (f64, usize)> = HashMap::new();
+        for s in spans.iter().filter(|s| s.name == "compile") {
+            let e = busy.entry((s.pid, s.tid)).or_insert((0.0, 0));
+            e.0 += s.dur_us;
+            e.1 += 1;
+        }
+        let mut rows: Vec<(&String, f64, usize)> = busy
+            .iter()
+            .filter_map(|(key, (us, n))| track_names.get(key).map(|name| (name, *us, *n)))
+            .filter(|(name, _, _)| name.starts_with("worker"))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        if !rows.is_empty() && pipeline_us > 0.0 {
+            println!("\nworker stall attribution (pipeline wall {pipeline_us:.1} us):");
+            for (name, us, n) in rows {
+                let pct = us / pipeline_us * 100.0;
+                println!("  {name:<10} {n:>5} compiles  {us:>10.1} us busy  ({pct:>5.1}% of wall)");
+            }
+        }
+    }
+}

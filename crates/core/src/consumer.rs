@@ -77,7 +77,13 @@ pub struct ConsumerOutcome<'r> {
     pub repair: Option<RepairReport>,
     /// Boot-phase timeline: decode, lint/repair, prop slots, per-worker
     /// translate busy/steal/stall, emit, bytes (the `jsboot` telemetry).
+    /// Rendered from [`ConsumerOutcome::registry`].
     pub boot: BootStats,
+    /// The per-boot metrics registry: the `boot.*` gauges behind `boot`,
+    /// plus pipeline-time histograms (`pipeline.translate_ns`,
+    /// `pipeline.emit_ns`) and the `pipeline.steals` counter. Fleet runs
+    /// snapshot this per server and aggregate across the fleet.
+    pub registry: telemetry::Registry,
 }
 
 /// The profile parts of a package after lint-and-repair, owned because
@@ -185,11 +191,16 @@ pub fn consume_bytes<'r>(
     threads: usize,
 ) -> Result<ConsumerOutcome<'r>, ConsumerError> {
     let t0 = Instant::now();
+    let decode_span = telemetry::span!("decode", "bytes" => data.len());
     let pkg = ProfilePackage::deserialize_shared(data)?;
+    drop(decode_span);
     let decode_ns = t0.elapsed().as_nanos() as u64;
     let mut out = consume(repo, &pkg, jit_opts, opts, threads)?;
     out.boot.decode_ns = decode_ns;
     out.boot.total_ns += decode_ns;
+    // Keep the registry view in sync — BootStats is rendered from it.
+    out.registry.gauge("boot.decode_ns").set(decode_ns);
+    out.registry.gauge("boot.total_ns").set(out.boot.total_ns);
     Ok(out)
 }
 
@@ -216,6 +227,8 @@ pub fn consume<'r>(
     threads: usize,
 ) -> Result<ConsumerOutcome<'r>, ConsumerError> {
     let boot_start = Instant::now();
+    let registry = telemetry::Registry::default();
+    let _boot_span = telemetry::span!("consumer-boot", "threads" => threads.max(1));
     let poison_crash = pkg.meta.poison == Poison::CompileCrash;
     if poison_crash && threads <= 1 {
         // A sequential boot hits the compiler bug on the first unit; no
@@ -228,6 +241,7 @@ pub fn consume<'r>(
     // (stale-counter remap + pruning) before the consumer gives up and
     // lets the boot controller fall back (§VI-A.3).
     let lint_start = Instant::now();
+    let lint_span = telemetry::span!("lint-repair", "enabled" => opts.lint_repair);
     let mut repair = None;
     let owned: Option<OwnedProfile> = if opts.lint_repair
         && lint_errors(
@@ -279,12 +293,15 @@ pub fn consume<'r>(
         .as_ref()
         .map_or(&pkg.preload.unit_order, |o| &o.unit_order);
     let lint_repair_ns = lint_start.elapsed().as_nanos() as u64;
+    drop(lint_span);
 
     // Property layout must be installed before any translation resolves
     // slots (the same ordering constraint HHVM has, §V-C).
     let slots_start = Instant::now();
+    let slots_span = telemetry::span!("prop-slots", "orders" => prop_orders.len());
     let apply_props = opts.prop_reorder != PropReorder::Off;
     let prop_slots = resolve_prop_slots(repo, prop_orders, apply_props);
+    drop(slots_span);
     let prop_slots_ns = slots_start.elapsed().as_nanos() as u64;
 
     let weights = if opts.accurate_bb_weights {
@@ -326,6 +343,7 @@ pub fn consume<'r>(
         early_serve_frac: opts.early_serve_frac,
         poison_crash,
         caches: caches.as_ref(),
+        metrics: registry.clone(),
     };
     let result = pipeline::run(&job, &mut engine, threads).map_err(|()| ConsumerError::JitCrash)?;
 
@@ -334,7 +352,7 @@ pub fn consume<'r>(
     } else {
         Vec::new()
     };
-    let boot = BootStats {
+    let stats = BootStats {
         threads: threads.max(1),
         decode_ns: 0,
         lint_repair_ns,
@@ -349,6 +367,11 @@ pub fn consume<'r>(
         early_serve: result.early_serve,
         caches: caches.as_ref().map(pipeline::CompileCaches::stats),
     };
+    // The registry is the source of truth; BootStats is the rendered
+    // view. Recording then re-rendering must round-trip exactly.
+    stats.record(&registry);
+    let boot = BootStats::from_registry(&registry);
+    debug_assert_eq!(boot, stats);
     Ok(ConsumerOutcome {
         engine,
         prop_slots,
@@ -357,6 +380,7 @@ pub fn consume<'r>(
         compile_bytes: result.compile_bytes,
         repair,
         boot,
+        registry,
     })
 }
 

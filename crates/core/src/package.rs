@@ -91,6 +91,7 @@ impl ProfilePackage {
     /// exactly-sized buffer: no payload copy, no reallocation.
     pub fn serialize(&self) -> Bytes {
         let payload_len = self.encoded_len();
+        let _span = telemetry::span!("package-serialize", "bytes" => payload_len + ENVELOPE_LEN);
         let mut w = Writer::with_capacity(payload_len + ENVELOPE_LEN);
         begin_sealed(&mut w, payload_len);
         // --- meta ---

@@ -326,6 +326,100 @@ impl BootStats {
             caches,
         )
     }
+
+    /// Writes every field into `reg` as `boot.*` gauges (set semantics —
+    /// re-recording overwrites). The inverse of [`BootStats::from_registry`].
+    pub fn record(&self, reg: &telemetry::Registry) {
+        reg.gauge("boot.threads").set(self.threads as u64);
+        reg.gauge("boot.decode_ns").set(self.decode_ns);
+        reg.gauge("boot.lint_repair_ns").set(self.lint_repair_ns);
+        reg.gauge("boot.prop_slots_ns").set(self.prop_slots_ns);
+        reg.gauge("boot.pipeline_ns").set(self.pipeline_ns);
+        reg.gauge("boot.emit_ns").set(self.emit_ns);
+        reg.gauge("boot.emit_stall_ns").set(self.emit_stall_ns);
+        reg.gauge("boot.total_ns").set(self.total_ns);
+        reg.gauge("boot.compiled_funcs")
+            .set(self.compiled_funcs as u64);
+        reg.gauge("boot.compile_bytes").set(self.compile_bytes);
+        reg.gauge("boot.workers").set(self.workers.len() as u64);
+        for (i, w) in self.workers.iter().enumerate() {
+            reg.gauge(&format!("boot.worker.{i}.translated"))
+                .set(w.translated as u64);
+            reg.gauge(&format!("boot.worker.{i}.stolen"))
+                .set(w.stolen as u64);
+            reg.gauge(&format!("boot.worker.{i}.busy_ns"))
+                .set(w.busy_ns);
+            reg.gauge(&format!("boot.worker.{i}.steal_ns"))
+                .set(w.steal_ns);
+            reg.gauge(&format!("boot.worker.{i}.stall_ns"))
+                .set(w.stall_ns);
+        }
+        reg.gauge("boot.early_serve.present")
+            .set(self.early_serve.is_some() as u64);
+        if let Some(e) = &self.early_serve {
+            reg.gauge_f64("boot.early_serve.frac").set(e.frac);
+            reg.gauge("boot.early_serve.ready_funcs")
+                .set(e.ready_funcs as u64);
+            reg.gauge("boot.early_serve.ready_bytes").set(e.ready_bytes);
+            reg.gauge("boot.early_serve.ready_ns").set(e.ready_ns);
+            reg.gauge("boot.early_serve.background_funcs")
+                .set(e.background_funcs as u64);
+            reg.gauge("boot.early_serve.background_bytes")
+                .set(e.background_bytes);
+        }
+        reg.gauge("boot.cache.present")
+            .set(self.caches.is_some() as u64);
+        if let Some(c) = &self.caches {
+            reg.gauge("boot.cache.template_hits").set(c.template_hits);
+            reg.gauge("boot.cache.template_misses")
+                .set(c.template_misses);
+            reg.gauge("boot.cache.plan_hits").set(c.plan_hits);
+            reg.gauge("boot.cache.plan_misses").set(c.plan_misses);
+        }
+    }
+
+    /// Renders boot stats from the `boot.*` gauges in `reg` — BootStats is
+    /// a *view* of the registry, not an independent record.
+    pub fn from_registry(reg: &telemetry::Registry) -> BootStats {
+        let workers = (0..reg.value_u64("boot.workers") as usize)
+            .map(|i| WorkerStats {
+                translated: reg.value_u64(&format!("boot.worker.{i}.translated")) as usize,
+                stolen: reg.value_u64(&format!("boot.worker.{i}.stolen")) as usize,
+                busy_ns: reg.value_u64(&format!("boot.worker.{i}.busy_ns")),
+                steal_ns: reg.value_u64(&format!("boot.worker.{i}.steal_ns")),
+                stall_ns: reg.value_u64(&format!("boot.worker.{i}.stall_ns")),
+            })
+            .collect();
+        let early_serve = (reg.value_u64("boot.early_serve.present") == 1).then(|| EarlyServe {
+            frac: reg.scalar("boot.early_serve.frac").unwrap_or(0.0),
+            ready_funcs: reg.value_u64("boot.early_serve.ready_funcs") as usize,
+            ready_bytes: reg.value_u64("boot.early_serve.ready_bytes"),
+            ready_ns: reg.value_u64("boot.early_serve.ready_ns"),
+            background_funcs: reg.value_u64("boot.early_serve.background_funcs") as usize,
+            background_bytes: reg.value_u64("boot.early_serve.background_bytes"),
+        });
+        let caches = (reg.value_u64("boot.cache.present") == 1).then(|| CacheStats {
+            template_hits: reg.value_u64("boot.cache.template_hits"),
+            template_misses: reg.value_u64("boot.cache.template_misses"),
+            plan_hits: reg.value_u64("boot.cache.plan_hits"),
+            plan_misses: reg.value_u64("boot.cache.plan_misses"),
+        });
+        BootStats {
+            threads: reg.value_u64("boot.threads") as usize,
+            decode_ns: reg.value_u64("boot.decode_ns"),
+            lint_repair_ns: reg.value_u64("boot.lint_repair_ns"),
+            prop_slots_ns: reg.value_u64("boot.prop_slots_ns"),
+            pipeline_ns: reg.value_u64("boot.pipeline_ns"),
+            emit_ns: reg.value_u64("boot.emit_ns"),
+            emit_stall_ns: reg.value_u64("boot.emit_stall_ns"),
+            total_ns: reg.value_u64("boot.total_ns"),
+            compiled_funcs: reg.value_u64("boot.compiled_funcs") as usize,
+            compile_bytes: reg.value_u64("boot.compile_bytes"),
+            workers,
+            early_serve,
+            caches,
+        }
+    }
 }
 
 /// Length of the shortest prefix of `order` whose cumulative heat covers
@@ -385,6 +479,9 @@ pub(crate) struct PipelineJob<'a, 'r> {
     pub poison_crash: bool,
     /// Shared compile caches (templates + layout plans), when enabled.
     pub caches: Option<&'a CompileCaches>,
+    /// Per-boot metrics registry: translate/emit duration histograms and
+    /// steal counters land here as the pipeline runs.
+    pub metrics: telemetry::Registry,
 }
 
 /// Runs the compile pipeline, emitting into `engine` strictly in `work`
@@ -441,6 +538,11 @@ impl EmitTracker {
                 background_funcs: 0,
                 background_bytes: 0,
             });
+            telemetry::instant!(
+                "early-serve-ready",
+                "funcs" => self.compiled_funcs,
+                "bytes" => self.compile_bytes
+            );
         }
     }
 
@@ -448,6 +550,18 @@ impl EmitTracker {
         if let Some(e) = &mut self.early {
             e.background_funcs = self.compiled_funcs - e.ready_funcs;
             e.background_bytes = self.compile_bytes - e.ready_bytes;
+        } else if self.frac >= 1.0 {
+            // A full-fraction boot is "ready" exactly when the last unit
+            // lands: report a populated crossing (ready == total, nothing
+            // in background) instead of a null row.
+            self.early = Some(EarlyServe {
+                frac: self.frac,
+                ready_funcs: self.compiled_funcs,
+                ready_bytes: self.compile_bytes,
+                ready_ns: self.start.elapsed().as_nanos() as u64,
+                background_funcs: 0,
+                background_bytes: 0,
+            });
         }
         (self.compiled_funcs, self.compile_bytes, self.early)
     }
@@ -465,6 +579,7 @@ fn plan_options_tag(opts: &JitOptions) -> u64 {
 }
 
 fn translate_and_plan(job: &PipelineJob<'_, '_>, func: FuncId) -> (VasmUnit, LayoutPlan) {
+    let _span = telemetry::span!("compile", "func" => func.index());
     let unit = translate_optimized_with(
         job.repo,
         func,
@@ -511,14 +626,24 @@ fn run_sequential(job: &PipelineJob<'_, '_>, engine: &mut JitEngine<'_>) -> Pipe
     let mut tracker = EmitTracker::new(job, start);
     let mut worker = WorkerStats::default();
     let mut emit_ns = 0u64;
+    let translate_hist = job.metrics.histogram("pipeline.translate_ns");
+    let emit_hist = job.metrics.histogram("pipeline.emit_ns");
+    let _pipeline_span = telemetry::span!("pipeline", "threads" => 1u64, "units" => job.work.len());
     for (seq, &func) in job.work.iter().enumerate() {
         let t0 = Instant::now();
         let (unit, plan) = translate_and_plan(job, func);
-        worker.busy_ns += t0.elapsed().as_nanos() as u64;
+        let translate_ns = t0.elapsed().as_nanos() as u64;
+        translate_hist.record(translate_ns);
+        worker.busy_ns += translate_ns;
         worker.translated += 1;
         let t1 = Instant::now();
-        let bytes = engine.emit_planned(unit, &plan);
-        emit_ns += t1.elapsed().as_nanos() as u64;
+        let bytes = {
+            let _emit_span = telemetry::span!("emit", "seq" => seq, "func" => func.index());
+            engine.emit_planned(unit, &plan)
+        };
+        let unit_emit_ns = t1.elapsed().as_nanos() as u64;
+        emit_hist.record(unit_emit_ns);
+        emit_ns += unit_emit_ns;
         tracker.on_emitted(seq, bytes);
     }
     let (compiled_funcs, compile_bytes, early_serve) = tracker.finish();
@@ -549,6 +674,10 @@ fn run_parallel(
 ) -> Result<PipelineResult, ()> {
     let start = Instant::now();
     let total = job.work.len();
+    // Opened before the workers spawn so the span brackets every compile
+    // (on an oversubscribed host the main thread may not run again until
+    // well after the workers have started translating).
+    let _pipeline_span = telemetry::span!("pipeline", "threads" => threads, "units" => total);
 
     // Deal heat-ordered chunks of the compile order round-robin onto the
     // per-worker deques: worker 0 gets the hottest chunk, and early
@@ -584,6 +713,11 @@ fn run_parallel(
                 let abort = &abort;
                 let crashed = &crashed;
                 s.spawn(move |_| {
+                    // One trace track per worker: every compile span this
+                    // thread records lands on its own timeline row.
+                    let _track = telemetry::track(format!("worker {wid}"));
+                    let translate_hist = job.metrics.histogram("pipeline.translate_ns");
+                    let steals = job.metrics.counter("pipeline.steals");
                     let wall = Instant::now();
                     let mut stats = WorkerStats::default();
                     'work: loop {
@@ -615,7 +749,15 @@ fn run_parallel(
                                 }
                                 stats.steal_ns += t0.elapsed().as_nanos() as u64;
                                 match found {
-                                    Some(t) => (t, true),
+                                    Some(t) => {
+                                        steals.inc();
+                                        telemetry::instant!(
+                                            "steal",
+                                            "worker" => wid,
+                                            "seq" => t.0
+                                        );
+                                        (t, true)
+                                    }
                                     None => break 'work,
                                 }
                             }
@@ -628,7 +770,9 @@ fn run_parallel(
                             }
                             translate_and_plan(job, func)
                         }));
-                        stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                        let translate_ns = t0.elapsed().as_nanos() as u64;
+                        translate_hist.record(translate_ns);
+                        stats.busy_ns += translate_ns;
                         match result {
                             Ok((unit, plan)) => {
                                 stats.translated += 1;
@@ -659,6 +803,7 @@ fn run_parallel(
         // The emitter: this thread. Reorder buffer keyed by sequence
         // number; units are placed the instant the in-order prefix is
         // complete, while translation continues on the workers.
+        let emit_hist = job.metrics.histogram("pipeline.emit_ns");
         let mut pending: BTreeMap<usize, (VasmUnit, LayoutPlan)> = BTreeMap::new();
         let mut next_seq = 0usize;
         let mut received = 0usize;
@@ -673,8 +818,13 @@ fn run_parallel(
             pending.insert(seq, (unit, plan));
             while let Some((unit, plan)) = pending.remove(&next_seq) {
                 let t1 = Instant::now();
-                let bytes = engine.emit_planned(unit, &plan);
-                emit_ns += t1.elapsed().as_nanos() as u64;
+                let bytes = {
+                    let _emit_span = telemetry::span!("emit", "seq" => next_seq);
+                    engine.emit_planned(unit, &plan)
+                };
+                let unit_emit_ns = t1.elapsed().as_nanos() as u64;
+                emit_hist.record(unit_emit_ns);
+                emit_ns += unit_emit_ns;
                 tracker.on_emitted(next_seq, bytes);
                 next_seq += 1;
             }
@@ -773,5 +923,61 @@ mod tests {
         let rendered = stats.render();
         assert!(rendered.contains("early-serve"));
         assert!(rendered.contains("worker 0"));
+    }
+
+    #[test]
+    fn boot_stats_round_trip_through_registry() {
+        // Golden property of the stats-as-view design: record() followed
+        // by from_registry() reproduces the struct exactly, including the
+        // Option fields and the f64 fraction.
+        let full = BootStats {
+            threads: 3,
+            decode_ns: 11,
+            lint_repair_ns: 22,
+            prop_slots_ns: 33,
+            pipeline_ns: 44,
+            emit_ns: 55,
+            emit_stall_ns: 66,
+            total_ns: 77,
+            compiled_funcs: 5,
+            compile_bytes: 1234,
+            workers: vec![
+                WorkerStats {
+                    translated: 3,
+                    stolen: 1,
+                    busy_ns: 100,
+                    steal_ns: 10,
+                    stall_ns: 1,
+                },
+                WorkerStats::default(),
+            ],
+            early_serve: Some(EarlyServe {
+                frac: 0.37,
+                ready_funcs: 2,
+                ready_bytes: 500,
+                ready_ns: 40,
+                background_funcs: 3,
+                background_bytes: 734,
+            }),
+            caches: Some(CacheStats {
+                template_hits: 7,
+                template_misses: 2,
+                plan_hits: 4,
+                plan_misses: 1,
+            }),
+        };
+        let reg = telemetry::Registry::default();
+        full.record(&reg);
+        assert_eq!(BootStats::from_registry(&reg), full);
+
+        // None variants survive too (presence markers overwrite).
+        let bare = BootStats {
+            threads: 1,
+            workers: vec![WorkerStats::default()],
+            ..Default::default()
+        };
+        let reg2 = telemetry::Registry::default();
+        bare.record(&reg2);
+        assert_eq!(BootStats::from_registry(&reg2), bare);
     }
 }

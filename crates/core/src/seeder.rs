@@ -44,12 +44,16 @@ pub fn build_package(
     jit_opts: &JitOptions,
 ) -> ProfilePackage {
     let repo = inputs.repo;
+    let _build_span = telemetry::span!("seeder-build", "seeder" => inputs.seeder_id);
+    let props_span = telemetry::span!("prop-orders");
     let prop_orders = match opts.prop_reorder {
         PropReorder::Off => Vec::new(),
         PropReorder::Hotness => prop_orders_by_hotness(repo, &inputs.tier),
         PropReorder::Affinity => prop_orders_by_affinity(repo, &inputs.tier),
     };
+    drop(props_span);
 
+    let order_span = telemetry::span!("func-order");
     let candidates = inputs.tier.functions_by_heat();
     let func_order = match opts.func_sort {
         FuncSort::SourceOrder => candidates,
@@ -63,10 +67,12 @@ pub fn build_package(
             c3_from_optimized_code(repo, &candidates, &inputs.tier, &inputs.ctx, jit_opts)
         }
     };
+    drop(order_span);
 
     // Preload list: the observed load order, stably re-sorted hottest unit
     // first. Loading hot metadata first packs it into few pages, which is
     // the §VII-A data-locality benefit of the preload lists.
+    let preload_span = telemetry::span!("preload-order");
     let mut unit_heat: HashMap<UnitId, u64> = HashMap::new();
     for (f, p) in &inputs.tier.funcs {
         if f.index() < repo.funcs().len() {
@@ -75,6 +81,7 @@ pub fn build_package(
     }
     let mut unit_order = inputs.unit_order;
     unit_order.sort_by_key(|u| std::cmp::Reverse(unit_heat.get(u).copied().unwrap_or(0)));
+    drop(preload_span);
 
     let coverage = Coverage {
         funcs_profiled: inputs.tier.profiled_count() as u64,

@@ -107,7 +107,9 @@ impl Validator {
     ///
     /// Returns the first failed check.
     pub fn validate(&self, repo: &Repo, bytes: &[u8]) -> Result<ValidationReport, ValidationError> {
+        let decode_span = telemetry::span!("validate-decode", "bytes" => bytes.len());
         let pkg = ProfilePackage::deserialize(bytes).map_err(ValidationError::Wire)?;
+        drop(decode_span);
         self.validate_package(repo, &pkg, bytes.len())
     }
 
@@ -122,7 +124,9 @@ impl Validator {
         pkg: &ProfilePackage,
         package_bytes: usize,
     ) -> Result<ValidationReport, ValidationError> {
+        let _validate_span = telemetry::span!("validate", "seeder" => pkg.meta.seeder_id);
         // Coverage thresholds (§VI-B).
+        let coverage_span = telemetry::span!("coverage-check");
         let c = pkg.meta.coverage;
         let checks = [
             (
@@ -138,10 +142,12 @@ impl Validator {
                 return Err(ValidationError::Coverage { what, got, needed });
             }
         }
+        drop(coverage_span);
         // Static lint — strict on the seeder: a seeder collects against
         // the exact repo it validates with, so *any* structural error
         // means corruption, and rejecting here costs no compile or boot.
         if self.opts.static_lint {
+            let _lint_span = telemetry::span!("static-lint");
             let report = lint_profile(
                 repo,
                 &ProfileView {
@@ -164,6 +170,7 @@ impl Validator {
             }
         }
         // Full consumer compile — catches deterministic JIT crashes.
+        let compile_span = telemetry::span!("validation-compile");
         let outcome = consume(repo, pkg, self.jit_opts, &self.opts, 1).map_err(|e| match e {
             ConsumerError::JitCrash => ValidationError::CompileCrash,
             ConsumerError::Wire(w) => ValidationError::Wire(w),
@@ -171,8 +178,11 @@ impl Validator {
                 ValidationError::Static { errors, first }
             }
         })?;
+        drop(compile_span);
         // Healthy-boot trials — each trial is one simulated consumer boot.
         // Seeded by package identity so validation is reproducible.
+        let _trials_span =
+            telemetry::span!("smoke-trials", "trials" => self.opts.validation_trials);
         let mut rng =
             SmallRng::seed_from_u64(pkg.meta.seeder_id ^ pkg.meta.created_ms.rotate_left(17));
         for trial in 0..self.opts.validation_trials {

@@ -113,6 +113,14 @@ proptest! {
             let early = out.boot.early_serve.expect("crossing recorded");
             prop_assert_eq!(early.ready_funcs + early.background_funcs, out.compiled_funcs);
             prop_assert_eq!(early.ready_bytes + early.background_bytes, out.compile_bytes);
+        } else {
+            // A full-fraction boot reports a populated crossing: ready at
+            // the last unit, nothing left in the background.
+            let early = out.boot.early_serve.expect("full-fraction crossing recorded");
+            prop_assert_eq!(early.ready_funcs, out.compiled_funcs);
+            prop_assert_eq!(early.ready_bytes, out.compile_bytes);
+            prop_assert_eq!(early.background_funcs, 0);
+            prop_assert_eq!(early.background_bytes, 0);
         }
     }
 }

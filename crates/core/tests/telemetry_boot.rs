@@ -1,0 +1,155 @@
+//! End-to-end tracing of a consumer boot: capturing a parallel
+//! `consume_bytes` must yield per-worker tracks whose span streams
+//! assemble into well-formed trees, with the decode → lint → pipeline →
+//! per-function compile structure visible, and a Chrome-trace export
+//! that passes the schema validator.
+
+use bytecode::Repo;
+use jit::{JitOptions, ProfileCollector};
+use jumpstart::{build_package, consume_bytes, JumpStartOptions, ProfilePackage, SeederInputs};
+use vm::{Value, Vm};
+
+fn make_package() -> (Repo, ProfilePackage) {
+    let src = r#"
+        function work($x) { return $x * 3 + 1; }
+        function twist($x) { return $x * $x - 2; }
+        function main($n) {
+            $s = 0;
+            for ($i = 0; $i < $n; $i++) { $s += work($i) + twist($i); }
+            return $s;
+        }
+    "#;
+    let repo = hackc::compile_unit("t.hl", src).unwrap();
+    let f = repo.func_by_name("main").unwrap().id;
+    let mut vm = Vm::new(&repo);
+    let mut col = ProfileCollector::new(&repo);
+    for _ in 0..6 {
+        vm.call_observed(f, &[Value::Int(25)], &mut col).unwrap();
+        col.end_request();
+    }
+    let order = vm.loader().load_order();
+    let (tier, ctx) = (col.tier, col.ctx);
+    let pkg = build_package(
+        SeederInputs {
+            repo: &repo,
+            tier,
+            ctx,
+            unit_order: order,
+            requests: 6,
+            region: 0,
+            bucket: 0,
+            seeder_id: 9,
+            now_ms: 0,
+        },
+        &JumpStartOptions::default(),
+        &JitOptions::default(),
+    );
+    (repo, pkg)
+}
+
+#[test]
+fn traced_parallel_boot_produces_well_formed_worker_trees() {
+    let (repo, pkg) = make_package();
+    let bytes = pkg.serialize();
+    let threads = 4;
+
+    let (out, trace) = telemetry::capture(|| {
+        consume_bytes(
+            &repo,
+            &bytes,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            threads,
+        )
+        .expect("healthy package boots")
+    });
+
+    assert_eq!(trace.dropped, 0, "ring buffers overflowed");
+
+    // One named track per pipeline worker that recorded anything. Idle
+    // workers (tiny workload) leave empty rings, which drain() prunes.
+    assert_eq!(out.boot.workers.len(), threads);
+    for (wid, w) in out.boot.workers.iter().enumerate() {
+        if w.translated == 0 {
+            continue;
+        }
+        let name = format!("worker {wid}");
+        assert!(
+            trace.tracks.iter().any(|t| t.name == name),
+            "missing track {name}"
+        );
+    }
+    assert!(
+        trace.tracks.iter().any(|t| t.name.starts_with("worker ")),
+        "no worker tracks at all"
+    );
+
+    // Every track assembles into a well-formed span tree.
+    let trees = trace
+        .trees()
+        .unwrap_or_else(|e| panic!("malformed track: {e}"));
+
+    // The boot phases appear as spans, and every compiled function got a
+    // compile span on some worker track.
+    let spans = trace.all_spans().expect("well-formed");
+    let count = |name: &str| spans.iter().filter(|(_, s)| s.name == name).count();
+    assert_eq!(count("decode"), 1);
+    assert_eq!(count("consumer-boot"), 1);
+    assert_eq!(count("lint-repair"), 1);
+    assert_eq!(count("prop-slots"), 1);
+    assert_eq!(count("pipeline"), 1);
+    assert_eq!(count("compile"), out.compiled_funcs);
+    assert_eq!(count("emit"), out.compiled_funcs);
+
+    // Compile spans live on worker tracks, inside that worker's stream.
+    let worker_compiles: usize = trees
+        .iter()
+        .filter(|(t, _)| t.name.starts_with("worker "))
+        .flat_map(|(_, roots)| roots)
+        .filter(|r| r.name == "compile")
+        .count();
+    assert_eq!(worker_compiles, out.compiled_funcs);
+
+    // The registry view: pipeline-time histograms cover every unit, and
+    // the decode gauge matches the rendered BootStats.
+    let snap = out.registry.snapshot();
+    let hist = |name: &str| {
+        snap.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+            .1
+    };
+    assert_eq!(
+        hist("pipeline.translate_ns").count,
+        out.compiled_funcs as u64
+    );
+    assert_eq!(hist("pipeline.emit_ns").count, out.compiled_funcs as u64);
+    assert!(out.boot.decode_ns > 0, "decode was timed");
+    assert_eq!(out.registry.value_u64("boot.decode_ns"), out.boot.decode_ns);
+
+    // The Chrome-trace export round-trips through the schema validator.
+    let json = trace.to_chrome_json();
+    let summary = telemetry::validate_chrome(&json).expect("valid Chrome trace");
+    assert!(summary.span_pairs >= out.compiled_funcs);
+    assert!(summary.tracks >= 2, "main track plus at least one worker");
+}
+
+#[test]
+fn untraced_boot_still_renders_boot_stats_from_registry() {
+    // Tracing off (the default): no spans recorded, but the metrics
+    // registry still backs BootStats.
+    let (repo, pkg) = make_package();
+    let bytes = pkg.serialize();
+    assert!(!telemetry::enabled());
+    let out = consume_bytes(
+        &repo,
+        &bytes,
+        JitOptions::default(),
+        &JumpStartOptions::default(),
+        2,
+    )
+    .unwrap();
+    assert!(out.boot.decode_ns > 0);
+    assert_eq!(jumpstart::BootStats::from_registry(&out.registry), out.boot);
+}

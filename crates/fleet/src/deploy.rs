@@ -5,6 +5,7 @@ use jit::JitOptions;
 use jumpstart::{build_package, JumpStartOptions, PackageStore, SeederInputs, Validator};
 use workload::{App, RequestMix};
 
+use crate::export::{server_registry, timelines_to_trace};
 use crate::metrics::Timeline;
 use crate::model::{build_app_model, WarmupParams};
 use crate::server::{simulate_warmup, ServerConfig};
@@ -56,6 +57,9 @@ pub struct DeployReport {
     pub js_timelines: Vec<Timeline>,
     /// The same cells booted without Jump-Start.
     pub nojs_timelines: Vec<Timeline>,
+    /// Per-server metrics registry (one per Jump-Start consumer):
+    /// `server.boot_ms`, `server.ready_ms`, `server.capacity_loss`.
+    pub server_registries: Vec<telemetry::Registry>,
 }
 
 impl DeployReport {
@@ -87,6 +91,33 @@ impl DeployReport {
             (nojs - self.mean_loss_js(window_ms)) / nojs * 100.0
         }
     }
+
+    /// Folds every consumer's registry into fleet-wide percentiles
+    /// (p50/p95/p99 of boot time, ready time, capacity loss).
+    pub fn fleet_aggregate(&self) -> telemetry::FleetAggregate {
+        let snaps: Vec<telemetry::Snapshot> = self
+            .server_registries
+            .iter()
+            .map(telemetry::Registry::snapshot)
+            .collect();
+        telemetry::aggregate(&snaps)
+    }
+
+    /// Renders the deployment as a Chrome trace: one process per server
+    /// (Jump-Start consumers first, then the no-Jump-Start baselines),
+    /// lifecycle points as instants, RPS and code-size curves as
+    /// counters. Loadable in Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut trace = timelines_to_trace(&self.js_timelines, "jumpstart");
+        let baseline = timelines_to_trace(&self.nojs_timelines, "baseline");
+        let offset = trace.tracks.len() as u64;
+        for mut t in baseline.tracks {
+            t.id += offset;
+            t.pid += offset as u32;
+            trace.tracks.push(t);
+        }
+        trace.to_chrome_json()
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {
@@ -102,6 +133,11 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 /// and publish; C3 consumers in each cell boot with a package (vs. the
 /// no-Jump-Start baseline on identical traffic).
 pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
+    let _deploy_span = telemetry::span!(
+        "deployment",
+        "regions" => params.regions,
+        "buckets" => params.buckets,
+    );
     let store = PackageStore::new();
     let validator = Validator::new(params.js_opts, params.jit_opts);
     let mut published = 0;
@@ -143,6 +179,7 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
     // --- C3: consumers, one representative server per cell ---
     let mut js_timelines = Vec::new();
     let mut nojs_timelines = Vec::new();
+    let mut server_registries = Vec::new();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(params.seed);
     for region in 0..params.regions {
         for bucket in 0..params.buckets {
@@ -156,7 +193,7 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
                 // Zero-copy: section tables alias the stored buffer.
                 jumpstart::ProfilePackage::deserialize_shared(&p.bytes).expect("validated")
             });
-            js_timelines.push(simulate_warmup(
+            let js_tl = simulate_warmup(
                 app,
                 &model,
                 &mix,
@@ -164,7 +201,9 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
                     params: params.warmup,
                     jumpstart: pkg.as_ref(),
                 },
-            ));
+            );
+            server_registries.push(server_registry(&js_tl, params.warmup.duration_ms));
+            js_timelines.push(js_tl);
             nojs_timelines.push(simulate_warmup(
                 app,
                 &model,
@@ -182,6 +221,7 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
         validation_failures,
         js_timelines,
         nojs_timelines,
+        server_registries,
     }
 }
 
@@ -224,6 +264,57 @@ mod tests {
             reduction > 20.0,
             "Jump-Start should substantially reduce capacity loss, got {reduction:.1}%"
         );
+    }
+
+    #[test]
+    fn eight_server_fleet_exports_percentiles_and_chrome_trace() {
+        let app = generate(&AppParams::tiny());
+        let params = DeployParams {
+            regions: 2,
+            buckets: 4,
+            seeders_per_cell: 1,
+            seeder_requests: 120,
+            warmup: WarmupParams {
+                duration_ms: 120_000,
+                sample_ms: 5_000,
+                init_ms_nojs: 20_000,
+                init_ms_js: 8_000,
+                deserialize_ms: 2_000,
+                profile_serve_ms: 30_000,
+                relocation_ms: 10_000,
+                ..WarmupParams::fig4()
+            },
+            js_opts: JumpStartOptions {
+                min_funcs_profiled: 5,
+                min_counter_mass: 100,
+                min_requests: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_deployment(&app, &params);
+        assert_eq!(report.server_registries.len(), 8);
+
+        // Fleet percentiles over all 8 consumers.
+        let agg = report.fleet_aggregate();
+        assert_eq!(agg.servers, 8);
+        let boot = agg.stat("server.boot_ms").expect("boot times aggregated");
+        assert_eq!(boot.n, 8);
+        assert!(boot.min > 0.0);
+        assert!(boot.p50 <= boot.p95 && boot.p95 <= boot.p99);
+        let loss = agg.stat("server.capacity_loss").expect("loss aggregated");
+        assert!(loss.max <= 1.0 && loss.min >= 0.0);
+        // The flat export carries the stats.
+        assert!(agg.to_json().contains("server.boot_ms"));
+
+        // Chrome export: 16 processes (8 JS + 8 baseline), schema-clean.
+        let json = report.to_chrome_trace();
+        let summary = telemetry::validate_chrome(&json).expect("valid Chrome trace");
+        assert_eq!(summary.tracks, 16);
+        assert!(json.contains("jumpstart server 7"));
+        assert!(json.contains("baseline server 7"));
+        // Baselines walk the full lifecycle: A/B/C instants present.
+        assert!(json.contains("point-C"));
     }
 
     #[test]

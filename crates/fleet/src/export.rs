@@ -1,0 +1,166 @@
+//! Fleet-run telemetry: per-server registries, fleet-wide aggregation,
+//! and Chrome-trace export of warmup timelines.
+//!
+//! A fleet simulation produces one [`Timeline`] per server. This module
+//! renders those into the unified telemetry layer: each server gets a
+//! metrics registry (boot time, ready time, capacity loss) that
+//! [`telemetry::aggregate`] folds into fleet percentiles, and the whole
+//! deployment exports as a Chrome trace with one process track per
+//! simulated server — lifecycle points A/B/C as instants, normalized RPS
+//! and code size as counter series.
+
+use std::borrow::Cow;
+
+use telemetry::{AttrValue, Event, EventKind, Trace, TrackDump};
+
+use crate::metrics::Timeline;
+
+const MS_TO_NS: u64 = 1_000_000;
+
+/// Builds one server's metrics registry from its warmup timeline.
+///
+/// Gauges: `server.boot_ms` (serve start), `server.ready_ms` (first time
+/// normalized RPS reaches 0.9; absent if never), and the f64 gauge
+/// `server.capacity_loss` over `window_ms`.
+pub fn server_registry(tl: &Timeline, window_ms: u64) -> telemetry::Registry {
+    let reg = telemetry::Registry::default();
+    reg.gauge("server.boot_ms").set(tl.serve_start_ms);
+    if let Some(ready) = tl.time_to_rps(0.9) {
+        reg.gauge("server.ready_ms").set(ready);
+    }
+    reg.gauge_f64("server.capacity_loss")
+        .set(tl.capacity_loss_over(window_ms));
+    reg
+}
+
+fn instant(name: &'static str, t_ms: u64, attrs: Vec<(&'static str, AttrValue)>) -> Event {
+    Event {
+        kind: EventKind::Instant,
+        name: Cow::Borrowed(name),
+        ts_ns: t_ms * MS_TO_NS,
+        attrs,
+    }
+}
+
+fn counter(name: &'static str, t_ms: u64, value: f64) -> Event {
+    Event {
+        kind: EventKind::Counter(value),
+        name: Cow::Borrowed(name),
+        ts_ns: t_ms * MS_TO_NS,
+        attrs: Vec::new(),
+    }
+}
+
+/// Renders fleet timelines as a [`telemetry::Trace`]: one process (pid)
+/// per server, with the serve-start and A/B/C lifecycle points as
+/// instants and the sampled `rps_norm` / `code_bytes` curves as counter
+/// series. Simulated milliseconds map to trace nanoseconds.
+pub fn timelines_to_trace(timelines: &[Timeline], label: &str) -> Trace {
+    let mut tracks = Vec::new();
+    for (i, tl) in timelines.iter().enumerate() {
+        let mut events = Vec::new();
+        events.push(instant(
+            "serve-start",
+            tl.serve_start_ms,
+            vec![("t_ms", AttrValue::U64(tl.serve_start_ms))],
+        ));
+        for (name, point) in [
+            ("point-A", tl.point_a_ms),
+            ("point-B", tl.point_b_ms),
+            ("point-C", tl.point_c_ms),
+        ] {
+            if let Some(t_ms) = point {
+                events.push(instant(name, t_ms, vec![("t_ms", AttrValue::U64(t_ms))]));
+            }
+        }
+        for s in &tl.samples {
+            events.push(counter("rps_norm", s.t_ms, s.rps_norm));
+            events.push(counter("code_bytes", s.t_ms, s.code_bytes as f64));
+        }
+        // Chrome requires non-decreasing timestamps per track; the
+        // lifecycle instants interleave with the sample series.
+        events.sort_by_key(|e| e.ts_ns);
+        let id = i as u64 + 1;
+        tracks.push(TrackDump {
+            id,
+            pid: id as u32,
+            name: "timeline".to_string(),
+            process_name: Some(format!("{label} server {i}")),
+            events,
+        });
+    }
+    Trace { tracks, dropped: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Sample;
+
+    fn timeline(serve_start_ms: u64) -> Timeline {
+        Timeline {
+            samples: (1..=10)
+                .map(|i| Sample {
+                    t_ms: i * 1000,
+                    rps_norm: (i as f64 / 10.0).min(1.0),
+                    latency_ms: 2.0,
+                    code_bytes: i * 4096,
+                })
+                .collect(),
+            serve_start_ms,
+            point_a_ms: Some(2_000),
+            point_b_ms: Some(5_000),
+            point_c_ms: Some(7_000),
+        }
+    }
+
+    #[test]
+    fn server_registry_snapshots_boot_ready_loss() {
+        let tl = timeline(500);
+        let reg = server_registry(&tl, 10_000);
+        assert_eq!(reg.value_u64("server.boot_ms"), 500);
+        assert_eq!(reg.value_u64("server.ready_ms"), 9_000);
+        let loss = reg.scalar("server.capacity_loss").unwrap();
+        assert!(loss > 0.0 && loss < 1.0, "got {loss}");
+
+        // A server that never reaches 0.9 has no ready gauge.
+        let mut cold = timeline(500);
+        for s in &mut cold.samples {
+            s.rps_norm = 0.3;
+        }
+        let reg = server_registry(&cold, 10_000);
+        assert!(!reg.contains("server.ready_ms"));
+    }
+
+    #[test]
+    fn fleet_trace_is_chrome_valid_with_one_pid_per_server() {
+        let timelines: Vec<Timeline> = (0..3).map(|i| timeline(500 + i * 100)).collect();
+        let trace = timelines_to_trace(&timelines, "jumpstart");
+        assert_eq!(trace.tracks.len(), 3);
+        let pids: std::collections::BTreeSet<u32> = trace.tracks.iter().map(|t| t.pid).collect();
+        assert_eq!(pids.len(), 3, "one process per server");
+
+        let json = trace.to_chrome_json();
+        let summary = telemetry::validate_chrome(&json).expect("valid Chrome trace");
+        assert_eq!(summary.tracks, 3);
+        // serve-start + A/B/C per server.
+        assert_eq!(summary.instants, 4 * 3);
+        assert!(json.contains("jumpstart server 0"));
+        assert!(json.contains("point-B"));
+    }
+
+    #[test]
+    fn fleet_aggregation_yields_percentiles() {
+        let snaps: Vec<telemetry::Snapshot> = (0..8)
+            .map(|i| server_registry(&timeline(400 + i * 50), 10_000).snapshot())
+            .collect();
+        let agg = telemetry::aggregate(&snaps);
+        assert_eq!(agg.servers, 8);
+        let boot = agg.stat("server.boot_ms").expect("boot stat");
+        assert_eq!(boot.n, 8);
+        assert_eq!(boot.min, 400.0);
+        assert_eq!(boot.max, 750.0);
+        assert!(boot.p50 >= boot.min && boot.p50 <= boot.p95);
+        assert!(boot.p95 <= boot.p99 && boot.p99 <= boot.max);
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`faults`] — crash-loop containment experiments for §VI.
 
 mod deploy;
+mod export;
 mod faults;
 mod metrics;
 mod model;
@@ -24,8 +25,9 @@ mod server;
 mod steady;
 
 pub use deploy::{run_deployment, DeployParams, DeployReport};
+pub use export::{server_registry, timelines_to_trace};
 pub use faults::{run_crashloop, CrashLoopParams, CrashLoopReport};
-pub use metrics::{capacity_loss, Sample, Timeline};
+pub use metrics::{capacity_loss, capacity_loss_from, Sample, Timeline};
 pub use model::{build_app_model, AppModel, WarmupParams};
 pub use server::{simulate_warmup, ServerConfig, ServerSim};
 pub use steady::{measure_steady_state, SteadyConfig, SteadyOutcome, SteadyParams};

@@ -31,8 +31,14 @@ pub struct Timeline {
 impl Timeline {
     /// Fraction of capacity lost over `[0, window_ms)` relative to a
     /// server that never restarted (Fig. 2's area above the curve).
+    ///
+    /// The restart gap is priced exactly: capacity is zero over
+    /// `[0, serve_start_ms)`, and the first sample's rate is held back to
+    /// `serve_start_ms` rather than linearly interpolated from zero at
+    /// `t = 0` — the server was already serving at that rate when it
+    /// opened, it did not ramp from the beginning of time.
     pub fn capacity_loss_over(&self, window_ms: u64) -> f64 {
-        capacity_loss(&self.samples, window_ms)
+        capacity_loss_from(&self.samples, self.serve_start_ms, window_ms)
     }
 
     /// The sample closest to `t_ms`.
@@ -50,15 +56,40 @@ impl Timeline {
 }
 
 /// Capacity loss over a window: `1 - mean(rps_norm)` using trapezoidal
-/// integration over `[0, window_ms)`.
+/// integration over `[0, window_ms)`, with samples taken to describe a
+/// server serving from `t = 0` (the first sample interpolates from zero).
 pub fn capacity_loss(samples: &[Sample], window_ms: u64) -> f64 {
+    capacity_loss_impl(samples, 0, 0.0, window_ms)
+}
+
+/// [`capacity_loss`] for a server that only started serving at
+/// `serve_start_ms`: zero capacity over `[0, serve_start_ms)`, then the
+/// first in-window sample's rate held constant back to the serve start.
+/// Without this, a first sample at `t > 0` is read as a linear ramp from
+/// zero at `t = 0`, overstating loss for any server whose samples begin
+/// after the restart gap.
+pub fn capacity_loss_from(samples: &[Sample], serve_start_ms: u64, window_ms: u64) -> f64 {
+    if serve_start_ms >= window_ms {
+        return 1.0;
+    }
+    let first_v = samples
+        .iter()
+        .find(|s| s.t_ms >= serve_start_ms)
+        .map_or(0.0, |s| s.rps_norm.min(1.0));
+    capacity_loss_impl(samples, serve_start_ms, first_v, window_ms)
+}
+
+fn capacity_loss_impl(samples: &[Sample], start_ms: u64, start_v: f64, window_ms: u64) -> f64 {
     if samples.is_empty() || window_ms == 0 {
         return 1.0;
     }
     let mut area = 0.0;
-    let mut prev_t = 0u64;
-    let mut prev_v = 0.0f64;
+    let mut prev_t = start_ms;
+    let mut prev_v = start_v;
     for s in samples {
+        if s.t_ms < start_ms {
+            continue;
+        }
         if s.t_ms > window_ms {
             let span = window_ms - prev_t;
             area += span as f64 * (prev_v + s.rps_norm.min(1.0)) / 2.0;
@@ -117,6 +148,35 @@ mod tests {
         assert!((loss - 0.5).abs() < 0.01, "got {loss}");
         // Over the first 500ms only: no loss.
         assert!(capacity_loss(&samples, 500) < 0.01);
+    }
+
+    #[test]
+    fn serve_start_prices_restart_gap_exactly() {
+        // One sample at full rate, taken at t = 1000, server open since
+        // t = 200. Correct loss over [0, 1000): the 200ms gap = 0.2 —
+        // NOT 0.5, which is what interpolating the first sample from
+        // zero at t = 0 used to report.
+        let samples = vec![s(1000, 1.0)];
+        let loss = capacity_loss_from(&samples, 200, 1000);
+        assert!((loss - 0.2).abs() < 1e-9, "got {loss}");
+
+        let tl = Timeline {
+            samples,
+            serve_start_ms: 200,
+            ..Default::default()
+        };
+        let loss = tl.capacity_loss_over(1000);
+        assert!((loss - 0.2).abs() < 1e-9, "got {loss}");
+
+        // With serve_start at 0 and a t=0 first sample, the two forms
+        // agree (the hold-back is a no-op).
+        let ramp: Vec<Sample> = (0..=10).map(|i| s(i * 100, i as f64 / 10.0)).collect();
+        let a = capacity_loss(&ramp, 1000);
+        let b = capacity_loss_from(&ramp, 0, 1000);
+        assert!((a - b).abs() < 1e-9);
+
+        // A gap covering the whole window is total loss.
+        assert_eq!(capacity_loss_from(&[s(2000, 1.0)], 1500, 1000), 1.0);
     }
 
     #[test]

@@ -302,6 +302,11 @@ pub fn simulate_warmup(
     config: &ServerConfig<'_>,
 ) -> Timeline {
     let params = config.params;
+    let _span = telemetry::span!(
+        "simulate-warmup",
+        "jumpstart" => config.jumpstart.is_some(),
+        "duration_ms" => params.duration_ms,
+    );
     let mut sim = ServerSim::new(app, model, mix, config);
     let peak_rps = params.cores as f64 * 1000.0 / sim.peak_ms_per_req;
     let offered = peak_rps * params.offered_fraction;

@@ -162,6 +162,7 @@ pub fn translate_optimized_with(
     slot_resolver: &dyn Fn(ClassId, StrId) -> Option<u16>,
     templates: Option<&dyn TemplateSource>,
 ) -> VasmUnit {
+    let _span = telemetry::span!("translate-optimized", "func" => func.index());
     let mut tr = Translator {
         repo,
         tier,

@@ -150,6 +150,7 @@ pub fn exttsp_order(
     if n <= 1 {
         return (0..n).collect();
     }
+    let _span = telemetry::span!("exttsp-order", "blocks" => n, "edges" => edges.len());
     for e in edges {
         assert!(e.src < n && e.dst < n, "edge references unknown block");
     }

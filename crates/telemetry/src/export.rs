@@ -1,0 +1,186 @@
+//! Fleet-level aggregation: many per-server registry [`Snapshot`]s fold
+//! into one set of cross-server percentiles.
+//!
+//! A fleet run produces one registry per simulated server (boot time,
+//! ready time, capacity loss, cache hit counts, ...). This module lines
+//! those snapshots up by metric name and reports the distribution of each
+//! scalar across the fleet — the p50/p95/p99 boot- and ready-time numbers
+//! the paper reports fleet-wide.
+
+use crate::json::escape;
+use crate::metrics::{fmt_f64, Snapshot};
+
+/// Distribution of one scalar metric across servers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AggStat {
+    /// How many servers reported this metric.
+    pub n: usize,
+    /// Smallest reported value.
+    pub min: f64,
+    /// Largest reported value.
+    pub max: f64,
+    /// Mean across servers.
+    pub mean: f64,
+    /// Median across servers.
+    pub p50: f64,
+    /// 95th percentile across servers.
+    pub p95: f64,
+    /// 99th percentile across servers.
+    pub p99: f64,
+}
+
+/// Cross-server aggregate of every scalar metric present in any snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetAggregate {
+    /// Number of snapshots (servers) aggregated.
+    pub servers: usize,
+    /// Per-metric distributions, name-sorted.
+    pub stats: Vec<(String, AggStat)>,
+}
+
+/// Exact quantile of a sorted sample set, with linear interpolation
+/// between order statistics.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    match sorted {
+        [] => 0.0,
+        [only] => *only,
+        _ => {
+            let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] + frac * (sorted[hi] - sorted[lo])
+        }
+    }
+}
+
+/// Folds per-server snapshots into fleet-wide distributions. Metrics
+/// missing on some servers aggregate over the servers that have them
+/// (`n` records coverage).
+pub fn aggregate(snapshots: &[Snapshot]) -> FleetAggregate {
+    let mut by_name: Vec<(String, Vec<f64>)> = Vec::new();
+    for snap in snapshots {
+        for (name, v) in &snap.scalars {
+            if !v.is_finite() {
+                continue;
+            }
+            match by_name.iter_mut().find(|(n, _)| n == name) {
+                Some((_, vals)) => vals.push(*v),
+                None => by_name.push((name.clone(), vec![*v])),
+            }
+        }
+    }
+    by_name.sort_by(|a, b| a.0.cmp(&b.0));
+    let stats = by_name
+        .into_iter()
+        .map(|(name, mut vals)| {
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let n = vals.len();
+            let sum: f64 = vals.iter().sum();
+            let stat = AggStat {
+                n,
+                min: vals[0],
+                max: vals[n - 1],
+                mean: sum / n as f64,
+                p50: quantile_sorted(&vals, 0.50),
+                p95: quantile_sorted(&vals, 0.95),
+                p99: quantile_sorted(&vals, 0.99),
+            };
+            (name, stat)
+        })
+        .collect();
+    FleetAggregate {
+        servers: snapshots.len(),
+        stats,
+    }
+}
+
+impl FleetAggregate {
+    /// Distribution for one metric name.
+    pub fn stat(&self, name: &str) -> Option<&AggStat> {
+        self.stats.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Renders as JSON: `{"servers":N,"metrics":{name:{n,min,max,...}}}`.
+    pub fn to_json(&self) -> String {
+        let metrics: Vec<String> = self
+            .stats
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "\"{}\":{{\"n\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    escape(name),
+                    s.n,
+                    fmt_f64(s.min),
+                    fmt_f64(s.max),
+                    fmt_f64(s.mean),
+                    fmt_f64(s.p50),
+                    fmt_f64(s.p95),
+                    fmt_f64(s.p99),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"servers\":{},\"metrics\":{{{}}}}}",
+            self.servers,
+            metrics.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn server_snapshot(boot_ms: u64, loss: f64) -> Snapshot {
+        let reg = Registry::default();
+        reg.gauge("boot_ms").set(boot_ms);
+        reg.gauge_f64("capacity_loss").set(loss);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn aggregates_across_servers() {
+        let snaps: Vec<Snapshot> = (1..=10)
+            .map(|i| server_snapshot(i * 100, i as f64 / 100.0))
+            .collect();
+        let agg = aggregate(&snaps);
+        assert_eq!(agg.servers, 10);
+        let boot = agg.stat("boot_ms").unwrap();
+        assert_eq!(boot.n, 10);
+        assert_eq!(boot.min, 100.0);
+        assert_eq!(boot.max, 1000.0);
+        assert_eq!(boot.mean, 550.0);
+        assert_eq!(boot.p50, 550.0);
+        assert!(boot.p95 > boot.p50 && boot.p95 <= boot.max);
+        assert!(boot.p99 >= boot.p95);
+        let json = agg.to_json();
+        assert!(json.contains("\"servers\":10"));
+        assert!(json.contains("\"boot_ms\""));
+        crate::json::parse(&json).expect("aggregate JSON parses");
+    }
+
+    #[test]
+    fn handles_partial_coverage_and_empty() {
+        assert_eq!(aggregate(&[]).servers, 0);
+        let mut snaps = vec![server_snapshot(100, 0.1)];
+        let reg = Registry::default();
+        reg.gauge("boot_ms").set(300);
+        reg.counter("fallbacks").inc();
+        snaps.push(reg.snapshot());
+        let agg = aggregate(&snaps);
+        assert_eq!(agg.stat("boot_ms").unwrap().n, 2);
+        assert_eq!(agg.stat("capacity_loss").unwrap().n, 1);
+        assert_eq!(agg.stat("fallbacks").unwrap().n, 1);
+        assert_eq!(agg.stat("boot_ms").unwrap().p50, 200.0);
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let agg = aggregate(&[server_snapshot(500, 0.5)]);
+        let boot = agg.stat("boot_ms").unwrap();
+        assert_eq!(boot.p50, 500.0);
+        assert_eq!(boot.p99, 500.0);
+    }
+}

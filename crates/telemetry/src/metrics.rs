@@ -1,0 +1,518 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! A [`Registry`] hands out cheap `Arc`-backed handles; after creation
+//! every update is a single atomic operation, so handles can be hot-path
+//! shared across threads freely. Histograms use power-of-two buckets with
+//! interpolated quantile extraction (p50/p95/p99), which is exact enough
+//! for latency-shaped data at 64 buckets and needs no per-record
+//! allocation or locking.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins integer gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge (stored as bits).
+#[derive(Clone, Default)]
+pub struct GaugeF(Arc<AtomicU64>);
+
+impl GaugeF {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket count: one zero bucket plus one per power of two.
+const HIST_BUCKETS: usize = 65;
+
+struct HistInner {
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            counts: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        h.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.0.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Interpolated quantile `q` in `[0, 1]`: finds the target bucket by
+    /// cumulative count, then interpolates linearly inside its bounds,
+    /// clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.0.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(i);
+                // Rank k of the c samples in this bucket sits k-1/c of the
+                // way through it, so rank 1 lands on the lower edge.
+                let into = (target - (cum - c) - 1) as f64 / c as f64;
+                let est = lo as f64 + into * (hi - lo) as f64;
+                return est.clamp(self.min() as f64, self.max() as f64);
+            }
+        }
+        self.max() as f64
+    }
+
+    /// Snapshot of the headline statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), if i >= 64 { u64::MAX } else { 1u64 << i })
+    }
+}
+
+/// Point-in-time histogram statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    GaugeF(GaugeF),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::GaugeF(_) => "gauge_f64",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named-metric registry. Cloning shares the underlying store; handle
+/// lookups lock a registry-level mutex, but every subsequent update on a
+/// handle is lock-free.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Registry")
+            .field("scalars", &snap.scalars.len())
+            .field("histograms", &snap.histograms.len())
+            .finish()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl Registry {
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as another metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Gets or creates the integer gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as another metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Gets or creates the floating-point gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as another metric kind.
+    pub fn gauge_f64(&self, name: &str) -> GaugeF {
+        match self.get_or_insert(name, || Metric::GaugeF(GaugeF::default())) {
+            Metric::GaugeF(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge_f64", other.kind()),
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as another metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = lock(&self.metrics);
+        match metrics.get(name) {
+            Some(m) => m.clone(),
+            None => {
+                let m = make();
+                metrics.insert(name.to_string(), m.clone());
+                m
+            }
+        }
+    }
+
+    /// Whether `name` exists (any kind).
+    pub fn contains(&self, name: &str) -> bool {
+        lock(&self.metrics).contains_key(name)
+    }
+
+    /// Scalar value of `name`: counters and integer gauges as their value,
+    /// float gauges as-is. `None` for histograms or unknown names.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        match lock(&self.metrics).get(name)? {
+            Metric::Counter(c) => Some(c.get() as f64),
+            Metric::Gauge(g) => Some(g.get() as f64),
+            Metric::GaugeF(g) => Some(g.get()),
+            Metric::Histogram(_) => None,
+        }
+    }
+
+    /// Integer value of `name` (counter or gauge), defaulting to 0.
+    pub fn value_u64(&self, name: &str) -> u64 {
+        match lock(&self.metrics).get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            Some(Metric::Gauge(g)) => g.get(),
+            _ => 0,
+        }
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = lock(&self.metrics);
+        let mut scalars = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, m) in metrics.iter() {
+            match m {
+                Metric::Counter(c) => scalars.push((name.clone(), c.get() as f64)),
+                Metric::Gauge(g) => scalars.push((name.clone(), g.get() as f64)),
+                Metric::GaugeF(g) => scalars.push((name.clone(), g.get())),
+                Metric::Histogram(h) => histograms.push((name.clone(), h.summary())),
+            }
+        }
+        Snapshot {
+            scalars,
+            histograms,
+        }
+    }
+}
+
+/// An immutable copy of a registry's state, ready for export.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for counters and gauges, name-sorted.
+    pub scalars: Vec<(String, f64)>,
+    /// `(name, summary)` for histograms, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Scalar value by name.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders as a flat JSON object: scalars as numbers, histograms as
+    /// `{count, sum, min, max, p50, p95, p99}` objects.
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, v) in &self.scalars {
+            parts.push(format!("\"{}\":{}", crate::json::escape(name), fmt_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            parts.push(format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                crate::json::escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                fmt_f64(h.p50),
+                fmt_f64(h.p95),
+                fmt_f64(h.p99),
+            ));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Renders as line protocol (`name,tag=v value=x`), one line per
+    /// scalar and one per histogram quantile — the flat dump format for
+    /// fleet runs.
+    pub fn to_line_protocol(&self, tags: &[(&str, &str)]) -> String {
+        let tag_str: String = tags
+            .iter()
+            .map(|(k, v)| format!(",{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("");
+        let mut out = String::new();
+        for (name, v) in &self.scalars {
+            out.push_str(&format!("{name}{tag_str} value={}\n", fmt_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name}{tag_str} count={},sum={},p50={},p95={},p99={}\n",
+                h.count,
+                h.sum,
+                fmt_f64(h.p50),
+                fmt_f64(h.p95),
+                fmt_f64(h.p99)
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a float as JSON-safe text (non-finite values become `null`).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = Registry::default();
+        reg.counter("a").add(3);
+        reg.counter("a").inc();
+        reg.gauge("b").set(7);
+        reg.gauge_f64("c").set(0.25);
+        assert_eq!(reg.counter("a").get(), 4);
+        assert_eq!(reg.value_u64("a"), 4);
+        assert_eq!(reg.value_u64("b"), 7);
+        assert_eq!(reg.scalar("c"), Some(0.25));
+        assert_eq!(reg.scalar("missing"), None);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("a"), Some(4.0));
+        assert!(snap.to_json().contains("\"b\":7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::default();
+        reg.counter("x").inc();
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_sane() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Power-of-two buckets: tolerant bounds, but ordered and in range.
+        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert!(p99 <= 1000.0);
+        // Quantiles clamp to observed extremes.
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn line_protocol_has_tags() {
+        let reg = Registry::default();
+        reg.counter("boot_ms").add(42);
+        let lines = reg.snapshot().to_line_protocol(&[("server", "3")]);
+        assert_eq!(lines, "boot_ms,server=3 value=42\n");
+    }
+}
