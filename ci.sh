@@ -46,4 +46,24 @@ print(f"decode gate ok: {len(rows)} boot rows, all decode_ns > 0")
 EOF
 fi
 
+echo "== jsstale smoke (stale repair: no-op at churn 0, flow-clean repairs, recovery floor + committed baseline) =="
+cargo run -q -p bench --bin jsstale --release -- --check
+
+echo "== stale baseline gate (bench recovery at churn 0.1 must hold the floor) =="
+if [ -f BENCH_stale.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_stale.json"))
+bench = doc["sections"]["bench"]
+row = next(r for r in bench["sweep"] if r["rate"] == 0.1)
+full = next(m for m in row["modes"] if m["mode"] == "full")
+drop = next(m for m in row["modes"] if m["mode"] == "drop")
+assert full["recovered"] >= 0.8, f"full matcher recovered {full['recovered']:.1%} at churn 0.1 (< 80% floor)"
+assert full["recovered"] >= drop["recovered"], "full matcher must beat the drop baseline"
+assert full["flow_clean"], "full repair left flow-conservation errors"
+assert bench["uarch"], "no steady-state replay rows in the bench section"
+print(f"stale gate ok: {full['recovered']:.1%} recovered at churn 0.1 (drop baseline {drop['recovered']:.1%})")
+EOF
+fi
+
 echo "CI OK"

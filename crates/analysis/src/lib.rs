@@ -23,15 +23,19 @@
 //!   (Kirchhoff) violations, call arcs no static site can produce,
 //!   counters on unreachable blocks, and type observations the abstract
 //!   interpretation proves impossible.
-//! * [`stale`] — the hash-based stale-profile matcher: remaps block
-//!   counters collected against an older build of a function onto the
-//!   current CFG (or reports the profile unrepairable), and prunes
+//! * [`stale`] — the stale-profile matcher: re-identifies functions and
+//!   blocks from a profile collected against an older build (multi-level
+//!   hash ladder: exact → opcode → neighborhood → call anchors), infers
+//!   flow-consistent counts for what it matched, and prunes
 //!   instruction-indexed counters that no longer fit.
+//! * [`flow`] — the flow-conservation solver behind [`stale`]: turns the
+//!   lint's Kirchhoff *check* into count *inference* over partial matches.
 
 pub mod assign;
 pub mod callgraph;
 pub mod dataflow;
 pub mod fingerprint;
+pub mod flow;
 pub mod lint;
 pub mod reach;
 pub mod stale;
@@ -41,10 +45,13 @@ pub use assign::{use_before_assign, UseBeforeAssign};
 pub use callgraph::{CallGraph, CallSite, CallSiteKind};
 pub use dataflow::{solve, Analysis, DataflowResults, Direction, JoinSemiLattice};
 pub use fingerprint::{layout_fingerprint, unit_layout_fingerprint};
+pub use flow::{func_flow_consistent, infer_flow, FlowSolution};
 pub use lint::{
     is_own_layer_order, lint_profile, lint_profile_with, Diagnostic, LintOptions, LintReport,
     ProfileView, Rule, Severity,
 };
 pub use reach::{reachable_blocks, unreachable_blocks};
-pub use stale::{repair_profile, RepairReport};
+pub use stale::{
+    repair_profile, repair_profile_with, MatchMode, MatchStats, RepairOptions, RepairReport,
+};
 pub use types::{bin_operand_types, local_type_analysis, TypeSet, TypeState};

@@ -103,8 +103,10 @@ impl std::fmt::Display for Diagnostic {
 /// Which optional checks to run.
 #[derive(Clone, Copy, Debug)]
 pub struct LintOptions {
-    /// Check block counters for flow conservation. Off for repaired
-    /// profiles, whose remapped counters are approximate by construction.
+    /// Check block counters for flow conservation. The stale-profile
+    /// repairer infers counts that satisfy this check by construction
+    /// ([`crate::flow`]), so repaired profiles are held to the same
+    /// standard as fresh ones.
     pub flow_conservation: bool,
     /// Cross-check observed types against the abstract interpretation.
     pub type_feasibility: bool,

@@ -1,39 +1,118 @@
-//! Stale-profile repair: remapping counters collected against an older
-//! build onto the current code.
+//! Stale-profile repair: re-identifying and remapping counters collected
+//! against an older build onto the current code.
 //!
 //! At scale, a consumer's repo is often one push ahead of the package it
 //! downloads (the paper tolerates this on purpose — §VII-C shows profiles
 //! stay useful for days of pushes). Most functions are untouched by a
 //! push, so most of the package is still exact; the functions that *did*
-//! change have counters indexed by block/instruction positions that no
-//! longer exist. This module salvages the package instead of discarding
-//! it: per-block structural hashes ([`bytecode::Cfg::block_hashes`])
-//! identify which blocks survived the edit, counters are remapped onto
-//! the current CFG by greedy in-order hash matching, functions whose
-//! counter mass mostly lands on vanished blocks are dropped, and
-//! instruction-indexed counters (call targets, types, branch outcomes)
-//! that no longer point at a matching profile point are pruned.
+//! change have counters indexed by ids and block positions that no longer
+//! exist. This module salvages the package instead of discarding it, in
+//! three phases ("Stale Profile Matching", Ayupov et al., PAPERS.md):
+//!
+//! 1. **Function identity** — ids renumber wholesale across builds, so
+//!    profiled functions are re-identified by *name hash* first, then (for
+//!    renamed functions) by a unique whole-body opcode fingerprint. Call
+//!    targets and context keys are rewritten through the resulting old→new
+//!    id map; functions that resolve to nothing are dropped.
+//! 2. **Block matching ladder** — each surviving function's blocks are
+//!    matched against the current [`bytecode::Cfg`] at four levels of
+//!    decreasing strictness: exact structural hash, opcode-only hash
+//!    (survives immediate renumbering), neighborhood hash (disambiguates
+//!    duplicate bodies by graph position) and call-site anchors (names of
+//!    the block's call targets). Each level pairs equal hashes in relative
+//!    block order, so duplicate hashes can no longer misalign the way the
+//!    old greedy in-order scan did.
+//! 3. **Flow-conservation inference** — matched counts become *hints* to
+//!    [`crate::flow::infer_flow`], which constructs an exact integer
+//!    circulation over the new CFG. Unmatched regions get consistent
+//!    inferred counts instead of zeros, branch splits are synthesized from
+//!    the edge flows, and every repaired function passes the same
+//!    Kirchhoff flow lint as a fresh one.
+//!
+//! Functions whose counter mass mostly lands on unmatched blocks are still
+//! dropped ([`MIN_MATCHED_MASS`]), and instruction-indexed counters (call
+//! targets, types, branch outcomes) that no longer point at a matching
+//! profile point are pruned, as before.
 
-use bytecode::{Cfg, FuncId, Instr, Repo};
-use jit::{CtxProfile, FuncProfile, TierProfile, PARAM_SITE};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use bytecode::{Cfg, Fnv, FuncId, Instr, Repo};
+use jit::{BranchCount, CtxProfile, FuncProfile, TierProfile, PARAM_SITE};
 
 use crate::callgraph::CallGraph;
+use crate::flow::{func_flow_consistent, infer_flow};
 
 /// Minimum fraction of a function's counter mass that must land on
-/// hash-matched blocks for the remap to be trusted.
+/// hash-matched blocks for the repair to be trusted.
 const MIN_MATCHED_MASS: f64 = 0.5;
 
+/// How stale functions are matched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchMode {
+    /// The full v2 pipeline: name/body identity, four-level block ladder,
+    /// flow-conservation inference.
+    #[default]
+    Full,
+    /// Drop every function that is not exactly fresh (the pre-matching
+    /// baseline the `jsstale` bench compares against).
+    DropStale,
+    /// The original greedy in-order exact-hash scan, kept for comparison.
+    LegacyGreedy,
+}
+
+/// Options for [`repair_profile_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairOptions {
+    /// Matching mode.
+    pub mode: MatchMode,
+}
+
+/// Per-level match statistics, mirrored into the consumer's telemetry
+/// registry as `repair.*` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Functions whose profile was already exact for the current build.
+    pub funcs_fresh: u64,
+    /// Functions re-identified by body fingerprint after a rename.
+    pub funcs_renamed: u64,
+    /// Functions whose counts were kept but whose branch counters had to
+    /// be resynthesized to restore flow conservation.
+    pub funcs_rebalanced: u64,
+    /// Blocks matched by exact structural hash.
+    pub blocks_exact: u64,
+    /// Blocks matched by opcode-only hash.
+    pub blocks_opcode: u64,
+    /// Blocks matched by neighborhood hash.
+    pub blocks_neighbor: u64,
+    /// Blocks matched by call-site anchors.
+    pub blocks_anchor: u64,
+    /// New-CFG blocks with no match that received a nonzero inferred count.
+    pub blocks_inferred: u64,
+    /// Old counter entries not carried over (unmatched blocks of repaired
+    /// functions plus all blocks of dropped functions).
+    pub blocks_dropped: u64,
+    /// Counter mass carried over through block matches.
+    pub mass_matched: u64,
+    /// Counter mass lost to dropped functions and unmatched blocks.
+    pub mass_dropped: u64,
+    /// Branch counters synthesized from inferred edge flows.
+    pub branches_synthesized: u64,
+}
+
 /// What [`repair_profile`] did.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RepairReport {
-    /// Functions whose block counters were remapped onto a changed CFG.
+    /// Functions whose block counters were remapped onto a changed CFG
+    /// (keyed by *current-build* id after re-identification).
     pub repaired: Vec<FuncId>,
-    /// Functions dropped entirely (dangling id, or too little counter
-    /// mass survived the remap).
+    /// Functions dropped entirely (unresolvable id, or too little counter
+    /// mass survived the match), keyed by their *old* id.
     pub dropped: Vec<FuncId>,
     /// Instruction-indexed counter entries pruned because their profile
     /// point no longer exists (or can't produce them).
     pub pruned: usize,
+    /// Match-ladder statistics.
+    pub stats: MatchStats,
 }
 
 impl RepairReport {
@@ -44,14 +123,18 @@ impl RepairReport {
 }
 
 /// Remaps `old` counters (with hashes `old_hashes`) onto blocks of the
-/// current CFG by greedy in-order hash matching. Returns the new counter
-/// vector and the matched counter mass.
-fn remap_counts(old: &[u64], old_hashes: &[u64], cur_hashes: &[u64]) -> (Vec<u64>, u64) {
+/// current CFG by greedy in-order hash matching (the legacy v1 scan).
+/// Returns the new counter vector, the matched counter mass, and how many
+/// old counter entries the scan never examined — previously those were
+/// silently truncated; callers must report them as pruned.
+fn remap_counts(old: &[u64], old_hashes: &[u64], cur_hashes: &[u64]) -> (Vec<u64>, u64, usize) {
     let mut counts = vec![0u64; cur_hashes.len()];
     let mut matched = 0u64;
     let mut cursor = 0usize;
+    let mut visited = 0usize;
     for (i, &h) in old_hashes.iter().enumerate() {
         let Some(&c) = old.get(i) else { break };
+        visited += 1;
         if let Some(j) = cur_hashes[cursor..].iter().position(|&ch| ch == h) {
             let j = cursor + j;
             counts[j] = c;
@@ -62,57 +145,191 @@ fn remap_counts(old: &[u64], old_hashes: &[u64], cur_hashes: &[u64]) -> (Vec<u64
             break;
         }
     }
-    (counts, matched)
+    (counts, matched, old.len() - visited)
 }
 
-/// Repairs `tier` and `ctx` in place against `repo`.
+// One rung of the matching ladder, as stats indices.
+const LEVEL_EXACT: u8 = 0;
+const LEVEL_OPCODE: u8 = 1;
+const LEVEL_NEIGHBOR: u8 = 2;
+const LEVEL_ANCHOR: u8 = 3;
+
+/// Matches old blocks to new blocks through the four-level hash ladder.
+/// Returns, per new block, the matched old block index and the level that
+/// matched it. Within one level, equal hashes pair up in relative block
+/// order; every level only considers blocks the stricter levels left
+/// unmatched.
+fn match_blocks(old_counts: &[u64], levels: [(&[u64], &[u64]); 4]) -> Vec<Option<(usize, u8)>> {
+    let n_old = old_counts.len();
+    let n_new = levels
+        .iter()
+        .map(|(_, cur)| cur.len())
+        .find(|&l| l > 0)
+        .unwrap_or(0);
+    let mut old_taken = vec![false; n_old];
+    let mut assigned: Vec<Option<(usize, u8)>> = vec![None; n_new];
+    for (level, &(old_h, cur_h)) in levels.iter().enumerate() {
+        // A level is usable only if its arrays line up with both sides.
+        if old_h.len() != n_old || cur_h.len() != n_new || old_h.is_empty() {
+            continue;
+        }
+        let level = level as u8;
+        let mut by_hash: BTreeMap<u64, VecDeque<usize>> = BTreeMap::new();
+        for (i, &h) in old_h.iter().enumerate() {
+            let anchorless = level == LEVEL_ANCHOR && h == 0;
+            if !old_taken[i] && !anchorless {
+                by_hash.entry(h).or_default().push_back(i);
+            }
+        }
+        for (j, slot) in assigned.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let h = cur_h[j];
+            if level == LEVEL_ANCHOR && h == 0 {
+                continue;
+            }
+            if let Some(q) = by_hash.get_mut(&h) {
+                if let Some(i) = q.pop_front() {
+                    *slot = Some((i, level));
+                    old_taken[i] = true;
+                }
+            }
+        }
+    }
+    assigned
+}
+
+/// Repairs `tier` and `ctx` in place against `repo` with default options
+/// (the full v2 matching pipeline).
 ///
-/// After a successful repair the profile passes the structural lint rules
-/// (dangling ids, stale shapes, phantom sites, impossible arcs). Flow
-/// conservation is *not* restored — remapped counters approximate the new
-/// code — so callers should re-lint with
-/// [`crate::lint::LintOptions::flow_conservation`] off.
+/// After a successful repair the profile passes the *strict* lint rules,
+/// including flow conservation: matched counts are turned into an exact
+/// integer circulation and branch counters are resynthesized from its edge
+/// flows, so repaired functions balance just like fresh ones.
 pub fn repair_profile(repo: &Repo, tier: &mut TierProfile, ctx: &mut CtxProfile) -> RepairReport {
+    repair_profile_with(repo, tier, ctx, &RepairOptions::default())
+}
+
+/// [`repair_profile`] with an explicit [`MatchMode`].
+pub fn repair_profile_with(
+    repo: &Repo,
+    tier: &mut TierProfile,
+    ctx: &mut CtxProfile,
+    opts: &RepairOptions,
+) -> RepairReport {
     let mut report = RepairReport::default();
     let graph = CallGraph::build(repo);
-    let func_count = repo.funcs().len();
 
-    // Dangling functions can't be remapped onto anything.
-    let mut dangling: Vec<FuncId> = tier
-        .funcs
-        .keys()
-        .copied()
-        .filter(|f| f.index() >= func_count)
-        .collect();
-    dangling.sort_by_key(|f| f.index());
-    for f in dangling {
-        tier.funcs.remove(&f);
-        report.dropped.push(f);
-    }
+    // ---- Phase 1: function identity --------------------------------
+    resolve_identities(repo, tier, ctx, opts.mode, &mut report);
 
+    // ---- Phase 2: per-function block matching + flow inference -----
+    let mut fids: Vec<FuncId> = tier.funcs.keys().copied().collect();
+    fids.sort_by_key(|f| f.index());
     let mut stale_drops = Vec::new();
-    for (&fid, fp) in tier.funcs.iter_mut() {
+    for fid in fids {
+        let fp = tier.funcs.get_mut(&fid).expect("resolved id");
         let func = repo.func(fid);
         let cfg = Cfg::build(func);
-        let cur_hashes = cfg.block_hashes(func);
+        let cur_exact = cfg.block_hashes(func);
         let fresh = fp.block_counts.len() == cfg.len()
-            && (fp.block_hashes.is_empty() || fp.block_hashes == cur_hashes);
-        if !fresh {
-            // Without stored hashes there is nothing to match on.
-            if fp.block_hashes.len() != fp.block_counts.len() || fp.block_hashes.is_empty() {
-                stale_drops.push(fid);
-                continue;
-            }
-            let total: u64 = fp.block_counts.iter().sum();
-            let (counts, matched) = remap_counts(&fp.block_counts, &fp.block_hashes, &cur_hashes);
-            if total > 0 && (matched as f64) < MIN_MATCHED_MASS * total as f64 {
-                stale_drops.push(fid);
-                continue;
-            }
-            fp.block_counts = counts;
-            fp.block_hashes = cur_hashes;
-            report.repaired.push(fid);
+            && (fp.block_hashes.is_empty() || fp.block_hashes == cur_exact);
+        if fresh {
+            report.stats.funcs_fresh += 1;
+            report.pruned += prune_func_profile(repo, &graph, fid, fp);
+            continue;
         }
+        let total: u64 = fp.block_counts.iter().sum();
+        match opts.mode {
+            MatchMode::DropStale => {
+                report.stats.blocks_dropped += fp.block_counts.len() as u64;
+                report.stats.mass_dropped += total;
+                stale_drops.push(fid);
+                continue;
+            }
+            MatchMode::LegacyGreedy => {
+                if fp.block_hashes.len() != fp.block_counts.len() || fp.block_hashes.is_empty() {
+                    report.stats.mass_dropped += total;
+                    stale_drops.push(fid);
+                    continue;
+                }
+                let (counts, matched, skipped) =
+                    remap_counts(&fp.block_counts, &fp.block_hashes, &cur_exact);
+                report.pruned += skipped;
+                if total > 0 && (matched as f64) < MIN_MATCHED_MASS * total as f64 {
+                    report.stats.mass_dropped += total;
+                    stale_drops.push(fid);
+                    continue;
+                }
+                report.stats.mass_matched += matched;
+                report.stats.mass_dropped += total - matched;
+                fp.block_counts = counts;
+                fp.block_hashes = cur_exact;
+                refresh_signatures(repo, fid, fp, &cfg);
+                report.repaired.push(fid);
+            }
+            MatchMode::Full => {
+                let cur_opcode = cfg.block_opcode_hashes(func);
+                let cur_neighbor = cfg.block_neighbor_hashes(func);
+                let cur_anchor = cfg.block_anchor_hashes(func, repo);
+                let assigned = match_blocks(
+                    &fp.block_counts,
+                    [
+                        (fp.block_hashes.as_slice(), cur_exact.as_slice()),
+                        (fp.block_opcode_hashes.as_slice(), cur_opcode.as_slice()),
+                        (fp.block_neighbor_hashes.as_slice(), cur_neighbor.as_slice()),
+                        (fp.block_anchor_hashes.as_slice(), cur_anchor.as_slice()),
+                    ],
+                );
+                let matched: u64 = assigned
+                    .iter()
+                    .flatten()
+                    .map(|&(i, _)| fp.block_counts[i])
+                    .sum();
+                if total > 0 && (matched as f64) < MIN_MATCHED_MASS * total as f64 {
+                    report.stats.blocks_dropped += fp.block_counts.len() as u64;
+                    report.stats.mass_dropped += total;
+                    stale_drops.push(fid);
+                    continue;
+                }
+                let mut matched_old = vec![false; fp.block_counts.len()];
+                let hints: Vec<Option<u64>> = assigned
+                    .iter()
+                    .map(|a| {
+                        a.map(|(i, _)| {
+                            matched_old[i] = true;
+                            fp.block_counts[i]
+                        })
+                    })
+                    .collect();
+                for a in assigned.iter().flatten() {
+                    match a.1 {
+                        LEVEL_EXACT => report.stats.blocks_exact += 1,
+                        LEVEL_OPCODE => report.stats.blocks_opcode += 1,
+                        LEVEL_NEIGHBOR => report.stats.blocks_neighbor += 1,
+                        _ => report.stats.blocks_anchor += 1,
+                    }
+                }
+                report.stats.blocks_dropped += matched_old.iter().filter(|&&m| !m).count() as u64;
+                report.stats.mass_matched += matched;
+                report.stats.mass_dropped += total - matched;
+
+                let sol = infer_flow(&cfg, fp.enter_count, &hints);
+                report.stats.blocks_inferred += sol
+                    .counts
+                    .iter()
+                    .zip(&hints)
+                    .filter(|&(&c, h)| h.is_none() && c > 0)
+                    .count() as u64;
+                fp.block_counts = sol.counts;
+                fp.block_hashes = cur_exact;
+                refresh_signatures(repo, fid, fp, &cfg);
+                report.stats.branches_synthesized += replace_branches(ctx, fid, &sol.branches);
+                report.repaired.push(fid);
+            }
+        }
+        let fp = tier.funcs.get_mut(&fid).expect("still present");
         report.pruned += prune_func_profile(repo, &graph, fid, fp);
     }
     stale_drops.sort_by_key(|f| f.index());
@@ -123,11 +340,188 @@ pub fn repair_profile(repo: &Repo, tier: &mut TierProfile, ctx: &mut CtxProfile)
 
     report.pruned += prune_prop_tables(repo, tier);
     report.pruned += prune_ctx(repo, &graph, ctx);
+
+    // ---- Phase 3: flow rebalance -----------------------------------
+    // Pruning can remove part of a fresh function's branch data (e.g. its
+    // caller's inline context vanished), leaving counts that no longer
+    // balance. Resynthesize those functions' branch counters from their
+    // own (already consistent) counts so the strict flow lint passes.
+    if opts.mode == MatchMode::Full {
+        let mut fids: Vec<FuncId> = tier.funcs.keys().copied().collect();
+        fids.sort_by_key(|f| f.index());
+        let repaired: HashSet<FuncId> = report.repaired.iter().copied().collect();
+        for fid in fids {
+            if repaired.contains(&fid) {
+                continue; // consistent by construction
+            }
+            let fp = tier.funcs.get_mut(&fid).expect("present");
+            let func = repo.func(fid);
+            if func_flow_consistent(fid, func, fp, ctx) {
+                continue;
+            }
+            let cfg = Cfg::build(func);
+            let hints: Vec<Option<u64>> = fp.block_counts.iter().map(|&c| Some(c)).collect();
+            let sol = infer_flow(&cfg, fp.enter_count, &hints);
+            fp.block_counts = sol.counts;
+            report.stats.branches_synthesized += replace_branches(ctx, fid, &sol.branches);
+            report.stats.funcs_rebalanced += 1;
+            report.repaired.push(fid);
+        }
+    }
+
     report.repaired.sort_by_key(|f| f.index());
+    report.repaired.dedup();
     // Counters were dropped/remapped in place; any cached heat ranking on
     // the profile is stale now.
     tier.mark_counters_dirty();
     report
+}
+
+/// Re-keys the tier/ctx onto current-build function ids.
+///
+/// Legacy profiles (no `name_hash`) keep id-as-is semantics: in-range ids
+/// are trusted, out-of-range ids are dropped. v5 profiles are re-keyed by
+/// name hash; still-unresolved ones get one more chance via a unique
+/// whole-body opcode fingerprint (catches renamed-but-unchanged functions).
+fn resolve_identities(
+    repo: &Repo,
+    tier: &mut TierProfile,
+    ctx: &mut CtxProfile,
+    mode: MatchMode,
+    report: &mut RepairReport,
+) {
+    let func_count = repo.funcs().len();
+    let full = mode == MatchMode::Full;
+
+    let mut by_name: HashMap<u64, Option<FuncId>> = HashMap::new();
+    let mut by_body: HashMap<u64, Option<FuncId>> = HashMap::new();
+    if full {
+        for f in repo.funcs() {
+            let name_hash = bytecode::fnv_str(repo.str(f.name));
+            by_name
+                .entry(name_hash)
+                .and_modify(|e| *e = None) // ambiguous name: never match on it
+                .or_insert(Some(f.id));
+            let cfg = Cfg::build(f);
+            let mut h = Fnv::new();
+            for hash in cfg.block_opcode_hashes(f) {
+                h.u64(hash);
+            }
+            by_body
+                .entry(h.finish())
+                .and_modify(|e| *e = None) // ambiguous body: never match on it
+                .or_insert(Some(f.id));
+        }
+    }
+
+    let mut old_fids: Vec<FuncId> = tier.funcs.keys().copied().collect();
+    old_fids.sort_by_key(|f| f.index());
+    let mut claimed: HashSet<FuncId> = HashSet::new();
+    let mut resolved: Vec<(FuncId, FuncId)> = Vec::new();
+    let mut second_chance: Vec<FuncId> = Vec::new();
+    for &fid in &old_fids {
+        let fp = &tier.funcs[&fid];
+        let target = if full && fp.name_hash != 0 {
+            by_name.get(&fp.name_hash).copied().flatten()
+        } else if fid.index() < func_count {
+            Some(fid)
+        } else {
+            None
+        };
+        match target {
+            Some(nf) if claimed.insert(nf) => resolved.push((fid, nf)),
+            _ if full && fp.name_hash != 0 => second_chance.push(fid),
+            _ => {
+                report.stats.mass_dropped += fp.block_counts.iter().sum::<u64>();
+                report.dropped.push(fid);
+            }
+        }
+    }
+    // Renamed functions: a unique, unchanged body is identity enough.
+    for fid in second_chance {
+        let fp = &tier.funcs[&fid];
+        let target = (!fp.block_opcode_hashes.is_empty())
+            .then(|| {
+                let mut h = Fnv::new();
+                for &hash in &fp.block_opcode_hashes {
+                    h.u64(hash);
+                }
+                by_body.get(&h.finish()).copied().flatten()
+            })
+            .flatten();
+        match target {
+            Some(nf) if claimed.insert(nf) => {
+                report.stats.funcs_renamed += 1;
+                resolved.push((fid, nf));
+            }
+            _ => {
+                report.stats.mass_dropped += fp.block_counts.iter().sum::<u64>();
+                report.dropped.push(fid);
+            }
+        }
+    }
+    report.dropped.sort_by_key(|f| f.index());
+
+    let moved: HashMap<FuncId, FuncId> = resolved.iter().copied().filter(|(o, n)| o != n).collect();
+    let resolved_old: HashSet<FuncId> = resolved.iter().map(|&(o, _)| o).collect();
+    let mut funcs = std::mem::take(&mut tier.funcs);
+    funcs.retain(|f, _| resolved_old.contains(f));
+    if !moved.is_empty() {
+        let map = |f: FuncId| moved.get(&f).copied().unwrap_or(f);
+        let mut rekeyed: HashMap<FuncId, FuncProfile> = HashMap::with_capacity(funcs.len());
+        for (old, mut fp) in funcs.drain() {
+            for targets in fp.call_targets.values_mut() {
+                let mut new_targets: HashMap<FuncId, u64> = HashMap::with_capacity(targets.len());
+                for (callee, c) in targets.drain() {
+                    *new_targets.entry(map(callee)).or_insert(0) += c;
+                }
+                *targets = new_targets;
+            }
+            match rekeyed.entry(map(old)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(fp);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&fp),
+            }
+        }
+        funcs = rekeyed;
+
+        let map_ictx = |ictx: jit::InlineCtx| ictx.map(|(caller, site)| (map(caller), site));
+        let mut branches: HashMap<_, BranchCount> = HashMap::with_capacity(ctx.branches.len());
+        for ((ictx, f, at), bc) in ctx.branches.drain() {
+            branches
+                .entry((map_ictx(ictx), map(f), at))
+                .or_default()
+                .merge(&bc);
+        }
+        ctx.branches = branches;
+        let mut entries: HashMap<_, u64> = HashMap::with_capacity(ctx.entries.len());
+        for ((ictx, callee), c) in ctx.entries.drain() {
+            *entries.entry((map_ictx(ictx), map(callee))).or_insert(0) += c;
+        }
+        ctx.entries = entries;
+    }
+    tier.funcs = funcs;
+}
+
+/// Refreshes a repaired profile's stored signatures to the current build.
+fn refresh_signatures(repo: &Repo, fid: FuncId, fp: &mut FuncProfile, cfg: &Cfg) {
+    let func = repo.func(fid);
+    fp.name_hash = bytecode::fnv_str(repo.str(func.name));
+    fp.block_opcode_hashes = cfg.block_opcode_hashes(func);
+    fp.block_neighbor_hashes = cfg.block_neighbor_hashes(func);
+    fp.block_anchor_hashes = cfg.block_anchor_hashes(func, repo);
+}
+
+/// Drops every branch counter of `fid` and installs the synthesized
+/// splits; returns how many were installed.
+fn replace_branches(ctx: &mut CtxProfile, fid: FuncId, branches: &[(u32, u64, u64)]) -> u64 {
+    ctx.branches.retain(|&(_, f, _), _| f != fid);
+    for &(at, taken, not_taken) in branches {
+        ctx.branches
+            .insert((None, fid, at), BranchCount { taken, not_taken });
+    }
+    branches.len() as u64
 }
 
 /// Drops instruction-indexed entries of one function profile whose
@@ -257,15 +651,24 @@ pub fn shared_mass(a: &TierProfile, b: &TierProfile) -> f64 {
 mod tests {
     use super::*;
     use crate::lint::{lint_profile_with, LintOptions, ProfileView};
-    use bytecode::{BinOp, FuncBuilder, Instr, RepoBuilder};
     use jit::ProfileCollector;
     use vm::{Value, Vm};
 
-    /// Two builds of the same program: v2 inserts a prologue block into f
-    /// and leaves g untouched.
-    fn build_repo(v2: bool) -> Repo {
+    use bytecode::{BinOp, FuncBuilder, RepoBuilder};
+
+    /// Builds one program in several "push" variants:
+    /// * `guard` — v2 inserts a prologue guard block into `f`,
+    /// * `shift` — a dummy function is defined first, renumbering every id,
+    /// * `rename` — `f` is defined under a different name.
+    fn build_repo_variant(guard: bool, shift: bool, f_name: &str) -> Repo {
         let mut b = RepoBuilder::new();
         let u = b.declare_unit("p.hl");
+        if shift {
+            let mut d = FuncBuilder::new("dummy", 0);
+            d.emit(Instr::Null);
+            d.emit(Instr::Ret);
+            b.define_func(u, d);
+        }
         let mut g = FuncBuilder::new("g", 1);
         let zero = g.new_label();
         g.emit(Instr::GetL(0));
@@ -277,9 +680,9 @@ mod tests {
         g.emit(Instr::Ret);
         let gid = b.define_func(u, g);
 
-        let mut f = FuncBuilder::new("f", 1);
+        let mut f = FuncBuilder::new(f_name, 1);
         let i = f.new_local();
-        if v2 {
+        if guard {
             // New guard: if (!n) return null — a new entry block shape.
             let go = f.new_label();
             f.emit(Instr::GetL(0));
@@ -312,6 +715,10 @@ mod tests {
         b.finish()
     }
 
+    fn build_repo(v2: bool) -> Repo {
+        build_repo_variant(v2, false, "f")
+    }
+
     fn collect(repo: &Repo, n: i64) -> (TierProfile, CtxProfile) {
         let f = repo.func_by_name("f").unwrap().id;
         let mut vm = Vm::new(repo);
@@ -321,12 +728,31 @@ mod tests {
         (col.tier, col.ctx)
     }
 
+    fn strict_lint_errors(repo: &Repo, tier: &TierProfile, ctx: &CtxProfile) -> usize {
+        lint_profile_with(
+            repo,
+            &ProfileView {
+                tier,
+                ctx,
+                unit_order: &[],
+                prop_orders: &[],
+                func_order: &[],
+            },
+            &LintOptions {
+                flow_conservation: true,
+                type_feasibility: false,
+            },
+        )
+        .error_count()
+    }
+
     #[test]
     fn fresh_profile_is_untouched() {
         let repo = build_repo(false);
         let (mut tier, mut ctx) = collect(&repo, 10);
         let report = repair_profile(&repo, &mut tier, &mut ctx);
         assert!(report.untouched(), "got {report:?}");
+        assert!(report.stats.funcs_fresh >= 2, "got {:?}", report.stats);
     }
 
     #[test]
@@ -341,6 +767,7 @@ mod tests {
         let report = repair_profile(&v2, &mut tier, &mut ctx);
         assert!(report.repaired.contains(&f2), "got {report:?}");
         assert!(report.dropped.is_empty());
+        assert!(report.stats.blocks_exact > 0, "got {:?}", report.stats);
 
         let fp = &tier.funcs[&f2];
         let cfg = Cfg::build(v2.func(f2));
@@ -354,23 +781,46 @@ mod tests {
             "{mass_after} vs {loop_mass_before}"
         );
 
-        // And the repaired profile passes the structural lint (flow is
-        // approximate after a remap, so it stays off).
-        let g_ok = lint_profile_with(
-            &v2,
-            &ProfileView {
-                tier: &tier,
-                ctx: &ctx,
-                unit_order: &[],
-                prop_orders: &[],
-                func_order: &[],
-            },
-            &LintOptions {
-                flow_conservation: false,
-                type_feasibility: false,
-            },
-        );
-        assert_eq!(g_ok.error_count(), 0, "got: {:?}", g_ok.diagnostics);
+        // And the repaired profile passes the *strict* lint: inference
+        // produces flow-consistent counts, so flow conservation stays on.
+        assert_eq!(strict_lint_errors(&v2, &tier, &ctx), 0);
+    }
+
+    #[test]
+    fn renumbered_ids_are_recovered_by_name() {
+        let v1 = build_repo_variant(false, false, "f");
+        let v2 = build_repo_variant(false, true, "f");
+        let old_f = v1.func_by_name("f").unwrap().id;
+        let new_f = v2.func_by_name("f").unwrap().id;
+        assert_ne!(old_f, new_f, "the push renumbered ids");
+        let (mut tier, mut ctx) = collect(&v1, 10);
+        let mass_before: u64 = tier.funcs[&old_f].block_counts.iter().sum();
+
+        let report = repair_profile(&v2, &mut tier, &mut ctx);
+        assert!(report.dropped.is_empty(), "got {report:?}");
+        let fp = &tier.funcs[&new_f];
+        // Bodies only differ in the renumbered callee id, so the opcode
+        // rung matches every block and flow reproduces the counts exactly.
+        let mass_after: u64 = fp.block_counts.iter().sum();
+        assert_eq!(mass_after, mass_before);
+        assert_eq!(strict_lint_errors(&v2, &tier, &ctx), 0);
+    }
+
+    #[test]
+    fn renamed_function_is_recovered_by_body_fingerprint() {
+        let v1 = build_repo_variant(false, false, "f");
+        let v2 = build_repo_variant(false, false, "f_renamed");
+        let old_f = v1.func_by_name("f").unwrap().id;
+        let new_f = v2.func_by_name("f_renamed").unwrap().id;
+        let (mut tier, mut ctx) = collect(&v1, 10);
+        let mass_before: u64 = tier.funcs[&old_f].block_counts.iter().sum();
+
+        let report = repair_profile(&v2, &mut tier, &mut ctx);
+        assert_eq!(report.stats.funcs_renamed, 1, "got {report:?}");
+        assert!(report.dropped.is_empty(), "got {report:?}");
+        let mass_after: u64 = tier.funcs[&new_f].block_counts.iter().sum();
+        assert_eq!(mass_after, mass_before);
+        assert_eq!(strict_lint_errors(&v2, &tier, &ctx), 0);
     }
 
     #[test]
@@ -379,16 +829,56 @@ mod tests {
         let (mut tier, mut ctx) = collect(&repo, 10);
         let f = repo.func_by_name("f").unwrap().id;
         // Pretend the profile came from a totally different function body:
-        // same lengths, but no hash matches the current CFG.
+        // same name, but no signature at any ladder level matches.
         let fp = tier.funcs.get_mut(&f).unwrap();
         fp.block_counts.push(99);
-        fp.block_hashes.push(12345);
-        for h in fp.block_hashes.iter_mut() {
-            *h ^= 0xffff_ffff;
+        for sig in [
+            &mut fp.block_hashes,
+            &mut fp.block_opcode_hashes,
+            &mut fp.block_neighbor_hashes,
+            &mut fp.block_anchor_hashes,
+        ] {
+            sig.push(12345);
+            for h in sig.iter_mut() {
+                *h ^= 0xffff_ffff;
+            }
         }
         let report = repair_profile(&repo, &mut tier, &mut ctx);
         assert!(report.dropped.contains(&f), "got {report:?}");
         assert!(!tier.funcs.contains_key(&f));
+        assert!(report.stats.mass_dropped > 0);
+    }
+
+    #[test]
+    fn legacy_greedy_truncation_is_reported_as_pruned() {
+        // More counters than hashes: the greedy scan never examines the
+        // tail — it must be counted, not silently dropped.
+        let (counts, matched, skipped) = remap_counts(&[5, 6, 7], &[42], &[42]);
+        assert_eq!(counts, vec![5]);
+        assert_eq!(matched, 5);
+        assert_eq!(skipped, 2);
+        // Cursor exhaustion mid-scan leaves the remaining entries
+        // unexamined too.
+        let (_, _, skipped) = remap_counts(&[1, 2, 3], &[9, 9, 9], &[9]);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn drop_stale_mode_drops_what_full_mode_repairs() {
+        let v1 = build_repo(false);
+        let v2 = build_repo(true);
+        let f2 = v2.func_by_name("f").unwrap().id;
+        let (mut tier, mut ctx) = collect(&v1, 10);
+        let report = repair_profile_with(
+            &v2,
+            &mut tier,
+            &mut ctx,
+            &RepairOptions {
+                mode: MatchMode::DropStale,
+            },
+        );
+        assert!(report.dropped.contains(&f2), "got {report:?}");
+        assert!(!tier.funcs.contains_key(&f2));
     }
 
     #[test]

@@ -179,4 +179,74 @@ fn main() {
         "\nall {} corruption classes detected and rejected statically",
         CORRUPTIONS.len()
     );
+
+    // Stale-release demo: churn the app into a new release and surface
+    // what the repairer did — the per-rung match histogram plus the
+    // flow-inference counts — then hold the result to the strict lint.
+    println!("\n=== stale release: repair report ===");
+    let (release, churn) = workload::generate_release(
+        &lab.app.params,
+        &workload::ChurnParams {
+            seed: 0xC0DE,
+            rate: 0.1,
+        },
+    );
+    println!(
+        "churn: {} renamed, {} deleted, {} inserted, {} files reordered, {} branches inserted, {} cold paths removed",
+        churn.funcs_renamed,
+        churn.funcs_deleted,
+        churn.funcs_inserted,
+        churn.files_reordered,
+        churn.branches_inserted,
+        churn.cold_paths_removed
+    );
+    let mut tier = pkg.tier.clone();
+    let mut ctx = pkg.ctx.clone();
+    let report = analysis::repair_profile(&release.repo, &mut tier, &mut ctx);
+    let s = &report.stats;
+    println!(
+        "repair: {} repaired, {} dropped, {} counters pruned",
+        report.repaired.len(),
+        report.dropped.len(),
+        report.pruned
+    );
+    println!(
+        "  funcs: {} fresh, {} renamed, {} rebalanced",
+        s.funcs_fresh, s.funcs_renamed, s.funcs_rebalanced
+    );
+    println!(
+        "  blocks: {} exact, {} opcode, {} neighbor, {} anchor, {} inferred, {} dropped",
+        s.blocks_exact,
+        s.blocks_opcode,
+        s.blocks_neighbor,
+        s.blocks_anchor,
+        s.blocks_inferred,
+        s.blocks_dropped
+    );
+    println!(
+        "  mass: {} matched, {} dropped; {} branches synthesized",
+        s.mass_matched, s.mass_dropped, s.branches_synthesized
+    );
+    let strict = analysis::lint_profile_with(
+        &release.repo,
+        &ProfileView {
+            tier: &tier,
+            ctx: &ctx,
+            unit_order: &[],
+            prop_orders: &[],
+            func_order: &[],
+        },
+        &analysis::LintOptions {
+            flow_conservation: true,
+            type_feasibility: false,
+        },
+    );
+    if strict.error_count() > 0 {
+        for d in strict.errors().take(5) {
+            eprintln!("  {d}");
+        }
+        eprintln!("FAIL: repaired profile must pass the strict (flow) lint");
+        std::process::exit(1);
+    }
+    println!("repaired profile passes the strict lint (flow conservation on)");
 }

@@ -175,6 +175,110 @@ impl Cfg {
             .collect()
     }
 
+    /// Opcode-only hash of every block: like [`Cfg::block_hashes`] but
+    /// covering just the opcode *tags* (no immediates) plus the successor
+    /// shape. Immediates embed table indices (`StrId`, `FuncId`, `ClassId`)
+    /// that renumber wholesale when unrelated code is added to the repo, so
+    /// the exact hash of an *untouched* block can still change across
+    /// builds. The opcode hash survives that renumbering and is the second
+    /// rung of the stale-matching ladder.
+    pub fn block_opcode_hashes(&self, func: &Func) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .map(|b| {
+                let mut h = Fnv::new();
+                for i in b.start..b.end {
+                    h.u8(opcode_tag(&func.code[i as usize]));
+                }
+                h.u8(b.taken.is_some() as u8);
+                h.u8(b.fallthrough.is_some() as u8);
+                h.finish()
+            })
+            .collect()
+    }
+
+    /// Neighborhood hash of every block: the block's own opcode hash
+    /// combined with the *sorted* opcode hashes of its predecessors and
+    /// successors. Two blocks with identical bodies (common for compiler-
+    /// generated epilogues) are distinguished by where they sit in the
+    /// graph; conversely a block whose body was edited can still be
+    /// recognized by its unchanged neighborhood. Third rung of the ladder.
+    pub fn block_neighbor_hashes(&self, func: &Func) -> Vec<u64> {
+        let op = self.block_opcode_hashes(func);
+        let mut preds: Vec<Vec<u64>> = vec![Vec::new(); self.blocks.len()];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for s in b.successors() {
+                preds[s.index()].push(op[bi]);
+            }
+        }
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| {
+                let mut h = Fnv::new();
+                h.u64(op[bi]);
+                preds[bi].sort_unstable();
+                h.u8(preds[bi].len() as u8);
+                for &p in &preds[bi] {
+                    h.u64(p);
+                }
+                let mut succs: Vec<u64> = b.successors().map(|s| op[s.index()]).collect();
+                succs.sort_unstable();
+                h.u8(succs.len() as u8);
+                for &s in &succs {
+                    h.u64(s);
+                }
+                h.finish()
+            })
+            .collect()
+    }
+
+    /// Call-site anchor hash of every block: the in-order sequence of the
+    /// block's call targets, identified by *name string* (stable across
+    /// builds, unlike the raw ids). Blocks with no calls hash to `0` so
+    /// callers can skip them. A block whose arithmetic was rewritten but
+    /// whose calls survived is still anchored; this is the last, fuzziest
+    /// rung of the matching ladder.
+    pub fn block_anchor_hashes(&self, func: &Func, repo: &crate::repo::Repo) -> Vec<u64> {
+        use crate::instr::Instr as I;
+        self.blocks
+            .iter()
+            .map(|b| {
+                let mut h = Fnv::new();
+                let mut any = false;
+                for i in b.start..b.end {
+                    match func.code[i as usize] {
+                        I::Call { func: callee, argc } => {
+                            any = true;
+                            h.u8(1);
+                            let f = repo.func(callee);
+                            h.u64(fnv_str(repo.str(f.name)));
+                            h.u8(argc);
+                        }
+                        I::CallMethod { name, argc } => {
+                            any = true;
+                            h.u8(2);
+                            h.u64(fnv_str(repo.str(name)));
+                            h.u8(argc);
+                        }
+                        I::CallBuiltin { builtin, argc } => {
+                            any = true;
+                            h.u8(3);
+                            h.u8(builtin as u8);
+                            h.u8(argc);
+                        }
+                        _ => {}
+                    }
+                }
+                if any {
+                    h.finish()
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
     /// Predecessor counts per block (entry gets an implicit +1).
     pub fn pred_counts(&self) -> Vec<u32> {
         let mut preds = vec![0u32; self.blocks.len()];
@@ -223,96 +327,88 @@ impl Fnv {
     }
 }
 
+/// FNV-1a over a string's bytes: build-stable fingerprints of function and
+/// method *names*, used to re-identify profiled functions after ids were
+/// renumbered by an unrelated code push.
+pub fn fnv_str(s: &str) -> u64 {
+    let mut h = Fnv::new();
+    for &b in s.as_bytes() {
+        h.u8(b);
+    }
+    h.finish()
+}
+
+/// The dense opcode tag shared by the exact and opcode-only block hashes.
+fn opcode_tag(instr: &crate::instr::Instr) -> u8 {
+    use crate::instr::Instr as I;
+    match *instr {
+        I::Null => 0,
+        I::True => 1,
+        I::False => 2,
+        I::Int(_) => 3,
+        I::Double(_) => 4,
+        I::Str(_) => 5,
+        I::LitArr(_) => 6,
+        I::Pop => 7,
+        I::Dup => 8,
+        I::GetL(_) => 9,
+        I::SetL(_) => 10,
+        I::IncL(..) => 11,
+        I::Bin(_) => 12,
+        I::Un(_) => 13,
+        I::Jmp(_) => 14,
+        I::JmpZ(_) => 15,
+        I::JmpNZ(_) => 16,
+        I::Call { .. } => 17,
+        I::CallMethod { .. } => 18,
+        I::CallBuiltin { .. } => 19,
+        I::Ret => 20,
+        I::NewObj(_) => 21,
+        I::GetProp(_) => 22,
+        I::SetProp(_) => 23,
+        I::This => 24,
+        I::NewVec(_) => 25,
+        I::NewDict(_) => 26,
+        I::Idx => 27,
+        I::SetIdx => 28,
+    }
+}
+
 fn hash_instr_shape(h: &mut Fnv, instr: &crate::instr::Instr) {
     use crate::instr::Instr as I;
-    // A small opcode tag plus the non-jump-target immediates.
+    // The opcode tag plus the non-jump-target immediates.
+    h.u8(opcode_tag(instr));
     match *instr {
-        I::Null => h.u8(0),
-        I::True => h.u8(1),
-        I::False => h.u8(2),
-        I::Int(v) => {
-            h.u8(3);
-            h.u64(v as u64);
-        }
-        I::Double(v) => {
-            h.u8(4);
-            h.u64(v.to_bits());
-        }
-        I::Str(s) => {
-            h.u8(5);
-            h.u64(s.0 as u64);
-        }
-        I::LitArr(a) => {
-            h.u8(6);
-            h.u64(a.0 as u64);
-        }
-        I::Pop => h.u8(7),
-        I::Dup => h.u8(8),
-        I::GetL(l) => {
-            h.u8(9);
-            h.u64(l as u64);
-        }
-        I::SetL(l) => {
-            h.u8(10);
-            h.u64(l as u64);
-        }
+        I::Int(v) => h.u64(v as u64),
+        I::Double(v) => h.u64(v.to_bits()),
+        I::Str(s) => h.u64(s.0 as u64),
+        I::LitArr(a) => h.u64(a.0 as u64),
+        I::GetL(l) | I::SetL(l) => h.u64(l as u64),
         I::IncL(l, d) => {
-            h.u8(11);
             h.u64(l as u64);
             h.u64(d as u64);
         }
-        I::Bin(op) => {
-            h.u8(12);
-            h.u8(op as u8);
-        }
-        I::Un(op) => {
-            h.u8(13);
-            h.u8(op as u8);
-        }
+        I::Bin(op) => h.u8(op as u8),
+        I::Un(op) => h.u8(op as u8),
         // Branch opcodes hash their kind only: the absolute target index
         // shifts whenever code is inserted upstream.
-        I::Jmp(_) => h.u8(14),
-        I::JmpZ(_) => h.u8(15),
-        I::JmpNZ(_) => h.u8(16),
+        I::Jmp(_) | I::JmpZ(_) | I::JmpNZ(_) => {}
         I::Call { func, argc } => {
-            h.u8(17);
             h.u64(func.0 as u64);
             h.u8(argc);
         }
         I::CallMethod { name, argc } => {
-            h.u8(18);
             h.u64(name.0 as u64);
             h.u8(argc);
         }
         I::CallBuiltin { builtin, argc } => {
-            h.u8(19);
             h.u8(builtin as u8);
             h.u8(argc);
         }
-        I::Ret => h.u8(20),
-        I::NewObj(c) => {
-            h.u8(21);
-            h.u64(c.0 as u64);
-        }
-        I::GetProp(s) => {
-            h.u8(22);
-            h.u64(s.0 as u64);
-        }
-        I::SetProp(s) => {
-            h.u8(23);
-            h.u64(s.0 as u64);
-        }
-        I::This => h.u8(24),
-        I::NewVec(n) => {
-            h.u8(25);
-            h.u64(n as u64);
-        }
-        I::NewDict(n) => {
-            h.u8(26);
-            h.u64(n as u64);
-        }
-        I::Idx => h.u8(27),
-        I::SetIdx => h.u8(28),
+        I::NewObj(c) => h.u64(c.0 as u64),
+        I::GetProp(s) | I::SetProp(s) => h.u64(s.0 as u64),
+        I::NewVec(n) | I::NewDict(n) => h.u64(n as u64),
+        I::Null | I::True | I::False | I::Pop | I::Dup | I::Ret | I::This | I::Idx | I::SetIdx => {}
     }
 }
 
@@ -417,6 +513,52 @@ mod tests {
         assert_eq!(h1.len(), cfg.len());
         // Int(1)+Jmp vs Int(2)+fallthrough differ.
         assert_ne!(h1[1], h1[2]);
+    }
+
+    #[test]
+    fn opcode_hashes_ignore_immediates_but_exact_hashes_do_not() {
+        let a = func(vec![
+            Instr::GetL(0),
+            Instr::Str(StrId::new(3)),
+            Instr::JmpZ(4),
+            Instr::Int(1),
+            Instr::Ret,
+        ]);
+        // Same opcodes, renumbered Str immediate (a different build's table).
+        let b = func(vec![
+            Instr::GetL(0),
+            Instr::Str(StrId::new(9)),
+            Instr::JmpZ(4),
+            Instr::Int(1),
+            Instr::Ret,
+        ]);
+        let (ca, cb) = (Cfg::build(&a), Cfg::build(&b));
+        assert_ne!(ca.block_hashes(&a)[0], cb.block_hashes(&b)[0]);
+        assert_eq!(ca.block_opcode_hashes(&a), cb.block_opcode_hashes(&b));
+    }
+
+    #[test]
+    fn neighbor_hashes_distinguish_identical_bodies_by_position() {
+        // Two arms with *identical* bodies jumping to different join points;
+        // the opcode hash collides but the neighborhood hash separates them.
+        let f = func(vec![
+            Instr::GetL(0), // 0 b0
+            Instr::JmpZ(5), // 1 b0 -> taken b2, fall b1
+            Instr::Int(7),  // 2 b1
+            Instr::Pop,     // 3 b1
+            Instr::Jmp(8),  // 4 b1 -> b3
+            Instr::Int(7),  // 5 b2
+            Instr::Pop,     // 6 b2
+            Instr::Jmp(9),  // 7 b2 -> b4
+            Instr::Int(1),  // 8 b3 (falls to b4)
+            Instr::Ret,     // 9 b4
+        ]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 5);
+        let op = cfg.block_opcode_hashes(&f);
+        let nb = cfg.block_neighbor_hashes(&f);
+        assert_eq!(op[1], op[2], "bodies collide at the opcode level");
+        assert_ne!(nb[1], nb[2], "neighborhoods differ");
     }
 
     #[test]

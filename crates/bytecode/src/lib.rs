@@ -42,7 +42,7 @@ mod repo;
 mod verify;
 
 pub use builder::{FuncBuilder, Label};
-pub use cfg::{BlockId, Cfg, CfgBlock, Fnv};
+pub use cfg::{fnv_str, BlockId, Cfg, CfgBlock, Fnv};
 pub use disasm::{disasm_func, disasm_unit};
 pub use ids::{ClassId, FuncId, LitArrId, Local, StrId, UnitId};
 pub use instr::{BinOp, Builtin, Instr, UnOp};

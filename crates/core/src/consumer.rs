@@ -96,17 +96,45 @@ struct OwnedProfile {
     func_order: Vec<FuncId>,
 }
 
-/// Consumers are lenient about flow conservation: a mis-weighted counter
-/// only skews code layout, while structural errors (dangling ids, phantom
-/// sites) feed garbage into translation. Type feasibility is a warning
-/// either way.
+/// Consumers hold every profile — fresh or repaired — to the Kirchhoff
+/// flow-conservation standard: the stale matcher's count inference
+/// produces flow-consistent counters by construction, so a violation
+/// after repair means the package cannot describe this repo. Type
+/// feasibility stays a warning: an impossible observation skews layout
+/// but cannot feed garbage into translation.
 const CONSUMER_LINT: LintOptions = LintOptions {
-    flow_conservation: false,
+    flow_conservation: true,
     type_feasibility: false,
 };
 
 fn lint_errors(repo: &Repo, view: &ProfileView<'_>) -> usize {
     lint_profile_with(repo, view, &CONSUMER_LINT).error_count()
+}
+
+/// Mirrors a repair report into the boot registry as `repair.*` counters,
+/// so fleet aggregation sees per-boot match-ladder quality alongside the
+/// `boot.*` timeline.
+fn record_repair(registry: &telemetry::Registry, report: &RepairReport) {
+    let s = &report.stats;
+    for (name, v) in [
+        ("repair.funcs_repaired", report.repaired.len() as u64),
+        ("repair.funcs_dropped", report.dropped.len() as u64),
+        ("repair.counters_pruned", report.pruned as u64),
+        ("repair.funcs_fresh", s.funcs_fresh),
+        ("repair.funcs_renamed", s.funcs_renamed),
+        ("repair.funcs_rebalanced", s.funcs_rebalanced),
+        ("repair.blocks_exact", s.blocks_exact),
+        ("repair.blocks_opcode", s.blocks_opcode),
+        ("repair.blocks_neighbor", s.blocks_neighbor),
+        ("repair.blocks_anchor", s.blocks_anchor),
+        ("repair.blocks_inferred", s.blocks_inferred),
+        ("repair.blocks_dropped", s.blocks_dropped),
+        ("repair.mass_matched", s.mass_matched),
+        ("repair.mass_dropped", s.mass_dropped),
+        ("repair.branches_synthesized", s.branches_synthesized),
+    ] {
+        registry.counter(name).add(v);
+    }
 }
 
 /// Repairs a package's profile against the current repo: remaps stale
@@ -277,6 +305,7 @@ pub fn consume<'r>(
                     .unwrap_or_default(),
             });
         }
+        record_repair(&registry, &report);
         repair = Some(report);
         Some(fixed)
     } else {

@@ -256,9 +256,12 @@ fn decode_payload(r: &mut Reader<'_>) -> Result<ProfilePackage, WireError> {
 fn tier_encoded_len(tier: &TierProfile) -> usize {
     let mut len = 4;
     for p in tier.funcs.values() {
-        len += 4 + 8; // func id, enter_count
+        len += 4 + 8 + 8; // func id, enter_count, name_hash
         len += 4 + 8 * p.block_counts.len();
         len += 4 + 8 * p.block_hashes.len();
+        len += 4 + 8 * p.block_opcode_hashes.len();
+        len += 4 + 8 * p.block_neighbor_hashes.len();
+        len += 4 + 8 * p.block_anchor_hashes.len();
         len += 4;
         for targets in p.call_targets.values() {
             len += 4 + 4 + (4 + 8) * targets.len();
@@ -301,6 +304,7 @@ fn write_tier(w: &mut Writer, tier: &TierProfile) {
     for (f, p) in funcs {
         w.u32(f.0);
         w.u64(p.enter_count);
+        w.u64(p.name_hash);
         w.seq(p.block_counts.len());
         for &c in &p.block_counts {
             w.u64(c);
@@ -308,6 +312,16 @@ fn write_tier(w: &mut Writer, tier: &TierProfile) {
         w.seq(p.block_hashes.len());
         for &h in &p.block_hashes {
             w.u64(h);
+        }
+        for sig in [
+            &p.block_opcode_hashes,
+            &p.block_neighbor_hashes,
+            &p.block_anchor_hashes,
+        ] {
+            w.seq(sig.len());
+            for &h in sig {
+                w.u64(h);
+            }
         }
         let mut sites: Vec<_> = p.call_targets.iter().collect();
         sites.sort_by_key(|(s, _)| **s);
@@ -372,6 +386,7 @@ fn read_tier(r: &mut Reader<'_>) -> Result<TierProfile, WireError> {
         let f = FuncId(r.u32()?);
         let mut p = FuncProfile {
             enter_count: r.u64()?,
+            name_hash: r.u64()?,
             ..Default::default()
         };
         let nb = r.seq()?;
@@ -383,6 +398,17 @@ fn read_tier(r: &mut Reader<'_>) -> Result<TierProfile, WireError> {
         p.block_hashes.reserve(nh.min(1 << 16));
         for _ in 0..nh {
             p.block_hashes.push(r.u64()?);
+        }
+        for sig in [
+            &mut p.block_opcode_hashes,
+            &mut p.block_neighbor_hashes,
+            &mut p.block_anchor_hashes,
+        ] {
+            let n = r.seq()?;
+            sig.reserve(n.min(1 << 16));
+            for _ in 0..n {
+                sig.push(r.u64()?);
+            }
         }
         let ns = r.seq()?;
         for _ in 0..ns {

@@ -254,7 +254,10 @@ impl<'a> Reader<'a> {
 pub const MAGIC: &[u8; 8] = b"HHJSPKG\0";
 
 /// Current format version.
-pub const VERSION: u32 = 4;
+///
+/// v5 added the per-function stale-matching signatures (`name_hash` and the
+/// opcode / neighbor / anchor block-hash arrays).
+pub const VERSION: u32 = 5;
 
 /// Envelope bytes before the payload: magic, version, payload length.
 pub const HEADER_LEN: usize = 16;

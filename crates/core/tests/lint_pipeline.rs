@@ -181,6 +181,22 @@ fn stale_package_is_repaired_and_accepted_by_consumer() {
     );
     assert!(out.engine.code_cache.translation(work_v2).is_some());
 
+    // The boot registry mirrors the match-ladder quality as `repair.*`
+    // counters for fleet aggregation.
+    assert_eq!(
+        out.registry.value_u64("repair.funcs_repaired"),
+        repair.repaired.len() as u64
+    );
+    assert_eq!(out.registry.value_u64("repair.funcs_dropped"), 0);
+    assert!(
+        out.registry.value_u64("repair.blocks_exact") > 0,
+        "unchanged blocks matched at the exact rung"
+    );
+    assert!(
+        out.registry.value_u64("repair.mass_matched") > 0,
+        "matched counter mass recorded"
+    );
+
     // With repair disabled the consumer refuses the package outright.
     let no_repair = JumpStartOptions {
         lint_repair: false,

@@ -126,6 +126,20 @@ pub struct FuncProfile {
     /// a profile collected against a *different* build of the function and
     /// remap counters onto the current CFG (stale-profile repair).
     pub block_hashes: Vec<u64>,
+    /// FNV-1a of the function's *name* at collection time (`0` for legacy
+    /// profiles). Function ids renumber wholesale across builds; the name
+    /// hash is the build-stable identity the repairer keys on.
+    pub name_hash: u64,
+    /// Opcode-only block hashes (no immediates), parallel to
+    /// `block_counts`; from [`Cfg::block_opcode_hashes`]. Second rung of
+    /// the stale-matching ladder. Empty for legacy profiles.
+    pub block_opcode_hashes: Vec<u64>,
+    /// Neighborhood block hashes, from [`Cfg::block_neighbor_hashes`].
+    /// Third rung of the ladder. Empty for legacy profiles.
+    pub block_neighbor_hashes: Vec<u64>,
+    /// Call-site anchor hashes (`0` = block has no calls), from
+    /// [`Cfg::block_anchor_hashes`]. Last rung. Empty for legacy profiles.
+    pub block_anchor_hashes: Vec<u64>,
     /// Call-target profile per call-site instruction index.
     pub call_targets: HashMap<u32, HashMap<FuncId, u64>>,
     /// Observed operand/parameter types per (instruction, operand slot).
@@ -168,6 +182,18 @@ impl FuncProfile {
         }
         if self.block_hashes.is_empty() {
             self.block_hashes = other.block_hashes.clone();
+        }
+        if self.name_hash == 0 {
+            self.name_hash = other.name_hash;
+        }
+        if self.block_opcode_hashes.is_empty() {
+            self.block_opcode_hashes = other.block_opcode_hashes.clone();
+        }
+        if self.block_neighbor_hashes.is_empty() {
+            self.block_neighbor_hashes = other.block_neighbor_hashes.clone();
+        }
+        if self.block_anchor_hashes.is_empty() {
+            self.block_anchor_hashes = other.block_anchor_hashes.clone();
         }
         for (i, &c) in other.block_counts.iter().enumerate() {
             self.block_counts[i] += c;
@@ -352,6 +378,16 @@ impl CtxProfile {
 ///
 /// Implements [`vm::ExecObserver`]; attach with [`vm::Vm::call_observed`].
 #[derive(Debug)]
+// Per-function CFG signatures computed once at first observation.
+struct BlockShape {
+    len: usize,
+    name_hash: u64,
+    exact: Vec<u64>,
+    opcode: Vec<u64>,
+    neighbor: Vec<u64>,
+    anchor: Vec<u64>,
+}
+
 pub struct ProfileCollector<'r> {
     repo: &'r Repo,
     /// Tier-1 counters.
@@ -362,9 +398,9 @@ pub struct ProfileCollector<'r> {
     stack: Vec<(FuncId, InlineCtx)>,
     // The call site observed immediately before the next func entry.
     pending_site: InlineCtx,
-    // Block counts need sizing and hashes need computing exactly once per
-    // function; cache both per func.
-    block_shape: HashMap<FuncId, (usize, Vec<u64>)>,
+    // Block counts need sizing and signature hashes need computing exactly
+    // once per function; cache them per func.
+    block_shape: HashMap<FuncId, BlockShape>,
     // Properties touched in the current top-level request, for affinity.
     request_props: Vec<(ClassId, StrId)>,
 }
@@ -407,17 +443,28 @@ impl<'r> ProfileCollector<'r> {
         // Callers mutate counters through the returned reference.
         self.tier.mark_counters_dirty();
         let repo = self.repo;
-        let (len, hashes) = self.block_shape.entry(func).or_insert_with(|| {
+        let shape = self.block_shape.entry(func).or_insert_with(|| {
             let f = repo.func(func);
             let cfg = Cfg::build(f);
-            (cfg.len(), cfg.block_hashes(f))
+            BlockShape {
+                len: cfg.len(),
+                name_hash: bytecode::fnv_str(repo.str(f.name)),
+                exact: cfg.block_hashes(f),
+                opcode: cfg.block_opcode_hashes(f),
+                neighbor: cfg.block_neighbor_hashes(f),
+                anchor: cfg.block_anchor_hashes(f, repo),
+            }
         });
         let p = self.tier.funcs.entry(func).or_default();
-        if p.block_counts.len() < *len {
-            p.block_counts.resize(*len, 0);
+        if p.block_counts.len() < shape.len {
+            p.block_counts.resize(shape.len, 0);
         }
         if p.block_hashes.is_empty() {
-            p.block_hashes = hashes.clone();
+            p.block_hashes = shape.exact.clone();
+            p.name_hash = shape.name_hash;
+            p.block_opcode_hashes = shape.opcode.clone();
+            p.block_neighbor_hashes = shape.neighbor.clone();
+            p.block_anchor_hashes = shape.anchor.clone();
         }
         p
     }

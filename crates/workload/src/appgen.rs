@@ -101,6 +101,15 @@ const MODE_HELPERS: usize = 16;
 /// Panics if the generated source fails to compile — that would be a bug
 /// in the generator, not user error.
 pub fn generate(params: &AppParams) -> App {
+    let files = build_sources(params);
+    compile_sources(params, &files)
+}
+
+/// Generates the application's source files without compiling them.
+/// Deterministic in `params.seed`. The churn model
+/// ([`crate::churn`]) edits these sources to simulate a new release
+/// before [`compile_sources`] turns them into a repo.
+pub fn build_sources(params: &AppParams) -> Vec<(String, String)> {
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut files: Vec<(String, String)> = Vec::new();
 
@@ -186,12 +195,10 @@ pub fn generate(params: &AppParams) -> App {
     }
 
     // ---- endpoints ------------------------------------------------------
-    let mut endpoint_meta = Vec::with_capacity(params.endpoints);
     let mut unit_src = String::new();
     for e in 0..params.endpoints {
         let partition = e % params.partitions;
         unit_src.push_str(&gen_endpoint(params, &mut rng, e, partition));
-        endpoint_meta.push(partition);
         if e % 4 == 3 || e + 1 == params.endpoints {
             files.push((
                 format!("ep_{}.hl", files.len()),
@@ -200,6 +207,18 @@ pub fn generate(params: &AppParams) -> App {
         }
     }
 
+    files
+}
+
+/// Compiles a source file set (possibly churned) into an [`App`].
+/// Endpoint functions are located by name (`ep_{e}`) — the churn model
+/// never renames or deletes them, so every release serves the same
+/// endpoint set.
+///
+/// # Panics
+///
+/// Panics if the sources fail to compile or an endpoint is missing.
+pub fn compile_sources(params: &AppParams, files: &[(String, String)]) -> App {
     let refs: Vec<(&str, &str)> = files
         .iter()
         .map(|(n, s)| (n.as_str(), s.as_str()))
@@ -207,10 +226,8 @@ pub fn generate(params: &AppParams) -> App {
     let repo = hackc::compile_program(&refs).expect("generated app compiles");
 
     // Zipf popularity over endpoints; long tail (paper: flat profile).
-    let endpoints = endpoint_meta
-        .into_iter()
-        .enumerate()
-        .map(|(e, partition)| {
+    let endpoints = (0..params.endpoints)
+        .map(|e| {
             let func = repo
                 .func_by_name(&format!("ep_{e}"))
                 .expect("endpoint exists")
@@ -218,7 +235,7 @@ pub fn generate(params: &AppParams) -> App {
             let popularity = 1.0 / ((e + 1) as f64).powf(params.zipf_s);
             Endpoint {
                 func,
-                partition,
+                partition: e % params.partitions,
                 popularity,
             }
         })

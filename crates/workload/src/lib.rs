@@ -20,7 +20,9 @@
 //!   semantic-routing affinity.
 
 mod appgen;
+mod churn;
 mod traffic;
 
-pub use appgen::{generate, App, AppParams, Endpoint};
+pub use appgen::{build_sources, compile_sources, generate, App, AppParams, Endpoint};
+pub use churn::{churn_sources, generate_release, ChurnParams, ChurnReport};
 pub use traffic::{profile_run, ProfileRun, RequestMix, RequestSampler};

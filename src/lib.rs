@@ -17,6 +17,7 @@
 //! assert_eq!(out, js::vm::Value::Int(5));
 //! ```
 
+pub use analysis;
 pub use bytecode;
 pub use fleet;
 pub use hackc;

@@ -1,7 +1,7 @@
 //! Cross-crate property-based tests: randomized programs and profiles must
 //! preserve the system's core invariants.
 
-use hhvm_jumpstart_repro::{jit, jumpstart, vm};
+use hhvm_jumpstart_repro::{analysis, jit, jumpstart, vm, workload};
 
 use bytecode::{ClassId, FuncId, StrId, UnitId};
 use jit::{BranchCount, CtxProfile, FuncProfile, TierProfile, TypeDist};
@@ -123,8 +123,9 @@ fn arb_type_dist() -> impl Strategy<Value = TypeDist> {
 
 fn arb_func_profile() -> impl Strategy<Value = FuncProfile> {
     (
-        0u64..100_000,
+        (0u64..100_000, any::<u64>()),
         prop::collection::vec((0u64..50_000, any::<u64>()), 0..12),
+        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..12),
         prop::collection::hash_map(
             0u32..64,
             prop::collection::hash_map((0u32..512).prop_map(FuncId), 0u64..10_000, 0..4),
@@ -138,12 +139,24 @@ fn arb_func_profile() -> impl Strategy<Value = FuncProfile> {
         ),
     )
         .prop_map(
-            |(enter_count, blocks, call_targets, types, prop_site_classes)| {
+            |((enter_count, name_hash), blocks, sigs, call_targets, types, prop_site_classes)| {
                 let (block_counts, block_hashes) = blocks.into_iter().unzip();
+                let mut block_opcode_hashes = Vec::new();
+                let mut block_neighbor_hashes = Vec::new();
+                let mut block_anchor_hashes = Vec::new();
+                for (o, nb, a) in sigs {
+                    block_opcode_hashes.push(o);
+                    block_neighbor_hashes.push(nb);
+                    block_anchor_hashes.push(a);
+                }
                 FuncProfile {
                     enter_count,
+                    name_hash,
                     block_counts,
                     block_hashes,
+                    block_opcode_hashes,
+                    block_neighbor_hashes,
+                    block_anchor_hashes,
                     call_targets,
                     types,
                     prop_site_classes,
@@ -247,5 +260,95 @@ proptest! {
         let bytes = pkg.serialize();
         let len = at.index(bytes.len());
         prop_assert!(ProfilePackage::deserialize(&bytes[..len]).is_err());
+    }
+}
+
+// ---------- stale-profile repair ----------
+
+use analysis::{repair_profile_with, MatchMode, RepairOptions};
+use workload::{generate_release, AppParams, ChurnParams, RequestMix};
+
+/// A base application plus a profile collected on it, built once: every
+/// repair case below starts from this same pre-churn profile.
+fn stale_lab() -> &'static (workload::App, TierProfile, CtxProfile) {
+    static LAB: std::sync::OnceLock<(workload::App, TierProfile, CtxProfile)> =
+        std::sync::OnceLock::new();
+    LAB.get_or_init(|| {
+        let app = workload::generate(&AppParams::tiny());
+        let mix = RequestMix::new(&app, 0, 0);
+        let run = workload::profile_run(&app, &mix, 80, 21);
+        (app, run.tier, run.ctx)
+    })
+}
+
+/// Churn rates worth exercising (discrete so failures minimize cleanly).
+const CHURN_RATES: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A churn rate of 0 regenerates the identical release, so repair must
+    /// be a perfect no-op in every matching mode — no function repaired or
+    /// dropped, no counter pruned, profile bit-identical.
+    #[test]
+    fn zero_churn_repair_is_untouched(seed in any::<u64>(), mode_ix in 0usize..3) {
+        let (_, tier0, ctx0) = stale_lab();
+        let (release, churn) =
+            generate_release(&AppParams::tiny(), &ChurnParams { seed, rate: 0.0 });
+        prop_assert_eq!(churn, workload::ChurnReport::default());
+        let mode = [MatchMode::Full, MatchMode::DropStale, MatchMode::LegacyGreedy][mode_ix];
+        let mut tier = tier0.clone();
+        let mut ctx = ctx0.clone();
+        let report =
+            repair_profile_with(&release.repo, &mut tier, &mut ctx, &RepairOptions { mode });
+        prop_assert!(report.untouched(), "churn 0 repair was not a no-op: {report:?}");
+        prop_assert_eq!(&tier, tier0);
+        prop_assert_eq!(&ctx, ctx0);
+    }
+
+    /// The matcher is deterministic: repairing two clones of the same
+    /// profile against the same churned release yields identical reports
+    /// and identical repaired profiles.
+    #[test]
+    fn repair_is_deterministic(seed in any::<u64>(), rate_ix in 0usize..4) {
+        let (_, tier0, ctx0) = stale_lab();
+        let churn = ChurnParams { seed, rate: CHURN_RATES[rate_ix] };
+        let (release, _) = generate_release(&AppParams::tiny(), &churn);
+        let mut t1 = tier0.clone();
+        let mut c1 = ctx0.clone();
+        let mut t2 = tier0.clone();
+        let mut c2 = ctx0.clone();
+        let opts = RepairOptions::default();
+        let r1 = repair_profile_with(&release.repo, &mut t1, &mut c1, &opts);
+        let r2 = repair_profile_with(&release.repo, &mut t2, &mut c2, &opts);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Whatever the churn, the repaired profile's counts satisfy flow
+    /// conservation: the strict lint (Kirchhoff check on) reports zero
+    /// errors against the new release.
+    #[test]
+    fn repaired_counts_satisfy_kirchhoff(seed in any::<u64>(), rate_ix in 0usize..4) {
+        let (_, tier0, ctx0) = stale_lab();
+        let churn = ChurnParams { seed, rate: CHURN_RATES[rate_ix] };
+        let (release, _) = generate_release(&AppParams::tiny(), &churn);
+        let mut tier = tier0.clone();
+        let mut ctx = ctx0.clone();
+        analysis::repair_profile(&release.repo, &mut tier, &mut ctx);
+        let report = analysis::lint_profile_with(
+            &release.repo,
+            &analysis::ProfileView {
+                tier: &tier,
+                ctx: &ctx,
+                unit_order: &[],
+                prop_orders: &[],
+                func_order: &[],
+            },
+            &analysis::LintOptions { flow_conservation: true, type_feasibility: false },
+        );
+        let first = report.errors().next();
+        prop_assert_eq!(report.error_count(), 0, "repaired profile flow-dirty: {first:?}");
     }
 }
