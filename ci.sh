@@ -66,4 +66,31 @@ print(f"stale gate ok: {full['recovered']:.1%} recovered at churn 0.1 (drop base
 EOF
 fi
 
+echo "== jsfleet smoke (sharded event core: shard-invariant digest, fault placement, loss reduction) =="
+cargo run -q -p bench --bin jsfleet --release -- --check
+
+echo "== fleet baseline gate (BENCH_fleet.json: paper scale, throughput floor, boot tail, loss band) =="
+if [ -f BENCH_fleet.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_fleet.json"))
+assert doc["cores"] >= 1, "host core count must be recorded"
+assert doc["servers"] >= 2000, f"paper scale needs >= 2000 servers, got {doc['servers']}"
+assert doc["regions"] * doc["buckets"] >= 10, "paper scale needs >= 10 partitions"
+assert doc["total_requests"] >= 1_000_000, f"needs >= 1M simulated requests, got {doc['total_requests']}"
+assert doc["wall_ms"] < 30_000, f"fleet run must finish under 30 s wall, took {doc['wall_ms']} ms"
+assert doc["events_per_sec"] >= 5_000, f"event-core throughput floor: {doc['events_per_sec']} events/sec"
+assert doc["steps_executed"] * 2 < doc["steps_dense"], "event core must skip most dense steps"
+boot = doc["boot_ms"]
+assert boot["n"] >= 2000 and 0 < boot["p50"] <= boot["p95"] <= boot["p99"], f"boot percentiles: {boot}"
+loss = doc["capacity_loss"]
+assert 0.0 < loss["mean"] < 1.0, f"capacity loss out of band: {loss}"
+assert 10.0 < doc["capacity_loss_reduction_pct"] <= 100.0, \
+    f"loss reduction out of band: {doc['capacity_loss_reduction_pct']}%"
+print(f"fleet gate ok: {doc['servers']} servers, {doc['events_per_sec']:.0f} events/sec "
+      f"on {doc['cores']} core(s), p99 boot {boot['p99']:.0f} ms, "
+      f"reduction {doc['capacity_loss_reduction_pct']:.1f}%")
+EOF
+fi
+
 echo "CI OK"

@@ -1,0 +1,288 @@
+//! `jsfleet` — paper-scale fleet benchmark: one full C1/C2/C3 push over
+//! thousands of simulated servers on the sharded event core.
+//!
+//! The default run deploys across 2 regions x 5 semantic buckets (the 10
+//! partitions of §IV-A) with 200 Jump-Start consumers and 20 baselines
+//! per cell — 2200 servers, millions of simulated requests — staggered,
+//! jittered, and with a 5% degraded-host tail. It prints the headline
+//! numbers and writes `BENCH_fleet.json` (events/sec, wall time, fleet
+//! p50/p95/p99 boot and ready times, capacity loss) for the CI gate.
+//!
+//! Usage:
+//!   jsfleet              paper-scale run, writes BENCH_fleet.json
+//!   jsfleet --check      CI smoke: small fleet twice (1 shard vs 2),
+//!                        asserts the reports are bit-identical and the
+//!                        counters sane. Writes nothing. Exits nonzero on
+//!                        any violation.
+//!   jsfleet --shards N   override the shard (thread) count
+//!   jsfleet --servers N  override consumers per cell
+//!   jsfleet --trace F    additionally write the representative servers'
+//!                        Chrome trace (Perfetto-loadable) to F
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fleet::{run_deployment, DeployParams, DeployReport, FaultPlan, FleetShape, WarmupParams};
+use jumpstart::JumpStartOptions;
+use telemetry::AggStat;
+use workload::{generate, AppParams};
+
+fn usage() -> ! {
+    eprintln!("usage: jsfleet [--check] [--shards N] [--servers N] [--trace FILE]");
+    std::process::exit(2);
+}
+
+fn lenient_js_opts() -> JumpStartOptions {
+    // The synthetic app is small; production-scale validation floors
+    // would reject every package outright.
+    JumpStartOptions {
+        min_funcs_profiled: 5,
+        min_counter_mass: 100,
+        min_requests: 10,
+        ..Default::default()
+    }
+}
+
+fn paper_scale(shards: u32, servers_per_cell: u32) -> DeployParams {
+    DeployParams::default()
+        .with_cells(2, 5)
+        .with_seeders(3, 150)
+        .with_warmup(WarmupParams::fig4())
+        .with_fleet(
+            FleetShape::default()
+                .with_servers(servers_per_cell, servers_per_cell / 10)
+                .with_representatives(2)
+                .with_shards(shards)
+                .with_stagger(120_000)
+                .with_jitter(150),
+        )
+        .with_faults(FaultPlan::default().with_slow_consumers(50, 300))
+        .with_seed(0xf1ee7)
+        .with_js_opts(lenient_js_opts())
+}
+
+fn small_fleet(shards: u32) -> DeployParams {
+    DeployParams::default()
+        .with_cells(1, 2)
+        .with_seeders(2, 120)
+        .with_warmup(WarmupParams {
+            duration_ms: 200_000,
+            sample_ms: 5_000,
+            init_ms_nojs: 20_000,
+            init_ms_js: 8_000,
+            deserialize_ms: 2_000,
+            profile_serve_ms: 60_000,
+            relocation_ms: 20_000,
+            ..WarmupParams::fig4()
+        })
+        .with_fleet(
+            FleetShape::default()
+                .with_servers(6, 2)
+                .with_shards(shards)
+                .with_stagger(30_000)
+                .with_jitter(100),
+        )
+        .with_faults(FaultPlan::default().with_slow_consumers(200, 300))
+        .with_seed(0xc11ec)
+        .with_js_opts(lenient_js_opts())
+}
+
+fn stat_json(out: &mut String, name: &str, stat: Option<&AggStat>) {
+    match stat {
+        Some(s) => {
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"n\":{},\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"min\":{:.3},\"max\":{:.3}}}",
+                s.n, s.mean, s.p50, s.p95, s.p99, s.min, s.max
+            );
+        }
+        None => {
+            let _ = write!(out, "\"{name}\":{{\"n\":0}}");
+        }
+    }
+}
+
+fn print_summary(report: &DeployReport, wall_ms: f64, events_per_sec: f64) {
+    let sim = report.sim;
+    println!(
+        "  {} servers on {} shard(s): {} events, {} steps computed of {} dense ({:.1}x saved)",
+        sim.servers,
+        sim.shards,
+        sim.events,
+        sim.steps_executed,
+        sim.steps_dense,
+        sim.steps_dense as f64 / sim.steps_executed.max(1) as f64,
+    );
+    println!(
+        "  {:.2}M simulated requests in {:.0} ms wall ({:.0} events/sec)",
+        sim.requests / 1e6,
+        wall_ms,
+        events_per_sec,
+    );
+    let agg = report.fleet_aggregate();
+    if let Some(boot) = agg.stat("server.boot_ms") {
+        println!(
+            "  boot_ms  p50 {:>8.0}  p95 {:>8.0}  p99 {:>8.0}",
+            boot.p50, boot.p95, boot.p99
+        );
+    }
+    if let Some(ready) = agg.stat("server.ready_ms") {
+        println!(
+            "  ready_ms p50 {:>8.0}  p95 {:>8.0}  p99 {:>8.0}  ({}/{} reached 0.9 rps)",
+            ready.p50, ready.p95, ready.p99, ready.n, agg.servers
+        );
+    }
+    println!(
+        "  capacity-loss reduction vs no-Jump-Start: {:.1}% (paper: 54.9%)",
+        report.capacity_loss_reduction(600_000)
+    );
+}
+
+fn check() {
+    let app = generate(&AppParams::tiny());
+    println!("jsfleet --check: small fleet, shard invariance + counters");
+
+    let t0 = Instant::now();
+    let one = run_deployment(&app, &small_fleet(1));
+    let wall_one = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let two = run_deployment(&app, &small_fleet(2));
+    let wall_two = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        one.digest(),
+        two.digest(),
+        "digest must not depend on shard count"
+    );
+    assert_eq!(
+        one.stats, two.stats,
+        "per-server stats must not depend on shard count"
+    );
+    assert_eq!(
+        one.fleet_aggregate(),
+        two.fleet_aggregate(),
+        "aggregates must not depend on shard count"
+    );
+    assert!(one.published > 0, "seeding must publish packages");
+    assert!(one.sim.requests > 0.0, "fleet must serve requests");
+    assert!(
+        one.sim.steps_executed < one.sim.steps_dense,
+        "event core must skip provably-idle steps"
+    );
+    assert!(
+        one.stats.iter().any(|s| s.slow_host),
+        "fault plan must place degraded hosts"
+    );
+    let reduction = one.capacity_loss_reduction(200_000);
+    assert!(
+        reduction > 10.0,
+        "Jump-Start must reduce capacity loss, got {reduction:.1}%"
+    );
+    println!(
+        "  ok: digest 0x{:08x}, {} servers, reduction {:.1}%, wall {:.0}+{:.0} ms",
+        one.digest(),
+        one.sim.servers,
+        reduction,
+        wall_one,
+        wall_two,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_mode = false;
+    let mut shards: Option<u32> = None;
+    let mut servers: Option<u32> = None;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check_mode = true,
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => shards = Some(n),
+                None => usage(),
+            },
+            "--servers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => servers = Some(n),
+                None => usage(),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    if check_mode {
+        check();
+        return;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shards = shards.unwrap_or(cores as u32);
+    let servers_per_cell = servers.unwrap_or(200);
+    let params = paper_scale(shards, servers_per_cell);
+    println!(
+        "jsfleet: {} regions x {} buckets, {}+{} servers/cell, {} shard(s), {} hardware core(s)",
+        params.regions,
+        params.buckets,
+        params.fleet.servers_per_cell,
+        params.fleet.baselines_per_cell,
+        params.fleet.shards,
+        cores,
+    );
+
+    let app = generate(&AppParams::tiny());
+    let t0 = Instant::now();
+    let report = run_deployment(&app, &params);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let events_per_sec = report.sim.events as f64 / (wall_ms / 1e3).max(1e-9);
+    print_summary(&report, wall_ms, events_per_sec);
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, report.to_chrome_trace()).expect("write trace");
+        println!("wrote {path}");
+    }
+
+    let agg = report.fleet_aggregate();
+    let sim = report.sim;
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"cores\":{cores},\"shards\":{},\"regions\":{},\"buckets\":{},\
+         \"servers\":{},\"consumers\":{},\"baselines\":{},\
+         \"published\":{},\"validation_failures\":{},\"seeder_crashes\":{},\
+         \"events\":{},\"steps_executed\":{},\"steps_dense\":{},\
+         \"total_requests\":{:.0},\"wall_ms\":{wall_ms:.1},\"events_per_sec\":{events_per_sec:.0},\
+         \"digest\":{},",
+        sim.shards,
+        params.regions,
+        params.buckets,
+        sim.servers,
+        report.stats.iter().filter(|s| s.jumpstart).count(),
+        report.stats.iter().filter(|s| !s.jumpstart).count(),
+        report.published,
+        report.validation_failures,
+        report.seeder_crashes,
+        sim.events,
+        sim.steps_executed,
+        sim.steps_dense,
+        sim.requests,
+        report.digest(),
+    );
+    stat_json(&mut json, "boot_ms", agg.stat("server.boot_ms"));
+    json.push(',');
+    stat_json(&mut json, "ready_ms", agg.stat("server.ready_ms"));
+    json.push(',');
+    stat_json(&mut json, "capacity_loss", agg.stat("server.capacity_loss"));
+    let _ = write!(
+        json,
+        ",\"mean_loss_js\":{:.4},\"mean_loss_nojs\":{:.4},\"capacity_loss_reduction_pct\":{:.2}}}",
+        report.mean_loss_js(params.warmup.duration_ms),
+        report.mean_loss_nojs(params.warmup.duration_ms),
+        report.capacity_loss_reduction(params.warmup.duration_ms),
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

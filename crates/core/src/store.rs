@@ -70,6 +70,20 @@ impl PackageStore {
         self.inner.read().get(&(region, bucket)).map_or(0, Vec::len)
     }
 
+    /// Every package published for (region, bucket), in publish order.
+    ///
+    /// Lets a fleet orchestrator decode each cell's packages once and
+    /// share them read-only across thousands of consumers, instead of
+    /// re-deserializing per server; the clones are cheap (`Bytes` is
+    /// reference-counted).
+    pub fn cell_packages(&self, region: u32, bucket: u32) -> Vec<StoredPackage> {
+        self.inner
+            .read()
+            .get(&(region, bucket))
+            .cloned()
+            .unwrap_or_default()
+    }
+
     /// Removes a package by id (e.g. pulled after incident response).
     pub fn remove(&self, id: u64) -> bool {
         let mut inner = self.inner.write();

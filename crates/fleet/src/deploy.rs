@@ -1,14 +1,122 @@
-//! The continuous-deployment pipeline: C1 → C2 (seeders) → C3 (consumers),
-//! per §II-C and §IV-A.
+//! The continuous-deployment pipeline at paper scale: C1 → C2 (seeders) →
+//! C3 (consumers), per §II-C and §IV-A.
+//!
+//! Two-level orchestration:
+//!
+//! 1. **Per-cell work, once.** For each (region, bucket) cell the C2
+//!    seeders profile, validate and publish (with [`FaultPlan`] rolls for
+//!    crashed or undersampled seeders), then the cell's consumer-side
+//!    inputs are prepared a single time: the request mix, the measured
+//!    [`AppModel`], the peak request cost, and every published package
+//!    decoded once. All of it is shared read-only with every server in
+//!    the cell — 2000 consumers cost one deserialization, not 2000.
+//! 2. **Fan-out over shards.** Every server (Jump-Start consumers and
+//!    no-Jump-Start baselines) becomes a [`Slot`] whose randomized
+//!    decisions — restart stagger, boot-time jitter, degraded-host roll,
+//!    package pick — are drawn up front from a per-server RNG stream
+//!    keyed only by the deployment seed and the server's global id.
+//!    Shards then execute their slice of slots on the event core
+//!    ([`crate::engine`]), multiplexing thousands of
+//!    [`ServerTask`](crate::server)s on one shard-local event queue.
+//!    Because shards consume no randomness and share no mutable state,
+//!    the report is bit-identical for any shard count (proved by
+//!    `tests/event_equivalence.rs`).
+//!
+//! Memory stays flat at scale: full telemetry registries and Chrome-trace
+//! tracks exist only for each cell's representative servers; everyone
+//! else is carried as a compact [`ServerStat`] that still feeds the
+//! fleet-wide percentiles via [`telemetry::aggregate_values`].
 
 use jit::JitOptions;
-use jumpstart::{build_package, JumpStartOptions, PackageStore, SeederInputs, Validator};
+use jumpstart::{
+    build_package, JumpStartOptions, PackageStore, ProfilePackage, SeederInputs, Validator,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use workload::{App, RequestMix};
 
-use crate::export::{server_registry, timelines_to_trace};
+use crate::engine::{EventQueue, MS};
+use crate::export::{server_registry, timelines_to_trace_capped};
+use crate::faults::FaultPlan;
 use crate::metrics::Timeline;
-use crate::model::{build_app_model, WarmupParams};
-use crate::server::{simulate_warmup, ServerConfig};
+use crate::model::{build_app_model, AppModel, WarmupParams};
+use crate::server::{ServerConfig, ServerTask};
+
+/// Most servers a single Chrome trace will carry per group; beyond this
+/// the export drops tracks (recorded in the trace's `dropped` count).
+const MAX_TRACE_TRACKS: usize = 64;
+/// Most samples per Chrome-trace counter series; longer timelines are
+/// thinned with an even stride.
+const MAX_TRACE_SAMPLES: usize = 2_000;
+
+/// How many servers of each kind a deployment simulates per (region,
+/// bucket) cell, and how the work is spread over OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetShape {
+    /// Jump-Start consumers per cell.
+    pub servers_per_cell: u32,
+    /// No-Jump-Start baseline servers per cell (the control group the
+    /// capacity-loss reduction is measured against).
+    pub baselines_per_cell: u32,
+    /// Servers per cell (of each kind) that keep a full timeline, metrics
+    /// registry and Chrome-trace track; the rest are compact stats only.
+    pub representatives_per_cell: u32,
+    /// OS threads the fleet is sharded across. Results are bit-identical
+    /// for any value; this only changes wall time.
+    pub shards: u32,
+    /// Restarts are staggered uniformly over this window (ms of fleet
+    /// time), like a real rolling push.
+    pub restart_stagger_ms: u64,
+    /// Per-server boot-time jitter: init/deserialize costs are scaled by
+    /// a factor drawn uniformly from `1000 ± jitter` per-mille.
+    pub jitter_per_mille: u16,
+}
+
+impl Default for FleetShape {
+    fn default() -> Self {
+        Self {
+            servers_per_cell: 1,
+            baselines_per_cell: 1,
+            representatives_per_cell: 1,
+            shards: 1,
+            restart_stagger_ms: 0,
+            jitter_per_mille: 0,
+        }
+    }
+}
+
+impl FleetShape {
+    /// Sets consumers and baselines per cell (builder-style).
+    pub fn with_servers(mut self, consumers: u32, baselines: u32) -> Self {
+        self.servers_per_cell = consumers;
+        self.baselines_per_cell = baselines;
+        self
+    }
+
+    /// Sets how many servers per cell keep full telemetry.
+    pub fn with_representatives(mut self, n: u32) -> Self {
+        self.representatives_per_cell = n;
+        self
+    }
+
+    /// Sets the shard (thread) count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the rolling-restart stagger window.
+    pub fn with_stagger(mut self, window_ms: u64) -> Self {
+        self.restart_stagger_ms = window_ms;
+        self
+    }
+
+    /// Sets the per-server boot-time jitter.
+    pub fn with_jitter(mut self, per_mille: u16) -> Self {
+        self.jitter_per_mille = per_mille.min(999);
+        self
+    }
+}
 
 /// Deployment parameters.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +135,10 @@ pub struct DeployParams {
     pub js_opts: JumpStartOptions,
     /// JIT options.
     pub jit_opts: JitOptions,
+    /// Fleet size and sharding.
+    pub fleet: FleetShape,
+    /// Injected failures (crashed seeders, drained cells, slow hosts).
+    pub faults: FaultPlan,
     /// RNG seed.
     pub seed: u64,
 }
@@ -41,9 +153,106 @@ impl Default for DeployParams {
             warmup: WarmupParams::fig4(),
             js_opts: JumpStartOptions::default(),
             jit_opts: JitOptions::default(),
+            fleet: FleetShape::default(),
+            faults: FaultPlan::default(),
             seed: 1,
         }
     }
+}
+
+impl DeployParams {
+    /// Sets the (region, bucket) grid (builder-style).
+    pub fn with_cells(mut self, regions: u32, buckets: u32) -> Self {
+        self.regions = regions;
+        self.buckets = buckets;
+        self
+    }
+
+    /// Sets C2 seeder count and profiling depth per cell.
+    pub fn with_seeders(mut self, per_cell: u32, requests: usize) -> Self {
+        self.seeders_per_cell = per_cell;
+        self.seeder_requests = requests;
+        self
+    }
+
+    /// Sets the consumer warmup calibration.
+    pub fn with_warmup(mut self, warmup: WarmupParams) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the Jump-Start (validation) options.
+    pub fn with_js_opts(mut self, js_opts: JumpStartOptions) -> Self {
+        self.js_opts = js_opts;
+        self
+    }
+
+    /// Sets the fleet shape.
+    pub fn with_fleet(mut self, fleet: FleetShape) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn cells(&self) -> usize {
+        self.regions as usize * self.buckets as usize
+    }
+}
+
+/// Compact per-server outcome — what every server contributes to the
+/// fleet percentiles, whether or not it kept a full registry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServerStat {
+    /// Global server id (stable across shard counts).
+    pub gid: u32,
+    /// Data-center region.
+    pub region: u32,
+    /// Semantic bucket.
+    pub bucket: u32,
+    /// Whether the server booted with a Jump-Start package.
+    pub jumpstart: bool,
+    /// Whether the fault plan placed it on a degraded host.
+    pub slow_host: bool,
+    /// Boot time (ms from its own restart to serving).
+    pub boot_ms: u64,
+    /// First time normalized RPS reached 0.9 (ms), if ever.
+    pub ready_ms: Option<u64>,
+    /// Capacity loss over its simulated duration.
+    pub capacity_loss: f64,
+    /// Requests served over the simulated duration.
+    pub requests: f64,
+    /// Steps the event core actually computed for this server.
+    pub steps_executed: u64,
+    /// Steps the dense reference stepper would have computed.
+    pub steps_dense: u64,
+}
+
+/// Event-core accounting for one deployment run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Shards (OS threads) the fleet ran on.
+    pub shards: u32,
+    /// Total servers simulated (consumers + baselines).
+    pub servers: usize,
+    /// Events processed across all shard queues.
+    pub events: u64,
+    /// Steps actually computed (≤ events; boot windows are closed-form).
+    pub steps_executed: u64,
+    /// Steps a dense per-second stepper would have computed.
+    pub steps_dense: u64,
+    /// Requests served across the fleet.
+    pub requests: f64,
 }
 
 /// Outcome of one push.
@@ -53,31 +262,50 @@ pub struct DeployReport {
     pub published: usize,
     /// Seeder packages rejected by validation.
     pub validation_failures: usize,
-    /// Representative consumer warmup timeline per cell (Jump-Start).
+    /// Seeders that crashed before publishing (fault injection).
+    pub seeder_crashes: usize,
+    /// Representative consumer warmup timelines (Jump-Start).
     pub js_timelines: Vec<Timeline>,
-    /// The same cells booted without Jump-Start.
+    /// Representative baseline timelines (no Jump-Start).
     pub nojs_timelines: Vec<Timeline>,
-    /// Per-server metrics registry (one per Jump-Start consumer):
+    /// Full metrics registry per representative Jump-Start consumer:
     /// `server.boot_ms`, `server.ready_ms`, `server.capacity_loss`.
     pub server_registries: Vec<telemetry::Registry>,
+    /// Compact outcome for every server in the fleet, in gid order.
+    pub stats: Vec<ServerStat>,
+    /// Event-core accounting.
+    pub sim: ShardStats,
 }
 
 impl DeployReport {
-    /// Mean capacity loss over `window_ms` with Jump-Start.
+    /// Mean capacity loss over `window_ms` with Jump-Start, across the
+    /// whole fleet (not just representatives).
     pub fn mean_loss_js(&self, window_ms: u64) -> f64 {
-        mean(
-            self.js_timelines
-                .iter()
-                .map(|t| t.capacity_loss_over(window_ms)),
-        )
+        self.mean_loss(window_ms, true)
     }
 
     /// Mean capacity loss without Jump-Start.
     pub fn mean_loss_nojs(&self, window_ms: u64) -> f64 {
+        self.mean_loss(window_ms, false)
+    }
+
+    fn mean_loss(&self, window_ms: u64, jumpstart: bool) -> f64 {
+        // Representatives carry full timelines, so arbitrary windows are
+        // exact for them; everyone else's stat is over the full duration.
+        // Use timelines when the window is custom, stats otherwise.
+        let tls = if jumpstart {
+            &self.js_timelines
+        } else {
+            &self.nojs_timelines
+        };
+        if !tls.is_empty() {
+            return mean(tls.iter().map(|t| t.capacity_loss_over(window_ms)));
+        }
         mean(
-            self.nojs_timelines
+            self.stats
                 .iter()
-                .map(|t| t.capacity_loss_over(window_ms)),
+                .filter(|s| s.jumpstart == jumpstart)
+                .map(|s| s.capacity_loss),
         )
     }
 
@@ -92,30 +320,79 @@ impl DeployReport {
         }
     }
 
-    /// Folds every consumer's registry into fleet-wide percentiles
-    /// (p50/p95/p99 of boot time, ready time, capacity loss).
+    /// Folds every Jump-Start consumer — not just the representatives —
+    /// into fleet-wide percentiles (p50/p95/p99 of boot time, ready time,
+    /// capacity loss) from the compact stats.
     pub fn fleet_aggregate(&self) -> telemetry::FleetAggregate {
-        let snaps: Vec<telemetry::Snapshot> = self
-            .server_registries
+        let js: Vec<&ServerStat> = self.stats.iter().filter(|s| s.jumpstart).collect();
+        let boot: Vec<f64> = js.iter().map(|s| s.boot_ms as f64).collect();
+        let ready: Vec<f64> = js
             .iter()
-            .map(telemetry::Registry::snapshot)
+            .filter_map(|s| s.ready_ms.map(|r| r as f64))
             .collect();
-        telemetry::aggregate(&snaps)
+        let loss: Vec<f64> = js.iter().map(|s| s.capacity_loss).collect();
+        let requests: Vec<f64> = js.iter().map(|s| s.requests).collect();
+        telemetry::aggregate_values(
+            js.len(),
+            &[
+                ("server.boot_ms", boot),
+                ("server.ready_ms", ready),
+                ("server.capacity_loss", loss),
+                ("server.requests", requests),
+            ],
+        )
     }
 
-    /// Renders the deployment as a Chrome trace: one process per server
-    /// (Jump-Start consumers first, then the no-Jump-Start baselines),
-    /// lifecycle points as instants, RPS and code-size curves as
-    /// counters. Loadable in Perfetto.
+    /// A deterministic fingerprint of the run: every per-server outcome
+    /// plus the seeding counters, CRC'd bit-exactly. Identical across
+    /// shard counts and hosts; `jsfleet --check` pins it in CI.
+    pub fn digest(&self) -> u32 {
+        let mut buf = Vec::with_capacity(24 + self.stats.len() * 56);
+        for n in [
+            self.published as u64,
+            self.validation_failures as u64,
+            self.seeder_crashes as u64,
+        ] {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        for s in &self.stats {
+            buf.extend_from_slice(&s.gid.to_le_bytes());
+            buf.push(s.jumpstart as u8);
+            buf.push(s.slow_host as u8);
+            buf.extend_from_slice(&s.boot_ms.to_le_bytes());
+            buf.extend_from_slice(&s.ready_ms.unwrap_or(u64::MAX).to_le_bytes());
+            buf.extend_from_slice(&s.capacity_loss.to_bits().to_le_bytes());
+            buf.extend_from_slice(&s.requests.to_bits().to_le_bytes());
+            buf.extend_from_slice(&s.steps_executed.to_le_bytes());
+        }
+        jumpstart::crc32(&buf)
+    }
+
+    /// Renders the representatives as a Chrome trace: one process per
+    /// server (Jump-Start consumers first, then the no-Jump-Start
+    /// baselines), lifecycle points as instants, RPS and code-size curves
+    /// as counters — capped and downsampled so paper-scale fleets stay
+    /// loadable in Perfetto.
     pub fn to_chrome_trace(&self) -> String {
-        let mut trace = timelines_to_trace(&self.js_timelines, "jumpstart");
-        let baseline = timelines_to_trace(&self.nojs_timelines, "baseline");
+        let mut trace = timelines_to_trace_capped(
+            &self.js_timelines,
+            "jumpstart",
+            MAX_TRACE_TRACKS,
+            MAX_TRACE_SAMPLES,
+        );
+        let baseline = timelines_to_trace_capped(
+            &self.nojs_timelines,
+            "baseline",
+            MAX_TRACE_TRACKS,
+            MAX_TRACE_SAMPLES,
+        );
         let offset = trace.tracks.len() as u64;
         for mut t in baseline.tracks {
             t.id += offset;
             t.pid += offset as u32;
             trace.tracks.push(t);
         }
+        trace.dropped += baseline.dropped;
         trace.to_chrome_json()
     }
 }
@@ -129,99 +406,302 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// One cell's read-only consumer inputs, prepared once and shared by
+/// every server in the cell.
+struct CellData {
+    region: u32,
+    bucket: u32,
+    mix: RequestMix,
+    model: AppModel,
+    /// Per-cell peak request cost: identical for every server in the cell
+    /// (jitter and host faults touch boot and compile costs, never the
+    /// optimized-mode service time), so it is computed once.
+    peak_ms_per_req: f64,
+    /// The cell's published packages, deserialized once.
+    packages: Vec<ProfilePackage>,
+}
+
+/// One server's precomputed plan. All randomness is consumed here,
+/// sequentially in gid order, before any shard thread exists.
+struct Slot {
+    cell: usize,
+    jumpstart: bool,
+    representative: bool,
+    /// Index into the cell's decoded packages (§VI-A.2 randomized pick).
+    pkg: Option<usize>,
+    params: WarmupParams,
+    slow_host: bool,
+    stagger_ms: u64,
+}
+
+fn scale_ms(ms: u64, pct: u64) -> u64 {
+    ms * pct / 100
+}
+
+fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &DeployParams) -> Slot {
+    // A splitmix-style spread keeps neighboring gids' streams uncorrelated.
+    let mut rng =
+        SmallRng::seed_from_u64(p.seed ^ (gid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let stagger_ms = if p.fleet.restart_stagger_ms > 0 {
+        rng.gen_range(0..p.fleet.restart_stagger_ms)
+    } else {
+        0
+    };
+    let mut params = p.warmup;
+    if p.fleet.jitter_per_mille > 0 {
+        let j = p.fleet.jitter_per_mille as u64;
+        let factor_pm = 1000 - j + rng.gen_range(0..2 * j + 1);
+        params.init_ms_nojs = params.init_ms_nojs * factor_pm / 1000;
+        params.init_ms_js = params.init_ms_js * factor_pm / 1000;
+        params.deserialize_ms = params.deserialize_ms * factor_pm / 1000;
+    }
+    let slow_host = FaultPlan::roll(&mut rng, p.faults.slow_consumer_per_mille);
+    if slow_host {
+        let pct = p.faults.slow_factor_pct.max(100) as u64;
+        params.init_ms_nojs = scale_ms(params.init_ms_nojs, pct);
+        params.init_ms_js = scale_ms(params.init_ms_js, pct);
+        params.deserialize_ms = scale_ms(params.deserialize_ms, pct);
+        params.compile_bytes_per_core_ms = params.compile_bytes_per_core_ms * 100.0 / pct as f64;
+    }
+    let pkg = if jumpstart && !data.packages.is_empty() {
+        Some(rng.gen_range(0..data.packages.len()))
+    } else {
+        None
+    };
+    Slot {
+        cell,
+        jumpstart,
+        representative: false, // assigned by the caller per cell
+        pkg,
+        params,
+        slow_host,
+        stagger_ms,
+    }
+}
+
 /// Runs one deployment: C2 seeders profile their cell's traffic, validate
-/// and publish; C3 consumers in each cell boot with a package (vs. the
-/// no-Jump-Start baseline on identical traffic).
+/// and publish; C3 consumers in each cell boot with randomized packages
+/// (vs. the no-Jump-Start baselines on identical traffic), fanned out over
+/// shard threads on the event core.
 pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
     let _deploy_span = telemetry::span!(
         "deployment",
         "regions" => params.regions,
         "buckets" => params.buckets,
+        "shards" => params.fleet.shards,
     );
     let store = PackageStore::new();
     let validator = Validator::new(params.js_opts, params.jit_opts);
     let mut published = 0;
     let mut validation_failures = 0;
+    let mut seeder_crashes = 0;
 
-    // --- C2: seeders ---
-    for region in 0..params.regions {
-        for bucket in 0..params.buckets {
-            let mix = RequestMix::new(app, region as usize, bucket as usize);
-            for s in 0..params.seeders_per_cell {
-                let seed = params.seed ^ (region as u64) << 32 ^ (bucket as u64) << 16 ^ s as u64;
-                let run = workload::profile_run(app, &mix, params.seeder_requests, seed);
-                let pkg = build_package(
-                    SeederInputs {
-                        repo: &app.repo,
-                        tier: run.tier,
-                        ctx: run.ctx,
-                        unit_order: run.unit_order,
-                        requests: run.requests,
-                        region,
-                        bucket,
-                        seeder_id: seed,
-                        now_ms: 0,
-                    },
-                    &params.js_opts,
-                    &params.jit_opts,
-                );
-                match validator.validate_package(&app.repo, &pkg, 0) {
-                    Ok(_) => {
-                        store.publish(pkg.meta, pkg.serialize());
-                        published += 1;
+    // --- C2: seeders, plus per-cell consumer inputs (once per cell) ---
+    let mut cells: Vec<CellData> = Vec::with_capacity(params.cells());
+    {
+        let _seed_span = telemetry::span!("c2-seeding", "cells" => params.cells() as u64);
+        for region in 0..params.regions {
+            for bucket in 0..params.buckets {
+                let mix = RequestMix::new(app, region as usize, bucket as usize);
+                for s in 0..params.seeders_per_cell {
+                    let seed =
+                        params.seed ^ (region as u64) << 32 ^ (bucket as u64) << 16 ^ s as u64;
+                    let mut frng = SmallRng::seed_from_u64(seed ^ 0xfa17);
+                    if FaultPlan::roll(&mut frng, params.faults.seeder_crash_per_mille) {
+                        // Died mid-profile: nothing reaches validation.
+                        seeder_crashes += 1;
+                        continue;
                     }
-                    Err(_) => validation_failures += 1,
+                    let requests =
+                        if FaultPlan::roll(&mut frng, params.faults.undersample_per_mille) {
+                            // Drained cell (§VI-B): almost no traffic to profile.
+                            params.seeder_requests.min(2)
+                        } else {
+                            params.seeder_requests
+                        };
+                    let run = workload::profile_run(app, &mix, requests, seed);
+                    let pkg = build_package(
+                        SeederInputs {
+                            repo: &app.repo,
+                            tier: run.tier,
+                            ctx: run.ctx,
+                            unit_order: run.unit_order,
+                            requests: run.requests,
+                            region,
+                            bucket,
+                            seeder_id: seed,
+                            now_ms: 0,
+                        },
+                        &params.js_opts,
+                        &params.jit_opts,
+                    );
+                    match validator.validate_package(&app.repo, &pkg, 0) {
+                        Ok(_) => {
+                            store.publish(pkg.meta, pkg.serialize());
+                            published += 1;
+                        }
+                        Err(_) => validation_failures += 1,
+                    }
                 }
+                // The consumer's model is measured on its own cell's traffic.
+                let truth =
+                    workload::profile_run(app, &mix, params.seeder_requests, params.seed ^ 0xdead);
+                let model = build_app_model(app, &truth);
+                let peak_ms_per_req = model.peak_request_core_ms(app, &mix, &params.warmup);
+                // Zero-copy: section tables alias the stored buffers.
+                let packages: Vec<ProfilePackage> = store
+                    .cell_packages(region, bucket)
+                    .iter()
+                    .map(|p| ProfilePackage::deserialize_shared(&p.bytes).expect("validated"))
+                    .collect();
+                cells.push(CellData {
+                    region,
+                    bucket,
+                    mix,
+                    model,
+                    peak_ms_per_req,
+                    packages,
+                });
             }
         }
     }
 
-    // --- C3: consumers, one representative server per cell ---
+    // --- C3: every server's randomized plan, drawn sequentially ---
+    let mut slots: Vec<Slot> = Vec::new();
+    for (c, data) in cells.iter().enumerate() {
+        for k in 0..params.fleet.servers_per_cell {
+            let mut slot = build_slot(slots.len() as u32, c, true, data, params);
+            slot.representative = k < params.fleet.representatives_per_cell;
+            slots.push(slot);
+        }
+        for k in 0..params.fleet.baselines_per_cell {
+            let mut slot = build_slot(slots.len() as u32, c, false, data, params);
+            slot.representative = k < params.fleet.representatives_per_cell;
+            slots.push(slot);
+        }
+    }
+
+    // --- Fan-out: shards run disjoint slot slices on the event core ---
+    let shards = params.fleet.shards.max(1) as usize;
+    let _fan_span = telemetry::span!(
+        "c3-fanout",
+        "servers" => slots.len() as u64,
+        "shards" => shards as u64,
+    );
+    let slots_ref = &slots;
+    let cells_ref = &cells;
+    let mut shard_results: Vec<(Vec<(usize, crate::server::ServerRun)>, u64)> =
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let local: Vec<usize> = (shard..slots_ref.len()).step_by(shards).collect();
+                        let mut tasks: Vec<ServerTask<'_>> = local
+                            .iter()
+                            .map(|&i| {
+                                let slot = &slots_ref[i];
+                                let data = &cells_ref[slot.cell];
+                                let config = ServerConfig {
+                                    params: slot.params,
+                                    jumpstart: slot.pkg.map(|p| &data.packages[p]),
+                                };
+                                ServerTask::new(
+                                    app,
+                                    &data.model,
+                                    &data.mix,
+                                    &config,
+                                    Some(data.peak_ms_per_req),
+                                )
+                            })
+                            .collect();
+                        let mut queue: EventQueue<usize> = EventQueue::new();
+                        for (k, task) in tasks.iter_mut().enumerate() {
+                            if let Some(first) = task.start() {
+                                let at = slots_ref[local[k]].stagger_ms + first;
+                                queue.schedule(at * MS, k);
+                            }
+                        }
+                        while let Some((at, k)) = queue.pop() {
+                            let now = at / MS - slots_ref[local[k]].stagger_ms;
+                            if let Some(next) = tasks[k].on_step(now) {
+                                let at = slots_ref[local[k]].stagger_ms + next;
+                                queue.schedule(at * MS, k);
+                            }
+                        }
+                        let events = queue.processed();
+                        let runs: Vec<(usize, crate::server::ServerRun)> = local
+                            .into_iter()
+                            .zip(tasks)
+                            .map(|(i, t)| (i, t.into_run()))
+                            .collect();
+                        (runs, events)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread"))
+                .collect()
+        })
+        .expect("shard scope");
+
+    // --- Merge by gid: shard count leaves no trace in the report ---
+    let mut merged: Vec<(usize, crate::server::ServerRun)> = Vec::with_capacity(slots.len());
+    let mut events = 0u64;
+    for (runs, shard_events) in shard_results.drain(..) {
+        events += shard_events;
+        merged.extend(runs);
+    }
+    merged.sort_by_key(|(i, _)| *i);
+
     let mut js_timelines = Vec::new();
     let mut nojs_timelines = Vec::new();
     let mut server_registries = Vec::new();
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(params.seed);
-    for region in 0..params.regions {
-        for bucket in 0..params.buckets {
-            let mix = RequestMix::new(app, region as usize, bucket as usize);
-            // The consumer's model is measured on its own cell's traffic.
-            let truth =
-                workload::profile_run(app, &mix, params.seeder_requests, params.seed ^ 0xdead);
-            let model = build_app_model(app, &truth);
-            let picked = store.pick_random(region, bucket, &mut rng);
-            let pkg = picked.as_ref().map(|p| {
-                // Zero-copy: section tables alias the stored buffer.
-                jumpstart::ProfilePackage::deserialize_shared(&p.bytes).expect("validated")
-            });
-            let js_tl = simulate_warmup(
-                app,
-                &model,
-                &mix,
-                &ServerConfig {
-                    params: params.warmup,
-                    jumpstart: pkg.as_ref(),
-                },
-            );
-            server_registries.push(server_registry(&js_tl, params.warmup.duration_ms));
-            js_timelines.push(js_tl);
-            nojs_timelines.push(simulate_warmup(
-                app,
-                &model,
-                &mix,
-                &ServerConfig {
-                    params: params.warmup,
-                    jumpstart: None,
-                },
-            ));
+    let mut stats = Vec::with_capacity(merged.len());
+    let mut sim = ShardStats {
+        shards: shards as u32,
+        servers: merged.len(),
+        events,
+        ..Default::default()
+    };
+    for (i, run) in merged {
+        let slot = &slots[i];
+        let data = &cells[slot.cell];
+        stats.push(ServerStat {
+            gid: i as u32,
+            region: data.region,
+            bucket: data.bucket,
+            jumpstart: slot.jumpstart,
+            slow_host: slot.slow_host,
+            boot_ms: run.timeline.serve_start_ms,
+            ready_ms: run.timeline.time_to_rps(0.9),
+            capacity_loss: run.timeline.capacity_loss_over(slot.params.duration_ms),
+            requests: run.requests,
+            steps_executed: run.steps_executed,
+            steps_dense: run.steps_dense,
+        });
+        sim.steps_executed += run.steps_executed;
+        sim.steps_dense += run.steps_dense;
+        sim.requests += run.requests;
+        if slot.representative {
+            if slot.jumpstart {
+                server_registries.push(server_registry(&run.timeline, slot.params.duration_ms));
+                js_timelines.push(run.timeline);
+            } else {
+                nojs_timelines.push(run.timeline);
+            }
         }
     }
 
     DeployReport {
         published,
         validation_failures,
+        seeder_crashes,
         js_timelines,
         nojs_timelines,
         server_registries,
+        stats,
+        sim,
     }
 }
 
@@ -229,6 +709,28 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
 mod tests {
     use super::*;
     use workload::{generate, AppParams};
+
+    fn quick_warmup() -> WarmupParams {
+        WarmupParams {
+            duration_ms: 300_000,
+            sample_ms: 5_000,
+            init_ms_nojs: 20_000,
+            init_ms_js: 8_000,
+            deserialize_ms: 2_000,
+            profile_serve_ms: 60_000,
+            relocation_ms: 20_000,
+            ..WarmupParams::fig4()
+        }
+    }
+
+    fn lenient_js_opts() -> JumpStartOptions {
+        JumpStartOptions {
+            min_funcs_profiled: 5,
+            min_counter_mass: 100,
+            min_requests: 10,
+            ..Default::default()
+        }
+    }
 
     #[test]
     fn deployment_publishes_and_improves_warmup() {
@@ -238,27 +740,14 @@ mod tests {
             buckets: 2,
             seeders_per_cell: 1,
             seeder_requests: 120,
-            warmup: WarmupParams {
-                duration_ms: 300_000,
-                sample_ms: 5_000,
-                init_ms_nojs: 20_000,
-                init_ms_js: 8_000,
-                deserialize_ms: 2_000,
-                profile_serve_ms: 60_000,
-                relocation_ms: 20_000,
-                ..WarmupParams::fig4()
-            },
-            js_opts: JumpStartOptions {
-                min_funcs_profiled: 5,
-                min_counter_mass: 100,
-                min_requests: 10,
-                ..Default::default()
-            },
+            warmup: quick_warmup(),
+            js_opts: lenient_js_opts(),
             ..Default::default()
         };
         let report = run_deployment(&app, &params);
         assert_eq!(report.published, 2);
         assert_eq!(report.validation_failures, 0);
+        assert_eq!(report.seeder_crashes, 0);
         let reduction = report.capacity_loss_reduction(300_000);
         assert!(
             reduction > 20.0,
@@ -276,20 +765,11 @@ mod tests {
             seeder_requests: 120,
             warmup: WarmupParams {
                 duration_ms: 120_000,
-                sample_ms: 5_000,
-                init_ms_nojs: 20_000,
-                init_ms_js: 8_000,
-                deserialize_ms: 2_000,
                 profile_serve_ms: 30_000,
                 relocation_ms: 10_000,
-                ..WarmupParams::fig4()
+                ..quick_warmup()
             },
-            js_opts: JumpStartOptions {
-                min_funcs_profiled: 5,
-                min_counter_mass: 100,
-                min_requests: 10,
-                ..Default::default()
-            },
+            js_opts: lenient_js_opts(),
             ..Default::default()
         };
         let report = run_deployment(&app, &params);
@@ -338,5 +818,45 @@ mod tests {
         let report = run_deployment(&app, &params);
         assert_eq!(report.published, 0);
         assert_eq!(report.validation_failures, 1);
+    }
+
+    #[test]
+    fn scaled_fleet_keeps_compact_stats_and_bounded_registries() {
+        let app = generate(&AppParams::tiny());
+        let params = DeployParams {
+            regions: 1,
+            buckets: 2,
+            seeders_per_cell: 2,
+            seeder_requests: 120,
+            warmup: quick_warmup(),
+            js_opts: lenient_js_opts(),
+            fleet: FleetShape::default()
+                .with_servers(12, 3)
+                .with_representatives(2)
+                .with_stagger(30_000)
+                .with_jitter(100),
+            ..Default::default()
+        };
+        let report = run_deployment(&app, &params);
+        // Every server is in stats; only representatives carry registries.
+        assert_eq!(report.stats.len(), 2 * (12 + 3));
+        assert_eq!(report.server_registries.len(), 2 * 2);
+        assert_eq!(report.js_timelines.len(), 4);
+        assert_eq!(report.nojs_timelines.len(), 4);
+        assert_eq!(report.sim.servers, 30);
+        assert!(report.sim.events > 0);
+        // The event core did far less work than dense stepping.
+        assert!(report.sim.steps_executed < report.sim.steps_dense / 2);
+        // Jitter spreads boot times across consumers of one cell.
+        let agg = report.fleet_aggregate();
+        assert_eq!(agg.servers, 24);
+        let boot = agg.stat("server.boot_ms").unwrap();
+        assert!(boot.max > boot.min, "jitter should spread boot times");
+        // gids are stable and dense.
+        for (i, s) in report.stats.iter().enumerate() {
+            assert_eq!(s.gid as usize, i);
+        }
+        // The digest is reproducible.
+        assert_eq!(report.digest(), run_deployment(&app, &params).digest());
     }
 }

@@ -56,8 +56,24 @@ fn counter(name: &'static str, t_ms: u64, value: f64) -> Event {
 /// instants and the sampled `rps_norm` / `code_bytes` curves as counter
 /// series. Simulated milliseconds map to trace nanoseconds.
 pub fn timelines_to_trace(timelines: &[Timeline], label: &str) -> Trace {
+    timelines_to_trace_capped(timelines, label, usize::MAX, usize::MAX)
+}
+
+/// [`timelines_to_trace`] with memory bounds for paper-scale fleets: at
+/// most `max_tracks` servers get a track (the rest are counted in
+/// [`Trace::dropped`]), and each track's sample series is thinned to at
+/// most `max_samples` evenly-strided points (the last sample is always
+/// kept so the converged value survives). Lifecycle instants are never
+/// dropped.
+pub fn timelines_to_trace_capped(
+    timelines: &[Timeline],
+    label: &str,
+    max_tracks: usize,
+    max_samples: usize,
+) -> Trace {
     let mut tracks = Vec::new();
-    for (i, tl) in timelines.iter().enumerate() {
+    let shown = timelines.len().min(max_tracks);
+    for (i, tl) in timelines[..shown].iter().enumerate() {
         let mut events = Vec::new();
         events.push(instant(
             "serve-start",
@@ -73,7 +89,12 @@ pub fn timelines_to_trace(timelines: &[Timeline], label: &str) -> Trace {
                 events.push(instant(name, t_ms, vec![("t_ms", AttrValue::U64(t_ms))]));
             }
         }
-        for s in &tl.samples {
+        let stride = tl.samples.len().div_ceil(max_samples.max(1)).max(1);
+        let last = tl.samples.len().wrapping_sub(1);
+        for (k, s) in tl.samples.iter().enumerate() {
+            if k % stride != 0 && k != last {
+                continue;
+            }
             events.push(counter("rps_norm", s.t_ms, s.rps_norm));
             events.push(counter("code_bytes", s.t_ms, s.code_bytes as f64));
         }
@@ -89,7 +110,10 @@ pub fn timelines_to_trace(timelines: &[Timeline], label: &str) -> Trace {
             events,
         });
     }
-    Trace { tracks, dropped: 0 }
+    Trace {
+        tracks,
+        dropped: (timelines.len() - shown) as u64,
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +171,27 @@ mod tests {
         assert_eq!(summary.instants, 4 * 3);
         assert!(json.contains("jumpstart server 0"));
         assert!(json.contains("point-B"));
+    }
+
+    #[test]
+    fn capped_trace_bounds_tracks_and_downsamples() {
+        let timelines: Vec<Timeline> = (0..6).map(|i| timeline(500 + i * 100)).collect();
+        let trace = timelines_to_trace_capped(&timelines, "fleet", 2, 4);
+        assert_eq!(trace.tracks.len(), 2);
+        assert_eq!(trace.dropped, 4);
+        for track in &trace.tracks {
+            let counters = track
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Counter(_)) && e.name == "rps_norm")
+                .count();
+            assert!(counters <= 5, "downsampled to ~4 + last, got {counters}");
+            // The converged tail sample survives thinning.
+            let last_ts = track.events.iter().map(|e| e.ts_ns).max().unwrap();
+            assert_eq!(last_ts, 10_000 * MS_TO_NS);
+        }
+        let json = trace.to_chrome_json();
+        telemetry::validate_chrome(&json).expect("valid Chrome trace");
     }
 
     #[test]

@@ -1,15 +1,81 @@
-//! Crash-loop containment experiments (§VI-A).
+//! Fault injection for the deployment pipeline (§VI).
 //!
-//! Scenario: a crash-inducing package slipped through validation. Without
-//! randomized selection every consumer would pick it, crash, restart,
-//! pick it again — a fleet-wide crash loop. With several randomized
-//! packages, "the number of affected consumers [reduces] exponentially
-//! with each restart", and the automatic fallback bounds the worst case.
+//! Two layers:
+//!
+//! * [`FaultPlan`] — deterministic per-entity fault rolls woven into
+//!   [`crate::run_deployment`]: seeders that crash before publishing,
+//!   seeders that profile a drained cell (validation rejects the
+//!   undersampled package), and consumers on degraded hosts whose boot
+//!   path runs several times slower. Every roll comes from the faulted
+//!   entity's own seeded RNG stream, so fault placement is a pure
+//!   function of the deployment seed — independent of shard count.
+//! * [`run_crashloop`] — the §VI-A crash-loop containment experiment:
+//!   a crash-inducing package slipped through validation. Without
+//!   randomized selection every consumer would pick it, crash, restart,
+//!   pick it again — a fleet-wide crash loop. With several randomized
+//!   packages, "the number of affected consumers [reduces] exponentially
+//!   with each restart", and the automatic fallback bounds the worst
+//!   case.
 
 use bytes::Bytes;
 use jumpstart::{BootController, BootDecision, PackageMeta, PackageStore, Poison};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Deployment-time fault injection: the failures a C1/C2/C3 push must
+/// absorb, expressed as per-mille rates so the plan stays `Copy + Eq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Per-mille chance a C2 seeder crashes before publishing.
+    pub seeder_crash_per_mille: u16,
+    /// Per-mille chance a seeder profiles a drained cell: its run sees
+    /// almost no requests, so validation rejects the package (§VI-B).
+    pub undersample_per_mille: u16,
+    /// Per-mille chance a C3 consumer lands on a degraded host.
+    pub slow_consumer_per_mille: u16,
+    /// How much slower a degraded host boots, in percent (300 = 3×
+    /// slower init/deserialize and a third of the compile throughput).
+    pub slow_factor_pct: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seeder_crash_per_mille: 0,
+            undersample_per_mille: 0,
+            slow_consumer_per_mille: 0,
+            slow_factor_pct: 300,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Sets the seeder-crash rate (builder-style).
+    pub fn with_seeder_crashes(mut self, per_mille: u16) -> Self {
+        self.seeder_crash_per_mille = per_mille;
+        self
+    }
+
+    /// Sets the undersampled-seeder rate (builder-style).
+    pub fn with_undersampling(mut self, per_mille: u16) -> Self {
+        self.undersample_per_mille = per_mille;
+        self
+    }
+
+    /// Sets the slow-consumer rate and slowdown (builder-style).
+    pub fn with_slow_consumers(mut self, per_mille: u16, factor_pct: u32) -> Self {
+        self.slow_consumer_per_mille = per_mille;
+        self.slow_factor_pct = factor_pct.max(100);
+        self
+    }
+
+    /// Rolls a per-mille chance on an entity's own RNG stream. Always
+    /// consumes exactly one draw so a plan change never shifts the
+    /// stream for unrelated decisions.
+    pub(crate) fn roll(rng: &mut SmallRng, per_mille: u16) -> bool {
+        rng.gen_range(0..1000u32) < per_mille as u32
+    }
+}
 
 /// Experiment parameters.
 #[derive(Clone, Copy, Debug)]

@@ -1,20 +1,30 @@
 //! Data-center fleet simulation: server warmup, continuous deployment and
-//! reliability.
+//! reliability — at paper scale.
 //!
 //! The paper's warmup evaluation (Figs. 1, 2, 4) is about what one web
 //! server goes through after a restart: initialization, lazy loading,
 //! profiling translations, the retranslate-all event, relocation, live
-//! JITing — all while serving (or failing to serve) production traffic.
-//! This crate simulates that timeline:
+//! JITing — all while serving (or failing to serve) production traffic,
+//! across a fleet of more than 2000 servers pushed three times a day.
+//! This crate simulates that:
 //!
+//! * [`engine`] — the discrete-event core: arena-backed event pool,
+//!   binary-heap scheduler, integer-ns timestamps,
 //! * [`AppModel`] — per-function static facts (sizes of each translation
 //!   kind, average work per call, per-endpoint call vectors) measured once
 //!   from the real pipeline,
-//! * [`ServerSim`] / [`simulate_warmup`] — a discrete-time single-server
-//!   simulation producing RPS/latency/code-size timelines,
+//! * [`ServerSim`] / [`simulate_warmup`] — an event-driven single-server
+//!   simulation producing RPS/latency/code-size timelines; the dense
+//!   per-second stepper survives as [`simulate_warmup_dense`], the
+//!   equivalence oracle,
 //! * [`capacity_loss`] — the area-above-the-curve metric of Fig. 2,
-//! * [`deploy`] — the C1/C2/C3 phased push with seeders and validation,
-//! * [`faults`] — crash-loop containment experiments for §VI.
+//! * [`deploy`] — the two-level C1/C2/C3 push: per-(region, bucket)
+//!   seeding done once and shared read-only, then thousands of consumers
+//!   fanned out over shard threads with per-server RNG streams,
+//! * [`faults`] — crash-loop containment and deployment fault injection
+//!   for §VI.
+
+pub mod engine;
 
 mod deploy;
 mod export;
@@ -24,10 +34,11 @@ mod model;
 mod server;
 mod steady;
 
-pub use deploy::{run_deployment, DeployParams, DeployReport};
-pub use export::{server_registry, timelines_to_trace};
-pub use faults::{run_crashloop, CrashLoopParams, CrashLoopReport};
+pub use deploy::{run_deployment, DeployParams, DeployReport, FleetShape, ServerStat, ShardStats};
+pub use export::{server_registry, timelines_to_trace, timelines_to_trace_capped};
+pub use faults::{run_crashloop, CrashLoopParams, CrashLoopReport, FaultPlan};
 pub use metrics::{capacity_loss, capacity_loss_from, Sample, Timeline};
 pub use model::{build_app_model, AppModel, WarmupParams};
-pub use server::{simulate_warmup, ServerConfig, ServerSim};
+pub use server::reference::simulate_warmup_dense;
+pub use server::{run_server, simulate_warmup, ServerConfig, ServerRun, ServerSim};
 pub use steady::{measure_steady_state, SteadyConfig, SteadyOutcome, SteadyParams};

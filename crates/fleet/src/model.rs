@@ -119,6 +119,32 @@ impl WarmupParams {
         self.compile_bytes_per_core_ms = (model.total_opt_bytes as f64 / core_ms).max(0.001);
         self
     }
+
+    /// Sets the simulated duration (builder-style; new knobs grow here
+    /// instead of widening struct literals at every call site).
+    pub fn with_duration(mut self, ms: u64) -> Self {
+        self.duration_ms = ms;
+        self
+    }
+
+    /// Sets the timeline sampling period.
+    pub fn with_sample_every(mut self, ms: u64) -> Self {
+        self.sample_ms = ms.max(1);
+        self
+    }
+
+    /// Sets offered load as a fraction of peak capacity.
+    pub fn with_offered_fraction(mut self, frac: f64) -> Self {
+        self.offered_fraction = frac;
+        self
+    }
+
+    /// Sets the consumer early-serve threshold (`1.0` = compile all
+    /// before serving).
+    pub fn with_early_serve(mut self, frac: f64) -> Self {
+        self.early_serve_frac = frac;
+        self
+    }
 }
 
 impl Default for WarmupParams {

@@ -1,30 +1,26 @@
-//! Single-server warmup simulation.
+//! The per-server warmup state machine, shared by both drivers.
 //!
-//! A discrete-time (1 s step) model of one web server's life after a
-//! restart, following Fig. 3's workflows exactly:
-//!
-//! * **No Jump-Start** (Fig. 3a): init (sequential warmup requests) →
-//!   serve; hot functions get profiling translations; after the profiling
-//!   request target, a retranslate-all event compiles every profiled
-//!   function on background JIT threads (point A→B), then relocation
-//!   (B→C); newly discovered functions get live translations.
-//! * **Consumer** (Fig. 3c): deserialize → preload units → compile all
-//!   optimized code on *all* cores → serve near peak immediately.
-//!
-//! Requests compete with compilation for cores; service time per request
-//! follows each touched function's current execution mode. Everything
-//! dynamic (what compiles when, how much code, how slow interp is) comes
-//! from the measured [`AppModel`].
+//! [`ServerSim`] holds the full Fig. 3 lifecycle state (per-function
+//! execution modes, the compile queue, relocation, lazy unit loads) and
+//! exposes exactly one transition: [`ServerSim::serve_step`], one
+//! simulated second of serving + background compilation. The dense
+//! reference driver ([`super::reference`]) calls it for every second; the
+//! event-core driver ([`super::run_server`]) calls it only while the
+//! server is *active* and skips ahead once [`ServerSim::quiescent`]
+//! proves no future step can change state. Because every floating-point
+//! operation lives here, in one place, the two drivers agree bit for bit
+//! — the equivalence proptests in `tests/event_equivalence.rs` hold with
+//! `==`, not epsilons.
 
 use jumpstart::ProfilePackage;
 use workload::{App, RequestMix};
 
-use crate::metrics::{Sample, Timeline};
+use crate::metrics::Sample;
 use crate::model::{AppModel, WarmupParams};
 
 /// Per-function execution mode in the warmup model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Mode {
+pub(crate) enum Mode {
     Interp,
     Profiling,
     Optimized,
@@ -40,19 +36,30 @@ pub struct ServerConfig<'p> {
     pub jumpstart: Option<&'p ProfilePackage>,
 }
 
+/// What the event driver watches to prove a server quiescent: the
+/// reachable functions that could still be promoted and the units the
+/// lazy loader will eventually touch. Built once per run (the offered
+/// load is constant), scanned in O(reachable) per check.
+#[derive(Debug, Default)]
+struct Watch {
+    dt_requests: f64,
+    interp_funcs: Vec<usize>,
+    loadable_units: Vec<usize>,
+}
+
 /// The simulation state (exposed for tests and incremental stepping).
 #[derive(Debug)]
 pub struct ServerSim<'a> {
     app: &'a App,
     model: &'a AppModel,
-    params: WarmupParams,
+    pub(crate) params: WarmupParams,
     ep_probs: Vec<f64>,
     mode: Vec<Mode>,
     calls: Vec<f64>,
     unit_loaded: Vec<bool>,
-    // Compile queue: (func index or NONE for batch end, bytes remaining).
+    // Compile queue: (func index, bytes remaining, target mode).
     queue: std::collections::VecDeque<(usize, u64, Mode)>,
-    code_bytes: u64,
+    pub(crate) code_bytes: u64,
     retranslate_started: bool,
     optimize_remaining: usize,
     relocation_left_ms: f64,
@@ -63,11 +70,13 @@ pub struct ServerSim<'a> {
     // directly into Optimized (no point-B batch / relocation pause).
     consumer_bg: bool,
     bg_pending: Vec<bool>,
-    peak_ms_per_req: f64,
-    serve_start_ms: u64,
-    point_a_ms: Option<u64>,
-    point_b_ms: Option<u64>,
-    point_c_ms: Option<u64>,
+    is_js: bool,
+    pub(crate) peak_ms_per_req: f64,
+    pub(crate) serve_start_ms: u64,
+    pub(crate) point_a_ms: Option<u64>,
+    pub(crate) point_b_ms: Option<u64>,
+    pub(crate) point_c_ms: Option<u64>,
+    watch: Option<Watch>,
 }
 
 impl<'a> ServerSim<'a> {
@@ -77,6 +86,21 @@ impl<'a> ServerSim<'a> {
         model: &'a AppModel,
         mix: &RequestMix,
         config: &ServerConfig<'_>,
+    ) -> Self {
+        Self::new_with_peak(app, model, mix, config, None)
+    }
+
+    /// [`ServerSim::new`] with the peak request cost supplied by the
+    /// caller. The peak is a pure function of (app, mix, calibration
+    /// constants) — none of which vary per server within a deployment
+    /// cell — so the fleet orchestrator measures it once per cell and
+    /// shares it instead of re-sampling 2000 requests per server.
+    pub(crate) fn new_with_peak(
+        app: &'a App,
+        model: &'a AppModel,
+        mix: &RequestMix,
+        config: &ServerConfig<'_>,
+        peak_ms_per_req: Option<f64>,
     ) -> Self {
         let params = config.params;
         let n = app.repo.funcs().len();
@@ -98,11 +122,14 @@ impl<'a> ServerSim<'a> {
             optimized_phase_done: false,
             consumer_bg: false,
             bg_pending: vec![false; n],
-            peak_ms_per_req: model.peak_request_core_ms(app, mix, &params),
+            is_js: config.jumpstart.is_some(),
+            peak_ms_per_req: peak_ms_per_req
+                .unwrap_or_else(|| model.peak_request_core_ms(app, mix, &params)),
             serve_start_ms: 0,
             point_a_ms: None,
             point_b_ms: None,
             point_c_ms: None,
+            watch: None,
         };
         sim.serve_start_ms = match config.jumpstart {
             None => params.init_ms_nojs,
@@ -214,11 +241,9 @@ impl<'a> ServerSim<'a> {
                     } else {
                         Mode::Profiling
                     };
-                    self.code_bytes += 0; // bytes counted at compile completion
                 }
             }
         }
-        let _ = requests;
         if !self.retranslate_started && now_ms >= self.serve_start_ms + p.profile_serve_ms {
             self.retranslate_started = true;
             self.point_a_ms = Some(now_ms);
@@ -292,293 +317,116 @@ impl<'a> ServerSim<'a> {
         }
         budget - core_ms
     }
-}
 
-/// Runs the warmup simulation, returning the timeline.
-pub fn simulate_warmup(
-    app: &App,
-    model: &AppModel,
-    mix: &RequestMix,
-    config: &ServerConfig<'_>,
-) -> Timeline {
-    let params = config.params;
-    let _span = telemetry::span!(
-        "simulate-warmup",
-        "jumpstart" => config.jumpstart.is_some(),
-        "duration_ms" => params.duration_ms,
-    );
-    let mut sim = ServerSim::new(app, model, mix, config);
-    let peak_rps = params.cores as f64 * 1000.0 / sim.peak_ms_per_req;
-    let offered = peak_rps * params.offered_fraction;
-
-    let mut timeline = Timeline {
-        serve_start_ms: sim.serve_start_ms,
-        ..Default::default()
-    };
-    let step = 1000u64; // 1 s
-    let mut t = 0u64;
-    while t < params.duration_ms {
-        let now = t + step;
-        if now <= sim.serve_start_ms {
-            // Booting: Jump-Start compile work happens inside the boot
-            // window (already priced into serve_start_ms).
-            if now.is_multiple_of(params.sample_ms) {
-                let frac = if config.jumpstart.is_some() && sim.serve_start_ms > 0 {
-                    now as f64 / sim.serve_start_ms as f64
-                } else {
-                    0.0
-                };
-                timeline.samples.push(Sample {
-                    t_ms: now,
-                    rps_norm: 0.0,
-                    latency_ms: 0.0,
-                    code_bytes: (sim.code_bytes as f64 * frac.min(1.0)) as u64,
-                });
-            }
-            t = now;
-            continue;
+    /// A boot-window timeline sample at `now` (serving has not begun; a
+    /// Jump-Start consumer's compile progress is priced into the window).
+    pub(crate) fn boot_sample(&self, now: u64) -> Sample {
+        let frac = if self.is_js && self.serve_start_ms > 0 {
+            now as f64 / self.serve_start_ms as f64
+        } else {
+            0.0
+        };
+        Sample {
+            t_ms: now,
+            rps_norm: 0.0,
+            latency_ms: 0.0,
+            code_bytes: (self.code_bytes as f64 * frac.min(1.0)) as u64,
         }
+    }
+
+    /// One simulated step of `step` ms ending at `now`: background
+    /// compilation, then serving under the remaining cores. Returns the
+    /// requests served and the timeline sample describing the step (the
+    /// driver decides whether `now` is a sampling boundary).
+    pub(crate) fn serve_step(
+        &mut self,
+        now: u64,
+        step: u64,
+        offered_this_step: f64,
+    ) -> (f64, Sample) {
         // Background compile threads (serving competes for the rest);
         // only the core time actually consumed is taken from serving.
-        let used_core_ms = sim.run_compilers(params.jit_threads as f64 * step as f64, now);
-        let serve_cores = params.cores as f64 - used_core_ms / step as f64;
-        let offered_this_step = offered * step as f64 / 1000.0;
-        let service_ms = sim.service_core_ms(offered_this_step).max(0.01);
+        let used_core_ms = self.run_compilers(self.params.jit_threads as f64 * step as f64, now);
+        let serve_cores = self.params.cores as f64 - used_core_ms / step as f64;
+        let service_ms = self.service_core_ms(offered_this_step).max(0.01);
         let capacity = serve_cores * step as f64 / service_ms;
         let served = offered_this_step.min(capacity);
-        sim.account_requests(served, now);
-
-        if now.is_multiple_of(params.sample_ms) {
-            let util = (offered_this_step / capacity).min(3.0);
-            let queue_factor = 1.0 + 2.0 * (util.min(1.0)).powi(3);
-            timeline.samples.push(Sample {
-                t_ms: now,
-                rps_norm: served / offered_this_step,
-                latency_ms: service_ms * queue_factor,
-                code_bytes: sim.code_bytes,
-            });
-        }
-        t = now;
-    }
-    timeline.point_a_ms = sim.point_a_ms;
-    timeline.point_b_ms = sim.point_b_ms;
-    timeline.point_c_ms = sim.point_c_ms;
-    timeline
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::model::build_app_model;
-    use jit::JitOptions;
-    use jumpstart::{build_package, JumpStartOptions, SeederInputs};
-    use workload::{generate, profile_run, AppParams};
-
-    fn setup() -> (App, AppModel, ProfilePackage) {
-        let app = generate(&AppParams::tiny());
-        let mix = RequestMix::new(&app, 0, 0);
-        let run = profile_run(&app, &mix, 150, 11);
-        let model = build_app_model(&app, &run);
-        let pkg = build_package(
-            SeederInputs {
-                repo: &app.repo,
-                tier: run.tier,
-                ctx: run.ctx,
-                unit_order: run.unit_order,
-                requests: run.requests,
-                region: 0,
-                bucket: 0,
-                seeder_id: 1,
-                now_ms: 0,
-            },
-            &JumpStartOptions::default(),
-            &JitOptions::default(),
-        );
-        (app, model, pkg)
-    }
-
-    fn quick_params(model: &AppModel) -> WarmupParams {
-        WarmupParams {
-            duration_ms: 300_000,
-            sample_ms: 5_000,
-            init_ms_nojs: 20_000,
-            init_ms_js: 8_000,
-            deserialize_ms: 2_000,
-            profile_serve_ms: 60_000,
-            relocation_ms: 20_000,
-            ..WarmupParams::fig4()
-        }
-        .with_compile_window(model, 90_000)
-    }
-
-    #[test]
-    fn no_jumpstart_walks_through_the_lifecycle() {
-        let (app, model, _pkg) = setup();
-        let mix = RequestMix::new(&app, 0, 0);
-        let tl = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params: quick_params(&model),
-                jumpstart: None,
-            },
-        );
-        assert!(tl.point_a_ms.is_some(), "profiling must end");
-        assert!(tl.point_b_ms.is_some(), "optimization must finish");
-        assert!(tl.point_c_ms.is_some(), "relocation must finish");
-        let (a, b, c) = (
-            tl.point_a_ms.unwrap(),
-            tl.point_b_ms.unwrap(),
-            tl.point_c_ms.unwrap(),
-        );
-        assert!(a < b && b < c, "A < B < C");
-        // Code grows over time.
-        let last = tl.samples.last().unwrap();
-        assert!(last.code_bytes > 0);
-        // RPS eventually recovers.
-        assert!(last.rps_norm > 0.9, "got {}", last.rps_norm);
-    }
-
-    #[test]
-    fn jumpstart_starts_near_peak() {
-        let (app, model, pkg) = setup();
-        let mix = RequestMix::new(&app, 0, 0);
-        let params = quick_params(&model);
-        let js = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params,
-                jumpstart: Some(&pkg),
-            },
-        );
-        let nojs = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params,
-                jumpstart: None,
-            },
-        );
-        // Shortly after serving begins, the consumer is already fast.
-        let early = js.at(js.serve_start_ms + 20_000).unwrap();
-        assert!(early.rps_norm > 0.8, "JS early rps {}", early.rps_norm);
-        let early_nojs = nojs.at(nojs.serve_start_ms + 20_000).unwrap();
-        assert!(
-            early.rps_norm > early_nojs.rps_norm + 0.2,
-            "JS {} vs no-JS {}",
-            early.rps_norm,
-            early_nojs.rps_norm
-        );
-        // Headline: capacity loss reduced substantially.
-        let loss_js = js.capacity_loss_over(params.duration_ms);
-        let loss_nojs = nojs.capacity_loss_over(params.duration_ms);
-        assert!(
-            loss_js < 0.7 * loss_nojs,
-            "JS loss {loss_js:.3} should be well below no-JS {loss_nojs:.3}"
-        );
-    }
-
-    #[test]
-    fn latency_improves_with_jumpstart_early_on() {
-        let (app, model, pkg) = setup();
-        let mix = RequestMix::new(&app, 0, 0);
-        let params = quick_params(&model);
-        let js = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params,
-                jumpstart: Some(&pkg),
-            },
-        );
-        let nojs = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params,
-                jumpstart: None,
-            },
-        );
-        let t = nojs.serve_start_ms + 30_000;
-        let l_js = js.at(t).unwrap().latency_ms;
-        let l_nojs = nojs.at(t).unwrap().latency_ms;
-        assert!(
-            l_nojs > 1.5 * l_js,
-            "early latency: no-JS {l_nojs:.2}ms vs JS {l_js:.2}ms"
-        );
-    }
-
-    #[test]
-    fn early_serve_boots_earlier_and_converges() {
-        let (app, model, pkg) = setup();
-        let mix = RequestMix::new(&app, 0, 0);
-        let full = quick_params(&model);
-        let early = WarmupParams {
-            early_serve_frac: 0.5,
-            ..full
+        self.account_requests(served, now);
+        let util = (offered_this_step / capacity).min(3.0);
+        let queue_factor = 1.0 + 2.0 * (util.min(1.0)).powi(3);
+        let sample = Sample {
+            t_ms: now,
+            rps_norm: served / offered_this_step,
+            latency_ms: service_ms * queue_factor,
+            code_bytes: self.code_bytes,
         };
-        let tl_full = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params: full,
-                jumpstart: Some(&pkg),
-            },
-        );
-        let tl_early = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params: early,
-                jumpstart: Some(&pkg),
-            },
-        );
-        // Serving starts sooner: only the hottest prefix is priced into
-        // the boot window.
-        assert!(
-            tl_early.serve_start_ms < tl_full.serve_start_ms,
-            "early-serve {} should boot before compile-all {}",
-            tl_early.serve_start_ms,
-            tl_full.serve_start_ms
-        );
-        // And converges: background compiles finish, so the final code
-        // footprint matches and throughput is near peak.
-        let last_early = tl_early.samples.last().unwrap();
-        let last_full = tl_full.samples.last().unwrap();
-        assert_eq!(last_early.code_bytes, last_full.code_bytes);
-        assert!(
-            last_early.rps_norm > 0.9,
-            "early-serve converges, got {}",
-            last_early.rps_norm
-        );
-        // Early-serve never re-enters the Fig. 3a batch machinery.
-        assert!(tl_early.point_b_ms.is_none());
-        assert!(tl_early.point_c_ms.is_none());
+        (served, sample)
     }
 
-    #[test]
-    fn code_size_curve_is_monotonic() {
-        let (app, model, _pkg) = setup();
-        let mix = RequestMix::new(&app, 0, 0);
-        let tl = simulate_warmup(
-            &app,
-            &model,
-            &mix,
-            &ServerConfig {
-                params: quick_params(&model),
-                jumpstart: None,
-            },
-        );
-        for w in tl.samples.windows(2) {
-            assert!(w[1].code_bytes >= w[0].code_bytes);
+    /// Copies the lifecycle markers into a finished timeline.
+    pub(crate) fn finish(&self, timeline: &mut crate::metrics::Timeline) {
+        timeline.point_a_ms = self.point_a_ms;
+        timeline.point_b_ms = self.point_b_ms;
+        timeline.point_c_ms = self.point_c_ms;
+    }
+
+    fn build_watch(&self, dt_requests: f64) -> Watch {
+        let mut interp_funcs = Vec::new();
+        let mut loadable_units = Vec::new();
+        for (e, &prob) in self.ep_probs.iter().enumerate() {
+            if prob <= 0.0 {
+                continue;
+            }
+            for &(f, _) in &self.model.endpoint_calls[e] {
+                let i = f.index();
+                if !interp_funcs.contains(&i) {
+                    interp_funcs.push(i);
+                }
+                let u = self.app.repo.func(f).unit.index();
+                if prob * dt_requests >= 0.5 && !loadable_units.contains(&u) {
+                    loadable_units.push(u);
+                }
+            }
         }
+        Watch {
+            dt_requests,
+            interp_funcs,
+            loadable_units,
+        }
+    }
+
+    /// Whether no future [`ServerSim::serve_step`] can change any state
+    /// that the timeline observes: the compile queue is drained, the
+    /// batch lifecycle (retranslate → relocation) has fully completed,
+    /// every unit the lazy loader will ever touch is loaded, and — when
+    /// traffic flows — no reachable function is still interpreted (each
+    /// such function's call counter grows every step and must eventually
+    /// cross `promote_calls`). Once this holds, the per-step sample is a
+    /// pure function of frozen state and the driver may replicate it.
+    pub(crate) fn quiescent(&mut self, offered_this_step: f64) -> bool {
+        if !self.queue.is_empty()
+            || self.relocating
+            || !self.retranslate_started
+            || !self.optimized_phase_done
+        {
+            return false;
+        }
+        if self
+            .watch
+            .as_ref()
+            .is_none_or(|w| w.dt_requests != offered_this_step)
+        {
+            self.watch = Some(self.build_watch(offered_this_step));
+        }
+        let watch = self.watch.as_ref().expect("just built");
+        if offered_this_step > 0.0
+            && watch
+                .interp_funcs
+                .iter()
+                .any(|&i| self.mode[i] == Mode::Interp)
+        {
+            return false;
+        }
+        watch.loadable_units.iter().all(|&u| self.unit_loaded[u])
     }
 }

@@ -1,0 +1,218 @@
+//! The event core's correctness contract, stated as properties:
+//!
+//! 1. **Oracle equivalence.** For any calibration, the event-driven
+//!    driver ([`fleet::run_server`]) must produce a [`fleet::Timeline`]
+//!    *bit-identical* to the dense per-second reference stepper
+//!    ([`fleet::simulate_warmup_dense`]) — not within an epsilon. Both
+//!    drivers share every floating-point operation (the `ServerSim` state
+//!    machine); the event core is only allowed to skip steps it can prove
+//!    would not change state, so any divergence is a bug in that proof.
+//! 2. **Shard invariance.** A deployment's report is a pure function of
+//!    its parameters: running the same fleet on 1 thread or 4 must give
+//!    byte-identical per-server stats, aggregates and digest, because all
+//!    randomness is drawn from per-server streams before the fan-out.
+
+use std::sync::OnceLock;
+
+use fleet::{
+    build_app_model, run_deployment, run_server, simulate_warmup_dense, AppModel, DeployParams,
+    FaultPlan, FleetShape, ServerConfig, WarmupParams,
+};
+use jit::JitOptions;
+use jumpstart::{build_package, JumpStartOptions, ProfilePackage, SeederInputs};
+use proptest::prelude::*;
+use workload::{generate, App, AppParams, RequestMix};
+
+struct Fixture {
+    app: App,
+    model: AppModel,
+    pkg: ProfilePackage,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let app = generate(&AppParams::tiny());
+        let mix = RequestMix::new(&app, 0, 0);
+        let run = workload::profile_run(&app, &mix, 150, 11);
+        let model = build_app_model(&app, &run);
+        let pkg = build_package(
+            SeederInputs {
+                repo: &app.repo,
+                tier: run.tier,
+                ctx: run.ctx,
+                unit_order: run.unit_order,
+                requests: run.requests,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions::default(),
+            &JitOptions::default(),
+        );
+        Fixture { app, model, pkg }
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = WarmupParams> {
+    (
+        (
+            60_000u64..400_000, // duration_ms (incl. non-multiples of the step)
+            1u64..5,            // sample every 1..5 s
+            0u64..30,           // init_ms_nojs (s)
+            0u64..12,           // init_ms_js (s)
+            0u64..5,            // deserialize_ms (s)
+        ),
+        (
+            10u64..90, // profile_serve_ms (s)
+            0u64..30,  // relocation_ms (s)
+            1u32..5,   // jit_threads
+            (3u64..12, 1u64..11, 1u64..21),
+        ),
+    )
+        .prop_map(
+            |(
+                (duration_ms, sample_s, init_nojs_s, init_js_s, deser_s),
+                (profile_s, reloc_s, jit_threads, (offered_decile, early_decile, compile_rate)),
+            )| {
+                WarmupParams {
+                    duration_ms,
+                    sample_ms: sample_s * 1000,
+                    init_ms_nojs: init_nojs_s * 1000,
+                    init_ms_js: init_js_s * 1000,
+                    deserialize_ms: deser_s * 1000,
+                    profile_serve_ms: profile_s * 1000,
+                    relocation_ms: reloc_s * 1000,
+                    jit_threads,
+                    // Strictly positive: offered == 0 makes rps_norm NaN in
+                    // both drivers, which `Timeline == Timeline` can't see.
+                    offered_fraction: offered_decile as f64 / 10.0,
+                    early_serve_frac: early_decile as f64 / 10.0,
+                    compile_bytes_per_core_ms: compile_rate as f64 / 4.0,
+                    ..WarmupParams::fig4()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_core_matches_dense_reference_without_jumpstart(params in arb_params()) {
+        let fx = fixture();
+        let mix = RequestMix::new(&fx.app, 0, 0);
+        let config = ServerConfig { params, jumpstart: None };
+        let dense = simulate_warmup_dense(&fx.app, &fx.model, &mix, &config);
+        let run = run_server(&fx.app, &fx.model, &mix, &config);
+        prop_assert_eq!(&dense, &run.timeline);
+    }
+
+    #[test]
+    fn event_core_matches_dense_reference_with_jumpstart(params in arb_params()) {
+        let fx = fixture();
+        let mix = RequestMix::new(&fx.app, 0, 0);
+        let config = ServerConfig { params, jumpstart: Some(&fx.pkg) };
+        let dense = simulate_warmup_dense(&fx.app, &fx.model, &mix, &config);
+        let run = run_server(&fx.app, &fx.model, &mix, &config);
+        prop_assert_eq!(&dense, &run.timeline);
+        // The speedup must not come from doing the same work: a consumer
+        // quiesces, so most steps are skipped, never recomputed.
+        prop_assert!(run.steps_executed <= run.steps_dense);
+    }
+}
+
+fn sharded_deploy_params(shards: u32) -> DeployParams {
+    DeployParams::default()
+        .with_cells(1, 2)
+        .with_seeders(2, 120)
+        .with_warmup(WarmupParams {
+            duration_ms: 200_000,
+            sample_ms: 5_000,
+            init_ms_nojs: 20_000,
+            init_ms_js: 8_000,
+            deserialize_ms: 2_000,
+            profile_serve_ms: 60_000,
+            relocation_ms: 20_000,
+            ..WarmupParams::fig4()
+        })
+        .with_fleet(
+            FleetShape::default()
+                .with_servers(9, 3)
+                .with_representatives(2)
+                .with_shards(shards)
+                .with_stagger(45_000)
+                .with_jitter(150),
+        )
+        .with_faults(
+            FaultPlan::default()
+                .with_seeder_crashes(200)
+                .with_slow_consumers(150, 300),
+        )
+        .with_seed(0x5eed)
+}
+
+#[test]
+fn deployment_is_invariant_under_shard_count() {
+    let fx = fixture();
+    let one = run_deployment(&fx.app, &sharded_deploy_params(1));
+    let four = run_deployment(&fx.app, &sharded_deploy_params(4));
+
+    // Same servers, same outcomes, same order — bit for bit.
+    assert_eq!(one.stats, four.stats);
+    assert_eq!(one.published, four.published);
+    assert_eq!(one.seeder_crashes, four.seeder_crashes);
+    assert_eq!(one.js_timelines, four.js_timelines);
+    assert_eq!(one.nojs_timelines, four.nojs_timelines);
+    assert_eq!(one.fleet_aggregate(), four.fleet_aggregate());
+    assert_eq!(one.digest(), four.digest());
+
+    // Shard count is accounting-visible only where it should be.
+    assert_eq!(one.sim.shards, 1);
+    assert_eq!(four.sim.shards, 4);
+    assert_eq!(one.sim.events, four.sim.events);
+    assert_eq!(one.sim.steps_executed, four.sim.steps_executed);
+    assert_eq!(one.sim.requests, four.sim.requests);
+}
+
+#[test]
+fn staggered_restarts_do_not_change_local_timelines() {
+    // Stagger shifts when a server runs in fleet time, not what it does:
+    // with jitter and faults off, every consumer of a cell is identical,
+    // so their stats must match the unstaggered run exactly.
+    let fx = fixture();
+    let base = DeployParams::default()
+        .with_cells(1, 1)
+        .with_seeders(1, 120)
+        .with_warmup(WarmupParams {
+            duration_ms: 150_000,
+            sample_ms: 5_000,
+            init_ms_nojs: 20_000,
+            init_ms_js: 8_000,
+            deserialize_ms: 2_000,
+            profile_serve_ms: 40_000,
+            relocation_ms: 10_000,
+            ..WarmupParams::fig4()
+        })
+        .with_seed(7);
+    let calm = run_deployment(
+        &fx.app,
+        &base.with_fleet(FleetShape::default().with_servers(4, 1)),
+    );
+    let staggered = run_deployment(
+        &fx.app,
+        &base.with_fleet(
+            FleetShape::default()
+                .with_servers(4, 1)
+                .with_stagger(60_000)
+                .with_shards(2),
+        ),
+    );
+    for (a, b) in calm.stats.iter().zip(&staggered.stats) {
+        assert_eq!(a.boot_ms, b.boot_ms);
+        assert_eq!(a.ready_ms, b.ready_ms);
+        assert_eq!(a.capacity_loss.to_bits(), b.capacity_loss.to_bits());
+        assert_eq!(a.requests.to_bits(), b.requests.to_bits());
+    }
+}

@@ -1,0 +1,146 @@
+//! Fault injection through the deployment pipeline: every failure mode a
+//! [`FaultPlan`] can inject must surface in the [`DeployReport`]
+//! deterministically — same seed, same faults, same victims, any shard
+//! count.
+
+use fleet::{run_deployment, DeployParams, FaultPlan, FleetShape, WarmupParams};
+use jumpstart::JumpStartOptions;
+use workload::{generate, AppParams};
+
+fn base_params() -> DeployParams {
+    DeployParams::default()
+        .with_cells(1, 2)
+        .with_seeders(2, 120)
+        .with_warmup(WarmupParams {
+            duration_ms: 200_000,
+            sample_ms: 5_000,
+            init_ms_nojs: 20_000,
+            init_ms_js: 8_000,
+            deserialize_ms: 2_000,
+            profile_serve_ms: 60_000,
+            relocation_ms: 20_000,
+            ..WarmupParams::fig4()
+        })
+        .with_seed(0xfa)
+}
+
+fn lenient(mut p: DeployParams) -> DeployParams {
+    p.js_opts = JumpStartOptions {
+        min_funcs_profiled: 5,
+        min_counter_mass: 100,
+        min_requests: 10,
+        ..Default::default()
+    };
+    p
+}
+
+#[test]
+fn crashed_seeders_leave_consumers_without_packages() {
+    let app = generate(&AppParams::tiny());
+    let params = lenient(base_params())
+        .with_faults(FaultPlan::default().with_seeder_crashes(1000))
+        .with_fleet(FleetShape::default().with_servers(3, 1));
+    let report = run_deployment(&app, &params);
+
+    // Every seeder died before publishing; the counters say so.
+    assert_eq!(report.seeder_crashes, 4, "2 cells x 2 seeders all crash");
+    assert_eq!(report.published, 0);
+    assert_eq!(report.validation_failures, 0);
+
+    // §VI-A.3: consumers that find no package boot without Jump-Start,
+    // so their boot time matches the baselines in the same cell.
+    let baseline_boot = report
+        .stats
+        .iter()
+        .find(|s| !s.jumpstart)
+        .expect("baseline present")
+        .boot_ms;
+    for s in report.stats.iter().filter(|s| s.jumpstart) {
+        assert_eq!(s.boot_ms, baseline_boot, "fallback boots like a baseline");
+    }
+    assert!((report.capacity_loss_reduction(200_000)).abs() < 1e-9);
+}
+
+#[test]
+fn undersampled_seeders_are_rejected_by_validation() {
+    let app = generate(&AppParams::tiny());
+    let mut params = base_params().with_faults(FaultPlan::default().with_undersampling(1000));
+    params.js_opts = JumpStartOptions {
+        min_requests: 50,
+        ..Default::default()
+    };
+    let report = run_deployment(&app, &params);
+
+    // Every seeder profiled a drained cell; validation rejected them all.
+    assert_eq!(report.validation_failures, 4);
+    assert_eq!(report.published, 0);
+    assert_eq!(report.seeder_crashes, 0);
+}
+
+#[test]
+fn slow_hosts_are_flagged_and_boot_slower() {
+    let app = generate(&AppParams::tiny());
+    let healthy = run_deployment(
+        &app,
+        &lenient(base_params()).with_fleet(FleetShape::default().with_servers(4, 1)),
+    );
+    let degraded = run_deployment(
+        &app,
+        &lenient(base_params())
+            .with_fleet(FleetShape::default().with_servers(4, 1))
+            .with_faults(FaultPlan::default().with_slow_consumers(1000, 300)),
+    );
+
+    assert!(degraded.stats.iter().all(|s| s.slow_host));
+    assert!(healthy.stats.iter().all(|s| !s.slow_host));
+    // 3x slower init/deserialize shows up in every boot time.
+    for (h, d) in healthy.stats.iter().zip(&degraded.stats) {
+        assert!(
+            d.boot_ms > h.boot_ms,
+            "slow host gid {} must boot later: {} vs {}",
+            d.gid,
+            d.boot_ms,
+            h.boot_ms
+        );
+    }
+    // And in the fleet percentiles.
+    let h_boot = healthy.fleet_aggregate();
+    let d_boot = degraded.fleet_aggregate();
+    assert!(
+        d_boot.stat("server.boot_ms").unwrap().p50 > h_boot.stat("server.boot_ms").unwrap().p50
+    );
+}
+
+#[test]
+fn partial_fault_rates_pick_the_same_victims_every_run() {
+    let app = generate(&AppParams::tiny());
+    let params = lenient(base_params())
+        .with_fleet(FleetShape::default().with_servers(10, 2).with_shards(3))
+        .with_faults(
+            FaultPlan::default()
+                .with_seeder_crashes(500)
+                .with_slow_consumers(400, 200),
+        );
+    let a = run_deployment(&app, &params);
+    let b = run_deployment(&app, &params);
+
+    assert_eq!(a.seeder_crashes, b.seeder_crashes);
+    let slow_a: Vec<u32> = a
+        .stats
+        .iter()
+        .filter(|s| s.slow_host)
+        .map(|s| s.gid)
+        .collect();
+    let slow_b: Vec<u32> = b
+        .stats
+        .iter()
+        .filter(|s| s.slow_host)
+        .map(|s| s.gid)
+        .collect();
+    assert_eq!(slow_a, slow_b, "fault placement is seed-determined");
+    assert!(
+        !slow_a.is_empty() && slow_a.len() < a.stats.len(),
+        "rate 400/1000 hits some, not all"
+    );
+    assert_eq!(a.digest(), b.digest());
+}

@@ -54,25 +54,11 @@ fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Folds per-server snapshots into fleet-wide distributions. Metrics
-/// missing on some servers aggregate over the servers that have them
-/// (`n` records coverage).
-pub fn aggregate(snapshots: &[Snapshot]) -> FleetAggregate {
-    let mut by_name: Vec<(String, Vec<f64>)> = Vec::new();
-    for snap in snapshots {
-        for (name, v) in &snap.scalars {
-            if !v.is_finite() {
-                continue;
-            }
-            match by_name.iter_mut().find(|(n, _)| n == name) {
-                Some((_, vals)) => vals.push(*v),
-                None => by_name.push((name.clone(), vec![*v])),
-            }
-        }
-    }
+fn fold(servers: usize, mut by_name: Vec<(String, Vec<f64>)>) -> FleetAggregate {
     by_name.sort_by(|a, b| a.0.cmp(&b.0));
     let stats = by_name
         .into_iter()
+        .filter(|(_, vals)| !vals.is_empty())
         .map(|(name, mut vals)| {
             vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let n = vals.len();
@@ -89,10 +75,49 @@ pub fn aggregate(snapshots: &[Snapshot]) -> FleetAggregate {
             (name, stat)
         })
         .collect();
-    FleetAggregate {
-        servers: snapshots.len(),
-        stats,
+    FleetAggregate { servers, stats }
+}
+
+/// Folds per-server snapshots into fleet-wide distributions. Metrics
+/// missing on some servers aggregate over the servers that have them
+/// (`n` records coverage).
+pub fn aggregate(snapshots: &[Snapshot]) -> FleetAggregate {
+    let mut by_name: Vec<(String, Vec<f64>)> = Vec::new();
+    for snap in snapshots {
+        for (name, v) in &snap.scalars {
+            if !v.is_finite() {
+                continue;
+            }
+            match by_name.iter_mut().find(|(n, _)| n == name) {
+                Some((_, vals)) => vals.push(*v),
+                None => by_name.push((name.clone(), vec![*v])),
+            }
+        }
     }
+    fold(snapshots.len(), by_name)
+}
+
+/// Folds raw per-metric columns into the same fleet-wide distributions as
+/// [`aggregate`], without materializing a registry per server.
+///
+/// A full `Registry` costs allocations per server; a 10k-server fleet run
+/// keeps registries only for a few representatives and carries everyone
+/// else as plain numbers. This entry point lets that compact form feed the
+/// same percentile machinery. Columns may have different lengths (a metric
+/// some servers never report); non-finite values are dropped. Empty
+/// columns are omitted from the result, matching `aggregate`'s behavior
+/// for metrics no snapshot carries.
+pub fn aggregate_values(servers: usize, series: &[(&str, Vec<f64>)]) -> FleetAggregate {
+    let by_name = series
+        .iter()
+        .map(|(name, vals)| {
+            (
+                name.to_string(),
+                vals.iter().copied().filter(|v| v.is_finite()).collect(),
+            )
+        })
+        .collect();
+    fold(servers, by_name)
 }
 
 impl FleetAggregate {
@@ -174,6 +199,29 @@ mod tests {
         assert_eq!(agg.stat("capacity_loss").unwrap().n, 1);
         assert_eq!(agg.stat("fallbacks").unwrap().n, 1);
         assert_eq!(agg.stat("boot_ms").unwrap().p50, 200.0);
+    }
+
+    #[test]
+    fn aggregate_values_matches_snapshot_aggregation() {
+        let snaps: Vec<Snapshot> = (1..=10)
+            .map(|i| server_snapshot(i * 100, i as f64 / 100.0))
+            .collect();
+        let from_snaps = aggregate(&snaps);
+        let boots: Vec<f64> = (1..=10).map(|i| (i * 100) as f64).collect();
+        let losses: Vec<f64> = (1..=10).map(|i| i as f64 / 100.0).collect();
+        let from_values = aggregate_values(10, &[("boot_ms", boots), ("capacity_loss", losses)]);
+        assert_eq!(from_snaps, from_values);
+        // Ragged coverage and non-finite values are tolerated.
+        let agg = aggregate_values(
+            5,
+            &[
+                ("ready_ms", vec![1.0, f64::NAN, 3.0]),
+                ("never_reported", vec![]),
+            ],
+        );
+        assert_eq!(agg.servers, 5);
+        assert_eq!(agg.stat("ready_ms").unwrap().n, 2);
+        assert!(agg.stat("never_reported").is_none());
     }
 
     #[test]

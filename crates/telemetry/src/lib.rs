@@ -32,7 +32,7 @@ pub mod span;
 pub mod trace;
 
 pub use chrome::{validate_chrome, ChromeSummary};
-pub use export::{aggregate, AggStat, FleetAggregate};
+pub use export::{aggregate, aggregate_values, AggStat, FleetAggregate};
 pub use metrics::{Counter, Gauge, GaugeF, Histogram, HistogramSummary, Registry, Snapshot};
 pub use span::{
     capture, counter, disable, drain, enable, enabled, instant, instant_attrs, name_current_track,

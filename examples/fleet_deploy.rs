@@ -40,6 +40,7 @@ fn main() {
         },
         jit_opts: JitOptions::default(),
         seed: 3,
+        ..Default::default()
     };
     let report = run_deployment(&app, &params);
     println!(
