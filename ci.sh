@@ -66,6 +66,30 @@ print(f"stale gate ok: {full['recovered']:.1%} recovered at churn 0.1 (drop base
 EOF
 fi
 
+echo "== jsstore smoke (chunk store: byte-identical round-trips, delta ceiling, lazy decode, shard-invariant plan) =="
+cargo run -q -p bench --bin jsstore --release -- --check
+
+echo "== store baseline gate (BENCH_store.json: delta wire ceiling, dedup floor, lazy decode ceiling) =="
+if [ -f BENCH_store.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_store.json"))
+assert doc["roundtrip_ok"], "a chunked round-trip was not byte-identical"
+wire = doc["wire_ratio_at_0p1"]
+assert wire <= 0.40, f"churn-0.1 delta shipped {wire:.1%} of full-package bytes (ceiling 40%)"
+assert doc["dedup_ratio_at_0p1"] >= 0.60, f"dedup ratio {doc['dedup_ratio_at_0p1']:.1%} under the 60% floor"
+lazy = doc["lazy"]
+assert lazy["layout_match"], "lazy boot diverged from the monolithic code layout"
+assert lazy["before_serve_frac"] < 0.50, \
+    f"frac={lazy['early_serve_frac']} boot decoded {lazy['before_serve_frac']:.1%} pre-serve (ceiling 50%)"
+assert lazy["cold_chunks"] > 0, "no cold tail left to defer"
+fleet = doc["fleet"]
+assert fleet["bytes_on_wire"] < fleet["bytes_full"], "fleet distribution sent full packages"
+print(f"store gate ok: churn-0.1 wire {wire:.1%} <= 40%, dedup {doc['dedup_ratio_at_0p1']:.1%}, "
+      f"lazy pre-serve {lazy['before_serve_frac']:.1%} < 50%, fleet wire {fleet['wire_ratio']:.1%}")
+EOF
+fi
+
 echo "== jsfleet smoke (sharded event core: shard-invariant digest, fault placement, loss reduction) =="
 cargo run -q -p bench --bin jsfleet --release -- --check
 

@@ -38,6 +38,20 @@ pub fn unit_layout_fingerprint(unit: &VasmUnit) -> u64 {
     layout_fingerprint(&unit.layout_blocks(), &unit.layout_edges())
 }
 
+/// Content hash of a serialized chunk: length-prefixed FNV-1a over the
+/// raw bytes. This is the chunk id of the content-addressed package
+/// store — two chunks share an id exactly when their bytes are equal
+/// (modulo the advisory-hash caveat above; the store additionally keeps
+/// a per-chunk CRC-32, so a collision is detected, not silently merged).
+pub fn chunk_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(bytes.len() as u64);
+    for &b in bytes {
+        h.u8(b);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -244,7 +244,7 @@ impl Linter<'_> {
             return true;
         }
         if !fp.block_hashes.is_empty() {
-            let current = cfg.block_hashes(self.repo.func(fid));
+            let current = cfg.block_hashes(self.repo.func(fid), self.repo);
             if fp.block_hashes != current {
                 return true;
             }
@@ -933,7 +933,7 @@ mod tests {
         let mut fp = FuncProfile {
             enter_count: 1,
             block_counts: vec![0; cfg.len()],
-            block_hashes: cfg.block_hashes(repo.func(fid)),
+            block_hashes: cfg.block_hashes(repo.func(fid), &repo),
             ..Default::default()
         };
         fp.block_counts[0] = 1;

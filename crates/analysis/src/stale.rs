@@ -232,7 +232,7 @@ pub fn repair_profile_with(
         let fp = tier.funcs.get_mut(&fid).expect("resolved id");
         let func = repo.func(fid);
         let cfg = Cfg::build(func);
-        let cur_exact = cfg.block_hashes(func);
+        let cur_exact = cfg.block_hashes(func, repo);
         let fresh = fp.block_counts.len() == cfg.len()
             && (fp.block_hashes.is_empty() || fp.block_hashes == cur_exact);
         if fresh {
@@ -772,7 +772,7 @@ mod tests {
         let fp = &tier.funcs[&f2];
         let cfg = Cfg::build(v2.func(f2));
         assert_eq!(fp.block_counts.len(), cfg.len());
-        assert_eq!(fp.block_hashes, cfg.block_hashes(v2.func(f2)));
+        assert_eq!(fp.block_hashes, cfg.block_hashes(v2.func(f2), &v2));
         // The loop blocks are structurally unchanged, so their counter
         // mass survives the remap.
         let mass_after: u64 = fp.block_counts.iter().sum();

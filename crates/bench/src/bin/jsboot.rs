@@ -236,6 +236,13 @@ fn main() {
         "  \"compiled_funcs\": {},\n  \"compile_bytes\": {},\n",
         thread_boots[0].compiled_funcs, thread_boots[0].compile_bytes
     ));
+    // Distribution accounting: what a consumer pulls over the wire, and
+    // what decoding it costs per megabyte (sequential boot).
+    json.push_str(&format!(
+        "  \"package_bytes\": {},\n  \"decode_ns_per_mb\": {:.0},\n",
+        pkg.len(),
+        thread_boots[0].decode_ns as f64 * 1e6 / pkg.len().max(1) as f64
+    ));
     json.push_str("  \"uncached_sequential\": ");
     json.push_str(&uncached_boot.to_json());
     json.push_str(",\n");

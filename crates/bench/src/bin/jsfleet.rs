@@ -22,10 +22,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fleet::{run_deployment, DeployParams, DeployReport, FaultPlan, FleetShape, WarmupParams};
+use fleet::{
+    run_deployment, run_deployment_with_prior, DeployParams, DeployReport, DistributionParams,
+    FaultPlan, FleetShape, WarmupParams,
+};
 use jumpstart::JumpStartOptions;
 use telemetry::AggStat;
-use workload::{generate, AppParams};
+use workload::{generate, generate_release, App, AppParams, ChurnParams};
 
 fn usage() -> ! {
     eprintln!("usage: jsfleet [--check] [--shards N] [--servers N] [--trace FILE]");
@@ -43,11 +46,30 @@ fn lenient_js_opts() -> JumpStartOptions {
     }
 }
 
+/// The release churn between consecutive pushes the distribution model
+/// prices deltas against (matches the paper's ~3 pushes/day cadence).
+const PUSH_CHURN: f64 = 0.1;
+
+/// The previous and current release of the same app: consumers hold the
+/// previous release's chunks in cache when the current push arrives.
+fn consecutive_releases(params: &AppParams, seed: u64) -> (App, App) {
+    let (prior, _) = generate_release(params, &ChurnParams::none());
+    let (current, _) = generate_release(
+        params,
+        &ChurnParams {
+            seed,
+            rate: PUSH_CHURN,
+        },
+    );
+    (prior, current)
+}
+
 fn paper_scale(shards: u32, servers_per_cell: u32) -> DeployParams {
     DeployParams::default()
         .with_cells(2, 5)
         .with_seeders(3, 150)
-        .with_warmup(WarmupParams::fig4())
+        .with_warmup(WarmupParams::fig4().with_early_serve(0.25))
+        .with_distribution(DistributionParams::chunked())
         .with_fleet(
             FleetShape::default()
                 .with_servers(servers_per_cell, servers_per_cell / 10)
@@ -136,6 +158,19 @@ fn print_summary(report: &DeployReport, wall_ms: f64, events_per_sec: f64) {
         "  capacity-loss reduction vs no-Jump-Start: {:.1}% (paper: 54.9%)",
         report.capacity_loss_reduction(600_000)
     );
+    let d = &report.distribution;
+    if d.enabled {
+        println!(
+            "  distribution: {:.2} MB on wire of {:.2} MB full ({:.0}% saved), \
+             chunk-cache hit rate {:.0}%, download mean {:.0} ms / max {} ms",
+            d.bytes_on_wire as f64 / 1e6,
+            d.bytes_full as f64 / 1e6,
+            (1.0 - d.wire_ratio()) * 100.0,
+            d.cache_hit_rate() * 100.0,
+            d.mean_download_ms,
+            d.max_download_ms,
+        );
+    }
 }
 
 fn check() {
@@ -178,11 +213,53 @@ fn check() {
         reduction > 10.0,
         "Jump-Start must reduce capacity loss, got {reduction:.1}%"
     );
+
+    // Distribution model: chunk deltas beat full sends, and the link
+    // simulation stays shard-invariant.
+    let (prior, current) = consecutive_releases(&AppParams::tiny(), 0xc11ec);
+    let chunked = run_deployment_with_prior(
+        &current,
+        Some(&prior),
+        &small_fleet(1).with_distribution(DistributionParams::chunked()),
+    );
+    let chunked_sharded = run_deployment_with_prior(
+        &current,
+        Some(&prior),
+        &small_fleet(2).with_distribution(DistributionParams::chunked()),
+    );
+    assert_eq!(
+        chunked.digest(),
+        chunked_sharded.digest(),
+        "distribution plan must not depend on shard count"
+    );
+    let full = run_deployment_with_prior(
+        &current,
+        Some(&prior),
+        &small_fleet(1).with_distribution(DistributionParams::full()),
+    );
+    assert!(
+        chunked.distribution.bytes_on_wire < full.distribution.bytes_on_wire,
+        "chunk deltas must ship fewer bytes than full packages"
+    );
+    assert!(
+        chunked.distribution.chunks_cached > 0,
+        "consumer caches must absorb unchanged chunks"
+    );
+    assert!(
+        chunked
+            .stats
+            .iter()
+            .filter(|s| s.jumpstart)
+            .all(|s| s.download_ms > 0 && s.bytes_on_wire > 0),
+        "every consumer fetch must be priced and scheduled"
+    );
+
     println!(
-        "  ok: digest 0x{:08x}, {} servers, reduction {:.1}%, wall {:.0}+{:.0} ms",
+        "  ok: digest 0x{:08x}, {} servers, reduction {:.1}%, wire ratio {:.2}, wall {:.0}+{:.0} ms",
         one.digest(),
         one.sim.servers,
         reduction,
+        chunked.distribution.wire_ratio(),
         wall_one,
         wall_two,
     );
@@ -233,9 +310,10 @@ fn main() {
         cores,
     );
 
-    let app = generate(&AppParams::tiny());
+    // Consecutive releases: consumers hold the prior push's chunks.
+    let (prior, app) = consecutive_releases(&AppParams::tiny(), params.seed);
     let t0 = Instant::now();
-    let report = run_deployment(&app, &params);
+    let report = run_deployment_with_prior(&app, Some(&prior), &params);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let events_per_sec = report.sim.events as f64 / (wall_ms / 1e3).max(1e-9);
     print_summary(&report, wall_ms, events_per_sec);
@@ -276,6 +354,28 @@ fn main() {
     stat_json(&mut json, "ready_ms", agg.stat("server.ready_ms"));
     json.push(',');
     stat_json(&mut json, "capacity_loss", agg.stat("server.capacity_loss"));
+    json.push(',');
+    stat_json(&mut json, "download_ms", agg.stat("server.download_ms"));
+    let d = &report.distribution;
+    let _ = write!(
+        json,
+        ",\"early_serve_frac\":{},\"distribution\":{{\"chunked\":{},\"push_churn\":{PUSH_CHURN},\
+         \"bytes_full\":{},\"bytes_on_wire\":{},\"manifest_bytes\":{},\"wire_ratio\":{:.4},\
+         \"chunks_sent\":{},\"chunks_cached\":{},\"cache_hit_rate\":{:.4},\
+         \"store_dedup_ratio\":{:.4},\"mean_download_ms\":{:.1},\"max_download_ms\":{}}}",
+        params.warmup.early_serve_frac,
+        d.chunked,
+        d.bytes_full,
+        d.bytes_on_wire,
+        d.manifest_bytes,
+        d.wire_ratio(),
+        d.chunks_sent,
+        d.chunks_cached,
+        d.cache_hit_rate(),
+        d.store_dedup_ratio(),
+        d.mean_download_ms,
+        d.max_download_ms,
+    );
     let _ = write!(
         json,
         ",\"mean_loss_js\":{:.4},\"mean_loss_nojs\":{:.4},\"capacity_loss_reduction_pct\":{:.2}}}",

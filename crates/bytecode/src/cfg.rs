@@ -160,13 +160,20 @@ impl Cfg {
     /// or deleting code elsewhere in the function shifts every absolute
     /// instruction index, yet untouched blocks keep their hash, so their
     /// counters can be remapped.
-    pub fn block_hashes(&self, func: &Func) -> Vec<u64> {
+    ///
+    /// Table-index immediates (`StrId`, `FuncId`, `ClassId`, `LitArrId`)
+    /// renumber wholesale when unrelated code is added to the repo, so the
+    /// hash resolves them to the *content* they name — string bytes, callee
+    /// function names, class names, literal array values — making the exact
+    /// hash of an untouched block stable across builds (and across the
+    /// chunk store's content-addressed delta pushes).
+    pub fn block_hashes(&self, func: &Func, repo: &crate::repo::Repo) -> Vec<u64> {
         self.blocks
             .iter()
             .map(|b| {
                 let mut h = Fnv::new();
                 for i in b.start..b.end {
-                    hash_instr_shape(&mut h, &func.code[i as usize]);
+                    hash_instr_shape(&mut h, &func.code[i as usize], repo);
                 }
                 h.u8(b.taken.is_some() as u8);
                 h.u8(b.fallthrough.is_some() as u8);
@@ -177,11 +184,10 @@ impl Cfg {
 
     /// Opcode-only hash of every block: like [`Cfg::block_hashes`] but
     /// covering just the opcode *tags* (no immediates) plus the successor
-    /// shape. Immediates embed table indices (`StrId`, `FuncId`, `ClassId`)
-    /// that renumber wholesale when unrelated code is added to the repo, so
-    /// the exact hash of an *untouched* block can still change across
-    /// builds. The opcode hash survives that renumbering and is the second
-    /// rung of the stale-matching ladder.
+    /// shape. It tolerates edits that keep the opcode skeleton — renamed
+    /// strings, retargeted calls, changed constants — and is the second
+    /// rung of the stale-matching ladder when the exact (content-resolved)
+    /// hash misses.
     pub fn block_opcode_hashes(&self, func: &Func) -> Vec<u64> {
         self.blocks
             .iter()
@@ -374,15 +380,17 @@ fn opcode_tag(instr: &crate::instr::Instr) -> u8 {
     }
 }
 
-fn hash_instr_shape(h: &mut Fnv, instr: &crate::instr::Instr) {
+fn hash_instr_shape(h: &mut Fnv, instr: &crate::instr::Instr, repo: &crate::repo::Repo) {
     use crate::instr::Instr as I;
-    // The opcode tag plus the non-jump-target immediates.
+    // The opcode tag plus the non-jump-target immediates. Table-index
+    // immediates are resolved to the content they name so the hash
+    // survives id renumbering across builds.
     h.u8(opcode_tag(instr));
     match *instr {
         I::Int(v) => h.u64(v as u64),
         I::Double(v) => h.u64(v.to_bits()),
-        I::Str(s) => h.u64(s.0 as u64),
-        I::LitArr(a) => h.u64(a.0 as u64),
+        I::Str(s) => h.u64(fnv_str(repo.str(s))),
+        I::LitArr(a) => hash_lit_array(h, repo.lit_array(a), repo),
         I::GetL(l) | I::SetL(l) => h.u64(l as u64),
         I::IncL(l, d) => {
             h.u64(l as u64);
@@ -394,21 +402,71 @@ fn hash_instr_shape(h: &mut Fnv, instr: &crate::instr::Instr) {
         // shifts whenever code is inserted upstream.
         I::Jmp(_) | I::JmpZ(_) | I::JmpNZ(_) => {}
         I::Call { func, argc } => {
-            h.u64(func.0 as u64);
+            h.u64(fnv_str(repo.str(repo.func(func).name)));
             h.u8(argc);
         }
         I::CallMethod { name, argc } => {
-            h.u64(name.0 as u64);
+            h.u64(fnv_str(repo.str(name)));
             h.u8(argc);
         }
         I::CallBuiltin { builtin, argc } => {
             h.u8(builtin as u8);
             h.u8(argc);
         }
-        I::NewObj(c) => h.u64(c.0 as u64),
-        I::GetProp(s) | I::SetProp(s) => h.u64(s.0 as u64),
+        I::NewObj(c) => h.u64(fnv_str(repo.str(repo.class(c).name))),
+        I::GetProp(s) | I::SetProp(s) => h.u64(fnv_str(repo.str(s))),
         I::NewVec(n) | I::NewDict(n) => h.u64(n as u64),
         I::Null | I::True | I::False | I::Pop | I::Dup | I::Ret | I::This | I::Idx | I::SetIdx => {}
+    }
+}
+
+/// Content hash of a literal value (strings by bytes, arrays recursively),
+/// so `LitArr` immediates survive table renumbering like everything else.
+fn hash_literal(h: &mut Fnv, lit: &crate::literal::Literal, repo: &crate::repo::Repo) {
+    use crate::literal::Literal as L;
+    match *lit {
+        L::Null => h.u8(0),
+        L::Bool(b) => {
+            h.u8(1);
+            h.u8(b as u8);
+        }
+        L::Int(v) => {
+            h.u8(2);
+            h.u64(v as u64);
+        }
+        L::Float(v) => {
+            h.u8(3);
+            h.u64(v.to_bits());
+        }
+        L::Str(s) => {
+            h.u8(4);
+            h.u64(fnv_str(repo.str(s)));
+        }
+        L::Arr(a) => {
+            h.u8(5);
+            hash_lit_array(h, repo.lit_array(a), repo);
+        }
+    }
+}
+
+fn hash_lit_array(h: &mut Fnv, arr: &crate::literal::LitArray, repo: &crate::repo::Repo) {
+    use crate::literal::LitArray as A;
+    match arr {
+        A::Vec(v) => {
+            h.u8(1);
+            h.u64(v.len() as u64);
+            for l in v {
+                hash_literal(h, l, repo);
+            }
+        }
+        A::Dict(d) => {
+            h.u8(2);
+            h.u64(d.len() as u64);
+            for (k, v) in d {
+                h.u64(fnv_str(repo.str(*k)));
+                hash_literal(h, v, repo);
+            }
+        }
     }
 }
 
@@ -428,6 +486,16 @@ mod tests {
             class: None,
             code,
         }
+    }
+
+    /// A repo whose string table is exactly `strs` in order, so tests can
+    /// pick the numbering each simulated "build" hands out.
+    fn repo_with_strings(strs: &[&str]) -> crate::repo::Repo {
+        let mut rb = crate::repo::RepoBuilder::new();
+        for s in strs {
+            rb.intern(s);
+        }
+        rb.finish()
     }
 
     #[test]
@@ -507,8 +575,9 @@ mod tests {
             Instr::Ret,
         ]);
         let cfg = Cfg::build(&f);
-        let h1 = cfg.block_hashes(&f);
-        let h2 = cfg.block_hashes(&f);
+        let repo = repo_with_strings(&[]);
+        let h1 = cfg.block_hashes(&f, &repo);
+        let h2 = cfg.block_hashes(&f, &repo);
         assert_eq!(h1, h2, "hashing is deterministic");
         assert_eq!(h1.len(), cfg.len());
         // Int(1)+Jmp vs Int(2)+fallthrough differ.
@@ -516,7 +585,14 @@ mod tests {
     }
 
     #[test]
-    fn opcode_hashes_ignore_immediates_but_exact_hashes_do_not() {
+    fn exact_hashes_resolve_ids_to_content_across_renumbering() {
+        // Build A interns "needle" as StrId 3; build B hands the *same
+        // string* id 9. The exact hash resolves the id to the bytes it
+        // names, so untouched code keeps its hash across the renumber.
+        let ra = repo_with_strings(&["a0", "a1", "a2", "needle"]);
+        let rb = repo_with_strings(&[
+            "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "needle",
+        ]);
         let a = func(vec![
             Instr::GetL(0),
             Instr::Str(StrId::new(3)),
@@ -524,7 +600,6 @@ mod tests {
             Instr::Int(1),
             Instr::Ret,
         ]);
-        // Same opcodes, renumbered Str immediate (a different build's table).
         let b = func(vec![
             Instr::GetL(0),
             Instr::Str(StrId::new(9)),
@@ -533,7 +608,17 @@ mod tests {
             Instr::Ret,
         ]);
         let (ca, cb) = (Cfg::build(&a), Cfg::build(&b));
-        assert_ne!(ca.block_hashes(&a)[0], cb.block_hashes(&b)[0]);
+        assert_eq!(
+            ca.block_hashes(&a, &ra),
+            cb.block_hashes(&b, &rb),
+            "renumbered id for identical content keeps the exact hash"
+        );
+        // But pointing the same id at *different* content changes it.
+        let rb2 = repo_with_strings(&[
+            "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "haystack",
+        ]);
+        assert_ne!(ca.block_hashes(&a, &ra)[0], cb.block_hashes(&b, &rb2)[0]);
+        // The opcode rung never saw the immediates to begin with.
         assert_eq!(ca.block_opcode_hashes(&a), cb.block_opcode_hashes(&b));
     }
 
@@ -583,8 +668,9 @@ mod tests {
             Instr::Int(9),  // b2
             Instr::Ret,     // b3
         ]);
-        let h1 = Cfg::build(&v1).block_hashes(&v1);
-        let h2 = Cfg::build(&v2).block_hashes(&v2);
+        let repo = repo_with_strings(&[]);
+        let h1 = Cfg::build(&v1).block_hashes(&v1, &repo);
+        let h2 = Cfg::build(&v2).block_hashes(&v2, &repo);
         assert_ne!(h1[0], h2[0], "edited block changes");
         assert_eq!(h1[1], h2[1], "untouched block keeps its hash");
         assert_eq!(h1[2], h2[2]);

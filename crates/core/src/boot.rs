@@ -1,6 +1,8 @@
 //! Consumer boot control: randomized package selection with automatic
 //! no-Jump-Start fallback (§VI-A.2 / §VI-A.3).
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 
 use crate::store::{PackageStore, StoredPackage};
@@ -8,8 +10,9 @@ use crate::store::{PackageStore, StoredPackage};
 /// What the next boot should do.
 #[derive(Clone, Debug)]
 pub enum BootDecision {
-    /// Boot as a Jump-Start consumer with this package.
-    TryPackage(StoredPackage),
+    /// Boot as a Jump-Start consumer with this package (a shared handle
+    /// into the store — deciding never copies package bytes).
+    TryPackage(Arc<StoredPackage>),
     /// Boot without Jump-Start (collect own profile data).
     Fallback,
 }

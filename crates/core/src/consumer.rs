@@ -12,9 +12,10 @@ use bytecode::{ClassId, FuncId, Repo, StrId, UnitId};
 use jit::{CtxProfile, JitEngine, JitOptions, TierProfile, WeightSource};
 use vm::ClassTable;
 
+use crate::chunk::{ChunkPool, LazyLoader, Manifest};
 use crate::config::{FuncSort, JumpStartOptions, PropReorder};
 use crate::package::{Poison, ProfilePackage};
-use crate::pipeline::{self, BootStats, PipelineJob};
+use crate::pipeline::{self, BootStats, EarlyServe, PipelineJob, WorkerStats};
 use crate::wire::WireError;
 
 /// Consumer failures.
@@ -230,6 +231,314 @@ pub fn consume_bytes<'r>(
     out.registry.gauge("boot.decode_ns").set(decode_ns);
     out.registry.gauge("boot.total_ns").set(out.boot.total_ns);
     Ok(out)
+}
+
+/// Chunk-level accounting of a lazy consumer boot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChunkBootStats {
+    /// Encoded manifest size (always fetched and decoded up front).
+    pub manifest_bytes: u64,
+    /// Total package payload bytes across all chunks.
+    pub payload_bytes: u64,
+    /// Chunk bytes decoded before serve-start: head + tail + the hot
+    /// closure.
+    pub hot_bytes: u64,
+    /// Chunk bytes decoded in the background stage.
+    pub cold_bytes: u64,
+    /// Chunks decoded before serve-start.
+    pub hot_chunks: usize,
+    /// Chunks decoded in the background stage.
+    pub cold_chunks: usize,
+    /// Time spent decoding before serve-start (manifest-driven).
+    pub hot_decode_ns: u64,
+    /// Time spent decoding the cold tail in the background.
+    pub cold_decode_ns: u64,
+}
+
+impl ChunkBootStats {
+    /// Fraction of package payload bytes decoded before serve-start —
+    /// the lazy-decode win (1.0 = the monolithic behavior).
+    pub fn before_serve_frac(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            return 1.0;
+        }
+        self.hot_bytes as f64 / self.payload_bytes as f64
+    }
+}
+
+/// Sums two worker-stat vectors elementwise (the two lazy-boot pipeline
+/// stages run on the same logical workers).
+fn merge_workers(a: Vec<WorkerStats>, b: Vec<WorkerStats>) -> Vec<WorkerStats> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = a;
+    for (w, x) in out.iter_mut().zip(b) {
+        w.translated += x.translated;
+        w.stolen += x.stolen;
+        w.busy_ns += x.busy_ns;
+        w.steal_ns += x.steal_ns;
+        w.stall_ns += x.stall_ns;
+    }
+    out
+}
+
+/// Runs the consumer boot sequence over a chunked package: decode the
+/// manifest's hot closure, compile and serve, then decode and compile
+/// the cold tail in the background — without ever materializing the
+/// monolithic package.
+///
+/// With `opts.early_serve_frac < 1` only the chunks covering the hottest
+/// fraction of heat mass (plus their transitive callees, so inline
+/// templates always find callee profiles) are decoded before
+/// serve-start; [`ChunkBootStats`] reports exactly how many bytes that
+/// touched. The two pipeline stages emit in the same concatenated order
+/// a monolithic boot would, so the code-cache layout is byte-identical.
+///
+/// The lazy path never lints or repairs — it is reserved for packages
+/// whose manifest matches the running release (`repo_funcs`, per-record
+/// name hashes). Anything stale fails fast with
+/// [`ConsumerError::InvalidProfile`] and the boot controller falls back
+/// to the monolithic lint-and-repair path.
+///
+/// # Errors
+///
+/// [`ConsumerError::Wire`] for missing/corrupt chunks,
+/// [`ConsumerError::InvalidProfile`] for release mismatches, and
+/// [`ConsumerError::JitCrash`] as in [`consume`].
+pub fn consume_chunked<'r>(
+    repo: &'r Repo,
+    man: &Manifest,
+    pool: &ChunkPool,
+    jit_opts: JitOptions,
+    opts: &JumpStartOptions,
+    threads: usize,
+) -> Result<(ConsumerOutcome<'r>, ChunkBootStats), ConsumerError> {
+    let boot_start = Instant::now();
+    let registry = telemetry::Registry::default();
+    let _boot_span = telemetry::span!("consumer-boot-chunked", "threads" => threads.max(1));
+
+    // Release guard: the manifest records which repo the profile was
+    // collected against. Lazy decode skips lint/repair, so a package
+    // from another release must not get this far.
+    if man.repo_funcs as usize != repo.funcs().len() {
+        return Err(ConsumerError::InvalidProfile {
+            errors: 1,
+            first: format!(
+                "manifest built against a {}-function release, this repo has {}",
+                man.repo_funcs,
+                repo.funcs().len()
+            ),
+        });
+    }
+
+    let mut chunk_stats = ChunkBootStats {
+        manifest_bytes: man.wire_len() as u64,
+        payload_bytes: man.payload_len as u64,
+        ..Default::default()
+    };
+
+    // Hot decode: head (meta, preload), tail (counters, ctx, orders).
+    let hot_decode_start = Instant::now();
+    let loader = LazyLoader::new(man, pool);
+    let (meta, preload) = loader.decode_head()?;
+    let mut tier = TierProfile::default();
+    let (ctx, prop_orders, func_order) = loader.decode_tail(&mut tier)?;
+    chunk_stats.hot_bytes += (man.entries[0].len + man.entries[man.entries.len() - 1].len) as u64;
+    chunk_stats.hot_chunks += 2;
+
+    let poison_crash = meta.poison == Poison::CompileCrash;
+    if poison_crash && threads <= 1 {
+        return Err(ConsumerError::JitCrash);
+    }
+
+    // Compile order and early-serve threshold straight off the manifest —
+    // no function chunk has been decoded yet. Both computations mirror
+    // the monolithic path exactly (`functions_by_heat` ordering,
+    // `early_serve_prefix` threshold), so the two-stage emission below
+    // concatenates to the same order a monolithic boot emits in.
+    let order: Vec<FuncId> = if func_order.is_empty() || opts.func_sort == FuncSort::SourceOrder {
+        man.funcs_by_heat()
+    } else {
+        func_order.clone()
+    };
+    let work: Vec<FuncId> = order
+        .into_iter()
+        .filter(|f| loader.entry_of(*f).is_some())
+        .collect();
+    let heat = man.heat_map();
+    let hot_count = pipeline::early_serve_prefix_by_heat(&heat, &work, opts.early_serve_frac);
+
+    // Decode the hot closure: the serve-start prefix plus every function
+    // transitively reachable through its recorded call targets.
+    let hot_entries = loader.hot_closure(work[..hot_count].iter().copied());
+    for &i in &hot_entries {
+        let e = &man.entries[i];
+        if let crate::chunk::ChunkKind::Func { func, .. } = e.kind {
+            if func.index() >= repo.funcs().len() {
+                return Err(ConsumerError::InvalidProfile {
+                    errors: 1,
+                    first: format!("profile for {func:?} beyond this release"),
+                });
+            }
+        }
+    }
+    chunk_stats.hot_bytes += loader.decode_funcs(&hot_entries, &mut tier)?;
+    chunk_stats.hot_chunks += hot_entries.len();
+    // Stale-record guard (cheap, in place of the full lint): a record
+    // whose name hash disagrees with the current repo is from another
+    // release even if the function count matches.
+    for (&f, p) in &tier.funcs {
+        if p.name_hash != 0 && p.name_hash != bytecode::fnv_str(repo.str(repo.func(f).name)) {
+            return Err(ConsumerError::InvalidProfile {
+                errors: 1,
+                first: format!("profile for {f:?} names a different function"),
+            });
+        }
+    }
+    chunk_stats.hot_decode_ns = hot_decode_start.elapsed().as_nanos() as u64;
+
+    // Property layout before any translation resolves slots (§V-C).
+    let slots_start = Instant::now();
+    let apply_props = opts.prop_reorder != PropReorder::Off;
+    let prop_slots = resolve_prop_slots(repo, &prop_orders, apply_props);
+    let prop_slots_ns = slots_start.elapsed().as_nanos() as u64;
+
+    let weights = if opts.accurate_bb_weights {
+        WeightSource::Accurate
+    } else {
+        WeightSource::TierOnly
+    };
+    let jit_opts = JitOptions {
+        weights,
+        ..jit_opts
+    };
+    let mut engine = JitEngine::new(repo, jit_opts);
+    let resolver = |class: ClassId, name: StrId| prop_slots.get(&(class, name)).copied();
+    let caches = opts.compile_caches.then(pipeline::CompileCaches::default);
+
+    // Stage 1: compile the serve-start prefix against the partial tier.
+    // Each stage runs at frac 1.0 — the early-serve split is the stage
+    // boundary itself.
+    let r1 = {
+        let job = PipelineJob {
+            repo,
+            tier: &tier,
+            ctx: &ctx,
+            work: work[..hot_count].to_vec(),
+            jit_opts,
+            resolver: &resolver,
+            early_serve_frac: 1.0,
+            poison_crash,
+            caches: caches.as_ref(),
+            metrics: registry.clone(),
+        };
+        pipeline::run(&job, &mut engine, threads).map_err(|()| ConsumerError::JitCrash)?
+    };
+
+    // Background: decode the cold tail, then compile it on the same
+    // engine. Emission continues exactly where stage 1 stopped.
+    let cold_decode_start = Instant::now();
+    let all_entries = loader.all_func_entries();
+    // `hot_closure` returns sorted indices.
+    let cold_entries: Vec<usize> = all_entries
+        .iter()
+        .copied()
+        .filter(|i| hot_entries.binary_search(i).is_err())
+        .collect();
+    chunk_stats.cold_bytes = loader.decode_funcs(&all_entries, &mut tier)?;
+    chunk_stats.cold_chunks = cold_entries.len();
+    chunk_stats.cold_decode_ns = cold_decode_start.elapsed().as_nanos() as u64;
+
+    let r2 = {
+        let job = PipelineJob {
+            repo,
+            tier: &tier,
+            ctx: &ctx,
+            work: work[hot_count..].to_vec(),
+            jit_opts,
+            resolver: &resolver,
+            early_serve_frac: 1.0,
+            poison_crash,
+            caches: caches.as_ref(),
+            metrics: registry.clone(),
+        };
+        pipeline::run(&job, &mut engine, threads).map_err(|()| ConsumerError::JitCrash)?
+    };
+
+    let compiled_funcs = r1.compiled_funcs + r2.compiled_funcs;
+    let compile_bytes = r1.compile_bytes + r2.compile_bytes;
+    let early_serve = if opts.early_serve_frac < 1.0 {
+        Some(EarlyServe {
+            frac: opts.early_serve_frac,
+            ready_funcs: r1.compiled_funcs,
+            ready_bytes: r1.compile_bytes,
+            ready_ns: r1.pipeline_ns,
+            background_funcs: r2.compiled_funcs,
+            background_bytes: r2.compile_bytes,
+        })
+    } else {
+        // Full-fraction boots report ready at the last unit, mirroring
+        // the monolithic EmitTracker.
+        r1.early_serve.map(|e| EarlyServe {
+            ready_funcs: compiled_funcs,
+            ready_bytes: compile_bytes,
+            ready_ns: r1.pipeline_ns + r2.pipeline_ns,
+            ..e
+        })
+    };
+
+    let unit_order = if opts.preload_units {
+        preload.unit_order
+    } else {
+        Vec::new()
+    };
+    let stats = BootStats {
+        threads: threads.max(1),
+        decode_ns: chunk_stats.hot_decode_ns,
+        lint_repair_ns: 0,
+        prop_slots_ns,
+        pipeline_ns: r1.pipeline_ns + r2.pipeline_ns,
+        emit_ns: r1.emit_ns + r2.emit_ns,
+        emit_stall_ns: r1.emit_stall_ns + r2.emit_stall_ns,
+        total_ns: boot_start.elapsed().as_nanos() as u64,
+        compiled_funcs,
+        compile_bytes,
+        workers: merge_workers(r1.workers, r2.workers),
+        early_serve,
+        caches: caches.as_ref().map(pipeline::CompileCaches::stats),
+    };
+    for (name, v) in [
+        ("chunk.manifest_bytes", chunk_stats.manifest_bytes),
+        ("chunk.payload_bytes", chunk_stats.payload_bytes),
+        ("chunk.hot_bytes", chunk_stats.hot_bytes),
+        ("chunk.cold_bytes", chunk_stats.cold_bytes),
+        ("chunk.hot_chunks", chunk_stats.hot_chunks as u64),
+        ("chunk.cold_chunks", chunk_stats.cold_chunks as u64),
+        ("chunk.hot_decode_ns", chunk_stats.hot_decode_ns),
+        ("chunk.cold_decode_ns", chunk_stats.cold_decode_ns),
+    ] {
+        registry.counter(name).add(v);
+    }
+    stats.record(&registry);
+    let boot = BootStats::from_registry(&registry);
+    debug_assert_eq!(boot, stats);
+    Ok((
+        ConsumerOutcome {
+            engine,
+            prop_slots,
+            unit_order,
+            compiled_funcs,
+            compile_bytes,
+            repair: None,
+            boot,
+            registry,
+        },
+        chunk_stats,
+    ))
 }
 
 /// Runs the consumer boot sequence over a deserialized package.
@@ -675,6 +984,165 @@ mod tests {
             .unwrap_err();
             assert_eq!(err, ConsumerError::JitCrash);
         }
+    }
+
+    fn chunked(pkg: &ProfilePackage, repo: &Repo) -> (crate::chunk::Manifest, ChunkPool) {
+        let cp = crate::chunk::chunk_package(pkg, repo.funcs().len());
+        let mut pool = ChunkPool::new();
+        for c in &cp.chunks {
+            pool.insert(c);
+        }
+        (cp.manifest, pool)
+    }
+
+    #[test]
+    fn chunked_boot_matches_monolithic_layout() {
+        let (repo, pkg) = make_package();
+        let (man, pool) = chunked(&pkg, &repo);
+        for frac in [1.0, 0.5, 0.25] {
+            let opts = JumpStartOptions {
+                early_serve_frac: frac,
+                ..Default::default()
+            };
+            let mono = consume(&repo, &pkg, JitOptions::default(), &opts, 1).unwrap();
+            for threads in [1, 4] {
+                let (lazy, stats) =
+                    consume_chunked(&repo, &man, &pool, JitOptions::default(), &opts, threads)
+                        .unwrap();
+                assert_eq!(
+                    lazy.engine.code_cache.layout_digest(),
+                    mono.engine.code_cache.layout_digest(),
+                    "frac {frac} threads {threads}: two-stage emission must \
+                     concatenate to the monolithic order"
+                );
+                assert_eq!(lazy.compiled_funcs, mono.compiled_funcs);
+                assert_eq!(lazy.compile_bytes, mono.compile_bytes);
+                assert_eq!(lazy.prop_slots, mono.prop_slots);
+                assert_eq!(
+                    stats.hot_bytes + stats.cold_bytes,
+                    stats.payload_bytes,
+                    "every chunk is decoded exactly once"
+                );
+            }
+        }
+    }
+
+    /// A package where the hot function's call closure does NOT cover
+    /// the cold functions, so lazy decode has a real cold tail.
+    fn make_wide_package() -> (Repo, ProfilePackage) {
+        let src = r#"
+            function hot($n) {
+                $s = 0;
+                for ($i = 0; $i < $n; $i++) { $s += $i * 3; }
+                return $s;
+            }
+            function cold_a($x) { return $x + 1; }
+            function cold_b($x) { return $x * 2; }
+            function cold_c($x) { return $x - 4; }
+        "#;
+        let repo = hackc::compile_unit("w.hl", src).unwrap();
+        let mut vm = Vm::new(&repo);
+        let mut col = ProfileCollector::new(&repo);
+        let hot = repo.func_by_name("hot").unwrap().id;
+        for _ in 0..6 {
+            vm.call_observed(hot, &[Value::Int(50)], &mut col).unwrap();
+            col.end_request();
+        }
+        for name in ["cold_a", "cold_b", "cold_c"] {
+            let f = repo.func_by_name(name).unwrap().id;
+            vm.call_observed(f, &[Value::Int(1)], &mut col).unwrap();
+            col.end_request();
+        }
+        let order = vm.loader().load_order();
+        let (tier, ctx) = (col.tier, col.ctx);
+        let pkg = build_package(
+            SeederInputs {
+                repo: &repo,
+                tier,
+                ctx,
+                unit_order: order,
+                requests: 9,
+                region: 0,
+                bucket: 0,
+                seeder_id: 1,
+                now_ms: 0,
+            },
+            &JumpStartOptions::default(),
+            &JitOptions::default(),
+        );
+        (repo, pkg)
+    }
+
+    #[test]
+    fn lazy_boot_decodes_only_hot_bytes_before_serve() {
+        let (repo, pkg) = make_wide_package();
+        let (man, pool) = chunked(&pkg, &repo);
+        let opts = JumpStartOptions {
+            early_serve_frac: 0.25,
+            ..Default::default()
+        };
+        let (out, stats) =
+            consume_chunked(&repo, &man, &pool, JitOptions::default(), &opts, 2).unwrap();
+        assert!(
+            stats.before_serve_frac() < 1.0,
+            "a 0.25-frac boot must not touch the whole payload up front"
+        );
+        assert!(stats.cold_chunks > 0, "a cold tail exists");
+        let early = out.boot.early_serve.expect("crossing recorded");
+        assert!(early.ready_funcs < out.compiled_funcs);
+        assert_eq!(
+            early.ready_funcs + early.background_funcs,
+            out.compiled_funcs
+        );
+        // Chunk counters surface in the boot registry for fleet rollup.
+        assert_eq!(out.registry.value_u64("chunk.hot_bytes"), stats.hot_bytes);
+        assert_eq!(
+            out.registry.value_u64("chunk.cold_chunks"),
+            stats.cold_chunks as u64
+        );
+    }
+
+    #[test]
+    fn chunked_boot_rejects_release_mismatch() {
+        let (repo, pkg) = make_package();
+        let cp = crate::chunk::chunk_package(&pkg, repo.funcs().len() + 1);
+        let mut pool = ChunkPool::new();
+        for c in &cp.chunks {
+            pool.insert(c);
+        }
+        let err = consume_chunked(
+            &repo,
+            &cp.manifest,
+            &pool,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConsumerError::InvalidProfile { .. }));
+    }
+
+    #[test]
+    fn chunked_boot_surfaces_missing_chunks_as_wire_errors() {
+        let (repo, pkg) = make_package();
+        let cp = crate::chunk::chunk_package(&pkg, repo.funcs().len());
+        let mut pool = ChunkPool::new();
+        // Drop one function chunk: the boot must fail with a wire error
+        // (dangling chunk), which the boot controller treats like any
+        // other corrupt download.
+        for c in cp.chunks.iter().skip(1) {
+            pool.insert(c);
+        }
+        let err = consume_chunked(
+            &repo,
+            &cp.manifest,
+            &pool,
+            JitOptions::default(),
+            &JumpStartOptions::default(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConsumerError::Wire(WireError::Corrupt(_))));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! latent runtime JIT bug, which is how the §VI scenarios are simulated.
 
 mod boot;
+pub mod chunk;
 mod config;
 mod consumer;
 mod crc32;
@@ -37,14 +38,20 @@ mod validate;
 pub mod wire;
 
 pub use boot::{BootController, BootDecision};
+pub use chunk::{
+    chunk_package, delta_against, reassemble, Chunk, ChunkId, ChunkKind, ChunkPool, ChunkedPackage,
+    DeltaReport, LazyLoader, Manifest, ManifestEntry,
+};
 pub use config::{FuncSort, JumpStartOptions, PropReorder};
-pub use consumer::{consume, consume_bytes, ConsumerError, ConsumerOutcome};
+pub use consumer::{
+    consume, consume_bytes, consume_chunked, ChunkBootStats, ConsumerError, ConsumerOutcome,
+};
 pub use crc32::crc32;
 pub use package::{Coverage, PackageMeta, Poison, PreloadLists, ProfilePackage};
 pub use pipeline::{
-    early_serve_prefix, BootStats, CacheStats, CompileCaches, EarlyServe, TemplateCache,
-    WorkerStats,
+    early_serve_prefix, early_serve_prefix_by_heat, BootStats, CacheStats, CompileCaches,
+    EarlyServe, TemplateCache, WorkerStats,
 };
 pub use seeder::{build_package, SeederInputs};
-pub use store::{PackageStore, StoredPackage};
+pub use store::{CellDedup, PackageStore, PublishReceipt, StoredPackage};
 pub use validate::{ValidationError, ValidationReport, Validator};

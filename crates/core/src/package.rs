@@ -1,5 +1,7 @@
 //! The profile-data package: contents and serialization (paper §IV-B).
 
+use std::collections::{HashMap, HashSet};
+
 use bytes::Bytes;
 
 use bytecode::{ClassId, FuncId, StrId, UnitId};
@@ -94,45 +96,13 @@ impl ProfilePackage {
         let _span = telemetry::span!("package-serialize", "bytes" => payload_len + ENVELOPE_LEN);
         let mut w = Writer::with_capacity(payload_len + ENVELOPE_LEN);
         begin_sealed(&mut w, payload_len);
-        // --- meta ---
-        w.u32(self.meta.region);
-        w.u32(self.meta.bucket);
-        w.u64(self.meta.seeder_id);
-        w.u64(self.meta.created_ms);
-        w.u64(self.meta.coverage.funcs_profiled);
-        w.u64(self.meta.coverage.counter_mass);
-        w.u64(self.meta.coverage.requests);
-        match self.meta.poison {
-            Poison::None => w.u8(0),
-            Poison::CompileCrash => w.u8(1),
-            Poison::RuntimeCrash { per_mille } => {
-                w.u8(2);
-                w.u32(per_mille as u32);
-            }
+        let funcs = sorted_funcs(&self.tier);
+        let refs = hash_refs(&self.tier);
+        write_head(&mut w, self, &funcs);
+        for (_, p) in funcs {
+            write_func_record(&mut w, p, &refs);
         }
-        // --- preload ---
-        w.seq(self.preload.unit_order.len());
-        for u in &self.preload.unit_order {
-            w.u32(u.0);
-        }
-        // --- tier profile ---
-        write_tier(&mut w, &self.tier);
-        // --- ctx profile ---
-        write_ctx(&mut w, &self.ctx);
-        // --- prop orders ---
-        w.seq(self.prop_orders.len());
-        for (c, order) in &self.prop_orders {
-            w.u32(c.0);
-            w.seq(order.len());
-            for s in order {
-                w.u32(s.0);
-            }
-        }
-        // --- func order ---
-        w.seq(self.func_order.len());
-        for f in &self.func_order {
-            w.u32(f.0);
-        }
+        write_tail(&mut w, self);
         debug_assert_eq!(
             w.len(),
             payload_len + ENVELOPE_LEN - 4,
@@ -143,22 +113,19 @@ impl ProfilePackage {
 
     /// Exact payload size [`ProfilePackage::serialize`] will produce
     /// (excluding the envelope), mirroring the writers field for field.
+    ///
+    /// The payload is the concatenation of three regions — head (meta +
+    /// preload + function count), one record per profiled function in
+    /// `FuncId` order, and the tail (property counters, ctx profile,
+    /// orders) — which is exactly how [`crate::chunk`] slices it into
+    /// content-addressed chunks.
     pub fn encoded_len(&self) -> usize {
-        // meta: region, bucket (u32) + seeder, created, 3×coverage (u64).
-        let mut len = 4 + 4 + 5 * 8;
-        len += match self.meta.poison {
-            Poison::RuntimeCrash { .. } => 1 + 4,
-            _ => 1,
-        };
-        len += 4 + 4 * self.preload.unit_order.len();
-        len += tier_encoded_len(&self.tier);
-        len += ctx_encoded_len(&self.ctx);
-        len += 4;
-        for (_, order) in &self.prop_orders {
-            len += 4 + 4 + 4 * order.len();
+        let mut len = head_encoded_len(self);
+        let refs = hash_refs(&self.tier);
+        for p in self.tier.funcs.values() {
+            len += func_record_len(p, &refs);
         }
-        len += 4 + 4 * self.func_order.len();
-        len
+        len + tail_encoded_len(self)
     }
 
     /// Deserializes from the sealed wire format.
@@ -168,8 +135,9 @@ impl ProfilePackage {
     /// Returns a [`WireError`] on any corruption; never panics.
     pub fn deserialize(data: &[u8]) -> Result<ProfilePackage, WireError> {
         let payload = unseal(data)?;
+        let version = crate::wire::sealed_version(data);
         let mut r = Reader::new(payload);
-        decode_payload(&mut r)
+        decode_payload(&mut r, version)
     }
 
     /// Deserializes from shared bytes (a stored package): the payload is
@@ -181,8 +149,9 @@ impl ProfilePackage {
     /// Returns a [`WireError`] on any corruption; never panics.
     pub fn deserialize_shared(data: &Bytes) -> Result<ProfilePackage, WireError> {
         let payload = unseal_shared(data)?;
+        let version = crate::wire::sealed_version(data);
         let mut r = Reader::new_shared(&payload);
-        decode_payload(&mut r)
+        decode_payload(&mut r, version)
     }
 
     /// Exact serialized size in bytes without serializing.
@@ -191,7 +160,213 @@ impl ProfilePackage {
     }
 }
 
-fn decode_payload(r: &mut Reader<'_>) -> Result<ProfilePackage, WireError> {
+fn decode_payload(r: &mut Reader<'_>, version: u32) -> Result<ProfilePackage, WireError> {
+    let mut tier = TierProfile::default();
+    let (meta, preload) = if version >= 6 {
+        let (meta, preload, dir) = read_head(r)?;
+        for i in 0..dir.len() {
+            let p = read_func_record(r, &dir)?;
+            if p.name_hash != dir.hashes[i] {
+                return Err(WireError::Corrupt(format!(
+                    "record {i} name hash {:#018x} disagrees with the head directory",
+                    p.name_hash
+                )));
+            }
+            tier.funcs.insert(dir.ids[i], p);
+        }
+        (meta, preload)
+    } else {
+        let (meta, preload, nfuncs) = read_head_v5(r)?;
+        for _ in 0..nfuncs {
+            let (f, p) = read_func_record_v5(r)?;
+            tier.funcs.insert(f, p);
+        }
+        (meta, preload)
+    };
+    let (ctx, prop_orders, func_order) = read_tail(r, &mut tier)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(ProfilePackage {
+        meta,
+        preload,
+        tier,
+        ctx,
+        prop_orders,
+        func_order,
+    })
+}
+
+/// The tier's functions in `FuncId` order — the canonical record order of
+/// the payload's function region (and the chunk order of
+/// [`crate::chunk::chunk_package`]).
+pub(crate) fn sorted_funcs(tier: &TierProfile) -> Vec<(&FuncId, &FuncProfile)> {
+    let mut funcs: Vec<_> = tier.funcs.iter().collect();
+    funcs.sort_by_key(|(f, _)| **f);
+    funcs
+}
+
+/// Function-identity directory of a v6+ payload head: the per-record
+/// `FuncId`s in payload order, plus name-hash → `FuncId` resolution for
+/// the id-free call-target references inside function records.
+///
+/// Function records deliberately carry no raw `FuncId`s (see
+/// [`write_func_record`]): a new release renumbers functions wholesale
+/// when units are inserted or reordered, so any raw id embedded in a
+/// record would change its bytes — and therefore its content-addressed
+/// chunk ([`crate::chunk`]) — even though the profile itself is
+/// unchanged. Identity lives here in the head, which every push ships
+/// anyway.
+#[derive(Debug, Default)]
+pub(crate) struct FuncDirectory {
+    /// Record-order `FuncId`s (strictly ascending — the payload's
+    /// function-record order).
+    pub ids: Vec<FuncId>,
+    /// Name hashes parallel to `ids`.
+    pub hashes: Vec<u64>,
+    /// Resolution map over the usable (nonzero, unambiguous) hashes.
+    by_hash: HashMap<u64, FuncId>,
+}
+
+impl FuncDirectory {
+    /// Builds the directory from `(id, name_hash)` pairs in record order.
+    pub fn new(pairs: Vec<(FuncId, u64)>) -> Self {
+        let by_hash = usable_hashes(pairs.iter().copied());
+        let (ids, hashes) = pairs.into_iter().unzip();
+        Self {
+            ids,
+            hashes,
+            by_hash,
+        }
+    }
+
+    /// Number of function records in the payload.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Resolves a callee name hash back to this package's `FuncId`.
+    pub fn resolve(&self, hash: u64) -> Option<FuncId> {
+        self.by_hash.get(&hash).copied()
+    }
+}
+
+/// The hash → id map over hashes usable as record references: nonzero
+/// and unique across the package's functions. Zero (an unset hash) and
+/// duplicated hashes fall back to raw-id encoding on the write side, so
+/// both sides must agree on exactly this set.
+fn usable_hashes(pairs: impl Iterator<Item = (FuncId, u64)>) -> HashMap<u64, FuncId> {
+    let mut map: HashMap<u64, FuncId> = HashMap::new();
+    let mut dup: HashSet<u64> = HashSet::new();
+    for (f, h) in pairs {
+        if h == 0 {
+            continue;
+        }
+        if map.insert(h, f).is_some() {
+            dup.insert(h);
+        }
+    }
+    for h in &dup {
+        map.remove(h);
+    }
+    map
+}
+
+/// Write-side view of which callees can be referenced by name hash —
+/// the exact inverse of [`FuncDirectory::resolve`] over the same tier.
+pub(crate) struct HashRefs {
+    by_id: HashMap<FuncId, u64>,
+}
+
+impl HashRefs {
+    /// The reference hash for `f`, if it is hash-encodable.
+    fn hash_of(&self, f: FuncId) -> Option<u64> {
+        self.by_id.get(&f).copied()
+    }
+}
+
+/// Builds the write-side hash-reference view of a tier.
+pub(crate) fn hash_refs(tier: &TierProfile) -> HashRefs {
+    let usable = usable_hashes(tier.funcs.iter().map(|(f, p)| (*f, p.name_hash)));
+    HashRefs {
+        by_id: usable.into_iter().map(|(h, f)| (f, h)).collect(),
+    }
+}
+
+/// Writes the payload head: package meta, preload lists, the count of
+/// function records that follow, and the function-identity directory
+/// ([`FuncDirectory`]) in record order.
+pub(crate) fn write_head(w: &mut Writer, pkg: &ProfilePackage, funcs: &[(&FuncId, &FuncProfile)]) {
+    write_head_common(w, pkg, funcs.len());
+    for (f, p) in funcs {
+        w.u32(f.0);
+        w.u64(p.name_hash);
+    }
+}
+
+/// The head fields shared by every payload version: meta, preload lists,
+/// function-record count (v5 heads stop here).
+fn write_head_common(w: &mut Writer, pkg: &ProfilePackage, nfuncs: usize) {
+    w.u32(pkg.meta.region);
+    w.u32(pkg.meta.bucket);
+    w.u64(pkg.meta.seeder_id);
+    w.u64(pkg.meta.created_ms);
+    w.u64(pkg.meta.coverage.funcs_profiled);
+    w.u64(pkg.meta.coverage.counter_mass);
+    w.u64(pkg.meta.coverage.requests);
+    match pkg.meta.poison {
+        Poison::None => w.u8(0),
+        Poison::CompileCrash => w.u8(1),
+        Poison::RuntimeCrash { per_mille } => {
+            w.u8(2);
+            w.u32(per_mille as u32);
+        }
+    }
+    w.seq(pkg.preload.unit_order.len());
+    for u in &pkg.preload.unit_order {
+        w.u32(u.0);
+    }
+    w.seq(nfuncs);
+}
+
+/// Exact encoded size of the payload head, mirroring [`write_head`].
+pub(crate) fn head_encoded_len(pkg: &ProfilePackage) -> usize {
+    // meta: region, bucket (u32) + seeder, created, 3×coverage (u64).
+    let mut len = 4 + 4 + 5 * 8;
+    len += match pkg.meta.poison {
+        Poison::RuntimeCrash { .. } => 1 + 4,
+        _ => 1,
+    };
+    len += 4 + 4 * pkg.preload.unit_order.len();
+    len += 4; // function-record count
+    len + (4 + 8) * pkg.tier.funcs.len() // function-identity directory
+}
+
+/// Reads a v6+ payload head back: meta, preload, and the
+/// function-identity directory.
+pub(crate) fn read_head(
+    r: &mut Reader<'_>,
+) -> Result<(PackageMeta, PreloadLists, FuncDirectory), WireError> {
+    let (meta, preload, nfuncs) = read_head_v5(r)?;
+    let mut pairs = Vec::with_capacity(nfuncs.min(1 << 20));
+    for _ in 0..nfuncs {
+        let f = FuncId(r.u32()?);
+        pairs.push((f, r.u64()?));
+    }
+    if !pairs.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(WireError::Corrupt("function directory out of order".into()));
+    }
+    Ok((meta, preload, FuncDirectory::new(pairs)))
+}
+
+/// Reads the version-independent head prefix: meta, preload,
+/// function-record count. This is the complete head of a v5 payload.
+pub(crate) fn read_head_v5(
+    r: &mut Reader<'_>,
+) -> Result<(PackageMeta, PreloadLists, usize), WireError> {
     let mut meta = PackageMeta {
         region: r.u32()?,
         bucket: r.u32()?,
@@ -217,7 +392,80 @@ fn decode_payload(r: &mut Reader<'_>) -> Result<ProfilePackage, WireError> {
     for _ in 0..n {
         unit_order.push(UnitId(r.u32()?));
     }
-    let tier = read_tier(r)?;
+    let nfuncs = r.seq()?;
+    Ok((meta, PreloadLists { unit_order }, nfuncs))
+}
+
+/// Writes the payload tail: tier-level property counters, the ctx
+/// profile, property orders and the function order.
+pub(crate) fn write_tail(w: &mut Writer, pkg: &ProfilePackage) {
+    let mut counts: Vec<_> = pkg.tier.prop_counts.iter().collect();
+    counts.sort_by_key(|((c, p), _)| (*c, *p));
+    w.seq(counts.len());
+    for ((c, p), n) in counts {
+        w.u32(c.0);
+        w.u32(p.0);
+        w.u64(*n);
+    }
+    let mut pairs: Vec<_> = pkg.tier.prop_pairs.iter().collect();
+    pairs.sort_by_key(|((c, a, b), _)| (*c, *a, *b));
+    w.seq(pairs.len());
+    for ((c, a, b), n) in pairs {
+        w.u32(c.0);
+        w.u32(a.0);
+        w.u32(b.0);
+        w.u64(*n);
+    }
+    write_ctx(w, &pkg.ctx);
+    w.seq(pkg.prop_orders.len());
+    for (c, order) in &pkg.prop_orders {
+        w.u32(c.0);
+        w.seq(order.len());
+        for s in order {
+            w.u32(s.0);
+        }
+    }
+    w.seq(pkg.func_order.len());
+    for f in &pkg.func_order {
+        w.u32(f.0);
+    }
+}
+
+/// Exact encoded size of the payload tail, mirroring [`write_tail`].
+pub(crate) fn tail_encoded_len(pkg: &ProfilePackage) -> usize {
+    let mut len = 4 + (4 + 4 + 8) * pkg.tier.prop_counts.len();
+    len += 4 + (4 + 4 + 4 + 8) * pkg.tier.prop_pairs.len();
+    len += ctx_encoded_len(&pkg.ctx);
+    len += 4;
+    for (_, order) in &pkg.prop_orders {
+        len += 4 + 4 + 4 * order.len();
+    }
+    len + 4 + 4 * pkg.func_order.len()
+}
+
+/// The non-function parts decoded from the payload tail: ctx profile,
+/// property orders, function order.
+pub(crate) type TailParts = (CtxProfile, Vec<(ClassId, Vec<StrId>)>, Vec<FuncId>);
+
+/// Reads the payload tail back, filling `tier`'s property counters and
+/// returning the remaining package parts.
+pub(crate) fn read_tail(
+    r: &mut Reader<'_>,
+    tier: &mut TierProfile,
+) -> Result<TailParts, WireError> {
+    let n = r.seq()?;
+    for _ in 0..n {
+        let c = ClassId(r.u32()?);
+        let p = StrId(r.u32()?);
+        tier.prop_counts.insert((c, p), r.u64()?);
+    }
+    let n = r.seq()?;
+    for _ in 0..n {
+        let c = ClassId(r.u32()?);
+        let a = StrId(r.u32()?);
+        let b = StrId(r.u32()?);
+        tier.prop_pairs.insert((c, a, b), r.u64()?);
+    }
     let ctx = read_ctx(r)?;
     let n = r.seq()?;
     let mut prop_orders = Vec::with_capacity(n.min(1 << 16));
@@ -235,45 +483,31 @@ fn decode_payload(r: &mut Reader<'_>) -> Result<ProfilePackage, WireError> {
     for _ in 0..n {
         func_order.push(FuncId(r.u32()?));
     }
-    if r.remaining() != 0 {
-        return Err(WireError::Corrupt(format!(
-            "{} trailing bytes",
-            r.remaining()
-        )));
-    }
-    Ok(ProfilePackage {
-        meta,
-        preload: PreloadLists { unit_order },
-        tier,
-        ctx,
-        prop_orders,
-        func_order,
-    })
+    Ok((ctx, prop_orders, func_order))
 }
 
-/// Exact encoded size of the tier-profile section, mirroring
-/// [`write_tier`] field for field.
-fn tier_encoded_len(tier: &TierProfile) -> usize {
-    let mut len = 4;
-    for p in tier.funcs.values() {
-        len += 4 + 8 + 8; // func id, enter_count, name_hash
-        len += 4 + 8 * p.block_counts.len();
-        len += 4 + 8 * p.block_hashes.len();
-        len += 4 + 8 * p.block_opcode_hashes.len();
-        len += 4 + 8 * p.block_neighbor_hashes.len();
-        len += 4 + 8 * p.block_anchor_hashes.len();
-        len += 4;
-        for targets in p.call_targets.values() {
-            len += 4 + 4 + (4 + 8) * targets.len();
-        }
-        len += 4 + (4 + 1 + 8 * ValueKind::ALL.len()) * p.types.len();
-        len += 4;
-        for classes in p.prop_site_classes.values() {
-            len += 4 + 4 + (4 + 8) * classes.len();
+/// Exact encoded size of one function record, mirroring
+/// [`write_func_record`] — the chunk length of that function's chunk.
+pub(crate) fn func_record_len(p: &FuncProfile, refs: &HashRefs) -> usize {
+    let mut len = 8 + 8; // enter_count, name_hash
+    len += 4 + 8 * p.block_counts.len();
+    len += 4 + 8 * p.block_hashes.len();
+    len += 4 + 8 * p.block_opcode_hashes.len();
+    len += 4 + 8 * p.block_neighbor_hashes.len();
+    len += 4 + 8 * p.block_anchor_hashes.len();
+    len += 4;
+    for targets in p.call_targets.values() {
+        len += 4 + 4; // site, target count
+        for f2 in targets.keys() {
+            // tag + (name hash | raw id) + count
+            len += 1 + if refs.hash_of(*f2).is_some() { 8 } else { 4 } + 8;
         }
     }
-    len += 4 + (4 + 4 + 8) * tier.prop_counts.len();
-    len += 4 + (4 + 4 + 4 + 8) * tier.prop_pairs.len();
+    len += 4 + (4 + 1 + 8 * ValueKind::ALL.len()) * p.types.len();
+    len += 4;
+    for classes in p.prop_site_classes.values() {
+        len += 4 + 4 + (4 + 8) * classes.len();
+    }
     len
 }
 
@@ -297,168 +531,202 @@ fn ctx_encoded_len(ctx: &CtxProfile) -> usize {
     len
 }
 
-fn write_tier(w: &mut Writer, tier: &TierProfile) {
-    let mut funcs: Vec<_> = tier.funcs.iter().collect();
-    funcs.sort_by_key(|(f, _)| **f);
-    w.seq(funcs.len());
-    for (f, p) in funcs {
-        w.u32(f.0);
-        w.u64(p.enter_count);
-        w.u64(p.name_hash);
-        w.seq(p.block_counts.len());
-        for &c in &p.block_counts {
-            w.u64(c);
-        }
-        w.seq(p.block_hashes.len());
-        for &h in &p.block_hashes {
+/// Writes one function's tier-profile record. Records are
+/// self-delimiting ([`func_record_len`]) and deliberately id-free: the
+/// function's identity lives in the head directory and call targets are
+/// referenced by callee *name hash* (with a raw-id fallback for refs the
+/// package cannot hash), so an unchanged profile encodes to
+/// byte-identical — and therefore chunk-identical — bytes even when a
+/// release renumbers every `FuncId`. One record is exactly one
+/// content-addressed chunk.
+pub(crate) fn write_func_record(w: &mut Writer, p: &FuncProfile, refs: &HashRefs) {
+    w.u64(p.enter_count);
+    w.u64(p.name_hash);
+    w.seq(p.block_counts.len());
+    for &c in &p.block_counts {
+        w.u64(c);
+    }
+    w.seq(p.block_hashes.len());
+    for &h in &p.block_hashes {
+        w.u64(h);
+    }
+    for sig in [
+        &p.block_opcode_hashes,
+        &p.block_neighbor_hashes,
+        &p.block_anchor_hashes,
+    ] {
+        w.seq(sig.len());
+        for &h in sig {
             w.u64(h);
         }
-        for sig in [
-            &p.block_opcode_hashes,
-            &p.block_neighbor_hashes,
-            &p.block_anchor_hashes,
-        ] {
-            w.seq(sig.len());
-            for &h in sig {
-                w.u64(h);
+    }
+    let mut sites: Vec<_> = p.call_targets.iter().collect();
+    sites.sort_by_key(|(s, _)| **s);
+    w.seq(sites.len());
+    for (s, targets) in sites {
+        w.u32(*s);
+        // Hash-keyed refs first (sorted by hash), raw-id fallbacks after
+        // (sorted by id) — a deterministic order that does not depend on
+        // the release's FuncId numbering.
+        let mut ts: Vec<(u8, u64, u64)> = targets
+            .iter()
+            .map(|(f2, c)| match refs.hash_of(*f2) {
+                Some(h) => (0u8, h, *c),
+                None => (1u8, f2.0 as u64, *c),
+            })
+            .collect();
+        ts.sort_unstable();
+        w.seq(ts.len());
+        for (tag, key, c) in ts {
+            w.u8(tag);
+            match tag {
+                0 => w.u64(key),
+                _ => w.u32(key as u32),
             }
-        }
-        let mut sites: Vec<_> = p.call_targets.iter().collect();
-        sites.sort_by_key(|(s, _)| **s);
-        w.seq(sites.len());
-        for (s, targets) in sites {
-            w.u32(*s);
-            let mut ts: Vec<_> = targets.iter().collect();
-            ts.sort_by_key(|(f2, _)| **f2);
-            w.seq(ts.len());
-            for (f2, c) in ts {
-                w.u32(f2.0);
-                w.u64(*c);
-            }
-        }
-        let mut types: Vec<_> = p.types.iter().collect();
-        types.sort_by_key(|((at, slot), _)| (*at, *slot));
-        w.seq(types.len());
-        for ((at, slot), dist) in types {
-            w.u32(*at);
-            w.u8(*slot);
-            for &c in dist.counts() {
-                w.u64(c);
-            }
-        }
-        let mut props: Vec<_> = p.prop_site_classes.iter().collect();
-        props.sort_by_key(|(at, _)| **at);
-        w.seq(props.len());
-        for (at, classes) in props {
-            w.u32(*at);
-            let mut cs: Vec<_> = classes.iter().collect();
-            cs.sort_by_key(|(c, _)| **c);
-            w.seq(cs.len());
-            for (c, n) in cs {
-                w.u32(c.0);
-                w.u64(*n);
-            }
+            w.u64(c);
         }
     }
-    let mut counts: Vec<_> = tier.prop_counts.iter().collect();
-    counts.sort_by_key(|((c, p), _)| (*c, *p));
-    w.seq(counts.len());
-    for ((c, p), n) in counts {
-        w.u32(c.0);
-        w.u32(p.0);
-        w.u64(*n);
+    let mut types: Vec<_> = p.types.iter().collect();
+    types.sort_by_key(|((at, slot), _)| (*at, *slot));
+    w.seq(types.len());
+    for ((at, slot), dist) in types {
+        w.u32(*at);
+        w.u8(*slot);
+        for &c in dist.counts() {
+            w.u64(c);
+        }
     }
-    let mut pairs: Vec<_> = tier.prop_pairs.iter().collect();
-    pairs.sort_by_key(|((c, a, b), _)| (*c, *a, *b));
-    w.seq(pairs.len());
-    for ((c, a, b), n) in pairs {
-        w.u32(c.0);
-        w.u32(a.0);
-        w.u32(b.0);
-        w.u64(*n);
+    let mut props: Vec<_> = p.prop_site_classes.iter().collect();
+    props.sort_by_key(|(at, _)| **at);
+    w.seq(props.len());
+    for (at, classes) in props {
+        w.u32(*at);
+        let mut cs: Vec<_> = classes.iter().collect();
+        cs.sort_by_key(|(c, _)| **c);
+        w.seq(cs.len());
+        for (c, n) in cs {
+            w.u32(c.0);
+            w.u64(*n);
+        }
     }
 }
 
-fn read_tier(r: &mut Reader<'_>) -> Result<TierProfile, WireError> {
-    let mut tier = TierProfile::default();
-    let nf = r.seq()?;
-    for _ in 0..nf {
-        let f = FuncId(r.u32()?);
-        let mut p = FuncProfile {
-            enter_count: r.u64()?,
-            name_hash: r.u64()?,
-            ..Default::default()
-        };
-        let nb = r.seq()?;
-        p.block_counts.reserve(nb.min(1 << 16));
-        for _ in 0..nb {
-            p.block_counts.push(r.u64()?);
+/// Reads one function's tier-profile record back (v6+ layout), resolving
+/// hash-keyed call-target references through the head directory. The
+/// record's own `FuncId` comes from the directory position (monolithic
+/// decode) or the manifest entry (lazy decode), not the record bytes.
+pub(crate) fn read_func_record(
+    r: &mut Reader<'_>,
+    dir: &FuncDirectory,
+) -> Result<FuncProfile, WireError> {
+    let mut p = FuncProfile {
+        enter_count: r.u64()?,
+        name_hash: r.u64()?,
+        ..Default::default()
+    };
+    read_record_blocks(r, &mut p)?;
+    let ns = r.seq()?;
+    for _ in 0..ns {
+        let site = r.u32()?;
+        let nt = r.seq()?;
+        let mut targets = HashMap::with_capacity(nt.min(1 << 10));
+        for _ in 0..nt {
+            let callee = match r.u8()? {
+                0 => {
+                    let h = r.u64()?;
+                    dir.resolve(h).ok_or_else(|| {
+                        WireError::Corrupt(format!("unresolvable callee hash {h:#018x}"))
+                    })?
+                }
+                1 => FuncId(r.u32()?),
+                t => return Err(WireError::Corrupt(format!("callee ref tag {t}"))),
+            };
+            targets.insert(callee, r.u64()?);
         }
-        let nh = r.seq()?;
-        p.block_hashes.reserve(nh.min(1 << 16));
-        for _ in 0..nh {
-            p.block_hashes.push(r.u64()?);
-        }
-        for sig in [
-            &mut p.block_opcode_hashes,
-            &mut p.block_neighbor_hashes,
-            &mut p.block_anchor_hashes,
-        ] {
-            let n = r.seq()?;
-            sig.reserve(n.min(1 << 16));
-            for _ in 0..n {
-                sig.push(r.u64()?);
-            }
-        }
-        let ns = r.seq()?;
-        for _ in 0..ns {
-            let site = r.u32()?;
-            let nt = r.seq()?;
-            let mut targets = std::collections::HashMap::with_capacity(nt.min(1 << 10));
-            for _ in 0..nt {
-                let callee = FuncId(r.u32()?);
-                targets.insert(callee, r.u64()?);
-            }
-            p.call_targets.insert(site, targets);
-        }
-        let ny = r.seq()?;
-        for _ in 0..ny {
-            let at = r.u32()?;
-            let slot = r.u8()?;
-            let mut dist = TypeDist::default();
-            for kind in ValueKind::ALL {
-                let c = r.u64()?;
-                dist.add_raw(kind, c);
-            }
-            p.types.insert((at, slot), dist);
-        }
-        let np = r.seq()?;
-        for _ in 0..np {
-            let at = r.u32()?;
-            let nc = r.seq()?;
-            let mut classes = std::collections::HashMap::with_capacity(nc.min(1 << 10));
-            for _ in 0..nc {
-                let c = ClassId(r.u32()?);
-                classes.insert(c, r.u64()?);
-            }
-            p.prop_site_classes.insert(at, classes);
-        }
-        tier.funcs.insert(f, p);
+        p.call_targets.insert(site, targets);
     }
-    let n = r.seq()?;
-    for _ in 0..n {
-        let c = ClassId(r.u32()?);
-        let p = StrId(r.u32()?);
-        tier.prop_counts.insert((c, p), r.u64()?);
+    read_record_sites(r, &mut p)?;
+    Ok(p)
+}
+
+/// Reads one function's tier-profile record in the v5 layout: a leading
+/// raw `FuncId` and raw-id call-target references.
+pub(crate) fn read_func_record_v5(r: &mut Reader<'_>) -> Result<(FuncId, FuncProfile), WireError> {
+    let f = FuncId(r.u32()?);
+    let mut p = FuncProfile {
+        enter_count: r.u64()?,
+        name_hash: r.u64()?,
+        ..Default::default()
+    };
+    read_record_blocks(r, &mut p)?;
+    let ns = r.seq()?;
+    for _ in 0..ns {
+        let site = r.u32()?;
+        let nt = r.seq()?;
+        let mut targets = HashMap::with_capacity(nt.min(1 << 10));
+        for _ in 0..nt {
+            let callee = FuncId(r.u32()?);
+            targets.insert(callee, r.u64()?);
+        }
+        p.call_targets.insert(site, targets);
     }
-    let n = r.seq()?;
-    for _ in 0..n {
-        let c = ClassId(r.u32()?);
-        let a = StrId(r.u32()?);
-        let b = StrId(r.u32()?);
-        tier.prop_pairs.insert((c, a, b), r.u64()?);
+    read_record_sites(r, &mut p)?;
+    Ok((f, p))
+}
+
+/// Reads the block-counter and signature arrays shared by every record
+/// layout.
+fn read_record_blocks(r: &mut Reader<'_>, p: &mut FuncProfile) -> Result<(), WireError> {
+    let nb = r.seq()?;
+    p.block_counts.reserve(nb.min(1 << 16));
+    for _ in 0..nb {
+        p.block_counts.push(r.u64()?);
     }
-    Ok(tier)
+    let nh = r.seq()?;
+    p.block_hashes.reserve(nh.min(1 << 16));
+    for _ in 0..nh {
+        p.block_hashes.push(r.u64()?);
+    }
+    for sig in [
+        &mut p.block_opcode_hashes,
+        &mut p.block_neighbor_hashes,
+        &mut p.block_anchor_hashes,
+    ] {
+        let n = r.seq()?;
+        sig.reserve(n.min(1 << 16));
+        for _ in 0..n {
+            sig.push(r.u64()?);
+        }
+    }
+    Ok(())
+}
+
+/// Reads the type-distribution and property-site sections shared by
+/// every record layout.
+fn read_record_sites(r: &mut Reader<'_>, p: &mut FuncProfile) -> Result<(), WireError> {
+    let ny = r.seq()?;
+    for _ in 0..ny {
+        let at = r.u32()?;
+        let slot = r.u8()?;
+        let mut dist = TypeDist::default();
+        for kind in ValueKind::ALL {
+            let c = r.u64()?;
+            dist.add_raw(kind, c);
+        }
+        p.types.insert((at, slot), dist);
+    }
+    let np = r.seq()?;
+    for _ in 0..np {
+        let at = r.u32()?;
+        let nc = r.seq()?;
+        let mut classes = HashMap::with_capacity(nc.min(1 << 10));
+        for _ in 0..nc {
+            let c = ClassId(r.u32()?);
+            classes.insert(c, r.u64()?);
+        }
+        p.prop_site_classes.insert(at, classes);
+    }
+    Ok(())
 }
 
 fn write_ctx(w: &mut Writer, ctx: &CtxProfile) {
@@ -667,5 +935,141 @@ mod tests {
         let pkg = ProfilePackage::default();
         let back = ProfilePackage::deserialize(&pkg.serialize()).unwrap();
         assert_eq!(pkg, back);
+    }
+
+    /// Encodes `pkg` in the v5 payload layout — raw-id records, no head
+    /// directory — and seals it under a v5 version envelope, exactly
+    /// what a v5 seeder would have produced.
+    fn serialize_v5(pkg: &ProfilePackage) -> Vec<u8> {
+        let mut w = Writer::new();
+        let funcs = sorted_funcs(&pkg.tier);
+        write_head_common(&mut w, pkg, funcs.len());
+        for (f, p) in funcs {
+            w.u32(f.0);
+            w.u64(p.enter_count);
+            w.u64(p.name_hash);
+            w.seq(p.block_counts.len());
+            for &c in &p.block_counts {
+                w.u64(c);
+            }
+            w.seq(p.block_hashes.len());
+            for &h in &p.block_hashes {
+                w.u64(h);
+            }
+            for sig in [
+                &p.block_opcode_hashes,
+                &p.block_neighbor_hashes,
+                &p.block_anchor_hashes,
+            ] {
+                w.seq(sig.len());
+                for &h in sig {
+                    w.u64(h);
+                }
+            }
+            let mut sites: Vec<_> = p.call_targets.iter().collect();
+            sites.sort_by_key(|(s, _)| **s);
+            w.seq(sites.len());
+            for (s, targets) in sites {
+                w.u32(*s);
+                let mut ts: Vec<_> = targets.iter().collect();
+                ts.sort_by_key(|(f2, _)| **f2);
+                w.seq(ts.len());
+                for (f2, c) in ts {
+                    w.u32(f2.0);
+                    w.u64(*c);
+                }
+            }
+            let mut types: Vec<_> = p.types.iter().collect();
+            types.sort_by_key(|((at, slot), _)| (*at, *slot));
+            w.seq(types.len());
+            for ((at, slot), dist) in types {
+                w.u32(*at);
+                w.u8(*slot);
+                for &c in dist.counts() {
+                    w.u64(c);
+                }
+            }
+            let mut props: Vec<_> = p.prop_site_classes.iter().collect();
+            props.sort_by_key(|(at, _)| **at);
+            w.seq(props.len());
+            for (at, classes) in props {
+                w.u32(*at);
+                let mut cs: Vec<_> = classes.iter().collect();
+                cs.sort_by_key(|(c, _)| **c);
+                w.seq(cs.len());
+                for (c, n) in cs {
+                    w.u32(c.0);
+                    w.u64(*n);
+                }
+            }
+        }
+        write_tail(&mut w, pkg);
+        let mut sealed = crate::wire::seal(w.finish()).to_vec();
+        sealed[8..12].copy_from_slice(&crate::wire::MIN_VERSION.to_le_bytes());
+        sealed
+    }
+
+    #[test]
+    fn v5_payloads_still_deserialize() {
+        for pkg in [sample_package(), ProfilePackage::default()] {
+            let sealed = serialize_v5(&pkg);
+            let back =
+                ProfilePackage::deserialize(&sealed).expect("v5 payloads decode via the v5 path");
+            assert_eq!(back, pkg);
+            // Re-serializing upgrades to the current id-free layout, which
+            // still round-trips.
+            let v6 = back.serialize();
+            assert_eq!(ProfilePackage::deserialize(&v6).unwrap(), pkg);
+        }
+    }
+
+    #[test]
+    fn records_reference_callees_by_name_hash_not_id() {
+        // Renumber every FuncId in the package; the per-function record
+        // bytes must be unaffected (identity lives in the head directory),
+        // which is what keeps content-addressed chunks stable across
+        // releases that insert or reorder units.
+        let pkg = sample_package();
+        let shift = |f: FuncId| FuncId(f.0 + 1000);
+        let mut pkg2 = pkg.clone();
+        pkg2.tier.funcs = pkg
+            .tier
+            .funcs
+            .iter()
+            .map(|(f, p)| {
+                let mut p = p.clone();
+                for targets in p.call_targets.values_mut() {
+                    *targets = targets.iter().map(|(f2, c)| (shift(*f2), *c)).collect();
+                }
+                (shift(*f), p)
+            })
+            .collect();
+        pkg2.func_order = pkg.func_order.iter().map(|f| shift(*f)).collect();
+
+        // Both packages round-trip losslessly...
+        assert_eq!(
+            ProfilePackage::deserialize(&pkg2.serialize()).unwrap(),
+            pkg2
+        );
+        // ... and their function-record regions are byte-identical: only
+        // the head (directory ids) and tail (func_order) moved.
+        let refs = hash_refs(&pkg.tier);
+        let a = pkg.serialize();
+        let b = pkg2.serialize();
+        let head_a = head_encoded_len(&pkg);
+        let funcs_len: usize = pkg
+            .tier
+            .funcs
+            .values()
+            .map(|p| func_record_len(p, &refs))
+            .sum();
+        use crate::wire::HEADER_LEN;
+        let records_a = &a[HEADER_LEN + head_a..HEADER_LEN + head_a + funcs_len];
+        let head_b = head_encoded_len(&pkg2);
+        let records_b = &b[HEADER_LEN + head_b..HEADER_LEN + head_b + funcs_len];
+        assert_eq!(
+            records_a, records_b,
+            "renumbering FuncIds must not change one record byte"
+        );
     }
 }

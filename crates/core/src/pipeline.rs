@@ -433,6 +433,24 @@ pub fn early_serve_prefix(tier: &TierProfile, order: &[FuncId], frac: f64) -> us
         return 0;
     }
     let heat: HashMap<FuncId, u64> = tier.heat_ranked().iter().copied().collect();
+    early_serve_prefix_by_heat(&heat, order, frac)
+}
+
+/// [`early_serve_prefix`] over an externally supplied heat map — the
+/// chunk-lazy boot path computes the prefix from manifest heats before
+/// any function chunk is decoded, and must agree with the tier-based
+/// computation exactly.
+pub fn early_serve_prefix_by_heat(
+    heat: &HashMap<FuncId, u64>,
+    order: &[FuncId],
+    frac: f64,
+) -> usize {
+    if frac >= 1.0 {
+        return order.len();
+    }
+    if frac <= 0.0 {
+        return 0;
+    }
     let total: u64 = order
         .iter()
         .map(|f| heat.get(f).copied().unwrap_or(0))

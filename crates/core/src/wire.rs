@@ -201,14 +201,23 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.bytes_ref()?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte string as a borrowed slice of the
+    /// input buffer — no allocation. Decode paths that only *validate*
+    /// (checksum a section, compare against a manifest entry) should use
+    /// this instead of [`Reader::bytes`], which copies into a `Vec`.
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()?;
         if len > MAX_SEQ {
             return Err(WireError::Corrupt(format!("byte string of {len} bytes")));
         }
         self.need(len as usize)?;
-        let mut v = vec![0u8; len as usize];
-        self.buf.copy_to_slice(&mut v);
-        Ok(v)
+        let buf: &'a [u8] = self.buf;
+        let (head, tail) = buf.split_at(len as usize);
+        self.buf = tail;
+        Ok(head)
     }
 
     /// Reads a length-prefixed byte string as a zero-copy slice of the
@@ -255,9 +264,19 @@ pub const MAGIC: &[u8; 8] = b"HHJSPKG\0";
 
 /// Current format version.
 ///
-/// v5 added the per-function stale-matching signatures (`name_hash` and the
-/// opcode / neighbor / anchor block-hash arrays).
-pub const VERSION: u32 = 5;
+/// v5 added the per-function stale-matching signatures (`name_hash` and
+/// the opcode / neighbor / anchor block-hash arrays). v6 added the chunk
+/// manifest codec ([`crate::chunk`]) and made function records id-free:
+/// each record's identity moved into a head-resident `(FuncId,
+/// name-hash)` directory and call targets are referenced by callee name
+/// hash, so an unchanged profile encodes to byte-identical chunks even
+/// across releases that renumber every `FuncId`.
+pub const VERSION: u32 = 6;
+
+/// Oldest envelope version [`unseal`] still accepts. v5 payloads (raw-id
+/// records, no head directory) decode through a retained v5 read path,
+/// so packages sealed by a v5 seeder remain consumable after a rollout.
+pub const MIN_VERSION: u32 = 5;
 
 /// Envelope bytes before the payload: magic, version, payload length.
 pub const HEADER_LEN: usize = 16;
@@ -309,7 +328,7 @@ pub fn unseal(data: &[u8]) -> Result<&[u8], WireError> {
         return Err(WireError::BadMagic);
     }
     let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::BadVersion {
             found: version,
             supported: VERSION,
@@ -332,6 +351,12 @@ pub fn unseal(data: &[u8]) -> Result<&[u8], WireError> {
         });
     }
     Ok(payload)
+}
+
+/// The envelope version of sealed bytes. Only reads the version field —
+/// callers must have validated `data` with [`unseal`] first.
+pub fn sealed_version(data: &[u8]) -> u32 {
+    u32::from_le_bytes(data[8..12].try_into().expect("validated envelope"))
 }
 
 /// Like [`unseal`], but over shared bytes: the returned payload is a
@@ -440,6 +465,52 @@ mod tests {
         let mut r = Reader::new(&payload);
         assert_eq!(&r.bytes_shared().unwrap()[..], b"abc");
         assert_eq!(r.u8().unwrap(), 9);
+    }
+
+    #[test]
+    fn bytes_ref_borrows_without_copying() {
+        let mut w = Writer::new();
+        w.bytes(b"zero-copy");
+        w.u8(5);
+        let payload = w.finish();
+        let mut r = Reader::new(&payload);
+        let slice = r.bytes_ref().unwrap();
+        assert_eq!(slice, b"zero-copy");
+        // The slice aliases the payload buffer — no allocation happened.
+        assert_eq!(slice.as_ptr(), payload[4..].as_ptr());
+        assert_eq!(r.u8().unwrap(), 5);
+        assert_eq!(r.remaining(), 0);
+
+        let mut truncated = Reader::new(&payload[..7]);
+        assert!(matches!(
+            truncated.bytes_ref(),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn previous_version_envelope_still_unseals() {
+        let mut w = Writer::new();
+        w.str("payload");
+        let sealed = seal(w.finish());
+        // The crc covers only the payload, so rewriting the version field
+        // yields a well-formed older envelope.
+        let mut v5 = sealed.to_vec();
+        v5[8..12].copy_from_slice(&MIN_VERSION.to_le_bytes());
+        let payload = unseal(&v5).expect("v5 envelopes are still supported");
+        let mut r = Reader::new(payload);
+        assert_eq!(r.str().unwrap(), "payload");
+
+        // One before the floor is rejected.
+        let mut v4 = sealed.to_vec();
+        v4[8..12].copy_from_slice(&(MIN_VERSION - 1).to_le_bytes());
+        assert_eq!(
+            unseal(&v4),
+            Err(WireError::BadVersion {
+                found: MIN_VERSION - 1,
+                supported: VERSION
+            })
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! fleet-wide percentiles via [`telemetry::aggregate_values`].
 
 use jit::JitOptions;
+use jumpstart::chunk::ChunkPool;
 use jumpstart::{
     build_package, JumpStartOptions, PackageStore, ProfilePackage, SeederInputs, Validator,
 };
@@ -35,6 +36,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use workload::{App, RequestMix};
 
+use crate::distribution::{
+    package_wire, simulate_cell_links, DistributionParams, DistributionReport, Fetch, PackageWire,
+};
 use crate::engine::{EventQueue, MS};
 use crate::export::{server_registry, timelines_to_trace_capped};
 use crate::faults::FaultPlan;
@@ -139,6 +143,9 @@ pub struct DeployParams {
     pub fleet: FleetShape,
     /// Injected failures (crashed seeders, drained cells, slow hosts).
     pub faults: FaultPlan,
+    /// Package distribution model (off by default: downloads are free,
+    /// matching the pre-chunk-store calibration).
+    pub distribution: DistributionParams,
     /// RNG seed.
     pub seed: u64,
 }
@@ -155,6 +162,7 @@ impl Default for DeployParams {
             jit_opts: JitOptions::default(),
             fleet: FleetShape::default(),
             faults: FaultPlan::default(),
+            distribution: DistributionParams::default(),
             seed: 1,
         }
     }
@@ -199,6 +207,12 @@ impl DeployParams {
         self
     }
 
+    /// Sets the package-distribution model.
+    pub fn with_distribution(mut self, distribution: DistributionParams) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -236,6 +250,12 @@ pub struct ServerStat {
     pub steps_executed: u64,
     /// Steps the dense reference stepper would have computed.
     pub steps_dense: u64,
+    /// Package bytes this server pulled over its cell link (0 when the
+    /// distribution model is off or the server booted without a package).
+    pub bytes_on_wire: u64,
+    /// Package download time including link queueing (ms; 0 when the
+    /// distribution model is off).
+    pub download_ms: u64,
 }
 
 /// Event-core accounting for one deployment run.
@@ -275,6 +295,8 @@ pub struct DeployReport {
     pub stats: Vec<ServerStat>,
     /// Event-core accounting.
     pub sim: ShardStats,
+    /// Distribution-model accounting (all-zero when the model is off).
+    pub distribution: DistributionReport,
 }
 
 impl DeployReport {
@@ -332,15 +354,23 @@ impl DeployReport {
             .collect();
         let loss: Vec<f64> = js.iter().map(|s| s.capacity_loss).collect();
         let requests: Vec<f64> = js.iter().map(|s| s.requests).collect();
-        telemetry::aggregate_values(
-            js.len(),
-            &[
-                ("server.boot_ms", boot),
-                ("server.ready_ms", ready),
-                ("server.capacity_loss", loss),
-                ("server.requests", requests),
-            ],
-        )
+        let mut series = vec![
+            ("server.boot_ms", boot),
+            ("server.ready_ms", ready),
+            ("server.capacity_loss", loss),
+            ("server.requests", requests),
+        ];
+        if self.distribution.enabled {
+            series.push((
+                "server.bytes_on_wire",
+                js.iter().map(|s| s.bytes_on_wire as f64).collect(),
+            ));
+            series.push((
+                "server.download_ms",
+                js.iter().map(|s| s.download_ms as f64).collect(),
+            ));
+        }
+        telemetry::aggregate_values(js.len(), &series)
     }
 
     /// A deterministic fingerprint of the run: every per-server outcome
@@ -364,6 +394,8 @@ impl DeployReport {
             buf.extend_from_slice(&s.capacity_loss.to_bits().to_le_bytes());
             buf.extend_from_slice(&s.requests.to_bits().to_le_bytes());
             buf.extend_from_slice(&s.steps_executed.to_le_bytes());
+            buf.extend_from_slice(&s.bytes_on_wire.to_le_bytes());
+            buf.extend_from_slice(&s.download_ms.to_le_bytes());
         }
         jumpstart::crc32(&buf)
     }
@@ -419,6 +451,9 @@ struct CellData {
     peak_ms_per_req: f64,
     /// The cell's published packages, deserialized once.
     packages: Vec<ProfilePackage>,
+    /// Per-package wire pricing against the cell's previous-release chunk
+    /// cache (parallel to `packages`; zeros when distribution is off).
+    wire: Vec<PackageWire>,
 }
 
 /// One server's precomputed plan. All randomness is consumed here,
@@ -432,6 +467,14 @@ struct Slot {
     params: WarmupParams,
     slow_host: bool,
     stagger_ms: u64,
+    /// Combined jitter × slow-host scaling already applied to this slot's
+    /// I/O costs (per-mille) — the distribution model re-applies it to
+    /// the host-bound decode share of its deserialize override.
+    io_factor_pm: u64,
+    /// Filled by the distribution model: bytes pulled over the cell link.
+    bytes_on_wire: u64,
+    /// Filled by the distribution model: download time incl. queueing.
+    download_ms: u64,
 }
 
 fn scale_ms(ms: u64, pct: u64) -> u64 {
@@ -448,12 +491,14 @@ fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &Deplo
         0
     };
     let mut params = p.warmup;
+    let mut io_factor_pm: u64 = 1000;
     if p.fleet.jitter_per_mille > 0 {
         let j = p.fleet.jitter_per_mille as u64;
         let factor_pm = 1000 - j + rng.gen_range(0..2 * j + 1);
         params.init_ms_nojs = params.init_ms_nojs * factor_pm / 1000;
         params.init_ms_js = params.init_ms_js * factor_pm / 1000;
         params.deserialize_ms = params.deserialize_ms * factor_pm / 1000;
+        io_factor_pm = factor_pm;
     }
     let slow_host = FaultPlan::roll(&mut rng, p.faults.slow_consumer_per_mille);
     if slow_host {
@@ -462,6 +507,7 @@ fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &Deplo
         params.init_ms_js = scale_ms(params.init_ms_js, pct);
         params.deserialize_ms = scale_ms(params.deserialize_ms, pct);
         params.compile_bytes_per_core_ms = params.compile_bytes_per_core_ms * 100.0 / pct as f64;
+        io_factor_pm = io_factor_pm * pct / 100;
     }
     let pkg = if jumpstart && !data.packages.is_empty() {
         Some(rng.gen_range(0..data.packages.len()))
@@ -476,7 +522,79 @@ fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &Deplo
         params,
         slow_host,
         stagger_ms,
+        io_factor_pm,
+        bytes_on_wire: 0,
+        download_ms: 0,
     }
+}
+
+/// Counters from seeding one app release into a store.
+#[derive(Clone, Copy, Debug, Default)]
+struct SeedOutcome {
+    published: usize,
+    validation_failures: usize,
+    seeder_crashes: usize,
+    /// Payload bytes the seeders pushed at the store (with repetition).
+    publish_bytes_total: u64,
+    /// Payload bytes the store's chunk pools actually retained.
+    publish_bytes_new: u64,
+}
+
+/// C2: every cell's seeders profile their traffic, validate, and publish
+/// chunked into `store`. The per-seeder RNG stream is keyed only by the
+/// deployment seed and (region, bucket, seeder), so seeding the previous
+/// release with the same params replays the same seeder fleet against the
+/// old code — which is exactly the chunk cache a consumer holds.
+fn seed_store(app: &App, params: &DeployParams, store: &PackageStore) -> SeedOutcome {
+    let _seed_span = telemetry::span!("c2-seeding", "cells" => params.cells() as u64);
+    let validator = Validator::new(params.js_opts, params.jit_opts);
+    let mut out = SeedOutcome::default();
+    for region in 0..params.regions {
+        for bucket in 0..params.buckets {
+            let mix = RequestMix::new(app, region as usize, bucket as usize);
+            for s in 0..params.seeders_per_cell {
+                let seed = params.seed ^ (region as u64) << 32 ^ (bucket as u64) << 16 ^ s as u64;
+                let mut frng = SmallRng::seed_from_u64(seed ^ 0xfa17);
+                if FaultPlan::roll(&mut frng, params.faults.seeder_crash_per_mille) {
+                    // Died mid-profile: nothing reaches validation.
+                    out.seeder_crashes += 1;
+                    continue;
+                }
+                let requests = if FaultPlan::roll(&mut frng, params.faults.undersample_per_mille) {
+                    // Drained cell (§VI-B): almost no traffic to profile.
+                    params.seeder_requests.min(2)
+                } else {
+                    params.seeder_requests
+                };
+                let run = workload::profile_run(app, &mix, requests, seed);
+                let pkg = build_package(
+                    SeederInputs {
+                        repo: &app.repo,
+                        tier: run.tier,
+                        ctx: run.ctx,
+                        unit_order: run.unit_order,
+                        requests: run.requests,
+                        region,
+                        bucket,
+                        seeder_id: seed,
+                        now_ms: 0,
+                    },
+                    &params.js_opts,
+                    &params.jit_opts,
+                );
+                match validator.validate_package(&app.repo, &pkg, 0) {
+                    Ok(_) => {
+                        let (_, receipt) = store.publish_chunked(&pkg, app.repo.funcs().len());
+                        out.publish_bytes_total += receipt.bytes_total;
+                        out.publish_bytes_new += receipt.bytes_new;
+                        out.published += 1;
+                    }
+                    Err(_) => out.validation_failures += 1,
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Runs one deployment: C2 seeders profile their cell's traffic, validate
@@ -484,6 +602,19 @@ fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &Deplo
 /// (vs. the no-Jump-Start baselines on identical traffic), fanned out over
 /// shard threads on the event core.
 pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
+    run_deployment_with_prior(app, None, params)
+}
+
+/// [`run_deployment`], with consumers' chunk caches warmed by `prior` —
+/// the release the fleet was running before this push. The prior release
+/// is seeded with the same deterministic seeder streams into a shadow
+/// store, and each cell's consumer cache is that store's chunk pool; the
+/// distribution model then prices every fetch as a delta against it.
+pub fn run_deployment_with_prior(
+    app: &App,
+    prior: Option<&App>,
+    params: &DeployParams,
+) -> DeployReport {
     let _deploy_span = telemetry::span!(
         "deployment",
         "regions" => params.regions,
@@ -491,80 +622,66 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
         "shards" => params.fleet.shards,
     );
     let store = PackageStore::new();
-    let validator = Validator::new(params.js_opts, params.jit_opts);
-    let mut published = 0;
-    let mut validation_failures = 0;
-    let mut seeder_crashes = 0;
+    let seeded = seed_store(app, params, &store);
 
-    // --- C2: seeders, plus per-cell consumer inputs (once per cell) ---
+    // The previous release's chunks, as a consumer cache per cell.
+    let prior_store = prior.map(|prior_app| {
+        let shadow = PackageStore::new();
+        seed_store(prior_app, params, &shadow);
+        shadow
+    });
+
+    // --- Per-cell consumer inputs, prepared once ---
     let mut cells: Vec<CellData> = Vec::with_capacity(params.cells());
-    {
-        let _seed_span = telemetry::span!("c2-seeding", "cells" => params.cells() as u64);
-        for region in 0..params.regions {
-            for bucket in 0..params.buckets {
-                let mix = RequestMix::new(app, region as usize, bucket as usize);
-                for s in 0..params.seeders_per_cell {
-                    let seed =
-                        params.seed ^ (region as u64) << 32 ^ (bucket as u64) << 16 ^ s as u64;
-                    let mut frng = SmallRng::seed_from_u64(seed ^ 0xfa17);
-                    if FaultPlan::roll(&mut frng, params.faults.seeder_crash_per_mille) {
-                        // Died mid-profile: nothing reaches validation.
-                        seeder_crashes += 1;
-                        continue;
-                    }
-                    let requests =
-                        if FaultPlan::roll(&mut frng, params.faults.undersample_per_mille) {
-                            // Drained cell (§VI-B): almost no traffic to profile.
-                            params.seeder_requests.min(2)
-                        } else {
-                            params.seeder_requests
-                        };
-                    let run = workload::profile_run(app, &mix, requests, seed);
-                    let pkg = build_package(
-                        SeederInputs {
-                            repo: &app.repo,
-                            tier: run.tier,
-                            ctx: run.ctx,
-                            unit_order: run.unit_order,
-                            requests: run.requests,
-                            region,
-                            bucket,
-                            seeder_id: seed,
-                            now_ms: 0,
-                        },
-                        &params.js_opts,
-                        &params.jit_opts,
-                    );
-                    match validator.validate_package(&app.repo, &pkg, 0) {
-                        Ok(_) => {
-                            store.publish(pkg.meta, pkg.serialize());
-                            published += 1;
-                        }
-                        Err(_) => validation_failures += 1,
-                    }
-                }
-                // The consumer's model is measured on its own cell's traffic.
-                let truth =
-                    workload::profile_run(app, &mix, params.seeder_requests, params.seed ^ 0xdead);
-                let model = build_app_model(app, &truth);
-                let peak_ms_per_req = model.peak_request_core_ms(app, &mix, &params.warmup);
-                // Zero-copy: section tables alias the stored buffers.
-                let packages: Vec<ProfilePackage> = store
-                    .cell_packages(region, bucket)
+    for region in 0..params.regions {
+        for bucket in 0..params.buckets {
+            let mix = RequestMix::new(app, region as usize, bucket as usize);
+            // The consumer's model is measured on its own cell's traffic.
+            let truth =
+                workload::profile_run(app, &mix, params.seeder_requests, params.seed ^ 0xdead);
+            let model = build_app_model(app, &truth);
+            let peak_ms_per_req = model.peak_request_core_ms(app, &mix, &params.warmup);
+            let stored = store.cell_packages(region, bucket);
+            // Zero-copy: section tables alias the stored buffers.
+            let packages: Vec<ProfilePackage> = stored
+                .iter()
+                .map(|p| ProfilePackage::deserialize_shared(&p.bytes).expect("validated"))
+                .collect();
+            let wire = if params.distribution.enabled {
+                let cache = prior_store
+                    .as_ref()
+                    .map_or_else(ChunkPool::new, |s| s.cell_pool(region, bucket));
+                stored
                     .iter()
-                    .map(|p| ProfilePackage::deserialize_shared(&p.bytes).expect("validated"))
-                    .collect();
-                cells.push(CellData {
-                    region,
-                    bucket,
-                    mix,
-                    model,
-                    peak_ms_per_req,
-                    packages,
-                });
-            }
+                    .map(|p| {
+                        package_wire(
+                            p.manifest.as_deref(),
+                            p.bytes.len() as u64,
+                            &cache,
+                            params.warmup.early_serve_frac,
+                            &params.distribution,
+                        )
+                    })
+                    .collect()
+            } else {
+                vec![PackageWire::default(); stored.len()]
+            };
+            cells.push(CellData {
+                region,
+                bucket,
+                mix,
+                model,
+                peak_ms_per_req,
+                packages,
+                wire,
+            });
         }
     }
+    let (published, validation_failures, seeder_crashes) = (
+        seeded.published,
+        seeded.validation_failures,
+        seeded.seeder_crashes,
+    );
 
     // --- C3: every server's randomized plan, drawn sequentially ---
     let mut slots: Vec<Slot> = Vec::new();
@@ -578,6 +695,61 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
             let mut slot = build_slot(slots.len() as u32, c, false, data, params);
             slot.representative = k < params.fleet.representatives_per_cell;
             slots.push(slot);
+        }
+    }
+
+    // --- Distribution: price and schedule every package fetch through
+    // its cell's link, pre-fan-out so the plan stays shard-invariant ---
+    let dist = &params.distribution;
+    let mut distribution = DistributionReport {
+        enabled: dist.enabled,
+        chunked: dist.enabled && dist.chunked,
+        publish_bytes_total: seeded.publish_bytes_total,
+        publish_bytes_new: seeded.publish_bytes_new,
+        ..Default::default()
+    };
+    if dist.enabled {
+        let fetchers: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pkg.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let fetches: Vec<Fetch> = fetchers
+            .iter()
+            .map(|&i| {
+                let s = &slots[i];
+                Fetch {
+                    cell: s.cell,
+                    start_ms: s.stagger_ms,
+                    bytes: cells[s.cell].wire[s.pkg.expect("fetcher")].bytes_on_wire,
+                }
+            })
+            .collect();
+        let outcomes = simulate_cell_links(&fetches, cells.len(), dist);
+        let mut download_sum = 0u64;
+        for (k, &i) in fetchers.iter().enumerate() {
+            let w = cells[slots[i].cell].wire[slots[i].pkg.expect("fetcher")];
+            let o = outcomes[k];
+            let decode_bytes = (w.early_decode_frac * w.bytes_full as f64) as u64;
+            let decode_ms =
+                (dist.decode_ms_per_mb * decode_bytes as f64 / (1024.0 * 1024.0)) as u64;
+            let slot = &mut slots[i];
+            // The download rides the shared link as-is; only the
+            // host-bound decode share is scaled by this host's I/O factor.
+            slot.params.deserialize_ms = o.download_ms + decode_ms * slot.io_factor_pm / 1000;
+            slot.bytes_on_wire = w.bytes_on_wire;
+            slot.download_ms = o.download_ms;
+            distribution.bytes_full += w.bytes_full;
+            distribution.bytes_on_wire += w.bytes_on_wire;
+            distribution.manifest_bytes += w.manifest_bytes;
+            distribution.chunks_sent += w.chunks_sent;
+            distribution.chunks_cached += w.chunks_cached;
+            download_sum += o.download_ms;
+            distribution.max_download_ms = distribution.max_download_ms.max(o.download_ms);
+        }
+        if !fetchers.is_empty() {
+            distribution.mean_download_ms = download_sum as f64 / fetchers.len() as f64;
         }
     }
 
@@ -679,6 +851,8 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
             requests: run.requests,
             steps_executed: run.steps_executed,
             steps_dense: run.steps_dense,
+            bytes_on_wire: slot.bytes_on_wire,
+            download_ms: slot.download_ms,
         });
         sim.steps_executed += run.steps_executed;
         sim.steps_dense += run.steps_dense;
@@ -702,6 +876,7 @@ pub fn run_deployment(app: &App, params: &DeployParams) -> DeployReport {
         server_registries,
         stats,
         sim,
+        distribution,
     }
 }
 
@@ -818,6 +993,87 @@ mod tests {
         let report = run_deployment(&app, &params);
         assert_eq!(report.published, 0);
         assert_eq!(report.validation_failures, 1);
+    }
+
+    #[test]
+    fn chunk_delta_distribution_ships_fewer_bytes_than_full_packages() {
+        let app_params = AppParams::tiny();
+        let (prior, _) =
+            workload::generate_release(&app_params, &workload::ChurnParams { seed: 7, rate: 0.0 });
+        let (app, churn) =
+            workload::generate_release(&app_params, &workload::ChurnParams { seed: 7, rate: 0.1 });
+        assert!(churn.total_edits() > 0, "release must churn");
+        let base = DeployParams {
+            regions: 1,
+            buckets: 2,
+            seeders_per_cell: 2,
+            seeder_requests: 120,
+            warmup: WarmupParams {
+                early_serve_frac: 0.25,
+                ..quick_warmup()
+            },
+            js_opts: lenient_js_opts(),
+            fleet: FleetShape::default()
+                .with_servers(6, 1)
+                .with_stagger(10_000),
+            ..Default::default()
+        };
+        let full = run_deployment_with_prior(
+            &app,
+            Some(&prior),
+            &base.with_distribution(DistributionParams::full().with_link_mbps(100)),
+        );
+        let delta = run_deployment_with_prior(
+            &app,
+            Some(&prior),
+            &base.with_distribution(DistributionParams::chunked().with_link_mbps(100)),
+        );
+
+        // Full sends ship the whole sealed package; deltas reuse the
+        // chunks the previous release already put in the consumer cache.
+        assert_eq!(
+            full.distribution.bytes_on_wire,
+            full.distribution.bytes_full
+        );
+        assert!(delta.distribution.chunks_cached > 0);
+        assert!(
+            delta.distribution.bytes_on_wire < full.distribution.bytes_on_wire,
+            "delta wire {} must beat full wire {}",
+            delta.distribution.bytes_on_wire,
+            full.distribution.bytes_on_wire,
+        );
+        assert!(delta.distribution.wire_ratio() < 1.0);
+        assert!(delta.distribution.store_dedup_ratio() > 0.0);
+
+        // Every consumer fetch is priced and scheduled.
+        for s in delta.stats.iter().filter(|s| s.jumpstart) {
+            assert!(s.bytes_on_wire > 0);
+            assert!(s.download_ms > 0);
+        }
+        for s in delta.stats.iter().filter(|s| !s.jumpstart) {
+            assert_eq!(s.bytes_on_wire, 0);
+        }
+        assert!(delta.distribution.mean_download_ms > 0.0);
+        assert!(delta.distribution.max_download_ms as f64 >= delta.distribution.mean_download_ms);
+        // Downloads feed the fleet percentiles.
+        let agg = delta.fleet_aggregate();
+        assert!(agg.stat("server.download_ms").is_some());
+
+        // The distribution plan is computed pre-fan-out: shard count
+        // still leaves no trace in the report.
+        let sharded = run_deployment_with_prior(
+            &app,
+            Some(&prior),
+            &base
+                .with_distribution(DistributionParams::chunked().with_link_mbps(100))
+                .with_fleet(
+                    FleetShape::default()
+                        .with_servers(6, 1)
+                        .with_stagger(10_000)
+                        .with_shards(3),
+                ),
+        );
+        assert_eq!(delta.digest(), sharded.digest());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod engine;
 
 mod deploy;
+mod distribution;
 mod export;
 mod faults;
 mod metrics;
@@ -34,7 +35,14 @@ mod model;
 mod server;
 mod steady;
 
-pub use deploy::{run_deployment, DeployParams, DeployReport, FleetShape, ServerStat, ShardStats};
+pub use deploy::{
+    run_deployment, run_deployment_with_prior, DeployParams, DeployReport, FleetShape, ServerStat,
+    ShardStats,
+};
+pub use distribution::{
+    package_wire, simulate_cell_links, DistributionParams, DistributionReport, Fetch, FetchOutcome,
+    PackageWire,
+};
 pub use export::{server_registry, timelines_to_trace, timelines_to_trace_capped};
 pub use faults::{run_crashloop, CrashLoopParams, CrashLoopReport, FaultPlan};
 pub use metrics::{capacity_loss, capacity_loss_from, Sample, Timeline};

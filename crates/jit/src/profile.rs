@@ -449,7 +449,7 @@ impl<'r> ProfileCollector<'r> {
             BlockShape {
                 len: cfg.len(),
                 name_hash: bytecode::fnv_str(repo.str(f.name)),
-                exact: cfg.block_hashes(f),
+                exact: cfg.block_hashes(f, repo),
                 opcode: cfg.block_opcode_hashes(f),
                 neighbor: cfg.block_neighbor_hashes(f),
                 anchor: cfg.block_anchor_hashes(f, repo),

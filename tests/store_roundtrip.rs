@@ -1,0 +1,90 @@
+//! Property tests for the content-addressed chunk store: across randomly
+//! churned releases, chunking must be lossless and a delta push must be
+//! *sufficient* — the previous release's cache plus exactly the chunks the
+//! delta ships reassembles the new package byte-identically.
+
+use hhvm_jumpstart_repro::{jit, jumpstart, workload};
+
+use jit::JitOptions;
+use jumpstart::{
+    build_package, chunk_package, crc32, delta_against, reassemble, ChunkPool, JumpStartOptions,
+    ProfilePackage, SeederInputs,
+};
+use proptest::prelude::*;
+use workload::{generate_release, profile_run, App, AppParams, ChurnParams, RequestMix};
+
+/// One seeder's package for a release (same profiling seed every release,
+/// mirroring `jsstore`'s consumer-cache setup).
+fn package_for(app: &App, requests: usize) -> ProfilePackage {
+    let mix = RequestMix::new(app, 0, 0);
+    let run = profile_run(app, &mix, requests, 21);
+    build_package(
+        SeederInputs {
+            repo: &app.repo,
+            tier: run.tier,
+            ctx: run.ctx,
+            unit_order: run.unit_order,
+            requests: run.requests,
+            region: 0,
+            bucket: 0,
+            seeder_id: 1,
+            now_ms: 0,
+        },
+        &JumpStartOptions::default(),
+        &JitOptions::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any churn seed and rate, (a) a fresh chunk pool reassembles the
+    /// package byte-identically, (b) the prior release's cache plus only
+    /// the delta's missing chunks does too, and (c) the reassembled bytes
+    /// decode back to the original package.
+    #[test]
+    fn chunked_roundtrip_is_lossless_across_churn(seed in 0u64..10_000, rate_idx in 0usize..4) {
+        let rate = [0.0, 0.05, 0.1, 0.2][rate_idx];
+        let params = AppParams::tiny();
+        let (base, _) = generate_release(&params, &ChurnParams::none());
+        let (cur, _) = generate_release(&params, &ChurnParams { seed, rate });
+
+        let base_pkg = package_for(&base, 120);
+        let base_cp = chunk_package(&base_pkg, base.repo.funcs().len());
+        let mut cache = ChunkPool::new();
+        for c in &base_cp.chunks {
+            cache.insert(c);
+        }
+
+        let pkg = package_for(&cur, 120);
+        let monolithic = pkg.serialize();
+        let cp = chunk_package(&pkg, cur.repo.funcs().len());
+
+        // (a) Fresh pool: byte-identical reassembly.
+        let mut fresh = ChunkPool::new();
+        for c in &cp.chunks {
+            fresh.insert(c);
+        }
+        let out = reassemble(&cp.manifest, &fresh).expect("fresh pool reassembles");
+        prop_assert_eq!(crc32(&out), crc32(&monolithic));
+        prop_assert_eq!(out.as_ref(), monolithic.as_ref());
+
+        // (b) Delta sufficiency: ship only what the receiver lacks.
+        let delta = delta_against(&cp.manifest, &cache);
+        let mut applied = cache;
+        let mut shipped = 0usize;
+        for c in &cp.chunks {
+            if !applied.contains(c.id) {
+                applied.insert(c);
+                shipped += 1;
+            }
+        }
+        prop_assert_eq!(shipped, delta.chunks_sent);
+        let out2 = reassemble(&cp.manifest, &applied).expect("cache + delta reassembles");
+        prop_assert_eq!(out2.as_ref(), monolithic.as_ref());
+
+        // (c) The reassembled bytes decode to the original package.
+        let decoded = ProfilePackage::deserialize(&out).expect("reassembly decodes");
+        prop_assert_eq!(&decoded, &pkg);
+    }
+}
