@@ -36,6 +36,8 @@ if [ -f BENCH_boot.json ]; then
   python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_boot.json"))
+lo = doc["layout_options"]
+assert "hugepage_pack" in lo and "global_hotcold" in lo, f"boot rows missing the active layout plan: {lo}"
 rows = doc["thread_sweep"] + doc["early_serve_sweep"] + [doc["uncached_sequential"]]
 assert rows, "no boot rows in BENCH_boot.json"
 for row in rows:
@@ -43,6 +45,34 @@ for row in rows:
 for row in doc["early_serve_sweep"]:
     assert row["early_serve"] is not None, f"early-serve row missing crossing: {row}"
 print(f"decode gate ok: {len(rows)} boot rows, all decode_ns > 0")
+EOF
+fi
+
+echo "== jslayout smoke (global layout: kill-switch bump placement, iTLB no-regression, reproducible plans) =="
+cargo run -q -p bench --bin jslayout --release -- --check
+
+echo "== layout baseline gate (BENCH_layout.json: full stack beats C3-only on iTLB, IPC >= baseline, reproducible) =="
+if [ -f BENCH_layout.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_layout.json"))
+assert doc["lab"] == "bench", f"committed BENCH_layout.json must be bench-scale, got {doc['lab']}"
+assert doc["reproducible"] is True, "layout plans were not byte-identical across two boots"
+rows = {r["name"]: r for r in doc["ablations"]}
+base, c3, full = rows["baseline"], rows["c3"], rows["c3+hotcold+hugepages"]
+assert full["itlb_miss_rate"] < c3["itlb_miss_rate"], \
+    f"full stack must strictly cut the iTLB miss rate vs C3-only: {full['itlb_miss_rate']:.4%} vs {c3['itlb_miss_rate']:.4%}"
+assert full["itlb_miss_rate"] <= base["itlb_miss_rate"], \
+    f"full stack iTLB miss rate above baseline: {full['itlb_miss_rate']:.4%} vs {base['itlb_miss_rate']:.4%}"
+assert full["ipc"] >= base["ipc"], f"full stack IPC {full['ipc']} fell below baseline {base['ipc']}"
+assert full["huge_pages"] >= 1, "full-stack hot text occupies no huge pages"
+for name in ("baseline", "c3"):
+    r = rows[name]
+    assert r["pad_bytes"] == 0 and r["stub_bytes"] == 0 and r["cold_region_used"] == 0, \
+        f"kill-switch row {name} is not plain bump placement: {r}"
+print(f"layout gate ok: iTLB {full['itlb_miss_rate']:.4%} < c3 {c3['itlb_miss_rate']:.4%} "
+      f"(baseline {base['itlb_miss_rate']:.4%}), IPC {full['ipc']} >= {base['ipc']}, "
+      f"{full['huge_pages']} huge page(s), plans reproducible")
 EOF
 fi
 

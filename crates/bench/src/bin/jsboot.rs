@@ -232,6 +232,13 @@ fn main() {
         "  \"lab\": \"{}\",\n",
         if small { "small" } else { "bench" }
     ));
+    // The global layout plan these boots ran under (the §V fleet kill
+    // switch): placement is only comparable across runs with equal knobs.
+    let plan = JitOptions::default().plan;
+    json.push_str(&format!(
+        "  \"layout_options\": {{\"hugepage_pack\": {}, \"global_hotcold\": {}}},\n",
+        plan.hugepage_pack, plan.global_hotcold
+    ));
     json.push_str(&format!(
         "  \"compiled_funcs\": {},\n  \"compile_bytes\": {},\n",
         thread_boots[0].compiled_funcs, thread_boots[0].compile_bytes

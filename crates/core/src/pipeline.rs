@@ -593,6 +593,8 @@ fn plan_options_tag(opts: &JitOptions) -> u64 {
     h.u8(opts.use_hotcold as u8);
     h.u64(opts.cold_threshold);
     h.u64(opts.cold_fraction.to_bits());
+    h.u8(opts.plan.hugepage_pack as u8);
+    h.u8(opts.plan.global_hotcold as u8);
     h.finish()
 }
 

@@ -129,9 +129,10 @@ pub struct SteadyOutcome {
     pub compiled_funcs: usize,
     /// Optimized code bytes emitted.
     pub code_bytes: u64,
-    /// Bytes in the hot region.
+    /// Optimized hot-part code bytes (excludes stubs and huge-page
+    /// padding, so totals are conserved across layout configs).
     pub hot_bytes: u64,
-    /// Bytes in the cold region.
+    /// Optimized cold-part code bytes.
     pub cold_bytes: u64,
     /// Boot-phase timeline of the consumer compile (decode, lint,
     /// translate/steal/stall per worker, emit, early-serve crossing).
@@ -198,8 +199,9 @@ pub fn measure_steady_state(
         let (f, _) = sampler.request(app, mix);
         executor.run_call(f);
     }
-    let hot_bytes = outcome.engine.code_cache.hot.used;
-    let cold_bytes = outcome.engine.code_cache.cold.used;
+    let sizes = outcome.engine.sizes();
+    let hot_bytes = sizes.optimized_hot;
+    let cold_bytes = sizes.optimized_cold;
     SteadyOutcome {
         name: config.name,
         report: executor.report(),

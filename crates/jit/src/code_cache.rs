@@ -5,12 +5,28 @@
 //! function-sorting order (paper §II-B, Fig. 1's relocation step B→C).
 //! Addresses here feed the I-cache/I-TLB model, so *where* a block lands
 //! directly changes the measured locality.
+//!
+//! Optimized placement goes through the global [`layout::pagepack`] plan:
+//! with `hugepage_pack`, each function's hot part is kept inside one
+//! simulated 2 MiB huge-page bin; with `global_hotcold`, optimized cold
+//! parts are exiled to a dedicated `optimized_cold` region on 4 KiB pages
+//! and every hot→cold terminator edge gets an 8-byte bind stub emitted
+//! just ahead of the function's cold part (HHVM keeps these one-shot
+//! stubs in its coldest area for the same reason: each executes once and
+//! is then smashed to a direct jump, so hot text stays pure hot code).
+//! With [`LayoutPlanOptions::disabled`] both fall back to the historical
+//! plain bump allocation, bit-for-bit.
 
 use std::collections::HashMap;
 
 use bytecode::FuncId;
+use layout::{LayoutPlanOptions, PagePackStats, PagePacker};
 
 use crate::vasm::VasmUnit;
+
+/// Bytes of one hot→cold bind stub (a one-shot jump island in the cold
+/// region, smashed to a direct jump after its first execution).
+pub const STUB_BYTES: u64 = 8;
 
 /// Which tier a translation belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -95,10 +111,14 @@ pub struct EmittedTranslation {
     pub vasm: VasmUnit,
     /// Per-Vasm-block (address, size); sizes come from the block encoding.
     pub placement: Vec<(u64, u32)>,
+    /// Hot→cold bind stubs: `(from_block, to_block)` → stub address just
+    /// ahead of this function's cold part. Empty unless global hot/cold
+    /// splitting placed the cold part in the dedicated region.
+    pub stubs: HashMap<(usize, usize), u64>,
 }
 
 impl EmittedTranslation {
-    /// Total emitted bytes.
+    /// Total emitted bytes (stubs excluded).
     pub fn code_bytes(&self) -> u64 {
         self.placement.iter().map(|&(_, s)| s as u64).sum()
     }
@@ -107,28 +127,85 @@ impl EmittedTranslation {
 /// The code cache.
 #[derive(Clone, Debug)]
 pub struct CodeCache {
-    /// Hot optimized code.
+    /// Hot optimized code (packed into huge-page bins when enabled).
     pub hot: Region,
-    /// Cold split-off code.
+    /// Cold split-off code for live/profiling tiers — and for optimized
+    /// code too when global hot/cold splitting is off.
     pub cold: Region,
     /// Live translations.
     pub live: Region,
     /// Profiling translations.
     pub profiling: Region,
+    /// Optimized cold parts (4 KiB pages), when global hot/cold is on.
+    pub optimized_cold: Region,
+    plan: LayoutPlanOptions,
+    packer: PagePacker,
+    stub_count: u64,
     translations: HashMap<FuncId, EmittedTranslation>,
 }
 
 impl CodeCache {
-    /// Creates an empty cache with the given capacities. Regions are
-    /// placed far apart so they never share pages.
+    /// Creates an empty cache with the given capacities and the global
+    /// layout passes *off* (historical placement). Regions are placed far
+    /// apart so they never share pages.
     pub fn new(config: CodeCacheConfig) -> Self {
+        Self::with_plan(config, LayoutPlanOptions::disabled())
+    }
+
+    /// Creates an empty cache placing optimized code through the given
+    /// global layout plan options.
+    pub fn with_plan(config: CodeCacheConfig, plan: LayoutPlanOptions) -> Self {
         Self {
             hot: Region::new(0x1000_0000, config.hot_capacity),
             cold: Region::new(0x4000_0000, config.cold_capacity),
             live: Region::new(0x7000_0000, config.live_capacity),
             profiling: Region::new(0xa000_0000, config.profiling_capacity),
+            optimized_cold: Region::new(0xd000_0000, config.cold_capacity),
+            plan,
+            packer: PagePacker::new(plan),
+            stub_count: 0,
             translations: HashMap::new(),
         }
+    }
+
+    /// The active global layout options.
+    pub fn plan_options(&self) -> LayoutPlanOptions {
+        self.plan
+    }
+
+    /// The address range backed by 2 MiB pages (the packed hot text), or
+    /// `None` when huge-page packing is off or nothing was placed.
+    pub fn huge_text_range(&self) -> Option<(u64, u64)> {
+        if self.plan.hugepage_pack && self.hot.used > 0 {
+            Some((self.hot.base, self.hot.used))
+        } else {
+            None
+        }
+    }
+
+    /// Huge-page packing telemetry for the hot region.
+    pub fn pack_stats(&self) -> PagePackStats {
+        self.packer.stats()
+    }
+
+    /// Huge-page bins touched by the hot region.
+    pub fn huge_pages_used(&self) -> u64 {
+        self.packer.huge_pages_used()
+    }
+
+    /// Mean hot bytes resident per huge page.
+    pub fn hot_bytes_per_huge_page(&self) -> f64 {
+        self.packer.hot_bytes_per_huge_page()
+    }
+
+    /// Total hot→cold bind-stub bytes emitted into the cold region.
+    pub fn stub_bytes(&self) -> u64 {
+        self.stub_count * STUB_BYTES
+    }
+
+    /// Number of hot→cold stubs emitted.
+    pub fn stub_count(&self) -> u64 {
+        self.stub_count
     }
 
     /// Emits a translation, placing `hot_order` blocks contiguously in the
@@ -152,6 +229,9 @@ impl CodeCache {
             unit.blocks.len(),
             "layout must cover all blocks"
         );
+        if kind == TransKind::Optimized {
+            return self.emit_optimized(unit, hot_order, cold_order);
+        }
         let hot_bytes: u64 = hot_order
             .iter()
             .map(|&b| unit.blocks[b].size() as u64)
@@ -160,12 +240,12 @@ impl CodeCache {
             .iter()
             .map(|&b| unit.blocks[b].size() as u64)
             .sum();
-        let (main_region, cold_region) = match kind {
-            TransKind::Optimized => (&mut self.hot, &mut self.cold),
-            TransKind::Live => (&mut self.live, &mut self.cold),
-            TransKind::Profiling => (&mut self.profiling, &mut self.cold),
+        let main_region = match kind {
+            TransKind::Live => &mut self.live,
+            TransKind::Profiling => &mut self.profiling,
+            TransKind::Optimized => unreachable!("handled above"),
         };
-        if main_region.free() < hot_bytes || cold_region.free() < cold_bytes {
+        if main_region.free() < hot_bytes || self.cold.free() < cold_bytes {
             return false;
         }
         let mut placement = vec![(0u64, 0u32); unit.blocks.len()];
@@ -181,9 +261,103 @@ impl CodeCache {
             assert!(!covered[b], "block placed twice");
             covered[b] = true;
             let size = unit.blocks[b].size();
+            let addr = self.cold.alloc(size as u64).expect("checked free space");
+            placement[b] = (addr, size);
+        }
+        self.insert(unit, kind, placement, HashMap::new());
+        true
+    }
+
+    /// Optimized placement through the global pagepack plan. The atomic
+    /// packing unit is the whole hot part, so a function's hot text never
+    /// straddles a huge-page boundary (unless it exceeds one page); bind
+    /// stubs ride ahead of the function's cold part in the cold region.
+    fn emit_optimized(
+        &mut self,
+        unit: VasmUnit,
+        hot_order: &[usize],
+        cold_order: &[usize],
+    ) -> bool {
+        let hot_bytes: u64 = hot_order
+            .iter()
+            .map(|&b| unit.blocks[b].size() as u64)
+            .sum();
+        let cold_bytes: u64 = cold_order
+            .iter()
+            .map(|&b| unit.blocks[b].size() as u64)
+            .sum();
+        let mut is_cold = vec![false; unit.blocks.len()];
+        for &b in cold_order {
+            is_cold[b] = true;
+        }
+        // One stub per hot→cold terminator edge, but only when global
+        // hot/cold splitting actually exiles the cold part.
+        let mut stub_edges: Vec<(usize, usize)> = Vec::new();
+        if self.plan.global_hotcold {
+            for &b in hot_order {
+                for s in unit.blocks[b].term.successors() {
+                    if is_cold[s] {
+                        stub_edges.push((b, s));
+                    }
+                }
+            }
+        }
+        let stub_bytes = stub_edges.len() as u64 * STUB_BYTES;
+        // Capacity checks before touching any state: a dry-run packer
+        // tells us where the extent would end.
+        let mut probe = self.packer.clone();
+        let probe_off = probe.place_hot(hot_bytes);
+        if probe_off + hot_bytes > self.hot.capacity {
+            return false;
+        }
+        let cold_region = if self.plan.global_hotcold {
+            &mut self.optimized_cold
+        } else {
+            &mut self.cold
+        };
+        if cold_region.free() < cold_bytes + stub_bytes {
+            return false;
+        }
+
+        let hot_off = self.packer.place_hot(hot_bytes);
+        let mut placement = vec![(0u64, 0u32); unit.blocks.len()];
+        let mut covered = vec![false; unit.blocks.len()];
+        let mut cursor = self.hot.base + hot_off;
+        for &b in hot_order {
+            assert!(!covered[b], "block placed twice");
+            covered[b] = true;
+            let size = unit.blocks[b].size();
+            placement[b] = (cursor, size);
+            cursor += size as u64;
+        }
+        // Bind stubs first, then the cold blocks: a stub shares its cache
+        // line with the cold entry it jumps to, so the one bound transfer
+        // that executes it also pulls in the target's first line.
+        let mut stubs = HashMap::new();
+        for &edge in &stub_edges {
+            let addr = cold_region.alloc(STUB_BYTES).expect("checked free space");
+            stubs.insert(edge, addr);
+        }
+        self.stub_count += stub_edges.len() as u64;
+        for &b in cold_order {
+            assert!(!covered[b], "block placed twice");
+            covered[b] = true;
+            let size = unit.blocks[b].size();
             let addr = cold_region.alloc(size as u64).expect("checked free space");
             placement[b] = (addr, size);
         }
+        self.hot.used = self.packer.hot_used();
+        self.insert(unit, TransKind::Optimized, placement, stubs);
+        true
+    }
+
+    fn insert(
+        &mut self,
+        unit: VasmUnit,
+        kind: TransKind,
+        placement: Vec<(u64, u32)>,
+        stubs: HashMap<(usize, usize), u64>,
+    ) {
         let func = unit.func;
         self.translations.insert(
             func,
@@ -192,9 +366,9 @@ impl CodeCache {
                 kind,
                 vasm: unit,
                 placement,
+                stubs,
             },
         );
-        true
     }
 
     /// Looks up the current translation for a function.
@@ -213,16 +387,25 @@ impl CodeCache {
         self.translations.remove(&func)
     }
 
-    /// Total bytes emitted across all regions (Fig. 1's y-axis).
+    /// Total bytes emitted across all regions (Fig. 1's y-axis); includes
+    /// stub bytes and huge-page boundary padding in the hot region.
     pub fn total_code_bytes(&self) -> u64 {
-        self.hot.used + self.cold.used + self.live.used + self.profiling.used
+        self.hot.used
+            + self.cold.used
+            + self.live.used
+            + self.profiling.used
+            + self.optimized_cold.used
     }
 
     /// FNV-1a digest over every placed block address and size, in
-    /// function-id order, plus the region fill levels. Two caches with the
-    /// same digest have byte-identical layouts — the determinism oracle
-    /// for the parallel boot pipeline (addresses feed the uarch model, so
-    /// parallel emission may not move a single block).
+    /// function-id order, plus stub addresses and the region fill levels.
+    /// Two caches with the same digest have byte-identical layouts — the
+    /// determinism oracle for the parallel boot pipeline (addresses feed
+    /// the uarch model, so parallel emission may not move a single block).
+    ///
+    /// The `optimized_cold` fill level is mixed only when nonzero, so a
+    /// cache with the global layout passes disabled digests exactly like
+    /// the historical four-region cache.
     pub fn layout_digest(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -246,9 +429,19 @@ impl CodeCache {
                 mix(addr);
                 mix(size as u64);
             }
+            let mut stubs: Vec<(&(usize, usize), &u64)> = t.stubs.iter().collect();
+            stubs.sort();
+            for (&(from, to), &addr) in stubs {
+                mix(from as u64);
+                mix(to as u64);
+                mix(addr);
+            }
         }
         for r in [&self.hot, &self.cold, &self.live, &self.profiling] {
             mix(r.used);
+        }
+        if self.optimized_cold.used > 0 {
+            mix(self.optimized_cold.used);
         }
         h
     }
@@ -303,12 +496,80 @@ mod tests {
 
     #[test]
     fn cold_blocks_go_to_the_cold_region() {
+        // Plan disabled: optimized cold shares the historical cold region.
         let mut cc = CodeCache::default();
         assert!(cc.emit(unit(1, 4), TransKind::Optimized, &[0, 1], &[2, 3]));
         let t = cc.translation(FuncId::new(1)).unwrap();
         assert!(t.placement[0].0 >= cc.hot.base && t.placement[0].0 < cc.cold.base);
         assert!(t.placement[2].0 >= cc.cold.base);
         assert!(cc.cold.used > 0);
+        assert_eq!(cc.optimized_cold.used, 0);
+        assert!(t.stubs.is_empty());
+    }
+
+    #[test]
+    fn global_hotcold_exiles_cold_parts_with_stubs() {
+        let mut cc = CodeCache::with_plan(CodeCacheConfig::default(), LayoutPlanOptions::default());
+        // Blocks 0→1→2→3 in a chain; 2 and 3 go cold, so the 1→2 jump is
+        // the only hot→cold terminator edge.
+        assert!(cc.emit(unit(1, 4), TransKind::Optimized, &[0, 1], &[2, 3]));
+        let t = cc.translation(FuncId::new(1)).unwrap();
+        assert!(t.placement[2].0 >= cc.optimized_cold.base);
+        assert_eq!(cc.cold.used, 0);
+        assert!(cc.optimized_cold.used > 0);
+        assert_eq!(t.stubs.len(), 1);
+        let stub = t.stubs[&(1, 2)];
+        // The bind stub sits in the cold region, just ahead of the cold
+        // blocks it transfers to; hot text stays pure hot code.
+        assert_eq!(stub, cc.optimized_cold.base);
+        assert_eq!(t.placement[2].0, stub + STUB_BYTES);
+        assert_eq!(cc.stub_bytes(), STUB_BYTES);
+        assert_eq!(cc.hot.used, t.code_bytes_hot());
+    }
+
+    #[test]
+    fn disabled_plan_digests_like_the_historical_cache() {
+        // The digest of a disabled-plan cache must be a pure function of
+        // the same inputs the four-region cache hashed: same emissions →
+        // same digest as an independently-built disabled cache, and no
+        // optimized_cold/stub contribution.
+        let build = || {
+            let mut cc = CodeCache::default();
+            assert!(cc.emit(unit(0, 3), TransKind::Optimized, &[0, 1, 2], &[]));
+            assert!(cc.emit(unit(1, 4), TransKind::Optimized, &[0, 1], &[2, 3]));
+            assert!(cc.emit(unit(2, 2), TransKind::Live, &[0, 1], &[]));
+            cc
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.layout_digest(), b.layout_digest());
+        assert_eq!(a.optimized_cold.used, 0);
+        assert_eq!(a.stub_count(), 0);
+    }
+
+    #[test]
+    fn hugepage_packing_pads_instead_of_straddling() {
+        // Shrink the hot region to force a boundary interaction is not
+        // possible (page size is fixed at 2 MiB), so emit enough code to
+        // cross one boundary: ~41-byte units never straddle it.
+        let mut cc = CodeCache::with_plan(CodeCacheConfig::default(), LayoutPlanOptions::default());
+        let mut emitted = 0u64;
+        let mut i = 0u32;
+        while emitted <= (2 << 20) + 4096 {
+            let u = unit(i, 3);
+            let bytes: u64 = u.blocks.iter().map(|b| b.size() as u64).sum();
+            assert!(cc.emit(u, TransKind::Optimized, &[0, 1, 2], &[]));
+            emitted += bytes;
+            i += 1;
+        }
+        let page = 2u64 << 20;
+        for t in cc.translations().values() {
+            let start = t.placement[0].0 - cc.hot.base;
+            let end = start + t.code_bytes() - 1;
+            assert_eq!(start / page, end / page, "hot part straddles a bin");
+        }
+        assert!(cc.huge_pages_used() >= 2);
+        assert!(cc.pack_stats().pad_bytes > 0, "crossing pads at least once");
     }
 
     #[test]
@@ -360,5 +621,16 @@ mod tests {
     fn incomplete_layout_panics() {
         let mut cc = CodeCache::default();
         cc.emit(unit(0, 3), TransKind::Optimized, &[0, 1], &[]);
+    }
+
+    impl EmittedTranslation {
+        fn code_bytes_hot(&self) -> u64 {
+            // Test helper: bytes of blocks placed below the cold bases.
+            self.placement
+                .iter()
+                .filter(|&&(a, _)| a < 0x4000_0000)
+                .map(|&(_, s)| s as u64)
+                .sum()
+        }
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use bytecode::{ClassId, FuncId, Repo, StrId};
-use layout::{split_hot_cold, ExtTspParams};
+use layout::{split_hot_cold, ExtTspParams, LayoutPlanOptions};
 
 use crate::code_cache::{CodeCache, CodeCacheConfig, TransKind};
 use crate::profile::{CtxProfile, TierProfile};
@@ -35,6 +35,9 @@ pub struct JitOptions {
     pub cold_threshold: u64,
     /// Blocks below this fraction of entry weight are cold.
     pub cold_fraction: f64,
+    /// Global layout passes: huge-page packing of hot text and whole-cache
+    /// hot/cold exile (the fleet kill switch).
+    pub plan: LayoutPlanOptions,
     /// Code cache capacities.
     pub cache: CodeCacheConfig,
 }
@@ -49,6 +52,7 @@ impl Default for JitOptions {
             use_hotcold: true,
             cold_threshold: 0,
             cold_fraction: 0.005,
+            plan: LayoutPlanOptions::default(),
             cache: CodeCacheConfig::default(),
         }
     }
@@ -176,7 +180,7 @@ impl<'r> JitEngine<'r> {
         Self {
             repo,
             options,
-            code_cache: CodeCache::new(options.cache),
+            code_cache: CodeCache::with_plan(options.cache, options.plan),
             states: vec![FuncState::Interp { calls: 0 }; repo.funcs().len()],
             sizes: CompileSizes::default(),
             optimized_phase_done: false,

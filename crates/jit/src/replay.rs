@@ -9,7 +9,7 @@
 //! repo metadata) go through the D-side model, so property reordering and
 //! metadata preload order matter too.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use bytecode::{Cfg, ClassId, FuncId, Instr, Repo, UnitId};
@@ -17,7 +17,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uarch::{CoreModel, CoreParams, MissReport};
 
-use crate::code_cache::CodeCache;
+use crate::code_cache::{CodeCache, STUB_BYTES};
 use crate::profile::{CtxProfile, TierProfile};
 use crate::vasm::{Term, VInstr};
 
@@ -164,6 +164,9 @@ pub struct Executor<'a> {
     config: ExecutorConfig,
     cfg_cache: HashMap<FuncId, Rc<Cfg>>,
     branch_acc: HashMap<u64, f64>,
+    /// Hot→cold bind stubs already executed and smashed to direct jumps.
+    /// Code state, not a counter: survives [`Executor::reset_stats`].
+    bound_stubs: HashSet<u64>,
     blocks_left: u32,
 }
 
@@ -176,17 +179,23 @@ impl<'a> Executor<'a> {
         truth: &'a CtxProfile,
         config: ExecutorConfig,
     ) -> Self {
+        let mut core = CoreModel::new(CoreParams::default());
+        // Packed hot text translates through the 2 MiB I-TLB entries.
+        if let Some((start, len)) = cache.huge_text_range() {
+            core.map_huge_range(start, len);
+        }
         Self {
             repo,
             cache,
             tier,
             truth,
-            core: CoreModel::new(CoreParams::default()),
+            core,
             rng: SmallRng::seed_from_u64(config.seed),
             data: DataSpace::new(repo, config.obj_pool),
             config,
             cfg_cache: HashMap::new(),
             branch_acc: HashMap::new(),
+            bound_stubs: HashSet::new(),
             blocks_left: 0,
         }
     }
@@ -273,6 +282,15 @@ impl<'a> Executor<'a> {
                     if t.placement[t2].0 != fall_addr {
                         self.core.branch(fall_addr - block.term_size() as u64, true);
                     }
+                    // The first transfer through a hot→cold edge executes
+                    // its bind stub (emitted ahead of the cold part); the
+                    // stub then smashes the branch to jump directly (lazy
+                    // jump binding), so steady state pays nothing extra.
+                    if let Some(&stub) = t.stubs.get(&(bi, t2)) {
+                        if self.bound_stubs.insert(stub) {
+                            self.core.fetch(stub, STUB_BYTES as u32);
+                        }
+                    }
                     bi = t2;
                 }
                 Term::Cond { taken, fall } => {
@@ -284,6 +302,11 @@ impl<'a> Executor<'a> {
                     // turns hot edges into fallthroughs.
                     let emitted_taken = t.placement[next].0 != fall_addr;
                     self.core.branch(branch_site, emitted_taken);
+                    if let Some(&stub) = t.stubs.get(&(bi, next)) {
+                        if self.bound_stubs.insert(stub) {
+                            self.core.fetch(stub, STUB_BYTES as u32);
+                        }
+                    }
                     bi = next;
                 }
                 Term::Ret | Term::Exit => return,

@@ -42,6 +42,21 @@ pub struct CallArc {
 ///
 /// Panics if an arc references a function index out of range.
 pub fn c3_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<usize> {
+    c3_clusters(funcs, arcs, merge_limit)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Like [`c3_order`], but returns the clusters before flattening, in
+/// emission (decreasing-density) order. Every *merged* cluster respects
+/// `merge_limit`; a singleton function bigger than the limit stays a
+/// cluster of its own.
+///
+/// # Panics
+///
+/// Panics if an arc references a function index out of range.
+pub fn c3_clusters(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<Vec<usize>> {
     let n = funcs.len();
     for a in arcs {
         assert!(
@@ -58,7 +73,10 @@ pub fn c3_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<u
         let e = hottest_caller
             .entry(a.callee)
             .or_insert((a.caller, a.weight));
-        if a.weight > e.1 {
+        // Equal-weight arcs break the tie on the lower caller index, so the
+        // result does not depend on the order arcs arrive in (the call graph
+        // is assembled by parallel workers upstream).
+        if a.weight > e.1 || (a.weight == e.1 && a.caller < e.0) {
             *e = (a.caller, a.weight);
         }
     }
@@ -99,7 +117,7 @@ pub fn c3_order(funcs: &[FuncNode], arcs: &[CallArc], merge_limit: u32) -> Vec<u
         let db = cluster_density(b, funcs);
         db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
     });
-    live.into_iter().flatten().collect()
+    live
 }
 
 fn cluster_density(cluster: &[usize], funcs: &[FuncNode]) -> f64 {

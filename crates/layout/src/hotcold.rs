@@ -27,7 +27,11 @@ pub fn split_hot_cold(
     cold_fraction: f64,
 ) -> HotColdSplit {
     let entry_weight = weights.first().copied().unwrap_or(0);
-    let frac_cut = (entry_weight as f64 * cold_fraction) as u64;
+    // Ceil, not truncate: a block is cold when `w < entry * fraction`, so
+    // the integer cut must be the smallest u64 with `w < cut` equivalent to
+    // the real-valued test. Truncation (e.g. entry 199 × 0.01 → cut 1)
+    // would keep weight-1 blocks hot that the fraction says are cold.
+    let frac_cut = (entry_weight as f64 * cold_fraction).ceil() as u64;
     let mut split = HotColdSplit::default();
     for &b in order {
         let w = weights[b];
@@ -80,6 +84,23 @@ mod tests {
         let s = split_hot_cold(&order, &weights, 0, 0.0);
         assert_eq!(s.hot, vec![0, 3]);
         assert_eq!(s.cold, vec![1, 2]);
+    }
+
+    #[test]
+    fn fraction_cutoff_rounds_up_not_down() {
+        // entry 199 × 0.01 = 1.99: weight-1 blocks sit below 1% of the
+        // entry count and must go cold. A truncating cut (1) kept them
+        // hot; the ceil cut (2) classifies them correctly.
+        let order = vec![0, 1, 2];
+        let weights = vec![199, 1, 150];
+        let s = split_hot_cold(&order, &weights, 0, 0.01);
+        assert_eq!(s.hot, vec![0, 2]);
+        assert_eq!(s.cold, vec![1]);
+        // Exact multiples stay on the hot side of the strict `<` test:
+        // entry 200 × 0.01 = 2.0, so a weight-2 block is not cold.
+        let s = split_hot_cold(&[0, 1], &[200, 2], 0, 0.01);
+        assert_eq!(s.hot, vec![0, 1]);
+        assert!(s.cold.is_empty());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   block layout (§V-A).
 //! * [`c3_order`] — the C3 call-chain-clustering function sort (Ottoni &
 //!   Maher [20]), driven by the inlining-aware call graph (§V-B).
+//! * [`pagepack`] — BOLT-style global plan: hot parts of all functions
+//!   packed into simulated 2 MB huge-page bins, cold parts exiled to a
+//!   4 KiB-page region ([`PagePacker`], [`LayoutPlanOptions`]).
 //! * [`pettis_hansen_order`] — the classic Pettis–Hansen function ordering,
 //!   kept as an ablation baseline.
 //! * [`reorder_props_by_hotness`] / [`reorder_props_by_affinity`] — object
@@ -20,15 +23,20 @@
 mod c3;
 mod exttsp;
 mod hotcold;
+pub mod pagepack;
 mod pettis;
 mod plan_cache;
 mod propreorder;
 
-pub use c3::{c3_order, CallArc, FuncNode};
+pub use c3::{c3_clusters, c3_order, CallArc, FuncNode};
 #[doc(hidden)]
 pub use exttsp::exttsp_order_reference;
 pub use exttsp::{exttsp_order, exttsp_score, BlockEdge, BlockNode, ExtTspParams};
 pub use hotcold::{split_hot_cold, HotColdSplit};
+pub use pagepack::{
+    pack_extents, FuncExtent, LayoutPlanOptions, PagePackPlan, PagePackStats, PagePacker,
+    PlacedExtent, HUGE_PAGE_BYTES, SMALL_PAGE_BYTES,
+};
 pub use pettis::pettis_hansen_order;
 pub use plan_cache::{CachedPlan, PlanCache, PlanKey};
 pub use propreorder::{reorder_props_by_affinity, reorder_props_by_hotness, PropAccess};

@@ -1,8 +1,9 @@
 //! Property-based tests for the layout algorithms.
 
 use layout::{
-    c3_order, exttsp_order, exttsp_score, pettis_hansen_order, reorder_props_by_hotness,
-    split_hot_cold, BlockEdge, BlockNode, CallArc, ExtTspParams, FuncNode, PropAccess,
+    c3_clusters, c3_order, exttsp_order, exttsp_score, pack_extents, pettis_hansen_order,
+    reorder_props_by_hotness, split_hot_cold, BlockEdge, BlockNode, CallArc, ExtTspParams,
+    FuncExtent, FuncNode, LayoutPlanOptions, PropAccess, HUGE_PAGE_BYTES,
 };
 use proptest::prelude::*;
 
@@ -21,6 +22,27 @@ fn arb_cfg(max_n: usize) -> impl Strategy<Value = (Vec<BlockNode>, Vec<BlockEdge
             0..(2 * n).max(1),
         );
         (Just(blocks), edges)
+    })
+}
+
+fn arb_callgraph(max_n: usize) -> impl Strategy<Value = (Vec<FuncNode>, Vec<CallArc>)> {
+    // Sizes up to ~1.5 MiB so clusters brush against the 2 MiB merge limit;
+    // small weight range so equal-weight arcs (the tie-break case) are common.
+    prop::collection::vec((1u32..1_500_000, 0u64..50), 1..max_n).prop_flat_map(|nodes| {
+        let funcs: Vec<FuncNode> = nodes
+            .iter()
+            .map(|&(size, weight)| FuncNode { size, weight })
+            .collect();
+        let n = funcs.len();
+        let arcs = prop::collection::vec(
+            (0..n, 0..n, 0u64..20).prop_map(|(caller, callee, weight)| CallArc {
+                caller,
+                callee,
+                weight,
+            }),
+            0..(3 * n),
+        );
+        (Just(funcs), arcs)
     })
 }
 
@@ -121,6 +143,81 @@ proptest! {
         let mut order = c3_order(&funcs, &arcs, 4096);
         order.sort_unstable();
         prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn c3_merged_clusters_never_exceed_merge_limit_at_huge_page_scale(
+        (funcs, arcs) in arb_callgraph(40),
+    ) {
+        // Huge-page packing relies on C3 clusters fitting in one 2 MiB bin:
+        // any cluster C3 actually *merged* must stay within the limit. A
+        // single function bigger than the limit is allowed to stand alone.
+        let limit = HUGE_PAGE_BYTES as u32;
+        let clusters = c3_clusters(&funcs, &arcs, limit);
+        let mut all: Vec<usize> = Vec::new();
+        for c in &clusters {
+            let bytes: u64 = c.iter().map(|&f| funcs[f].size as u64).sum();
+            if c.len() > 1 {
+                prop_assert!(
+                    bytes <= limit as u64,
+                    "merged cluster of {} funcs spans {} bytes > merge limit {}",
+                    c.len(), bytes, limit
+                );
+            }
+            all.extend(c);
+        }
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..funcs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn c3_order_is_deterministic_across_arc_permutations(
+        (funcs, arcs) in arb_callgraph(24),
+        seed in 0u64..1_000_000,
+    ) {
+        // The call graph is assembled by parallel workers, so arc order is
+        // an accident of scheduling; the emitted layout must not be.
+        // Fisher–Yates with a splitmix64 stream derived from `seed`.
+        let mut shuffled = arcs.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            shuffled.swap(i, (z % (i as u64 + 1)) as usize);
+        }
+        let a = c3_order(&funcs, &arcs, HUGE_PAGE_BYTES as u32);
+        let b = c3_order(&funcs, &shuffled, HUGE_PAGE_BYTES as u32);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pagepack_never_splits_small_parts_across_bins(
+        extents in prop::collection::vec(
+            (0u64..5_000_000, 0u64..100_000)
+                .prop_map(|(h, c)| FuncExtent { hot_bytes: h, cold_bytes: c }),
+            1..60,
+        ),
+    ) {
+        let plan = pack_extents(&extents, LayoutPlanOptions::default());
+        for (e, p) in extents.iter().zip(&plan.placements) {
+            if e.hot_bytes > 0 && e.hot_bytes <= HUGE_PAGE_BYTES {
+                let first = p.hot_offset / HUGE_PAGE_BYTES;
+                let last = (p.hot_offset + e.hot_bytes - 1) / HUGE_PAGE_BYTES;
+                prop_assert_eq!(first, last, "hot part straddles a huge-page boundary");
+            }
+        }
+        // Disabled packing must be plain bump allocation: offsets are the
+        // running sums of the input sizes, no padding anywhere.
+        let bump = pack_extents(&extents, LayoutPlanOptions::disabled());
+        let mut cursor = 0u64;
+        for (e, p) in extents.iter().zip(&bump.placements) {
+            prop_assert_eq!(p.hot_offset, cursor);
+            cursor += e.hot_bytes;
+        }
+        prop_assert_eq!(bump.stats.pad_bytes, 0);
     }
 
     #[test]

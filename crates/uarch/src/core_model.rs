@@ -3,7 +3,7 @@
 use crate::branch::BranchPredictor;
 use crate::cache::{Cache, CacheConfig};
 use crate::metrics::MissReport;
-use crate::tlb::Tlb;
+use crate::tlb::{Tlb, TlbHierarchy, TlbLevel};
 
 /// Latency parameters (cycles) for the cost model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,13 +14,20 @@ pub struct CoreParams {
     pub mem_penalty: u64,
     /// Added cycles for a TLB miss (page walk).
     pub tlb_penalty: u64,
+    /// Added cycles for a first-level I-TLB miss that the shared second
+    /// level catches (much cheaper than a walk).
+    pub tlb_l2_penalty: u64,
     /// Added cycles for a branch misprediction (pipeline flush).
     pub mispredict_penalty: u64,
     /// Added cycles for every *taken* branch (fetch redirect bubble); this
     /// is why fallthrough layouts win even with perfect prediction.
     pub taken_penalty: u64,
-    /// I-TLB entries (scaled with the scaled-down code footprint).
+    /// First-level I-TLB 4 KiB-page entries (Broadwell carries 64).
     pub itlb_entries: u32,
+    /// First-level I-TLB 2 MiB-page entries (Broadwell carries 8).
+    pub itlb_huge_entries: u32,
+    /// Shared second-level I-TLB entries (page size tracked per entry).
+    pub itlb_l2_entries: u32,
     /// D-TLB entries.
     pub dtlb_entries: u32,
 }
@@ -31,9 +38,12 @@ impl Default for CoreParams {
             llc_hit_penalty: 12,
             mem_penalty: 120,
             tlb_penalty: 30,
+            tlb_l2_penalty: 8,
             mispredict_penalty: 16,
             taken_penalty: 2,
-            itlb_entries: 32,
+            itlb_entries: 64,
+            itlb_huge_entries: 8,
+            itlb_l2_entries: 1024,
             dtlb_entries: 48,
         }
     }
@@ -52,9 +62,12 @@ pub struct CoreModel {
     l1i: Cache,
     l1d: Cache,
     llc: Cache,
-    itlb: Tlb,
+    itlb: TlbHierarchy,
     dtlb: Tlb,
     bp: BranchPredictor,
+    /// Address ranges mapped with 2 MiB pages (the code cache's packed
+    /// hot text), sorted and non-overlapping.
+    huge_ranges: Vec<(u64, u64)>,
     instructions: u64,
     cycles: u64,
 }
@@ -68,12 +81,34 @@ impl CoreModel {
             l1i: Cache::new(CacheConfig::L1),
             l1d: Cache::new(CacheConfig::L1),
             llc: Cache::new(CacheConfig::LLC),
-            itlb: Tlb::new(params.itlb_entries, 4096),
+            itlb: TlbHierarchy::new(
+                params.itlb_entries,
+                params.itlb_huge_entries,
+                params.itlb_l2_entries,
+                4096,
+                2 << 20,
+            ),
             dtlb: Tlb::new(params.dtlb_entries, 4096),
             bp: BranchPredictor::default_size(),
+            huge_ranges: Vec::new(),
             instructions: 0,
             cycles: 0,
         }
+    }
+
+    /// Declares `[start, start + len)` as backed by 2 MiB pages; code
+    /// fetches inside it translate through the huge-page I-TLB entries.
+    /// No-op for empty ranges.
+    pub fn map_huge_range(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.huge_ranges.push((start, start + len));
+        self.huge_ranges.sort_unstable();
+    }
+
+    fn is_huge(&self, addr: u64) -> bool {
+        self.huge_ranges.iter().any(|&(s, e)| addr >= s && addr < e)
     }
 
     /// Adds `n` executed instructions at `base_cycles` total.
@@ -85,8 +120,10 @@ impl CoreModel {
     /// Fetches `len` code bytes at `addr`; returns added cycles.
     pub fn fetch(&mut self, addr: u64, len: u32) -> u64 {
         let mut added = 0;
-        if !self.itlb.access(addr) {
-            added += self.params.tlb_penalty;
+        match self.itlb.access(addr, self.is_huge(addr)) {
+            TlbLevel::L1 => {}
+            TlbLevel::L2 => added += self.params.tlb_l2_penalty,
+            TlbLevel::Walk => added += self.params.tlb_penalty,
         }
         // Walk the lines the block spans.
         let line = self.l1i.config().line_bytes as u64;
@@ -163,7 +200,8 @@ impl CoreModel {
         MissReport {
             branch: self.bp.stats(),
             icache: self.l1i.stats(),
-            itlb: self.itlb.stats(),
+            itlb: self.itlb.l1_stats(),
+            itlb_l2: self.itlb.l2_stats(),
             dcache: self.l1d.stats(),
             dtlb: self.dtlb.stats(),
             llc: self.llc.stats(),
@@ -236,6 +274,35 @@ mod tests {
             first < last,
             "first-slot {first} should beat last-slot {last}"
         );
+    }
+
+    #[test]
+    fn huge_mapped_code_beats_small_pages() {
+        // 1 MiB of hot code, touched block-by-block: on 4 KiB pages the
+        // footprint thrashes the first-level I-TLB; mapped huge it is one
+        // page.
+        let run = |map_huge: bool| {
+            let mut core = CoreModel::default();
+            if map_huge {
+                core.map_huge_range(0, 1 << 20);
+            }
+            for rep in 0..10 {
+                for i in 0..256u64 {
+                    core.fetch(i * 4096, 64);
+                }
+                let _ = rep;
+            }
+            core.report()
+        };
+        let small = run(false);
+        let huge = run(true);
+        assert!(
+            huge.itlb.misses < small.itlb.misses,
+            "huge {} should miss less than small {}",
+            huge.itlb.misses,
+            small.itlb.misses
+        );
+        assert!(huge.cycles < small.cycles);
     }
 
     #[test]

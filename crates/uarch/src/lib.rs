@@ -6,7 +6,8 @@
 //! simulated stand-ins the executor drives instead:
 //!
 //! * [`Cache`] — set-associative, true-LRU cache (L1I/L1D/shared LLC),
-//! * [`Tlb`] — fully-associative LRU TLB,
+//! * [`Tlb`] — fully-associative LRU TLB (hash-indexed, O(1) access),
+//! * [`TlbHierarchy`] — two-level I-TLB with mixed 4 KiB/2 MiB page sizes,
 //! * [`BranchPredictor`] — gshare direction predictor,
 //! * [`CoreModel`] — one core's fetch/load/store/branch interface with a
 //!   cycle cost model,
@@ -26,4 +27,4 @@ pub use branch::BranchPredictor;
 pub use cache::{Cache, CacheConfig};
 pub use core_model::{CoreModel, CoreParams};
 pub use metrics::{AccessStats, MissReport};
-pub use tlb::Tlb;
+pub use tlb::{Tlb, TlbHierarchy, TlbLevel};

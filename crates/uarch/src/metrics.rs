@@ -49,8 +49,12 @@ pub struct MissReport {
     pub branch: AccessStats,
     /// L1 instruction cache.
     pub icache: AccessStats,
-    /// Instruction TLB.
+    /// Instruction TLB, first level (accesses = translations).
     pub itlb: AccessStats,
+    /// Instruction TLB, shared second level (accesses = first-level
+    /// misses; misses = full page walks). Zero when the core models a
+    /// single-level I-TLB.
+    pub itlb_l2: AccessStats,
     /// L1 data cache.
     pub dcache: AccessStats,
     /// Data TLB.
@@ -136,6 +140,7 @@ impl fmt::Display for MissReport {
         writeln!(f, "{}", row("branch", &self.branch))?;
         writeln!(f, "{}", row("icache", &self.icache))?;
         writeln!(f, "{}", row("itlb", &self.itlb))?;
+        writeln!(f, "{}", row("itlb-l2", &self.itlb_l2))?;
         writeln!(f, "{}", row("dcache", &self.dcache))?;
         writeln!(f, "{}", row("dtlb", &self.dtlb))?;
         write!(f, "{}", row("llc", &self.llc))
