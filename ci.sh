@@ -141,9 +141,44 @@ loss = doc["capacity_loss"]
 assert 0.0 < loss["mean"] < 1.0, f"capacity loss out of band: {loss}"
 assert 10.0 < doc["capacity_loss_reduction_pct"] <= 100.0, \
     f"loss reduction out of band: {doc['capacity_loss_reduction_pct']}%"
+wc = doc["warmup_classes"]
+assert sum(wc["js"].values()) == doc["consumers"], f"js class counts must cover every consumer: {wc['js']}"
+assert sum(wc["nojs"].values()) == doc["baselines"], f"nojs class counts must cover every baseline: {wc['nojs']}"
+assert wc["js"]["slowdown"] == 0, f"a fault-free-ish js consumer classified slowdown: {wc['js']}"
 print(f"fleet gate ok: {doc['servers']} servers, {doc['events_per_sec']:.0f} events/sec "
       f"on {doc['cores']} core(s), p99 boot {boot['p99']:.0f} ms, "
-      f"reduction {doc['capacity_loss_reduction_pct']:.1f}%")
+      f"reduction {doc['capacity_loss_reduction_pct']:.1f}%, "
+      f"js classes {wc['js']['warmup']}/{sum(wc['js'].values())} warmup")
+EOF
+fi
+
+echo "== jswarmup smoke (classifier: shard-invariant report, js beats no-js TTSS, degrading victims flagged) =="
+cargo run -q -p bench --bin jswarmup --release -- --check --trace TRACE_warmup.json
+
+echo "== warmup trace gate (jstrace --warmup: timelines rebuilt from counters classify cleanly) =="
+cargo run -q -p bench --bin jstrace --release -- TRACE_warmup.json --warmup --validate
+rm -f TRACE_warmup.json
+
+echo "== warmup baseline gate (BENCH_warmup.json: >=95% js warmup, 0 slowdown, ttss p50 js < no-js, reproducible) =="
+if [ -f BENCH_warmup.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_warmup.json"))
+assert doc["reproducible"] is True, "WarmupReport was not byte-identical across runs/shard counts"
+js, nojs = doc["clean"]["js"], doc["clean"]["nojs"]
+total = sum(js["classes"].values())
+frac = js["classes"]["warmup"] / total
+assert frac >= 0.95, f"fault-free js arm warmup fraction {frac:.1%} under the 95% floor"
+assert js["classes"]["slowdown"] == 0, f"fault-free js arm classified slowdown: {js['classes']}"
+p50_js, p50_nojs = js["ttss_p50"]["value"], nojs["ttss_p50"]["value"]
+assert p50_js < p50_nojs, f"js ttss p50 {p50_js} not strictly below no-js {p50_nojs}"
+assert js["ttss_p50"]["lo"] <= p50_js <= js["ttss_p50"]["hi"], f"js p50 outside its own CI: {js['ttss_p50']}"
+assert nojs["ttss_p50"]["lo"] <= p50_nojs <= nojs["ttss_p50"]["hi"], f"nojs p50 outside its own CI: {nojs['ttss_p50']}"
+assert js["median_curve"], "median fleet warmup curve missing"
+assert doc["degrading_victims"] > 0, "faulted arm placed no degrading hosts"
+assert doc["victims_settled"] == 0, f"{doc['victims_settled']} degrading victims classified as settled"
+print(f"warmup gate ok: js {frac:.1%} warmup, ttss p50 {p50_js:.0f} < {p50_nojs:.0f} ms (no-js), "
+      f"{doc['degrading_victims']} degrading victims all flagged, report reproducible")
 EOF
 fi
 

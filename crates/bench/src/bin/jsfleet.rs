@@ -23,8 +23,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use fleet::{
-    run_deployment, run_deployment_with_prior, DeployParams, DeployReport, DistributionParams,
-    FaultPlan, FleetShape, WarmupParams,
+    run_deployment, run_deployment_with_prior, ArmSummary, DeployParams, DeployReport,
+    DistributionParams, FaultPlan, FleetShape, WarmupClass, WarmupParams,
 };
 use jumpstart::JumpStartOptions;
 use telemetry::AggStat;
@@ -124,6 +124,19 @@ fn stat_json(out: &mut String, name: &str, stat: Option<&AggStat>) {
     }
 }
 
+/// Per-class server counts for one arm, as a JSON object — the same
+/// numbers `jswarmup` reports, so the two benches can't drift apart.
+fn class_counts_json(out: &mut String, name: &str, arm: &ArmSummary) {
+    let _ = write!(out, "\"{name}\":{{");
+    for (i, c) in WarmupClass::all().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", c.name(), arm.counts.get(c));
+    }
+    out.push('}');
+}
+
 fn print_summary(report: &DeployReport, wall_ms: f64, events_per_sec: f64) {
     let sim = report.sim;
     println!(
@@ -157,6 +170,15 @@ fn print_summary(report: &DeployReport, wall_ms: f64, events_per_sec: f64) {
     println!(
         "  capacity-loss reduction vs no-Jump-Start: {:.1}% (paper: 54.9%)",
         report.capacity_loss_reduction(600_000)
+    );
+    let w = &report.warmup;
+    println!(
+        "  warmup classes: js {}/{} warmup, no-js {}/{} (report digest 0x{:08x})",
+        w.js.counts.get(WarmupClass::Warmup),
+        w.js.counts.total(),
+        w.nojs.counts.get(WarmupClass::Warmup),
+        w.nojs.counts.total(),
+        w.digest(),
     );
     let d = &report.distribution;
     if d.enabled {
@@ -378,11 +400,16 @@ fn main() {
     );
     let _ = write!(
         json,
-        ",\"mean_loss_js\":{:.4},\"mean_loss_nojs\":{:.4},\"capacity_loss_reduction_pct\":{:.2}}}",
+        ",\"mean_loss_js\":{:.4},\"mean_loss_nojs\":{:.4},\"capacity_loss_reduction_pct\":{:.2}",
         report.mean_loss_js(params.warmup.duration_ms),
         report.mean_loss_nojs(params.warmup.duration_ms),
         report.capacity_loss_reduction(params.warmup.duration_ms),
     );
+    json.push_str(",\"warmup_classes\":{");
+    class_counts_json(&mut json, "js", &report.warmup.js);
+    json.push(',');
+    class_counts_json(&mut json, "nojs", &report.warmup.nojs);
+    let _ = write!(json, "}},\"warmup_digest\":{}}}", report.warmup.digest());
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
     println!("wrote BENCH_fleet.json");
 }

@@ -13,9 +13,21 @@
 //!                             timestamps per track. Exits nonzero on
 //!                             any violation.
 //!   jstrace FILE --top N      report the N slowest compiles (default 10)
+//!   jstrace FILE --warmup     rebuild per-server warmup timelines from
+//!                             the `rps_norm`/`latency_ms` counter series
+//!                             and `serve-start` instants (the schema
+//!                             `fleet::timelines_to_trace` writes) and
+//!                             print PELT segment boundaries plus each
+//!                             server's warmup classification. With
+//!                             --validate, checks the warmup schema
+//!                             instead of printing: every server track
+//!                             must carry a serve-start instant and
+//!                             aligned rps/latency series that classify
+//!                             cleanly. Exits nonzero on any violation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use fleet::{classify_timeline, Sample, Timeline, WarmupAnalysisParams};
 use telemetry::json::{parse, Json};
 
 /// One paired begin/end span, flattened out of the event stream.
@@ -28,19 +40,189 @@ struct FlatSpan {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: jstrace FILE [--validate] [--top N]");
+    eprintln!("usage: jstrace FILE [--validate] [--top N] [--warmup]");
     std::process::exit(2);
+}
+
+/// One server track rebuilt from the fleet-trace counter schema.
+#[derive(Default)]
+struct ServerTrack {
+    process_name: Option<String>,
+    serve_start_ms: Option<u64>,
+    /// Trace-clock timestamp (µs) of the serve-start instant, used to
+    /// undo the exporter's rebase-to-zero and recover server-local time.
+    serve_ts_us: Option<u64>,
+    /// Counter series keyed by trace timestamp (µs): rebasing shifts all
+    /// tracks by the same amount, so ordering and spacing survive.
+    rps: BTreeMap<u64, f64>,
+    latency: BTreeMap<u64, f64>,
+    code: BTreeMap<u64, f64>,
+}
+
+/// Collects the warmup-view schema (`process_name` metadata,
+/// `serve-start` instants, `rps_norm`/`latency_ms`/`code_bytes`
+/// counters) per pid. Tracks without any rps samples are not servers
+/// (e.g. a boot trace's span tracks) and are dropped.
+fn collect_server_tracks(events: &[Json]) -> BTreeMap<u64, ServerTrack> {
+    let mut tracks: BTreeMap<u64, ServerTrack> = BTreeMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        let pid = ev.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        let ts = ev.get("ts").and_then(Json::as_u64).unwrap_or(0);
+        let arg = |key: &str| ev.get("args").and_then(|a| a.get(key));
+        match (ph, name) {
+            ("M", "process_name") => {
+                if let Some(n) = arg("name").and_then(Json::as_str) {
+                    tracks.entry(pid).or_default().process_name = Some(n.to_string());
+                }
+            }
+            ("i", "serve-start") => {
+                let t = tracks.entry(pid).or_default();
+                t.serve_start_ms = arg("t_ms").and_then(Json::as_u64);
+                t.serve_ts_us = Some(ts);
+            }
+            ("C", "rps_norm" | "latency_ms" | "code_bytes") => {
+                let v = arg("value").and_then(Json::as_f64).unwrap_or(0.0);
+                let t = tracks.entry(pid).or_default();
+                match name {
+                    "rps_norm" => t.rps.insert(ts, v),
+                    "latency_ms" => t.latency.insert(ts, v),
+                    _ => t.code.insert(ts, v),
+                };
+            }
+            _ => {}
+        }
+    }
+    tracks.retain(|_, t| !t.rps.is_empty());
+    tracks
+}
+
+/// Rebuilds a [`Timeline`] in server-local milliseconds. The exporter
+/// rebased every timestamp by the trace-wide minimum; the serve-start
+/// instant carries its absolute time as an attribute, which pins the
+/// offset exactly.
+fn rebuild_timeline(track: &ServerTrack) -> Result<Timeline, String> {
+    let serve_start_ms = track.serve_start_ms.ok_or("missing serve-start instant")?;
+    let serve_ts_ms = track.serve_ts_us.unwrap_or(0) / 1_000;
+    let offset_ms = serve_ts_ms.saturating_sub(serve_start_ms);
+    if track.latency.len() != track.rps.len() {
+        return Err(format!(
+            "rps/latency series misaligned: {} vs {} samples",
+            track.rps.len(),
+            track.latency.len()
+        ));
+    }
+    let mut samples = Vec::with_capacity(track.rps.len());
+    for (&ts, &rps_norm) in &track.rps {
+        let Some(&latency_ms) = track.latency.get(&ts) else {
+            return Err(format!("latency sample missing at ts {ts} us"));
+        };
+        let t_ms = (ts / 1_000)
+            .checked_sub(offset_ms)
+            .ok_or("sample precedes the trace epoch")?;
+        samples.push(Sample {
+            t_ms,
+            rps_norm,
+            latency_ms,
+            code_bytes: track.code.get(&ts).copied().unwrap_or(0.0) as u64,
+        });
+    }
+    Ok(Timeline {
+        samples,
+        serve_start_ms,
+        ..Default::default()
+    })
+}
+
+/// The `--warmup` view: per-server segment boundaries and class. In
+/// `strict` mode nothing is printed per server; the return value is the
+/// number of schema violations (CI pins it to zero).
+fn warmup_view(events: &[Json], strict: bool) -> usize {
+    const MAX_PRINTED: usize = 12;
+    let tracks = collect_server_tracks(events);
+    if tracks.is_empty() {
+        eprintln!("jstrace: no server tracks with rps_norm counters in this trace");
+        return 1;
+    }
+    let params = WarmupAnalysisParams::default();
+    let mut violations = 0;
+    let mut printed = 0;
+    println!(
+        "\nwarmup classification ({} server track(s)):",
+        tracks.len()
+    );
+    for (pid, track) in &tracks {
+        let label = track
+            .process_name
+            .clone()
+            .unwrap_or_else(|| format!("pid {pid}"));
+        let tl = match rebuild_timeline(track) {
+            Ok(tl) => tl,
+            Err(e) => {
+                eprintln!("  {label}: BAD TRACK: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let duration_ms = tl.samples.last().map_or(0, |s| s.t_ms);
+        let verdict = classify_timeline(&tl, duration_ms, &params);
+        let bounds = verdict.rps_boundaries_ms();
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            eprintln!("  {label}: BAD TRACK: non-monotonic segment boundaries {bounds:?}");
+            violations += 1;
+            continue;
+        }
+        if strict {
+            continue;
+        }
+        if printed == MAX_PRINTED {
+            println!("  ... and {} more", tracks.len() - MAX_PRINTED);
+        }
+        printed += 1;
+        if printed > MAX_PRINTED {
+            continue;
+        }
+        let mut segs = String::new();
+        for (i, seg) in verdict.rps_segments.iter().enumerate() {
+            if i > 0 {
+                segs.push_str(" | ");
+            }
+            let start = verdict.times_ms[seg.start];
+            let end = verdict.times_ms[seg.end - 1];
+            let _ = std::fmt::Write::write_fmt(
+                &mut segs,
+                format_args!("{start}-{end} @{:.2}", seg.mean),
+            );
+        }
+        let steady = verdict
+            .steady_ms
+            .map_or("-".to_string(), |t| format!("{t} ms"));
+        println!(
+            "  {label:<24} {:<16} steady {steady:<12} rps segments: [{segs}]",
+            verdict.class.name(),
+        );
+    }
+    if strict && violations == 0 {
+        println!(
+            "  warmup schema ok: {} server track(s) classified",
+            tracks.len()
+        );
+    }
+    violations
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
     let mut validate = false;
+    let mut warmup = false;
     let mut top = 10usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--validate" => validate = true,
+            "--warmup" => warmup = true,
             "--top" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => top = n,
                 None => {
@@ -77,6 +259,20 @@ fn main() {
         "{file}: valid Chrome trace — {} events, {} tracks, {} span pairs, {} instants",
         summary.events, summary.tracks, summary.span_pairs, summary.instants
     );
+    if warmup {
+        let doc = parse(&text).expect("validated JSON parses");
+        let events = doc
+            .get("traceEvents")
+            .unwrap_or(&doc)
+            .as_arr()
+            .expect("validated trace has an event array");
+        let violations = warmup_view(events, validate);
+        if violations > 0 {
+            eprintln!("jstrace: {violations} warmup-schema violation(s) in {file}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if validate {
         return;
     }

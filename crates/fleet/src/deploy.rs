@@ -45,6 +45,7 @@ use crate::faults::FaultPlan;
 use crate::metrics::Timeline;
 use crate::model::{build_app_model, AppModel, WarmupParams};
 use crate::server::{ServerConfig, ServerTask};
+use crate::warmup::{WarmupAccumulator, WarmupAnalysisParams, WarmupClass, WarmupReport};
 
 /// Most servers a single Chrome trace will carry per group; beyond this
 /// the export drops tracks (recorded in the trace's `dropped` count).
@@ -146,6 +147,9 @@ pub struct DeployParams {
     /// Package distribution model (off by default: downloads are free,
     /// matching the pre-chunk-store calibration).
     pub distribution: DistributionParams,
+    /// Warmup-classification tuning (segmentation penalty, steady band,
+    /// bootstrap CI seeding).
+    pub analysis: WarmupAnalysisParams,
     /// RNG seed.
     pub seed: u64,
 }
@@ -163,6 +167,7 @@ impl Default for DeployParams {
             fleet: FleetShape::default(),
             faults: FaultPlan::default(),
             distribution: DistributionParams::default(),
+            analysis: WarmupAnalysisParams::default(),
             seed: 1,
         }
     }
@@ -213,6 +218,12 @@ impl DeployParams {
         self
     }
 
+    /// Sets the warmup-classification tuning.
+    pub fn with_analysis(mut self, analysis: WarmupAnalysisParams) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -238,6 +249,13 @@ pub struct ServerStat {
     pub jumpstart: bool,
     /// Whether the fault plan placed it on a degraded host.
     pub slow_host: bool,
+    /// Whether the fault plan placed it on a *degrading* host (service
+    /// time inflating with uptime).
+    pub degrading: bool,
+    /// Warmup class assigned by the changepoint classifier.
+    pub class: WarmupClass,
+    /// Time-to-steady-state (ms from restart; `Warmup`/`Flat` only).
+    pub steady_ms: Option<u64>,
     /// Boot time (ms from its own restart to serving).
     pub boot_ms: u64,
     /// First time normalized RPS reached 0.9 (ms), if ever.
@@ -297,6 +315,10 @@ pub struct DeployReport {
     pub sim: ShardStats,
     /// Distribution-model accounting (all-zero when the model is off).
     pub distribution: DistributionReport,
+    /// Changepoint-based warmup classification of every server (per-class
+    /// fractions per arm, time-to-steady-state percentiles with bootstrap
+    /// CIs, and the median fleet warmup curve).
+    pub warmup: WarmupReport,
 }
 
 impl DeployReport {
@@ -354,11 +376,16 @@ impl DeployReport {
             .collect();
         let loss: Vec<f64> = js.iter().map(|s| s.capacity_loss).collect();
         let requests: Vec<f64> = js.iter().map(|s| s.requests).collect();
+        let steady: Vec<f64> = js
+            .iter()
+            .filter_map(|s| s.steady_ms.map(|t| t as f64))
+            .collect();
         let mut series = vec![
             ("server.boot_ms", boot),
             ("server.ready_ms", ready),
             ("server.capacity_loss", loss),
             ("server.requests", requests),
+            ("server.steady_ms", steady),
         ];
         if self.distribution.enabled {
             series.push((
@@ -389,6 +416,9 @@ impl DeployReport {
             buf.extend_from_slice(&s.gid.to_le_bytes());
             buf.push(s.jumpstart as u8);
             buf.push(s.slow_host as u8);
+            buf.push(s.degrading as u8);
+            buf.push(s.class.code());
+            buf.extend_from_slice(&s.steady_ms.unwrap_or(u64::MAX).to_le_bytes());
             buf.extend_from_slice(&s.boot_ms.to_le_bytes());
             buf.extend_from_slice(&s.ready_ms.unwrap_or(u64::MAX).to_le_bytes());
             buf.extend_from_slice(&s.capacity_loss.to_bits().to_le_bytes());
@@ -466,6 +496,7 @@ struct Slot {
     pkg: Option<usize>,
     params: WarmupParams,
     slow_host: bool,
+    degrading: bool,
     stagger_ms: u64,
     /// Combined jitter × slow-host scaling already applied to this slot's
     /// I/O costs (per-mille) — the distribution model re-applies it to
@@ -514,6 +545,13 @@ fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &Deplo
     } else {
         None
     };
+    // The degrading roll is the stream's LAST draw: plans with a zero
+    // rate replay byte-identical RNG streams from before the fault
+    // existed, so historical digests stay pinned.
+    let degrading = FaultPlan::roll(&mut rng, p.faults.degrading_per_mille);
+    if degrading {
+        params.degrade_per_mille_per_min = p.faults.degrade_per_mille_per_min;
+    }
     Slot {
         cell,
         jumpstart,
@@ -521,6 +559,7 @@ fn build_slot(gid: u32, cell: usize, jumpstart: bool, data: &CellData, p: &Deplo
         pkg,
         params,
         slow_host,
+        degrading,
         stagger_ms,
         io_factor_pm,
         bytes_on_wire: 0,
@@ -836,15 +875,29 @@ pub fn run_deployment_with_prior(
         events,
         ..Default::default()
     };
+    // Classification runs here, post-merge in gid order, because this is
+    // the one place every server's full timeline exists (representatives
+    // keep theirs; everyone else's is dropped right after). Feeding the
+    // accumulator in gid order makes the WarmupReport — median curve
+    // included — byte-identical for any shard count.
+    let mut warmup_acc = WarmupAccumulator::new(
+        params.analysis,
+        params.warmup.sample_ms,
+        params.warmup.duration_ms,
+    );
     for (i, run) in merged {
         let slot = &slots[i];
         let data = &cells[slot.cell];
+        let verdict = warmup_acc.add(&run.timeline, slot.jumpstart);
         stats.push(ServerStat {
             gid: i as u32,
             region: data.region,
             bucket: data.bucket,
             jumpstart: slot.jumpstart,
             slow_host: slot.slow_host,
+            degrading: slot.degrading,
+            class: verdict.class,
+            steady_ms: verdict.steady_ms,
             boot_ms: run.timeline.serve_start_ms,
             ready_ms: run.timeline.time_to_rps(0.9),
             capacity_loss: run.timeline.capacity_loss_over(slot.params.duration_ms),
@@ -859,13 +912,18 @@ pub fn run_deployment_with_prior(
         sim.requests += run.requests;
         if slot.representative {
             if slot.jumpstart {
-                server_registries.push(server_registry(&run.timeline, slot.params.duration_ms));
+                server_registries.push(server_registry(
+                    &run.timeline,
+                    slot.params.duration_ms,
+                    Some(&verdict),
+                ));
                 js_timelines.push(run.timeline);
             } else {
                 nojs_timelines.push(run.timeline);
             }
         }
     }
+    let warmup = warmup_acc.finish();
 
     DeployReport {
         published,
@@ -877,6 +935,7 @@ pub fn run_deployment_with_prior(
         stats,
         sim,
         distribution,
+        warmup,
     }
 }
 

@@ -14,6 +14,7 @@ use std::borrow::Cow;
 use telemetry::{AttrValue, Event, EventKind, Trace, TrackDump};
 
 use crate::metrics::Timeline;
+use crate::warmup::TimelineClass;
 
 const MS_TO_NS: u64 = 1_000_000;
 
@@ -21,8 +22,15 @@ const MS_TO_NS: u64 = 1_000_000;
 ///
 /// Gauges: `server.boot_ms` (serve start), `server.ready_ms` (first time
 /// normalized RPS reaches 0.9; absent if never), and the f64 gauge
-/// `server.capacity_loss` over `window_ms`.
-pub fn server_registry(tl: &Timeline, window_ms: u64) -> telemetry::Registry {
+/// `server.capacity_loss` over `window_ms`. When a classifier verdict is
+/// supplied, the class lands as a `warmup.class.<name>` counter (so
+/// [`telemetry::aggregate`]'s `n` field counts servers per class across
+/// the fleet) and the steady time as `warmup.steady_ms`.
+pub fn server_registry(
+    tl: &Timeline,
+    window_ms: u64,
+    class: Option<&TimelineClass>,
+) -> telemetry::Registry {
     let reg = telemetry::Registry::default();
     reg.gauge("server.boot_ms").set(tl.serve_start_ms);
     if let Some(ready) = tl.time_to_rps(0.9) {
@@ -30,6 +38,13 @@ pub fn server_registry(tl: &Timeline, window_ms: u64) -> telemetry::Registry {
     }
     reg.gauge_f64("server.capacity_loss")
         .set(tl.capacity_loss_over(window_ms));
+    if let Some(verdict) = class {
+        reg.counter(&format!("warmup.class.{}", verdict.class.name()))
+            .inc();
+        if let Some(steady) = verdict.steady_ms {
+            reg.gauge("warmup.steady_ms").set(steady);
+        }
+    }
     reg
 }
 
@@ -53,8 +68,10 @@ fn counter(name: &'static str, t_ms: u64, value: f64) -> Event {
 
 /// Renders fleet timelines as a [`telemetry::Trace`]: one process (pid)
 /// per server, with the serve-start and A/B/C lifecycle points as
-/// instants and the sampled `rps_norm` / `code_bytes` curves as counter
-/// series. Simulated milliseconds map to trace nanoseconds.
+/// instants and the sampled `rps_norm` / `latency_ms` / `code_bytes`
+/// curves as counter series. Simulated milliseconds map to trace
+/// nanoseconds. `jstrace --warmup` rebuilds timelines from exactly these
+/// series, so their names are a schema.
 pub fn timelines_to_trace(timelines: &[Timeline], label: &str) -> Trace {
     timelines_to_trace_capped(timelines, label, usize::MAX, usize::MAX)
 }
@@ -96,6 +113,7 @@ pub fn timelines_to_trace_capped(
                 continue;
             }
             events.push(counter("rps_norm", s.t_ms, s.rps_norm));
+            events.push(counter("latency_ms", s.t_ms, s.latency_ms));
             events.push(counter("code_bytes", s.t_ms, s.code_bytes as f64));
         }
         // Chrome requires non-decreasing timestamps per track; the
@@ -141,19 +159,32 @@ mod tests {
     #[test]
     fn server_registry_snapshots_boot_ready_loss() {
         let tl = timeline(500);
-        let reg = server_registry(&tl, 10_000);
+        let reg = server_registry(&tl, 10_000, None);
         assert_eq!(reg.value_u64("server.boot_ms"), 500);
         assert_eq!(reg.value_u64("server.ready_ms"), 9_000);
         let loss = reg.scalar("server.capacity_loss").unwrap();
         assert!(loss > 0.0 && loss < 1.0, "got {loss}");
+        assert!(!reg.contains("warmup.class.warmup"));
 
         // A server that never reaches 0.9 has no ready gauge.
         let mut cold = timeline(500);
         for s in &mut cold.samples {
             s.rps_norm = 0.3;
         }
-        let reg = server_registry(&cold, 10_000);
+        let reg = server_registry(&cold, 10_000, None);
         assert!(!reg.contains("server.ready_ms"));
+    }
+
+    #[test]
+    fn server_registry_carries_warmup_class() {
+        let tl = timeline(500);
+        let verdict = crate::warmup::classify_timeline(&tl, 10_000, &Default::default());
+        let reg = server_registry(&tl, 10_000, Some(&verdict));
+        let name = format!("warmup.class.{}", verdict.class.name());
+        assert_eq!(reg.value_u64(&name), 1);
+        if let Some(steady) = verdict.steady_ms {
+            assert_eq!(reg.value_u64("warmup.steady_ms"), steady);
+        }
     }
 
     #[test]
@@ -171,6 +202,11 @@ mod tests {
         assert_eq!(summary.instants, 4 * 3);
         assert!(json.contains("jumpstart server 0"));
         assert!(json.contains("point-B"));
+        // All three counter series are exported (jstrace --warmup
+        // rebuilds timelines from them).
+        for series in ["rps_norm", "latency_ms", "code_bytes"] {
+            assert!(json.contains(series), "missing counter series {series}");
+        }
     }
 
     #[test]
@@ -197,7 +233,7 @@ mod tests {
     #[test]
     fn fleet_aggregation_yields_percentiles() {
         let snaps: Vec<telemetry::Snapshot> = (0..8)
-            .map(|i| server_registry(&timeline(400 + i * 50), 10_000).snapshot())
+            .map(|i| server_registry(&timeline(400 + i * 50), 10_000, None).snapshot())
             .collect();
         let agg = telemetry::aggregate(&snaps);
         assert_eq!(agg.servers, 8);

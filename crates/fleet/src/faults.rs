@@ -36,6 +36,15 @@ pub struct FaultPlan {
     /// How much slower a degraded host boots, in percent (300 = 3×
     /// slower init/deserialize and a third of the compile throughput).
     pub slow_factor_pct: u32,
+    /// Per-mille chance a server sits on a *degrading* host: one whose
+    /// per-request service time inflates with uptime (thermal throttling,
+    /// noisy neighbors). Unlike a slow host — which boots badly but then
+    /// serves normally — a degrading host gets monotonically worse, so
+    /// its timeline must classify as `slowdown`, never `warmup`.
+    pub degrading_per_mille: u16,
+    /// Service-time inflation rate for degrading hosts, in per-mille per
+    /// minute of uptime (see `WarmupParams::degrade_per_mille_per_min`).
+    pub degrade_per_mille_per_min: u32,
 }
 
 impl Default for FaultPlan {
@@ -45,6 +54,8 @@ impl Default for FaultPlan {
             undersample_per_mille: 0,
             slow_consumer_per_mille: 0,
             slow_factor_pct: 300,
+            degrading_per_mille: 0,
+            degrade_per_mille_per_min: 50,
         }
     }
 }
@@ -66,6 +77,13 @@ impl FaultPlan {
     pub fn with_slow_consumers(mut self, per_mille: u16, factor_pct: u32) -> Self {
         self.slow_consumer_per_mille = per_mille;
         self.slow_factor_pct = factor_pct.max(100);
+        self
+    }
+
+    /// Sets the degrading-host rate and inflation speed (builder-style).
+    pub fn with_degrading(mut self, per_mille: u16, per_mille_per_min: u32) -> Self {
+        self.degrading_per_mille = per_mille;
+        self.degrade_per_mille_per_min = per_mille_per_min;
         self
     }
 

@@ -22,7 +22,11 @@
 //!   seeding done once and shared read-only, then thousands of consumers
 //!   fanned out over shard threads with per-server RNG streams,
 //! * [`faults`] — crash-loop containment and deployment fault injection
-//!   for §VI.
+//!   for §VI,
+//! * [`warmup`](classify_timeline) — PELT changepoint segmentation and
+//!   Barrett-style warmup classification (warmup / slowdown / flat /
+//!   cyclic / no-steady-state) over per-server timelines, rolled up into
+//!   a fleet [`WarmupReport`] with bootstrap confidence intervals.
 
 pub mod engine;
 
@@ -34,6 +38,7 @@ mod metrics;
 mod model;
 mod server;
 mod steady;
+mod warmup;
 
 pub use deploy::{
     run_deployment, run_deployment_with_prior, DeployParams, DeployReport, FleetShape, ServerStat,
@@ -50,3 +55,8 @@ pub use model::{build_app_model, AppModel, WarmupParams};
 pub use server::reference::simulate_warmup_dense;
 pub use server::{run_server, simulate_warmup, ServerConfig, ServerRun, ServerSim};
 pub use steady::{measure_steady_state, SteadyConfig, SteadyOutcome, SteadyParams};
+pub use warmup::{
+    classify_timeline, pelt_changepoints, pelt_changepoints_reference, segment_series, ArmSummary,
+    CiStat, ClassCounts, Segment, TimelineClass, WarmupAccumulator, WarmupAnalysisParams,
+    WarmupClass, WarmupReport,
+};

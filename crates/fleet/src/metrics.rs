@@ -42,8 +42,21 @@ impl Timeline {
     }
 
     /// The sample closest to `t_ms`.
+    ///
+    /// Samples are sorted by `t_ms` (both drivers append in time order),
+    /// so this is a binary search rather than a scan — timelines at
+    /// paper scale are probed thousands of times per report. Ties
+    /// between two equidistant neighbors go to the *earlier* sample,
+    /// matching the old linear `min_by_key` (first minimum wins).
     pub fn at(&self, t_ms: u64) -> Option<&Sample> {
-        self.samples.iter().min_by_key(|s| s.t_ms.abs_diff(t_ms))
+        let idx = self.samples.partition_point(|s| s.t_ms < t_ms);
+        let after = self.samples.get(idx);
+        let before = idx.checked_sub(1).and_then(|i| self.samples.get(i));
+        match (before, after) {
+            (Some(b), Some(a)) if b.t_ms.abs_diff(t_ms) <= a.t_ms.abs_diff(t_ms) => Some(b),
+            (_, Some(a)) => Some(a),
+            (b, None) => b,
+        }
     }
 
     /// First time normalized RPS reaches `level`, if ever.
@@ -177,6 +190,45 @@ mod tests {
 
         // A gap covering the whole window is total loss.
         assert_eq!(capacity_loss_from(&[s(2000, 1.0)], 1500, 1000), 1.0);
+    }
+
+    #[test]
+    fn at_binary_search_matches_linear_scan() {
+        // The retired O(n) implementation, kept as the pinning oracle.
+        fn at_linear(tl: &Timeline, t_ms: u64) -> Option<&Sample> {
+            tl.samples.iter().min_by_key(|s| s.t_ms.abs_diff(t_ms))
+        }
+        // Irregular spacing, including an exact-midpoint tie (150 between
+        // 100 and 200) where the linear scan's first minimum — the
+        // earlier sample — must win.
+        let tl = Timeline {
+            samples: [0u64, 100, 200, 250, 1000, 1001]
+                .iter()
+                .map(|&t| s(t, t as f64))
+                .collect(),
+            ..Default::default()
+        };
+        for probe in [
+            0, 1, 49, 50, 51, 100, 150, 151, 225, 226, 600, 1000, 1001, 9999,
+        ] {
+            assert_eq!(
+                tl.at(probe).map(|x| x.t_ms),
+                at_linear(&tl, probe).map(|x| x.t_ms),
+                "probe {probe}"
+            );
+        }
+        // Exact-midpoint tie resolves to the earlier sample.
+        assert_eq!(tl.at(150).unwrap().t_ms, 100);
+        assert_eq!(tl.at(225).unwrap().t_ms, 200);
+        // Degenerate timelines.
+        let empty = Timeline::default();
+        assert!(empty.at(5).is_none());
+        let one = Timeline {
+            samples: vec![s(42, 1.0)],
+            ..Default::default()
+        };
+        assert_eq!(one.at(0).unwrap().t_ms, 42);
+        assert_eq!(one.at(100).unwrap().t_ms, 42);
     }
 
     #[test]

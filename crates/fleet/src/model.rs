@@ -65,6 +65,12 @@ pub struct WarmupParams {
     /// remainder compiles on background JIT threads while serving
     /// (`1.0` = classic Fig. 3c compile-all-before-serving).
     pub early_serve_frac: f64,
+    /// Host degradation: per-request service time inflates by this many
+    /// per-mille per minute of uptime (0 = healthy host). Models the
+    /// slowly-sickening machines (thermal throttling, noisy neighbors,
+    /// leaking sidecars) whose timelines must classify as `slowdown`
+    /// rather than being averaged away.
+    pub degrade_per_mille_per_min: u32,
 }
 
 impl WarmupParams {
@@ -91,6 +97,7 @@ impl WarmupParams {
             relocation_ms: 150_000,
             load_ms_per_kb: 0.25,
             early_serve_frac: 1.0,
+            degrade_per_mille_per_min: 0,
         }
     }
 
@@ -143,6 +150,13 @@ impl WarmupParams {
     /// before serving).
     pub fn with_early_serve(mut self, frac: f64) -> Self {
         self.early_serve_frac = frac;
+        self
+    }
+
+    /// Sets the host-degradation rate (service-time inflation in
+    /// per-mille per minute of uptime; 0 = healthy).
+    pub fn with_degrade(mut self, per_mille_per_min: u32) -> Self {
+        self.degrade_per_mille_per_min = per_mille_per_min;
         self
     }
 }

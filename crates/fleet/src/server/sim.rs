@@ -348,7 +348,12 @@ impl<'a> ServerSim<'a> {
         // only the core time actually consumed is taken from serving.
         let used_core_ms = self.run_compilers(self.params.jit_threads as f64 * step as f64, now);
         let serve_cores = self.params.cores as f64 - used_core_ms / step as f64;
-        let service_ms = self.service_core_ms(offered_this_step).max(0.01);
+        // A degrading host serves every request slower the longer it has
+        // been up — time-varying, so such a server must never be
+        // fast-forwarded (see `quiescent`).
+        let degrade =
+            1.0 + self.params.degrade_per_mille_per_min as f64 / 1000.0 * (now as f64 / 60_000.0);
+        let service_ms = (self.service_core_ms(offered_this_step) * degrade).max(0.01);
         let capacity = serve_cores * step as f64 / service_ms;
         let served = offered_this_step.min(capacity);
         self.account_requests(served, now);
@@ -404,6 +409,12 @@ impl<'a> ServerSim<'a> {
     /// cross `promote_calls`). Once this holds, the per-step sample is a
     /// pure function of frozen state and the driver may replicate it.
     pub(crate) fn quiescent(&mut self, offered_this_step: f64) -> bool {
+        // A degrading host's service time depends on `now`: the per-step
+        // sample is never a pure function of frozen state, so the driver
+        // must step it densely to the end.
+        if self.params.degrade_per_mille_per_min > 0 {
+            return false;
+        }
         if !self.queue.is_empty()
             || self.relocating
             || !self.retranslate_started

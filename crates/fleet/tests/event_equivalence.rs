@@ -168,6 +168,11 @@ fn deployment_is_invariant_under_shard_count() {
     assert_eq!(one.fleet_aggregate(), four.fleet_aggregate());
     assert_eq!(one.digest(), four.digest());
 
+    // The warmup classification report is built post-merge in gid order,
+    // so it must be byte-identical however the fleet was sharded.
+    assert_eq!(one.warmup.to_json(), four.warmup.to_json());
+    assert_eq!(one.warmup.digest(), four.warmup.digest());
+
     // Shard count is accounting-visible only where it should be.
     assert_eq!(one.sim.shards, 1);
     assert_eq!(four.sim.shards, 4);

@@ -3,7 +3,7 @@
 //! deterministically — same seed, same faults, same victims, any shard
 //! count.
 
-use fleet::{run_deployment, DeployParams, FaultPlan, FleetShape, WarmupParams};
+use fleet::{run_deployment, DeployParams, FaultPlan, FleetShape, WarmupClass, WarmupParams};
 use jumpstart::JumpStartOptions;
 use workload::{generate, AppParams};
 
@@ -108,6 +108,53 @@ fn slow_hosts_are_flagged_and_boot_slower() {
     let d_boot = degraded.fleet_aggregate();
     assert!(
         d_boot.stat("server.boot_ms").unwrap().p50 > h_boot.stat("server.boot_ms").unwrap().p50
+    );
+}
+
+#[test]
+fn degrading_hosts_classify_as_slowdown_not_warmup() {
+    let app = generate(&AppParams::tiny());
+    let healthy = run_deployment(
+        &app,
+        &lenient(base_params()).with_fleet(FleetShape::default().with_servers(6, 1)),
+    );
+    let degrading = run_deployment(
+        &app,
+        &lenient(base_params())
+            .with_fleet(FleetShape::default().with_servers(6, 1))
+            .with_faults(FaultPlan::default().with_degrading(1000, 120)),
+    );
+
+    assert!(degrading.stats.iter().all(|s| s.degrading));
+    assert!(healthy.stats.iter().all(|s| !s.degrading));
+
+    // A degrading host gets monotonically worse — a fleet-mean curve
+    // would average this away, but per-server classification must not:
+    // nobody on a degrading host may read as settled-and-fine.
+    for s in &degrading.stats {
+        assert!(
+            !matches!(s.class, WarmupClass::Warmup | WarmupClass::Flat),
+            "gid {} on degrading host classified {:?}",
+            s.gid,
+            s.class
+        );
+    }
+    // Healthy servers in the same deployment shape warm up normally.
+    assert!(healthy
+        .stats
+        .iter()
+        .any(|s| matches!(s.class, WarmupClass::Warmup)));
+
+    // The report's per-arm class counts agree with the per-server view.
+    let total = degrading.stats.len() as u32;
+    let settled = degrading.warmup.js.counts.get(WarmupClass::Warmup)
+        + degrading.warmup.js.counts.get(WarmupClass::Flat)
+        + degrading.warmup.nojs.counts.get(WarmupClass::Warmup)
+        + degrading.warmup.nojs.counts.get(WarmupClass::Flat);
+    assert_eq!(settled, 0, "no degrading server may count as settled");
+    assert_eq!(
+        degrading.warmup.js.counts.total() + degrading.warmup.nojs.counts.total(),
+        total
     );
 }
 

@@ -39,8 +39,11 @@ pub struct FleetAggregate {
 }
 
 /// Exact quantile of a sorted sample set, with linear interpolation
-/// between order statistics.
-fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// between order statistics. The input must be ascending; `q` is clamped
+/// to `[0, 1]`. This is the quantile definition every fleet percentile in
+/// the repo uses — exposed so derived statistics (bootstrap CIs, warmup
+/// time-to-steady-state bands) agree with [`aggregate`] bit for bit.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     match sorted {
         [] => 0.0,
         [only] => *only,
@@ -50,6 +53,57 @@ fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
             let hi = rank.ceil() as usize;
             let frac = rank - lo as f64;
             sorted[lo] + frac * (sorted[hi] - sorted[lo])
+        }
+    }
+}
+
+/// splitmix64 — the one-instruction-per-state PRNG used for bootstrap
+/// resampling. Kept here (not in a `rand` shim) so the CI machinery has a
+/// fixed, documented stream: same seed → same resamples on every platform.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Percentile-bootstrap confidence interval for `quantile_sorted(values, q)`.
+///
+/// Draws `resamples` bootstrap resamples (with replacement, splitmix64
+/// stream seeded by `seed`), recomputes the `q` quantile of each, and
+/// returns the (2.5%, 97.5%) quantiles of that bootstrap distribution —
+/// a 95% percentile CI. Deterministic: the same `(values, q, resamples,
+/// seed)` always returns the same interval, so fleet reports carrying CIs
+/// stay byte-identical across runs. Empty input returns `(0.0, 0.0)`;
+/// a single value returns a degenerate `(v, v)` interval.
+pub fn bootstrap_percentile_ci(values: &[f64], q: f64, resamples: u32, seed: u64) -> (f64, f64) {
+    match values {
+        [] => (0.0, 0.0),
+        [only] => (*only, *only),
+        _ => {
+            let mut sorted: Vec<f64> = values.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let n = sorted.len();
+            let mut state = seed;
+            let mut stats: Vec<f64> = Vec::with_capacity(resamples.max(1) as usize);
+            let mut resample: Vec<f64> = Vec::with_capacity(n);
+            for _ in 0..resamples.max(1) {
+                resample.clear();
+                for _ in 0..n {
+                    // Multiply-shift maps the 64-bit draw uniformly onto
+                    // [0, n) without modulo bias.
+                    let idx = ((splitmix64(&mut state) as u128 * n as u128) >> 64) as usize;
+                    resample.push(sorted[idx]);
+                }
+                resample.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                stats.push(quantile_sorted(&resample, q));
+            }
+            stats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            (
+                quantile_sorted(&stats, 0.025),
+                quantile_sorted(&stats, 0.975),
+            )
         }
     }
 }
@@ -222,6 +276,34 @@ mod tests {
         assert_eq!(agg.servers, 5);
         assert_eq!(agg.stat("ready_ms").unwrap().n, 2);
         assert!(agg.stat("never_reported").is_none());
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_brackets_the_estimate() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| (i % 37) as f64 + (i / 37) as f64)
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = quantile_sorted(&sorted, 0.50);
+        let (lo, hi) = bootstrap_percentile_ci(&values, 0.50, 200, 42);
+        assert!(lo <= hi, "interval is ordered");
+        assert!(lo <= p50 && p50 <= hi, "CI brackets the point estimate");
+        assert!(lo >= sorted[0] && hi <= sorted[sorted.len() - 1]);
+        // Bit-identical across repeat calls with the same seed.
+        assert_eq!((lo, hi), bootstrap_percentile_ci(&values, 0.50, 200, 42));
+        // A different seed resamples differently (intervals may coincide on
+        // pathological inputs, but not on this spread).
+        assert_ne!((lo, hi), bootstrap_percentile_ci(&values, 0.50, 200, 43));
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_inputs() {
+        assert_eq!(bootstrap_percentile_ci(&[], 0.5, 100, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_percentile_ci(&[7.0], 0.5, 100, 1), (7.0, 7.0));
+        // All-equal samples collapse to a zero-width interval.
+        let same = [3.0; 16];
+        assert_eq!(bootstrap_percentile_ci(&same, 0.95, 50, 9), (3.0, 3.0));
     }
 
     #[test]

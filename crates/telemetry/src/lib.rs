@@ -32,8 +32,12 @@ pub mod span;
 pub mod trace;
 
 pub use chrome::{validate_chrome, ChromeSummary};
-pub use export::{aggregate, aggregate_values, AggStat, FleetAggregate};
-pub use metrics::{Counter, Gauge, GaugeF, Histogram, HistogramSummary, Registry, Snapshot};
+pub use export::{
+    aggregate, aggregate_values, bootstrap_percentile_ci, quantile_sorted, AggStat, FleetAggregate,
+};
+pub use metrics::{
+    fmt_f64, Counter, Gauge, GaugeF, Histogram, HistogramSummary, Registry, Snapshot,
+};
 pub use span::{
     capture, counter, disable, drain, enable, enabled, instant, instant_attrs, name_current_track,
     session_lock, set_track_capacity, span, span_attrs, track, track_in, AttrValue, Event,

@@ -434,7 +434,10 @@ impl Snapshot {
 }
 
 /// Formats a float as JSON-safe text (non-finite values become `null`).
-pub(crate) fn fmt_f64(v: f64) -> String {
+/// Public so downstream report writers (e.g. the fleet warmup report)
+/// serialize floats exactly like registry snapshots do — a prerequisite
+/// for byte-identical report digests.
+pub fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         if v == v.trunc() && v.abs() < 1e15 {
             format!("{}", v as i64)
